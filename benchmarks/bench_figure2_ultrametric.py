@@ -1,0 +1,121 @@
+"""Experiment F2 — Figure 2: the structure of the two ultrametrics.
+
+Figure 2 shows how the distance-vector construction (h → d → D) and the
+path-vector construction (h_c/h_i → d_c/d_i → d → D) fit together.
+This bench computes every layer on live data and prints the structural
+facts the figure encodes:
+
+* DV: 1 = h(∞̄) ≤ h(x) ≤ h(0̄) = H, d bounded by H;
+* PV: d restricted to consistent routes *is* d_c (the "=" edges of the
+  figure), inconsistent distances sit in the band (H_c, H_c + n + 1],
+  strictly above every consistent distance.
+
+Paper artefact: Figure 2 (and the Section 4.1 / 5.2 definitions).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from bench_helpers import emit
+from repro.core import (
+    DistanceVectorUltrametric,
+    PathVectorUltrametric,
+    enumerate_consistent_routes,
+    random_state,
+    sigma,
+)
+from tests.conftest import hop_net, shortest_pv_net
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_dv_structure(benchmark):
+    def run():
+        net = hop_net(4, bound=8)
+        metric = DistanceVectorUltrametric(net.algebra)
+        routes = list(net.algebra.routes())
+        dists = [metric.distance(x, y)
+                 for x, y in itertools.product(routes, repeat=2)]
+        return net, metric, routes, dists
+
+    net, metric, routes, dists = benchmark.pedantic(run, rounds=1,
+                                                    iterations=1)
+    alg = net.algebra
+    emit("F2 / Figure 2 — distance-vector ultrametric (left column)", [
+        f"h(∞̄) = {metric.height(alg.invalid)}   "
+        f"h(0̄) = H = {metric.height(alg.trivial)}",
+        f"max observed d = {max(dists)}  (bound: {metric.bound})",
+        f"d(x,x) = 0 everywhere: "
+        f"{all(metric.distance(r, r) == 0 for r in routes)}",
+        f"D on two random states = "
+        f"{metric.state_distance(random_state(alg, 4, random.Random(0)), random_state(alg, 4, random.Random(1)))}",
+    ])
+    assert metric.height(alg.invalid) == 1
+    assert metric.height(alg.trivial) == metric.H
+    assert max(dists) <= metric.bound
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_pv_structure(benchmark):
+    def run():
+        net = shortest_pv_net(4, seed=3)
+        metric = PathVectorUltrametric(net)
+        sc = enumerate_consistent_routes(net.algebra, net)
+        rng = random.Random(4)
+        ghosts = [r for r in
+                  (net.algebra.sample_route(rng) for _ in range(60))
+                  if not metric.is_consistent(r)][:10]
+        return net, metric, sc, ghosts
+
+    net, metric, sc, ghosts = benchmark.pedantic(run, rounds=1, iterations=1)
+    alg = net.algebra
+
+    cons_d = [metric.distance(x, y) for x in sc for y in sc
+              if not alg.equal(x, y)]
+    mixed_d = [metric.distance(x, g) for x in sc[:6] for g in ghosts]
+    emit("F2 / Figure 2 — path-vector ultrametric (right column)", [
+        f"|S_c| = {len(sc)}   H_c = {metric.H_c}   "
+        f"H_i = n + 1 = {metric.H_i}",
+        f"consistent distances within [1, H_c]: "
+        f"max = {max(cons_d)}",
+        f"inconsistent distances within (H_c, H_c + n + 1]: "
+        f"min = {min(mixed_d)}, max = {max(mixed_d)}",
+        f"every inconsistent disagreement > every consistent one: "
+        f"{min(mixed_d) > max(cons_d)}",
+        f"D bounded by H_c + (n+1) = {metric.bound}",
+    ])
+    assert max(cons_d) <= metric.H_c
+    assert min(mixed_d) > metric.H_c
+    assert max(mixed_d) <= metric.bound
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_inconsistent_band_shrinks_under_sigma(benchmark):
+    """The quantity Figure 2's h_i encodes: each σ application pushes
+    the surviving inconsistent routes to longer paths — h_i strictly
+    falls until the state is consistent."""
+    def run():
+        net = shortest_pv_net(5, seed=5)
+        metric = PathVectorUltrametric(net)
+        rng = random.Random(6)
+        X = random_state(net.algebra, 5, rng)
+        trail = []
+        for _ in range(net.n + 1):
+            worst = max((metric.inconsistent_height(r)
+                         for (_i, _j, r) in X.entries()
+                         if not metric.is_consistent(r)), default=0)
+            trail.append(worst)
+            X = sigma(net, X)
+        return trail
+
+    trail = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("F2 / Figure 2 — max h_i per σ round (0 = fully consistent)",
+         [f"rounds: {trail}"])
+    # once zero, stays zero; and it reaches zero within n rounds
+    assert trail[-1] == 0
+    seen_zero = False
+    for v in trail:
+        if seen_zero:
+            assert v == 0
+        seen_zero = seen_zero or v == 0

@@ -1,0 +1,48 @@
+"""Shared rendering helpers for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table/figure/claim from the
+paper (see the per-experiment index in DESIGN.md) and prints the rows
+through :func:`emit` so they appear on the terminal even under pytest's
+output capture.  ``EXPERIMENTS.md`` records paper-vs-measured for every
+row emitted here.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Optional, Sequence
+
+#: the active capsys fixture, installed per-test by benchmarks/conftest.py
+#: so that emit() can print through pytest's capture suspension
+_capsys = None
+
+
+def set_capsys(capsys) -> None:
+    global _capsys
+    _capsys = capsys
+
+
+def emit(title: str, rows: Iterable[str]) -> None:
+    """Print an experiment block, bypassing pytest's output capture."""
+    rows = list(rows)
+    if _capsys is not None:
+        with _capsys.disabled():
+            _print_block(title, rows)
+    else:
+        _print_block(title, rows)
+
+
+def _print_block(title: str, rows: Sequence[str]) -> None:
+    print()
+    print(f"── {title} " + "─" * max(0, 68 - len(title)))
+    for row in rows:
+        print(f"  {row}")
+    sys.stdout.flush()
+
+
+def check_mark(flag: bool) -> str:
+    return "✓" if flag else "✗"
+
+
+def fmt_row(cells: Sequence, widths: Sequence[int]) -> str:
+    return "  ".join(f"{str(c):<{w}}" for c, w in zip(cells, widths))

@@ -1,0 +1,70 @@
+"""Experiment ROB — failure-injection sweeps (the Section 3.2 promise,
+operationalised).
+
+For every link of a policy-rich network: fail it mid-run, measure
+re-convergence, and check the reached state is the post-failure
+topology's *unique* fixed point (determinism = no wedgie after any
+failure).  Then partitioning failures: routes must be withdrawn
+cleanly, never counted to infinity.
+"""
+
+import pytest
+
+from bench_helpers import check_mark, emit
+from repro.analysis import failure_sweep, partition_probe, \
+    random_multi_failure_sweep
+from repro.protocols import HOSTILE
+from tests.conftest import bgp_net, hop_net, shortest_pv_net
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_single_link_sweep(benchmark):
+    def run():
+        net = bgp_net(6, seed=50)
+        return failure_sweep(net, seed=50)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ROB — every-link failure sweep (BGPLite ring, n=6)",
+         report.table().splitlines() + [
+             f"all converged: {check_mark(report.all_converged)}   "
+             f"all deterministic: {check_mark(report.all_deterministic)}",
+             f"re-convergence: mean {report.mean_reconvergence:.1f}, "
+             f"worst {report.worst_reconvergence:.1f}",
+         ])
+    assert report.all_converged
+    assert report.all_deterministic
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_double_failures_under_hostile_channels(benchmark):
+    def run():
+        net = shortest_pv_net(6, seed=51)
+        return random_multi_failure_sweep(net, k=2, trials=4, seed=51,
+                                          link_config=HOSTILE)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ROB — double failures + hostile channels (shortest-PV, n=6)", [
+        f"trials: {len(report.outcomes)}",
+        f"all converged: {check_mark(report.all_converged)}",
+        f"all deterministic: {check_mark(report.all_deterministic)}",
+        f"worst re-convergence: {report.worst_reconvergence:.1f}",
+    ])
+    assert report.all_converged
+    assert report.all_deterministic
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_partition_withdraws_cleanly(benchmark):
+    def run():
+        net = shortest_pv_net(5, seed=52)
+        return partition_probe(net, [(0, 1), (0, 4)], seed=52)
+
+    outcome, withdrew = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("ROB — partitioning failure (isolate node 0)", [
+        f"converged: {check_mark(outcome.converged)}",
+        f"unreachable pairs after the cut: {outcome.partitioned_pairs}",
+        f"clean withdrawal (no ghosts / no count-to-infinity): "
+        f"{check_mark(withdrew)}",
+    ])
+    assert withdrew
+    assert outcome.partitioned_pairs == 8

@@ -1,0 +1,84 @@
+"""Experiment T1 — Table 1 regenerated as a live property matrix.
+
+For every algebra shipped with the library, run the executable law
+checkers and print the paper's property table: the required laws (which
+every algebra must pass) and the optional increasing / strictly
+increasing / distributive columns (which differentiate the classical,
+policy-rich and broken regimes).
+
+Paper artefact: Table 1 (property definitions) + the classifications
+asserted throughout Sections 1–2.
+"""
+
+import random
+
+import pytest
+
+from bench_helpers import check_mark, emit, fmt_row
+from repro.algebras import (
+    AddPaths,
+    BGPLiteAlgebra,
+    GaoRexfordAlgebra,
+    HopCountAlgebra,
+    LongestPathsAlgebra,
+    MostReliableAlgebra,
+    QuantisedReliabilityAlgebra,
+    ShortestPathsAlgebra,
+    StratifiedAlgebra,
+    WidestPathsAlgebra,
+    disagree,
+)
+from repro.verification import verify_algebra
+
+ALGEBRAS = [
+    ("shortest-paths", lambda: ShortestPathsAlgebra(), True, True, True),
+    ("longest-paths", lambda: LongestPathsAlgebra(), False, False, None),
+    ("widest-paths", lambda: WidestPathsAlgebra(), True, False, True),
+    ("most-reliable", lambda: MostReliableAlgebra(), True, True, True),
+    ("hop-count (RIP)", lambda: HopCountAlgebra(16), True, True, None),
+    ("quantised-reliability", lambda: QuantisedReliabilityAlgebra(8),
+     True, True, None),
+    ("stratified", lambda: StratifiedAlgebra(), True, True, False),
+    ("add-paths(shortest)", lambda: AddPaths(ShortestPathsAlgebra(), 6),
+     True, True, None),
+    ("bgp-lite (§7)", lambda: BGPLiteAlgebra(n_nodes=6), True, True, False),
+    ("gao-rexford", lambda: GaoRexfordAlgebra(n_nodes=6), True, True, None),
+    ("SPP DISAGREE", lambda: disagree().algebra, False, False, None),
+]
+
+
+def run_matrix():
+    rng = random.Random(0)
+    rows = []
+    for (name, build, *_expect) in ALGEBRAS:
+        report = verify_algebra(build(), rng=rng, samples=40)
+        rows.append((name, report))
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_property_matrix(benchmark):
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    widths = (24, 9, 11, 7, 13)
+    lines = [fmt_row(("algebra", "required", "increasing", "strict",
+                      "distributive"), widths)]
+    for (name, rep) in rows:
+        lines.append(fmt_row((
+            name,
+            check_mark(rep.is_routing_algebra),
+            check_mark(rep.is_increasing),
+            check_mark(rep.is_strictly_increasing),
+            check_mark(rep.is_distributive),
+        ), widths))
+    emit("T1 / Table 1 — algebraic property matrix", lines)
+
+    # shape assertions: the classifications the paper relies on
+    by_name = {name: rep for (name, rep) in rows}
+    for (name, _build, incr, strict, distr) in ALGEBRAS:
+        rep = by_name[name]
+        assert rep.is_routing_algebra, f"{name}: required laws fail"
+        assert rep.is_increasing == incr, name
+        assert rep.is_strictly_increasing == strict, name
+        if distr is not None:
+            assert rep.is_distributive == distr, name

@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Benchmarks *print* the tables/figures they regenerate (that is their
+point), so pytest's output capture is disabled around every benchmark
+test — the experiment blocks land on the terminal (and in
+``bench_output.txt`` when the run is tee'd) right next to the timing
+table.
+"""
+
+import sys
+
+import pytest
+
+# make `import bench_helpers` and `from tests.conftest import ...` work
+# regardless of how pytest was invoked (bare `pytest` does not put the
+# repo root on sys.path; `python -m pytest` does)
+_here = __import__("pathlib").Path(__file__).parent
+sys.path.insert(0, str(_here))
+sys.path.insert(0, str(_here.parent))
+
+
+@pytest.fixture(autouse=True)
+def live_experiment_output(capsys):
+    """Give bench_helpers.emit() access to capture suspension so the
+    experiment blocks reach the terminal on passing tests too."""
+    import bench_helpers
+
+    bench_helpers.set_capsys(capsys)
+    yield
+    bench_helpers.set_capsys(None)

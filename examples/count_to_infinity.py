@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Count-to-infinity, and how path-vector kills it (Section 5).
+
+Plain shortest-path distance-vector is strictly increasing but its
+carrier ℕ∞ is infinite, so Theorem 7 does not apply — and indeed, after
+a link failure the stale state makes nodes 1 and 2 bounce ever-growing
+distances off each other forever.
+
+Three cures, all demonstrated:
+
+1. RIP's: bound the metric (hop count ≤ 16) — finiteness restored,
+   Theorem 7 applies; convergence to "unreachable" takes O(bound)
+   rounds (why RIP convergence is slow!).
+2. The paper's: track paths (AddPaths lift) — loop rejection makes the
+   stale routes *inconsistent*, they are flushed within n rounds, and
+   Theorem 11 applies.
+3. Run it live: the event-driven simulator with a mid-run link failure.
+
+Run:  python examples/count_to_infinity.py
+"""
+
+from repro.algebras import HopCountAlgebra
+from repro.core import Network, RoutingState, iterate_sigma
+from repro.protocols import ChangeScript, Simulator, fail_link
+from repro.topologies import count_to_infinity, count_to_infinity_pv
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # The disease.
+    # ------------------------------------------------------------------
+    net, stale = count_to_infinity()
+    print("plain shortest-path DV after the (1,0) link dies,")
+    print("starting from the stale pre-failure fixed point:")
+    res = iterate_sigma(net, stale, max_rounds=25, keep_trajectory=True)
+    dist = [s.get(1, 0) for s in res.trajectory]
+    print(f"  node 1's distance to 0 per round: {dist[:10]} ...")
+    print(f"  converged after 25 rounds? {res.converged}  "
+          "(it never will — distances grow forever)")
+
+    # ------------------------------------------------------------------
+    # Cure 1: RIP's bounded metric.
+    # ------------------------------------------------------------------
+    alg = HopCountAlgebra(16)
+    rip = Network(alg, 3, name="rip")
+    rip.set_edge(1, 2, alg.edge(1))
+    rip.set_edge(2, 1, alg.edge(1))
+    rip_stale = RoutingState([[0, 16, 16], [1, 0, 1], [2, 1, 0]])
+    res = iterate_sigma(rip, rip_stale)
+    print()
+    print(f"RIP (hop count ≤ 16): converged in {res.rounds} rounds —")
+    print(f"  node 1's route to 0: {res.state.get(1, 0)} (= unreachable)")
+    print("  note the rounds ≈ the bound: counting-to-16 is why RIP is slow")
+
+    # ------------------------------------------------------------------
+    # Cure 2: the path-vector lift (Theorem 11).
+    # ------------------------------------------------------------------
+    pv_net, pv_stale = count_to_infinity_pv()
+    res = iterate_sigma(pv_net, pv_stale)
+    print()
+    print(f"path-vector lift: converged in {res.rounds} rounds —")
+    print(f"  node 1's route to 0: {res.state.get(1, 0)}")
+    print("  loop rejection (P3) stops 1 and 2 laundering each other's "
+          "dead routes")
+
+    # ------------------------------------------------------------------
+    # Cure 3 live: a simulator run with the failure injected mid-flight.
+    # ------------------------------------------------------------------
+    from repro.algebras import AddPaths, ShortestPathsAlgebra
+
+    base = ShortestPathsAlgebra()
+    palg = AddPaths(base, n_nodes=4)
+    live = Network(palg, 4, name="live")
+    for (i, j, w) in [(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 1, 1),
+                      (2, 3, 1), (3, 2, 1)]:
+        live.set_edge(i, j, palg.edge(i, j, base.edge(w)))
+    sim = Simulator(live, seed=4, refresh_interval=5.0, quiet_period=20.0)
+    script = ChangeScript(sim, fail_link(0, 1, time=50.0))
+    result = script.run()
+    print()
+    print("live run with the (0,1) link failing at t=50:")
+    print(f"  converged: {result.converged} at t={result.convergence_time:.1f}")
+    print(f"  node 3's route to 0 after the partition: "
+          f"{result.final_state.get(3, 0)}")
+
+
+if __name__ == "__main__":
+    main()

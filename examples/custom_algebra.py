@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Bring your own algebra: the library as a safe-protocol design kit.
+
+The paper's closing pitch is that protocol designers should *prove*
+their policy language increasing and get convergence for free.  This
+example plays protocol designer: we invent a small "latency class +
+expiry budget" algebra, make a mistake, get caught by the law checker,
+fix it, and collect the Theorem 7 guarantee.
+
+Routes are ``(latency_class, ttl_budget)``:
+
+* ``latency_class ∈ {0 gold, 1 silver, 2 bronze, 3 = unreachable}``,
+* ``ttl_budget ∈ {0..8}`` — how much of the end-to-end delay budget the
+  path has *consumed* (higher is worse).
+
+Run:  python examples/custom_algebra.py
+"""
+
+import random
+from typing import Iterator
+
+from repro.algebras import KeyOrderedAlgebra
+from repro.analysis import dv_bounds, run_absolute_convergence
+from repro.core import EdgeFunction, Network
+from repro.verification import convergence_guarantee, verify_algebra
+
+CLASSES = 3       # 0, 1, 2 usable; 3 = unreachable
+BUDGET = 8
+
+
+class LatencyClassAlgebra(KeyOrderedAlgebra):
+    """Finite two-criterion algebra: class first, then consumed budget."""
+
+    name = "latency-class"
+    is_finite = True
+
+    @property
+    def trivial(self):
+        return (0, 0)
+
+    @property
+    def invalid(self):
+        return (CLASSES, BUDGET)
+
+    def preference_key(self, route):
+        return route
+
+    def routes(self) -> Iterator:
+        for c in range(CLASSES):
+            for b in range(BUDGET + 1):
+                yield (c, b)
+        yield self.invalid
+
+    def sample_edge_function(self, rng):
+        return GoodLink(rng.randint(1, 3), rng.random() < 0.3)
+
+
+class BuggyLink(EdgeFunction):
+    """First attempt: add delay; *upgrade* the class on premium links.
+
+    Upgrading the class makes a route more preferred — a paid-peering
+    "optimisation" that breaks the increasing law.
+    """
+
+    def __init__(self, delay: int, premium: bool):
+        self.delay = delay
+        self.premium = premium
+
+    def __call__(self, route):
+        cls, budget = route
+        if cls >= CLASSES:
+            return (CLASSES, BUDGET)
+        new_budget = min(budget + self.delay, BUDGET)
+        new_cls = max(cls - 1, 0) if self.premium else cls   # BUG
+        if new_budget >= BUDGET:
+            return (CLASSES, BUDGET)
+        return (new_cls, new_budget)
+
+
+class GoodLink(EdgeFunction):
+    """The fix: classes may only *degrade* (or stay); delay always adds."""
+
+    def __init__(self, delay: int, degrade: bool):
+        if delay < 1:
+            raise ValueError("links must consume budget")
+        self.delay = delay
+        self.degrade = degrade
+
+    def __call__(self, route):
+        cls, budget = route
+        if cls >= CLASSES:
+            return (CLASSES, BUDGET)
+        new_budget = budget + self.delay
+        new_cls = min(cls + 1, CLASSES - 1) if self.degrade else cls
+        if new_budget > BUDGET or (new_cls == cls == CLASSES - 1
+                                   and new_budget >= BUDGET):
+            return (CLASSES, BUDGET)
+        return (new_cls, new_budget)
+
+
+def main() -> None:
+    alg = LatencyClassAlgebra()
+    rng = random.Random(1)
+
+    # ------------------------------------------------------------------
+    # Round 1: the buggy design.  The checker names the counterexample.
+    # ------------------------------------------------------------------
+    buggy = [BuggyLink(2, premium=True), BuggyLink(1, premium=False)]
+    report = verify_algebra(alg, edge_functions=buggy, rng=rng)
+    print("buggy design:")
+    print(" ", report.check("F increasing").describe())
+    print(" ", convergence_guarantee(report, finite_carrier=True,
+                                     path_algebra=False))
+
+    # ------------------------------------------------------------------
+    # Round 2: the fixed design.
+    # ------------------------------------------------------------------
+    good = [GoodLink(d, dg) for d in (1, 2, 3) for dg in (False, True)]
+    report = verify_algebra(alg, edge_functions=good, rng=rng)
+    print()
+    print("fixed design:")
+    for law in ("F increasing", "F strictly increasing",
+                "F distributes over ⊕"):
+        print(" ", report.check(law).describe())
+    print(" ", convergence_guarantee(report, finite_carrier=True,
+                                     path_algebra=False))
+
+    # ------------------------------------------------------------------
+    # Collect the reward: certified bounds + an absolute-convergence run.
+    # ------------------------------------------------------------------
+    bounds = dv_bounds(alg)
+    print()
+    print(f"certified quantities: {bounds.describe()}")
+
+    net = Network(alg, 5, name="latency-mesh")
+    for i in range(5):
+        for j in range(5):
+            if i != j and rng.random() < 0.6:
+                net.set_edge(i, j, GoodLink(rng.randint(1, 2),
+                                            rng.random() < 0.3))
+    for i in range(5):           # ring backbone for connectivity
+        if not net.adjacency.has_edge(i, (i + 1) % 5):
+            net.set_edge(i, (i + 1) % 5, GoodLink(1, False))
+        if not net.adjacency.has_edge((i + 1) % 5, i):
+            net.set_edge((i + 1) % 5, i, GoodLink(1, False))
+    exp = run_absolute_convergence(net, n_starts=4, seed=2)
+    print(f"absolute convergence on a random mesh: {exp.absolute} "
+          f"({exp.runs} runs, worst {exp.max_steps} steps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""The Section 7 safe-by-design algebra, end to end.
+
+BGPLite has local preferences, communities, path filtering and a
+conditional policy language — "most of the features of BGP" — yet it is
+*impossible* to write a policy that endangers convergence: every
+expressible policy is increasing, so Theorem 11 guarantees absolute
+convergence no matter what the operators configure.
+
+The demo:
+
+1. writes the paper's style of conditional policy by hand;
+2. generates hundreds of adversarial random policies and law-checks
+   the resulting algebra;
+3. runs a 12-node network full of hostile random policies over lossy,
+   duplicating, reordering channels — and shows every run lands on the
+   same fixed point;
+4. flips one edge to the *unsafe* ``SetPref`` (real BGP's import-time
+   local-pref overwrite) and shows the increasing law break.
+
+Run:  python examples/safe_by_design_bgp.py
+"""
+
+import random
+
+from repro.algebras import (
+    And,
+    BGPLiteAlgebra,
+    Compose,
+    If,
+    InComm,
+    IncrPrefBy,
+    InPath,
+    Not,
+    Reject,
+    SetPref,
+    random_policy,
+    valid,
+)
+from repro.core import synchronous_fixed_point
+from repro.protocols import HOSTILE, simulate
+from repro.topologies import bgp_policy_factory, erdos_renyi
+from repro.verification import verify_algebra, verify_network
+
+
+def main() -> None:
+    alg = BGPLiteAlgebra(n_nodes=12)
+
+    # ------------------------------------------------------------------
+    # 1. Hand-written policy: "if the route carries community 17 or
+    #    transits AS 3, depreference it by 4; drop routes tagged 6".
+    # ------------------------------------------------------------------
+    policy = Compose(
+        If(And(InComm(17), Not(InPath(4))), IncrPrefBy(4)),
+        If(InComm(6), Reject()),
+    )
+    r = valid(lp=0, communities={17}, path=(2, 0))
+    print("hand-written policy on", r)
+    print("  →", policy.apply(r))
+
+    # ------------------------------------------------------------------
+    # 2. Adversarial generation: hundreds of random policies, all safe.
+    # ------------------------------------------------------------------
+    rng = random.Random(0)
+    edges = [alg.sample_edge_function(rng) for _ in range(200)]
+    report = verify_algebra(alg, edge_functions=edges, rng=rng, samples=60)
+    print()
+    print(f"law check over {len(edges)} random policies:")
+    print(f"  routing algebra: {report.is_routing_algebra}")
+    print(f"  strictly increasing: {report.is_strictly_increasing}")
+    print(f"  distributive: {report.is_distributive} "
+          "(False = policy-rich, as intended)")
+
+    # ------------------------------------------------------------------
+    # 3. A hostile network: random policies on a random topology over
+    #    channels that lose 20% and duplicate 10% of messages.
+    # ------------------------------------------------------------------
+    net = erdos_renyi(alg, 12, 0.35,
+                      bgp_policy_factory(alg, allow_reject=False), seed=1)
+    net_report = verify_network(net, samples=30)
+    print()
+    print(f"deployed network {net.name}: strictly increasing = "
+          f"{net_report.is_strictly_increasing}")
+    reference = synchronous_fixed_point(net)
+    outcomes = set()
+    for seed in range(3):
+        sim = simulate(net, seed=seed, link_config=HOSTILE,
+                       refresh_interval=5.0, quiet_period=25.0)
+        same = sim.final_state.equals(reference, alg)
+        outcomes.add(same)
+        print(f"  run seed={seed}: converged={sim.converged}, "
+              f"lost={sim.stats.lost}, dup={sim.stats.duplicated}, "
+              f"same fixed point={same}")
+    assert outcomes == {True}
+
+    # ------------------------------------------------------------------
+    # 4. The unsafe extension: one SetPref policy breaks the guarantee.
+    # ------------------------------------------------------------------
+    unsafe = alg.edge(2, 1, SetPref(0))
+    unsafe_report = verify_algebra(alg, edge_functions=[unsafe],
+                                   rng=rng, samples=60)
+    check = unsafe_report.check("F increasing")
+    print()
+    print("with real BGP's SetPref(0) on one edge:")
+    print(f"  increasing: {check.holds}")
+    print(f"  counterexample: {check.counterexample}")
+    print("  → this is why today's BGP admits wedgies (Section 8.2)")
+
+
+if __name__ == "__main__":
+    main()

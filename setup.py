@@ -1,0 +1,13 @@
+"""Legacy setup shim: the workspace is offline (no `wheel` package), so
+editable installs must go through `setup.py develop` rather than PEP 660.
+All real metadata lives in pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,15 @@
+"""repro — a routing-algebra library reproducing Daggitt, Gurney & Griffin,
+"Asynchronous Convergence of Policy-Rich Distributed Bellman-Ford Routing
+Protocols" (SIGCOMM 2018).
+
+Public API lives in the subpackages:
+
+* :mod:`repro.core`       — algebras, σ, schedules, δ, ultrametrics, paths
+* :mod:`repro.algebras`   — concrete algebras (Table 2, RIP, BGPLite, ...)
+* :mod:`repro.verification` — executable Table 1 law checking
+* :mod:`repro.protocols`  — event-driven message-passing simulator
+* :mod:`repro.topologies` — generators and the gadget zoo
+* :mod:`repro.analysis`   — fixed points, wedgies, convergence rates
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,54 @@
+"""Shared infrastructure for concrete algebras.
+
+Most practical routing algebras are *min-by-total-order* algebras: ⊕
+returns whichever argument has the smaller *preference key* under some
+injective key function.  Such a ⊕ is automatically associative,
+commutative and selective — the three structural laws of Table 1 — so
+concrete algebras built on :class:`KeyOrderedAlgebra` get them for free
+(and the verification suite re-checks them anyway, because trusting a
+base class is exactly what the paper warns against).
+
+The key function must be *injective on distinct routes*: if two distinct
+routes compared equal, ⊕ would have to pick one arbitrarily, silently
+breaking commutativity (``a ⊕ b = a`` but ``b ⊕ a = b``).  Algebras with
+natural ties (e.g. BGPLite routes differing only in communities) must
+fold a canonical tiebreak into the key.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.algebra import Route, RoutingAlgebra
+
+
+class KeyOrderedAlgebra(RoutingAlgebra):
+    """A routing algebra whose ⊕ is min-by-``preference_key``.
+
+    Subclasses implement :meth:`preference_key` returning a totally
+    ordered, injective key (smaller = more preferred).  The trivial
+    route must map to the minimum key and the invalid route to the
+    maximum, which yields "0̄ annihilates ⊕" and "∞̄ is the identity of
+    ⊕" directly.
+    """
+
+    def preference_key(self, route: Route) -> Any:
+        """Total-order key; smaller keys are more preferred."""
+        raise NotImplementedError
+
+    def choice(self, a: Route, b: Route) -> Route:
+        """⊕: return the argument with the smaller preference key."""
+        return a if self.preference_key(a) <= self.preference_key(b) else b
+
+    # The derived order coincides with key comparison; overriding these
+    # avoids recomputing choice() twice per comparison.
+
+    def leq(self, a: Route, b: Route) -> bool:
+        return self.preference_key(a) <= self.preference_key(b)
+
+    def lt(self, a: Route, b: Route) -> bool:
+        return self.preference_key(a) < self.preference_key(b)
+
+    def sort_routes(self, routes):
+        """Sort by key directly (equivalent to the ⊕-selection sort)."""
+        return sorted(routes, key=self.preference_key)

@@ -1,0 +1,116 @@
+"""Synthetic finite algebras for property-based testing.
+
+Theorem 7 quantifies over *every* finite strictly increasing algebra,
+so the test suite should not content itself with hand-picked examples.
+This module builds arbitrary finite total-order algebras:
+
+* the carrier is ``{0, 1, ..., m}`` with ``0`` the trivial route, ``m``
+  the invalid route and smaller-is-preferred;
+* ⊕ is ``min`` (associative/commutative/selective by construction);
+* edge functions are lookup tables ``g : S → S`` with ``g(m) = m``.
+
+A table with ``g(x) > x`` for all ``x < m`` is strictly increasing; a
+table with ``g(x) ≥ x`` merely increasing; arbitrary tables are neither.
+Hypothesis strategies over these tables give the property-based tests a
+dense sample of the whole algebra space, including the boundary cases
+(functions that jump straight to invalid = route filters, plateaus that
+break strictness, identity rows that break increase).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from ..core.algebra import EdgeFunction, Route
+from .base import KeyOrderedAlgebra
+
+
+class FiniteLevelAlgebra(KeyOrderedAlgebra):
+    """The chain algebra ``({0..m}, min, tables, 0, m)``."""
+
+    is_finite = True
+
+    def __init__(self, levels: int = 8):
+        """``levels`` is m: the carrier has m + 1 elements (0..m)."""
+        if levels < 1:
+            raise ValueError("need at least levels=1 (trivial plus invalid)")
+        self.levels = levels
+        self.name = f"finite-chain<{levels}>"
+
+    @property
+    def trivial(self) -> Route:
+        return 0
+
+    @property
+    def invalid(self) -> Route:
+        return self.levels
+
+    def preference_key(self, route: Route):
+        return route
+
+    def routes(self) -> Iterator[Route]:
+        return iter(range(self.levels + 1))
+
+    # -- edge-function constructors -------------------------------------
+
+    def table_edge(self, table: Sequence[int]) -> "TableEdge":
+        """An explicit lookup-table edge function."""
+        return TableEdge(list(table), self.levels)
+
+    def step_edge(self, delta: int = 1) -> "TableEdge":
+        """``f(x) = min(x + delta, m)`` as a table."""
+        return self.table_edge(
+            [min(x + delta, self.levels) for x in range(self.levels + 1)])
+
+    def filter_edge(self) -> "TableEdge":
+        """The constant-invalid table: a route filter."""
+        return self.table_edge([self.levels] * (self.levels + 1))
+
+    def random_strict_edge(self, rng) -> "TableEdge":
+        """Random table with ``g(x) > x`` — strictly increasing."""
+        table = [rng.randint(x + 1, self.levels) for x in range(self.levels)]
+        table.append(self.levels)
+        return self.table_edge(table)
+
+    def random_increasing_edge(self, rng) -> "TableEdge":
+        """Random table with ``g(x) ≥ x`` — increasing, maybe not strictly."""
+        table = [rng.randint(x, self.levels) for x in range(self.levels)]
+        table.append(self.levels)
+        return self.table_edge(table)
+
+    def random_arbitrary_edge(self, rng) -> "TableEdge":
+        """Random table with only ``g(m) = m`` imposed — usually broken."""
+        table = [rng.randint(0, self.levels) for _ in range(self.levels)]
+        table.append(self.levels)
+        return self.table_edge(table)
+
+    def sample_edge_function(self, rng) -> "TableEdge":
+        return self.random_strict_edge(rng)
+
+
+class TableEdge(EdgeFunction):
+    """A lookup-table edge function over the chain carrier."""
+
+    def __init__(self, table: List[int], levels: int):
+        if len(table) != levels + 1:
+            raise ValueError(f"table must have {levels + 1} entries")
+        if table[levels] != levels:
+            raise ValueError("table must fix the invalid route (g(m) = m)")
+        if any(not (0 <= v <= levels) for v in table):
+            raise ValueError("table values must stay inside the carrier")
+        self.table = table
+        self.levels = levels
+
+    def __call__(self, route: Route) -> Route:
+        return self.table[route]
+
+    @property
+    def is_strictly_increasing(self) -> bool:
+        return all(self.table[x] > x for x in range(self.levels))
+
+    @property
+    def is_increasing(self) -> bool:
+        return all(self.table[x] >= x for x in range(self.levels))
+
+    def __repr__(self) -> str:
+        return f"TableEdge({self.table})"

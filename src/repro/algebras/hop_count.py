@@ -1,0 +1,137 @@
+"""Hop count with a ceiling — the RIP model (Sections 4.2 and 5).
+
+RIP artificially limits the hop count to 16, with 16 meaning
+"unreachable".  That truncation makes the carrier *finite*:
+
+    S = {0, 1, ..., B}      (B = 16 for RIP; ∞̄ = B, 0̄ = 0)
+    a ⊕ b = min(a, b)
+    f_w(a) = min(a + w, B)   for  w ≥ 1
+
+The algebra is finite and strictly increasing
+(``a < B ⇒ a < min(a + w, B)``), so **Theorem 7 applies**: RIP-like
+protocols converge absolutely — from any state, under loss, reordering
+and duplication, to a unique fixed point.  This is the paper's worked
+"practical implication" (Section 4.2): conditional policies can be
+added to RIP without endangering convergence, provided they stay
+strictly increasing.
+
+:class:`ConditionalHopEdge` models exactly such a policy-rich edge: a
+route map that applies a different increment depending on a predicate
+over the route (Eq. 2 of the paper) — strictly increasing as long as
+both branches are, and demonstrably *non-distributive*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..core.algebra import EdgeFunction, Route
+from .base import KeyOrderedAlgebra
+
+
+class HopCountAlgebra(KeyOrderedAlgebra):
+    """Bounded min-plus: the RIP algebra (default bound 16)."""
+
+    name = "hop-count"
+    is_finite = True
+
+    def __init__(self, bound: int = 16):
+        if bound < 1:
+            raise ValueError("hop-count bound must be >= 1")
+        self.bound = bound
+        self.name = f"hop-count<{bound}>"
+
+    @property
+    def trivial(self) -> Route:
+        return 0
+
+    @property
+    def invalid(self) -> Route:
+        return self.bound
+
+    def preference_key(self, route: Route):
+        return route
+
+    def routes(self) -> Iterator[Route]:
+        return iter(range(self.bound + 1))
+
+    def sample_edge_function(self, rng) -> EdgeFunction:
+        if rng.random() < 0.3:
+            return ConditionalHopEdge.random(rng, self.bound)
+        return HopEdge(rng.randint(1, max(1, self.bound // 4)), self.bound)
+
+    def edge(self, weight: int = 1) -> "HopEdge":
+        return HopEdge(weight, self.bound)
+
+
+class HopEdge(EdgeFunction):
+    """``f_w(a) = min(a + w, B)`` with ``w ≥ 1``."""
+
+    def __init__(self, weight: int, bound: int):
+        if weight < 1:
+            raise ValueError("hop increments must be >= 1 (strictly increasing)")
+        self.weight = weight
+        self.bound = bound
+
+    def __call__(self, route: Route) -> Route:
+        return min(route + self.weight, self.bound)
+
+    def __repr__(self) -> str:
+        return f"HopEdge(+{self.weight}, cap={self.bound})"
+
+
+class ConditionalHopEdge(EdgeFunction):
+    """A route-map edge: ``if P(a) then g(a) else h(a)`` (Eq. 2).
+
+    ``P`` is a predicate on the route value; both branches are
+    increment-and-cap maps, so the composite stays strictly increasing
+    (the paper's observation that strictly increasing policy languages
+    are closed under route maps) while breaking distributivity.
+    """
+
+    def __init__(self, predicate: Callable[[Route], bool],
+                 then_weight: int, else_weight: int, bound: int,
+                 label: str = "P"):
+        if min(then_weight, else_weight) < 1:
+            raise ValueError("both branches must be strictly increasing")
+        self.predicate = predicate
+        self.then_weight = then_weight
+        self.else_weight = else_weight
+        self.bound = bound
+        self.label = label
+
+    def __call__(self, route: Route) -> Route:
+        if route == self.bound:          # f(∞̄) = ∞̄
+            return self.bound
+        w = self.then_weight if self.predicate(route) else self.else_weight
+        return min(route + w, self.bound)
+
+    @classmethod
+    def random(cls, rng, bound: int) -> "ConditionalHopEdge":
+        """A random threshold route map: different cost above/below a cut."""
+        cut = rng.randint(1, max(1, bound - 1))
+        return cls(lambda a, c=cut: a < c,
+                   rng.randint(1, 3), rng.randint(1, 3), bound,
+                   label=f"a<{cut}")
+
+    def __repr__(self) -> str:
+        return (f"ConditionalHopEdge(if {self.label} then +{self.then_weight} "
+                f"else +{self.else_weight}, cap={self.bound})")
+
+
+class UncappedHopEdge(EdgeFunction):
+    """A *deliberately broken* edge: increments without the cap.
+
+    Escapes the finite carrier {0..B}; used by negative-control tests to
+    show the law checker catching routes outside S and the convergence
+    machinery rejecting the algebra.
+    """
+
+    def __init__(self, weight: int):
+        self.weight = weight
+
+    def __call__(self, route: Route) -> Route:
+        return route + self.weight
+
+    def __repr__(self) -> str:
+        return f"UncappedHopEdge(+{self.weight})"

@@ -1,0 +1,81 @@
+"""Longest paths: ``(ℕ∞, max, F₊, 0, ∞)`` — row 2 of Table 2.
+
+⊕ prefers the numerically *larger* route; edge functions add weight.
+The trivial route is ∞ and the invalid route is 0 (note the swap
+relative to shortest paths — Table 2 lists them in the order
+(∞̄, 0̄) = (0, ∞)).
+
+This algebra satisfies all five *required* laws of Table 1 (the edge
+functions explicitly fix the invalid route 0, i.e.
+``f_w(0) = 0``) but it is **not increasing**: extending a route makes
+it numerically larger and therefore *more* preferred.  It is the
+classic non-convergent problem (simple longest path is NP-hard), kept
+here as a negative control: the Table 1 bench shows its ✗ in the
+increasing column, and tests confirm σ can diverge on cyclic
+topologies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.algebra import EdgeFunction, Route
+from .base import KeyOrderedAlgebra
+
+INF = math.inf
+
+
+class GainEdge(EdgeFunction):
+    """``f_w(a) = w + a`` for valid ``a``; fixes the invalid route 0.
+
+    The special case is required by the "∞̄ is a fixed point of F" law —
+    here ∞̄ is the number 0, which plain addition would not preserve.
+    """
+
+    def __init__(self, weight: float):
+        if weight < 0:
+            raise ValueError("gain weights must be non-negative")
+        self.weight = weight
+
+    def __call__(self, route: Route) -> Route:
+        if route == 0:
+            return 0
+        return self.weight + route
+
+    def __repr__(self) -> str:
+        return f"GainEdge({self.weight})"
+
+
+class LongestPathsAlgebra(KeyOrderedAlgebra):
+    """The max-plus algebra over ℕ∞ (a deliberately broken algebra)."""
+
+    name = "longest-paths"
+    is_finite = False
+
+    def __init__(self, max_sample_weight: int = 10):
+        self.max_sample_weight = max_sample_weight
+
+    @property
+    def trivial(self) -> Route:
+        return INF
+
+    @property
+    def invalid(self) -> Route:
+        return 0
+
+    def preference_key(self, route: Route):
+        return -route
+
+    def sample_route(self, rng) -> Route:
+        roll = rng.random()
+        if roll < 0.1:
+            return 0
+        if roll < 0.2:
+            return INF
+        return rng.randint(1, 10 * self.max_sample_weight)
+
+    def sample_edge_function(self, rng) -> GainEdge:
+        return GainEdge(rng.randint(1, self.max_sample_weight))
+
+    def edge(self, weight: float) -> GainEdge:
+        return GainEdge(weight)

@@ -1,0 +1,120 @@
+"""Most reliable paths: ``([0,1], max, F_×, 0, 1)`` — row 4 of Table 2.
+
+A route is the probability that a path delivers a packet; ⊕ prefers the
+*larger* probability; an edge multiplies by its own reliability
+(``f_s(a) = s · a`` with ``s ∈ [0, 1]``).  The trivial route is 1
+(delivery to yourself is certain) and the invalid route is 0.
+
+Increasing always (``s·a ≤ a``); strictly increasing when every edge
+reliability is < 1 — then ``s·a < a`` for every valid ``a ≠ 0``.
+The carrier is infinite (a real interval), so the Theorem 7 finiteness
+hypothesis again fails; the quantised variant below restores it.
+"""
+
+from __future__ import annotations
+
+from ..core.algebra import EdgeFunction, Route
+from .base import KeyOrderedAlgebra
+
+
+class ReliabilityEdge(EdgeFunction):
+    """``f_s(a) = s · a`` for ``s ∈ [0, 1]``."""
+
+    def __init__(self, reliability: float):
+        if not (0.0 <= reliability <= 1.0):
+            raise ValueError("reliability must lie in [0, 1]")
+        self.reliability = reliability
+
+    def __call__(self, route: Route) -> Route:
+        return self.reliability * route
+
+    def __repr__(self) -> str:
+        return f"ReliabilityEdge({self.reliability})"
+
+
+class MostReliableAlgebra(KeyOrderedAlgebra):
+    """The max-times algebra over [0, 1]."""
+
+    name = "most-reliable-paths"
+    is_finite = False
+
+    def __init__(self, sample_grid: int = 100):
+        #: sampled routes/reliabilities are multiples of 1/sample_grid,
+        #: keeping float arithmetic exact enough for equality testing
+        self.sample_grid = sample_grid
+
+    @property
+    def trivial(self) -> Route:
+        return 1.0
+
+    @property
+    def invalid(self) -> Route:
+        return 0.0
+
+    def preference_key(self, route: Route):
+        return -route
+
+    def sample_route(self, rng) -> Route:
+        roll = rng.random()
+        if roll < 0.1:
+            return 0.0
+        if roll < 0.2:
+            return 1.0
+        return rng.randint(1, self.sample_grid - 1) / self.sample_grid
+
+    def sample_edge_function(self, rng) -> ReliabilityEdge:
+        # strictly below 1 so the strictly-increasing law holds
+        return ReliabilityEdge(rng.randint(1, self.sample_grid - 1)
+                               / self.sample_grid)
+
+    def edge(self, reliability: float) -> ReliabilityEdge:
+        return ReliabilityEdge(reliability)
+
+
+class QuantisedReliabilityAlgebra(MostReliableAlgebra):
+    """Most-reliable-paths over the finite grid {0, 1/q, ..., 1}.
+
+    Multiplication is rounded *down* to the grid, which preserves the
+    increasing direction (rounding down makes routes worse, never
+    better) and keeps the carrier finite, so Theorem 7 applies whenever
+    all reliabilities are < 1.
+    """
+
+    name = "most-reliable-quantised"
+    is_finite = True
+
+    def __init__(self, quantum: int = 10):
+        super().__init__(sample_grid=quantum)
+        self.quantum = quantum
+
+    def routes(self):
+        for k in range(self.quantum + 1):
+            yield k / self.quantum
+
+    def edge(self, reliability: float) -> "QuantisedReliabilityEdge":
+        return QuantisedReliabilityEdge(reliability, self.quantum)
+
+    def sample_edge_function(self, rng) -> "QuantisedReliabilityEdge":
+        return QuantisedReliabilityEdge(
+            rng.randint(1, self.quantum - 1) / self.quantum, self.quantum)
+
+    def sample_route(self, rng) -> Route:
+        return rng.randint(0, self.quantum) / self.quantum
+
+
+class QuantisedReliabilityEdge(EdgeFunction):
+    """``f_s(a) = floor(s·a·q)/q`` — multiply then round down to the grid."""
+
+    def __init__(self, reliability: float, quantum: int):
+        if not (0.0 <= reliability <= 1.0):
+            raise ValueError("reliability must lie in [0, 1]")
+        self.reliability = reliability
+        self.quantum = quantum
+
+    def __call__(self, route: Route) -> Route:
+        import math
+
+        return math.floor(self.reliability * route * self.quantum) / self.quantum
+
+    def __repr__(self) -> str:
+        return f"QuantisedReliabilityEdge({self.reliability}, q={self.quantum})"

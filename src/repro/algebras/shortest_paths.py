@@ -1,0 +1,80 @@
+"""Shortest paths: ``(ℕ∞, min, F₊, 0, ∞)`` — row 1 of Table 2.
+
+Routes are non-negative numbers (hop-weighted distances); ∞̄ is the
+float infinity; ⊕ is numeric ``min``; edge functions add a fixed weight.
+
+Properties (verified in tests, summarised in the Table 1 bench):
+
+* all five required laws hold;
+* *increasing* iff all edge weights are ≥ 0;
+* *strictly increasing* iff all edge weights are ≥ 1 — but the carrier
+  is **infinite**, so Theorem 7 does *not* apply: plain shortest-path
+  distance-vector suffers count-to-infinity from stale states (the
+  paper's Section 5 opening).  The path-vector lift
+  ``AddPaths(ShortestPathsAlgebra())`` restores absolute convergence
+  via Theorem 11.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.algebra import EdgeFunction, Route
+from .base import KeyOrderedAlgebra
+
+INF = math.inf
+
+
+class AdditiveEdge(EdgeFunction):
+    """``f_w(a) = w + a`` (with ``f(∞) = ∞`` automatically)."""
+
+    def __init__(self, weight: float):
+        if weight < 0:
+            raise ValueError("additive edge weights must be non-negative")
+        self.weight = weight
+
+    def __call__(self, route: Route) -> Route:
+        return self.weight + route
+
+    def __repr__(self) -> str:
+        return f"AdditiveEdge({self.weight})"
+
+
+class ShortestPathsAlgebra(KeyOrderedAlgebra):
+    """The min-plus algebra over ℕ∞."""
+
+    name = "shortest-paths"
+    is_finite = False
+
+    def __init__(self, max_sample_weight: int = 10):
+        self.max_sample_weight = max_sample_weight
+
+    @property
+    def trivial(self) -> Route:
+        return 0
+
+    @property
+    def invalid(self) -> Route:
+        return INF
+
+    def preference_key(self, route: Route):
+        return route
+
+    def equal(self, a: Route, b: Route) -> bool:
+        return a == b
+
+    def sample_route(self, rng) -> Route:
+        # include the distinguished routes with non-trivial probability
+        roll = rng.random()
+        if roll < 0.1:
+            return INF
+        if roll < 0.2:
+            return 0
+        return rng.randint(1, 10 * self.max_sample_weight)
+
+    def sample_edge_function(self, rng) -> AdditiveEdge:
+        return AdditiveEdge(rng.randint(1, self.max_sample_weight))
+
+    def edge(self, weight: float) -> AdditiveEdge:
+        """Convenience factory: the edge function adding ``weight``."""
+        return AdditiveEdge(weight)

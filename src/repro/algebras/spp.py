@@ -1,0 +1,220 @@
+"""Stable Paths Problem (SPP) instances as routing algebras — the
+negative controls.
+
+Griffin, Shepherd & Wilfong's SPP formalism (Related work, Section 1.1)
+captures BGP divergence: each node ranks the *paths* it is willing to
+use towards a single destination, and a solution is an assignment of
+paths that is simultaneously each node's best available choice.  The
+classic gadgets are:
+
+* **DISAGREE** — two solutions: the canonical *BGP wedgie* (RFC 4264).
+  Which one the network settles into depends on message timing, and
+  leaving the unintended one needs manual intervention.
+* **BAD GADGET** — no solution at all: the protocol oscillates forever.
+* **GOOD GADGET** — a unique solution reached from everywhere, despite
+  non-increasing preferences (showing the conditions are sufficient,
+  not necessary).
+
+Encoding into our framework: routes are ``(rank, path)`` pairs; the
+*edge function* of ``(i, j)`` extends the path and looks it up in node
+``i``'s ranking table (unranked paths are filtered).  The choice
+operator is plain min by ``(rank, path)``.  Because ranks are arbitrary
+per node, nothing forces an extension to be worse than what it extends
+— these algebras deliberately **violate the increasing law**, which the
+verification suite demonstrates, and the wedgie/oscillation benches
+show the operational consequences that Theorems 7/11 rule out for
+increasing algebras.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.algebra import EdgeFunction, PathAlgebra, Route
+from ..core.paths import BOTTOM, can_extend, extend
+from ..core.state import Network
+
+#: Invalid route sentinel.
+SPP_INVALID = ("invalid",)
+
+SPPRoute = Tuple[int, Tuple[int, ...]]
+"""A valid SPP route: ``(rank, path)`` — lower rank preferred."""
+
+
+class SPPAlgebra(PathAlgebra):
+    """The path-ranking algebra for a fixed SPP instance.
+
+    ``rankings`` maps ``node -> {path: rank}``; paths absent from a
+    node's table are forbidden (filtered to invalid).
+    """
+
+    name = "stable-paths-problem"
+    is_finite = False
+
+    def __init__(self, rankings: Dict[int, Dict[Tuple[int, ...], int]],
+                 n_nodes: int):
+        self.rankings = rankings
+        self.n_nodes = n_nodes
+
+    @property
+    def trivial(self) -> Route:
+        return (0, ())
+
+    @property
+    def invalid(self) -> Route:
+        return SPP_INVALID
+
+    def choice(self, x: Route, y: Route) -> Route:
+        if x == SPP_INVALID:
+            return y
+        if y == SPP_INVALID:
+            return x
+        return x if x <= y else y  # (rank, path) lexicographic
+
+    def path(self, route: Route):
+        if route == SPP_INVALID:
+            return BOTTOM
+        return route[1]
+
+    def rank_of(self, node: int, path: Tuple[int, ...]) -> Optional[int]:
+        """Node's rank for a path, or ``None`` when forbidden."""
+        return self.rankings.get(node, {}).get(path)
+
+    def edge(self, i: int, j: int) -> "SPPEdge":
+        return SPPEdge(self, i, j)
+
+    def sample_route(self, rng) -> Route:
+        if rng.random() < 0.15:
+            return SPP_INVALID
+        ranked = [(node, path, rank)
+                  for node, table in self.rankings.items()
+                  for path, rank in table.items()]
+        if not ranked and rng.random() < 0.5:
+            return (0, ())
+        if not ranked:
+            return SPP_INVALID
+        _node, path, rank = ranked[rng.randrange(len(ranked))]
+        return (rank, path)
+
+    def sample_edge_function(self, rng) -> "SPPEdge":
+        i, j = rng.sample(range(self.n_nodes), 2)
+        return SPPEdge(self, i, j)
+
+
+class SPPEdge(EdgeFunction):
+    """Extend the path and apply the head node's ranking table."""
+
+    def __init__(self, algebra: SPPAlgebra, i: int, j: int):
+        self.algebra = algebra
+        self.i = i
+        self.j = j
+
+    def __call__(self, route: Route) -> Route:
+        if route == SPP_INVALID:
+            return SPP_INVALID
+        _rank, path = route
+        if not can_extend(self.i, self.j, path):
+            return SPP_INVALID
+        new_path = extend(self.i, self.j, path)
+        new_rank = self.algebra.rank_of(self.i, new_path)
+        if new_rank is None:
+            return SPP_INVALID
+        return (new_rank, new_path)
+
+    def __repr__(self) -> str:
+        return f"SPPEdge(({self.i},{self.j}))"
+
+
+# ----------------------------------------------------------------------
+# The gadget instances (destination is always node 0)
+# ----------------------------------------------------------------------
+
+
+def _network_from_rankings(rankings: Dict[int, Dict[Tuple[int, ...], int]],
+                           n: int, edges: Iterable[Tuple[int, int]],
+                           name: str) -> Network:
+    algebra = SPPAlgebra(rankings, n)
+    net = Network(algebra, n, name=name)
+    for (i, j) in edges:
+        net.set_edge(i, j, algebra.edge(i, j))
+    return net
+
+
+def disagree() -> Network:
+    """DISAGREE: 3 nodes, two stable states — the BGP wedgie.
+
+    Nodes 1 and 2 each prefer to reach 0 *through the other* over their
+    direct link.  Both ``{(1,0), (2,1,0)}`` and ``{(2,0), (1,2,0)}``
+    are stable; timing decides which materialises.
+    """
+    rankings = {
+        1: {(1, 2, 0): 0, (1, 0): 1},
+        2: {(2, 1, 0): 0, (2, 0): 1},
+    }
+    edges = [(1, 0), (2, 0), (1, 2), (2, 1),
+             (0, 1), (0, 2)]  # reverse directions carry no ranked paths
+    return _network_from_rankings(rankings, 3, edges, "DISAGREE")
+
+
+def bad_gadget() -> Network:
+    """BAD GADGET: 4 nodes, no stable state — persistent oscillation.
+
+    Each outer node ``i ∈ {1, 2, 3}`` prefers the route through its
+    clockwise neighbour over its direct route; no assignment satisfies
+    everyone (Griffin–Shepherd–Wilfong).
+    """
+    rankings = {
+        1: {(1, 2, 0): 0, (1, 0): 1},
+        2: {(2, 3, 0): 0, (2, 0): 1},
+        3: {(3, 1, 0): 0, (3, 0): 1},
+    }
+    edges = [(1, 0), (2, 0), (3, 0), (1, 2), (2, 3), (3, 1)]
+    return _network_from_rankings(rankings, 4, edges, "BAD-GADGET")
+
+
+def good_gadget() -> Network:
+    """GOOD GADGET: unique solution despite non-increasing preferences.
+
+    Same wiring as BAD GADGET but node 3 prefers its direct route, which
+    breaks the cyclic dependency; every execution converges to the same
+    state (the conditions of Theorem 7/11 are sufficient, not necessary).
+    """
+    rankings = {
+        1: {(1, 2, 0): 0, (1, 0): 1},
+        2: {(2, 3, 0): 0, (2, 0): 1},
+        3: {(3, 0): 0, (3, 1, 0): 1},
+    }
+    edges = [(1, 0), (2, 0), (3, 0), (1, 2), (2, 3), (3, 1)]
+    return _network_from_rankings(rankings, 4, edges, "GOOD-GADGET")
+
+
+def increasing_disagree() -> Network:
+    """DISAGREE *repaired*: the same topology with increasing rankings.
+
+    Ranks respect path extension (longer paths rank strictly worse), so
+    the algebra is strictly increasing and Theorem 11 applies — exactly
+    one stable state survives.  The wedgie bench contrasts this network
+    with :func:`disagree`.
+    """
+    rankings = {
+        1: {(1, 0): 0, (1, 2, 0): 1},
+        2: {(2, 0): 0, (2, 1, 0): 1},
+    }
+    edges = [(1, 0), (2, 0), (1, 2), (2, 1)]
+    return _network_from_rankings(rankings, 3, edges, "DISAGREE-increasing")
+
+
+def spp_fixed_point_candidates(net: Network, dest: int = 0) -> List[Route]:
+    """All candidate routes any node could hold towards ``dest``.
+
+    The union of every ranked (rank, path) pair with the right
+    destination, plus trivial and invalid — the finite search space for
+    exhaustive fixed-point enumeration on gadgets.
+    """
+    algebra: SPPAlgebra = net.algebra  # type: ignore[assignment]
+    candidates: List[Route] = [algebra.invalid]
+    for _node, table in algebra.rankings.items():
+        for path, rank in table.items():
+            if path and path[-1] == dest:
+                candidates.append((rank, path))
+    return candidates

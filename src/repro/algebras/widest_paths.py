@@ -1,0 +1,108 @@
+"""Widest paths: ``(ℕ∞, max, F_min, ∞, 0)`` — row 3 of Table 2.
+
+A route is the bottleneck bandwidth of a path; ⊕ prefers *larger*
+bandwidth; an edge caps the bandwidth at its own capacity
+(``f_c(a) = min(c, a)``).  The trivial route is ∞ (a node reaches
+itself with unbounded bandwidth) and the invalid route is 0.
+
+This algebra is **increasing but not strictly increasing**
+(``min(c, a) = a`` whenever ``a ≤ c``), which makes it the canonical
+witness that Theorem 7's *strictly* increasing hypothesis is needed for
+distance-vector convergence — and that Theorem 11 rescues it: the
+path-vector lift ``AddPaths(WidestPathsAlgebra())`` converges
+absolutely because path algebras only need the plain increasing
+property (Section 5.1's observation that P3 upgrades increasing to
+strictly increasing).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.algebra import EdgeFunction, Route
+from .base import KeyOrderedAlgebra
+
+INF = math.inf
+
+
+class CapacityEdge(EdgeFunction):
+    """``f_c(a) = min(c, a)`` — the bottleneck update."""
+
+    def __init__(self, capacity: float):
+        if capacity < 0:
+            raise ValueError("capacities must be non-negative")
+        self.capacity = capacity
+
+    def __call__(self, route: Route) -> Route:
+        return min(self.capacity, route)
+
+    def __repr__(self) -> str:
+        return f"CapacityEdge({self.capacity})"
+
+
+class WidestPathsAlgebra(KeyOrderedAlgebra):
+    """The max-min (bottleneck) algebra over ℕ∞."""
+
+    name = "widest-paths"
+    is_finite = False
+
+    def __init__(self, max_sample_capacity: int = 10):
+        self.max_sample_capacity = max_sample_capacity
+
+    @property
+    def trivial(self) -> Route:
+        return INF
+
+    @property
+    def invalid(self) -> Route:
+        return 0
+
+    def preference_key(self, route: Route):
+        # larger bandwidth preferred: negate (INF maps to -INF, the minimum)
+        return -route
+
+    def sample_route(self, rng) -> Route:
+        roll = rng.random()
+        if roll < 0.1:
+            return 0
+        if roll < 0.2:
+            return INF
+        return rng.randint(1, self.max_sample_capacity)
+
+    def sample_edge_function(self, rng) -> CapacityEdge:
+        return CapacityEdge(rng.randint(1, self.max_sample_capacity))
+
+    def edge(self, capacity: float) -> CapacityEdge:
+        """Convenience factory: the edge function capping at ``capacity``."""
+        return CapacityEdge(capacity)
+
+
+class BoundedWidestPathsAlgebra(WidestPathsAlgebra):
+    """Widest paths over the *finite* carrier {0, 1, ..., W, ∞}.
+
+    Real links have quantised capacities; bounding the carrier makes the
+    algebra finite so the Section 4.1 ultrametric machinery (which needs
+    to enumerate S) can be exercised on it — it is the worked example of
+    an algebra that is finite and increasing but *not strictly*
+    increasing, on which σ can stall away from the Theorem 7 guarantee.
+    """
+
+    name = "widest-paths-bounded"
+    is_finite = True
+
+    def __init__(self, max_capacity: int = 5):
+        super().__init__(max_sample_capacity=max_capacity)
+        self.max_capacity = max_capacity
+
+    def routes(self):
+        yield 0
+        for c in range(1, self.max_capacity + 1):
+            yield c
+        yield INF
+
+    def sample_route(self, rng) -> Route:
+        universe = list(self.routes())
+        return universe[rng.randrange(len(universe))]
+
+    def sample_edge_function(self, rng) -> CapacityEdge:
+        return CapacityEdge(rng.randint(1, self.max_capacity))

@@ -1,0 +1,76 @@
+"""Convergence measurement utilities used by the benches.
+
+Thin, well-documented wrappers that turn the core engines into the
+experiment rows the paper's claims translate to:
+
+* synchronous rounds-to-fixed-point (the Section 8.1 quantity);
+* asynchronous steps-to-convergence per schedule;
+* full absolute-convergence experiments over sampled (state, schedule)
+  grids, with negative-control support.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.asynchronous import (
+    AbsoluteConvergenceReport,
+    absolute_convergence_experiment,
+    random_state,
+)
+from ..core.schedule import Schedule, schedule_zoo
+from ..core.state import Network, RoutingState
+from ..core.synchronous import iterate_sigma
+
+
+@dataclass
+class SyncMeasurement:
+    """Synchronous convergence measurement from one start."""
+
+    converged: bool
+    rounds: int
+    changed_entries: int          #: total entry changes over the run
+
+
+def measure_sync(network: Network, start: Optional[RoutingState] = None,
+                 max_rounds: int = 10_000) -> SyncMeasurement:
+    """Iterate σ and measure rounds + churn."""
+    alg = network.algebra
+    if start is None:
+        start = RoutingState.identity(alg, network.n)
+    result = iterate_sigma(network, start, max_rounds=max_rounds,
+                           keep_trajectory=True)
+    churn = 0
+    trajectory = result.trajectory or []
+    for prev, cur in zip(trajectory, trajectory[1:]):
+        for i in range(network.n):
+            for j in range(network.n):
+                if not alg.equal(prev.get(i, j), cur.get(i, j)):
+                    churn += 1
+    return SyncMeasurement(result.converged, result.rounds, churn)
+
+
+def sample_starts(network: Network, n_starts: int, seed: int = 0,
+                  include_identity: bool = True) -> List[RoutingState]:
+    """Arbitrary starting states (plus the clean start) for experiments."""
+    rng = random.Random(seed)
+    starts: List[RoutingState] = []
+    if include_identity:
+        starts.append(RoutingState.identity(network.algebra, network.n))
+    for _ in range(n_starts):
+        starts.append(random_state(network.algebra, network.n, rng))
+    return starts
+
+
+def run_absolute_convergence(network: Network, n_starts: int = 5,
+                             schedules: Optional[Sequence[Schedule]] = None,
+                             seed: int = 0, max_steps: int = 2_000
+                             ) -> AbsoluteConvergenceReport:
+    """The Theorem 7/11 experiment with sensible defaults."""
+    if schedules is None:
+        schedules = schedule_zoo(network.n, seeds=(seed, seed + 17))
+    starts = sample_starts(network, n_starts, seed=seed)
+    return absolute_convergence_experiment(network, starts, schedules,
+                                           max_steps=max_steps)

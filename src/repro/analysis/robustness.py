@@ -1,0 +1,178 @@
+"""Failure-injection robustness sweeps.
+
+Theorems 7/11 promise re-convergence after *any* topology change
+(Section 3.2) — this module turns that promise into an experiment
+harness a network operator would actually run:
+
+* :func:`failure_sweep` — for each single link (or a random sample of
+  link sets), fail it mid-run on the event-driven simulator and record
+  re-convergence time, message cost, and whether the reached state is
+  the new topology's unique fixed point;
+* :func:`partition_probe` — find the failures that partition the
+  network and check the protocol *withdraws* routes (no ghost
+  reachability, no count-to-infinity);
+* :class:`RobustnessReport` — aggregate statistics.
+
+These are the operational acceptance tests implied by the paper's
+"convergence is only guaranteed if there is a sufficiently long period
+of network stability": the sweep also measures how long that period
+needs to be in practice.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.state import Network, RoutingState
+from ..core.synchronous import synchronous_fixed_point
+from ..protocols.dynamics import ChangeScript, fail_edge
+from ..protocols.messages import LinkConfig, RELIABLE
+from ..protocols.simulator import Simulator
+
+
+@dataclass
+class FailureOutcome:
+    """What happened after one injected failure set."""
+
+    failed_links: Tuple[Tuple[int, int], ...]
+    converged: bool
+    deterministic: bool          #: final state == post-failure σ fixed point
+    reconvergence_time: float    #: sim-time from failure to last change
+    messages: int
+    partitioned_pairs: int       #: (src, dst) pairs that became unreachable
+
+
+@dataclass
+class RobustnessReport:
+    """Aggregate over a failure sweep."""
+
+    outcomes: List[FailureOutcome] = field(default_factory=list)
+
+    @property
+    def all_converged(self) -> bool:
+        return all(o.converged for o in self.outcomes)
+
+    @property
+    def all_deterministic(self) -> bool:
+        return all(o.deterministic for o in self.outcomes)
+
+    @property
+    def worst_reconvergence(self) -> float:
+        return max((o.reconvergence_time for o in self.outcomes),
+                   default=0.0)
+
+    @property
+    def mean_reconvergence(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.reconvergence_time for o in self.outcomes) / \
+            len(self.outcomes)
+
+    def table(self) -> str:
+        lines = ["failed-links           conv  det   re-time   msgs   cut-pairs"]
+        for o in self.outcomes:
+            links = ",".join(f"{i}-{j}" for (i, j) in o.failed_links)
+            lines.append(
+                f"{links:<22s} {'✓' if o.converged else '✗':<5s}"
+                f"{'✓' if o.deterministic else '✗':<5s}"
+                f"{o.reconvergence_time:<9.1f} {o.messages:<6d} "
+                f"{o.partitioned_pairs}")
+        return "\n".join(lines)
+
+
+def _count_unreachable(network: Network, state: RoutingState) -> int:
+    alg = network.algebra
+    return sum(1 for (i, j, r) in state.entries()
+               if i != j and alg.equal(r, alg.invalid))
+
+
+def inject_failure(network: Network,
+                   links: Sequence[Tuple[int, int]],
+                   fail_time: float = 40.0,
+                   seed: int = 0,
+                   link_config: LinkConfig = RELIABLE,
+                   max_time: float = 8_000.0) -> FailureOutcome:
+    """Fail ``links`` (both directions each) mid-run; measure recovery.
+
+    The simulator runs on a *copy* of the network; the original is left
+    untouched.
+    """
+    working = network.copy()
+    sim = Simulator(working, seed=seed, link_config=link_config,
+                    refresh_interval=5.0, quiet_period=25.0)
+    changes = []
+    for (i, j) in links:
+        changes.append(fail_edge(i, j, fail_time))
+        changes.append(fail_edge(j, i, fail_time))
+    script = ChangeScript(sim, changes)
+    result = script.run(max_time=max_time)
+
+    reference = synchronous_fixed_point(working)
+    deterministic = result.final_state.equals(reference, working.algebra)
+    recon = max(0.0, result.convergence_time - fail_time)
+    return FailureOutcome(
+        failed_links=tuple(links),
+        converged=result.converged,
+        deterministic=deterministic,
+        reconvergence_time=recon,
+        messages=result.stats.sent,
+        partitioned_pairs=_count_unreachable(working, result.final_state),
+    )
+
+
+def failure_sweep(network: Network, seed: int = 0,
+                  link_config: LinkConfig = RELIABLE,
+                  max_links: Optional[int] = None) -> RobustnessReport:
+    """Fail every (undirected) link once, one at a time."""
+    seen = set()
+    links: List[Tuple[int, int]] = []
+    for (i, j) in network.present_edges():
+        key = (min(i, j), max(i, j))
+        if key not in seen:
+            seen.add(key)
+            links.append(key)
+    if max_links is not None:
+        links = links[:max_links]
+    report = RobustnessReport()
+    for idx, link in enumerate(links):
+        report.outcomes.append(
+            inject_failure(network, [link], seed=seed + idx,
+                           link_config=link_config))
+    return report
+
+
+def random_multi_failure_sweep(network: Network, k: int, trials: int,
+                               seed: int = 0,
+                               link_config: LinkConfig = RELIABLE
+                               ) -> RobustnessReport:
+    """Fail ``k`` random links simultaneously, ``trials`` times."""
+    rng = random.Random(seed)
+    seen = set()
+    all_links = []
+    for (i, j) in network.present_edges():
+        key = (min(i, j), max(i, j))
+        if key not in seen:
+            seen.add(key)
+            all_links.append(key)
+    report = RobustnessReport()
+    for t in range(trials):
+        chosen = rng.sample(all_links, min(k, len(all_links)))
+        report.outcomes.append(
+            inject_failure(network, chosen, seed=seed + 100 + t,
+                           link_config=link_config))
+    return report
+
+
+def partition_probe(network: Network, links: Sequence[Tuple[int, int]],
+                    seed: int = 0) -> Tuple[FailureOutcome, bool]:
+    """Inject a partitioning failure and confirm clean withdrawal.
+
+    Returns ``(outcome, withdrew_cleanly)`` where the second component
+    is True when every unreachable pair ended at ∞̄ (no ghost routes
+    and no divergence — the count-to-infinity acceptance test).
+    """
+    outcome = inject_failure(network, links, seed=seed)
+    withdrew = outcome.converged and outcome.deterministic
+    return outcome, withdrew

@@ -1,0 +1,65 @@
+"""Theoretical quantities and provable bounds derived from the paper.
+
+The ultrametric proofs yield more than convergence: they bound *how
+long* convergence can take, because each σ application strictly shrinks
+an ℕ-valued distance (Lemma 2's decreasing-chain argument).
+
+* distance-vector: D ≤ H (the algebra's height), so σ reaches its fixed
+  point from any state within **H** synchronous rounds;
+* path-vector: D ≤ H_c + (n + 1), so within **H_c + n + 1** rounds.
+
+These bounds are loose compared to the companion paper's O(n²) but are
+*certified by the same proof* — the theory bench checks measured rounds
+never exceed them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.algebra import PathAlgebra, RoutingAlgebra
+from ..core.state import Network
+from ..core.ultrametric import (
+    DistanceVectorUltrametric,
+    PathVectorUltrametric,
+)
+
+
+@dataclass
+class TheoryBounds:
+    """Certified quantities for one (algebra, network) pair."""
+
+    carrier_size: Optional[int]     #: |S| when finite (H = carrier_size)
+    height: Optional[int]           #: H for DV; H_c for PV
+    distance_bound: int             #: d_max of the bounded ultrametric
+    sync_round_bound: int           #: certified max synchronous rounds
+
+    def describe(self) -> str:
+        return (f"|S|={self.carrier_size}  H={self.height}  "
+                f"d_max={self.distance_bound}  "
+                f"rounds ≤ {self.sync_round_bound}")
+
+
+def dv_bounds(algebra: RoutingAlgebra) -> TheoryBounds:
+    """Section 4.1 quantities for a finite algebra."""
+    metric = DistanceVectorUltrametric(algebra)
+    return TheoryBounds(
+        carrier_size=metric.H,
+        height=metric.H,
+        distance_bound=metric.bound,
+        sync_round_bound=metric.bound,
+    )
+
+
+def pv_bounds(network: Network) -> TheoryBounds:
+    """Section 5.2 quantities for a path algebra on a concrete network."""
+    if not isinstance(network.algebra, PathAlgebra):
+        raise TypeError("pv_bounds needs a path algebra network")
+    metric = PathVectorUltrametric(network)
+    return TheoryBounds(
+        carrier_size=len(metric.h_c),    # |S_c|
+        height=metric.H_c,
+        distance_bound=metric.bound,
+        sync_round_bound=metric.bound,
+    )

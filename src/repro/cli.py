@@ -1,0 +1,296 @@
+"""Command-line front-end: poke the library without writing code.
+
+Usage (also via ``python -m repro.cli``):
+
+    python -m repro.cli list
+    python -m repro.cli verify --algebra bgplite
+    python -m repro.cli converge --algebra hop-count --topology ring --n 6
+    python -m repro.cli census --gadget disagree
+    python -m repro.cli simulate --algebra bgplite --n 8 --loss 0.2 --dup 0.1
+
+Each subcommand maps one-to-one onto a library workflow; the CLI is a
+thin, dependency-free wrapper intended for quick demos and for
+operators who want to law-check a configuration idea before modelling
+it properly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from .algebras import (
+    AddPaths,
+    BGPLiteAlgebra,
+    GaoRexfordAlgebra,
+    HopCountAlgebra,
+    MostReliableAlgebra,
+    PrependingBGPAlgebra,
+    QuantisedReliabilityAlgebra,
+    ShortestPathsAlgebra,
+    StratifiedAlgebra,
+    WidestPathsAlgebra,
+    bad_gadget,
+    disagree,
+    good_gadget,
+    increasing_disagree,
+    spp_fixed_point_candidates,
+)
+from .analysis import (
+    enumerate_fixed_points,
+    multistart_fixed_points,
+    run_absolute_convergence,
+    sync_oscillates,
+)
+from .core import Network, synchronous_fixed_point
+from .protocols import LinkConfig, simulate
+from .topologies import (
+    bgp_policy_factory,
+    complete,
+    erdos_renyi,
+    lifted_weight_factory,
+    line,
+    ring,
+    star,
+    uniform_weight_factory,
+)
+from .verification import convergence_guarantee, verify_network
+
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+
+
+def _hop():
+    alg = HopCountAlgebra(16)
+    return alg, uniform_weight_factory(alg, 1, 3), True, False
+
+
+def _shortest():
+    alg = ShortestPathsAlgebra()
+    return alg, uniform_weight_factory(alg, 1, 5), False, False
+
+
+def _widest():
+    alg = WidestPathsAlgebra()
+    return alg, uniform_weight_factory(alg, 1, 5), False, False
+
+
+def _reliable():
+    alg = QuantisedReliabilityAlgebra(8)
+    return alg, (lambda rng, _i, _j: alg.sample_edge_function(rng)), True, False
+
+
+def _shortest_pv():
+    alg = AddPaths(ShortestPathsAlgebra(), n_nodes=32)
+    return alg, lifted_weight_factory(alg, 1, 5), False, True
+
+
+def _bgplite():
+    alg = BGPLiteAlgebra(n_nodes=32)
+    return alg, bgp_policy_factory(alg, allow_reject=False), False, True
+
+
+def _prepending():
+    alg = PrependingBGPAlgebra(n_nodes=32)
+    return alg, (lambda rng, i, j: alg.sample_edge_function(rng)), False, True
+
+
+def _gao_rexford():
+    alg = GaoRexfordAlgebra(n_nodes=32)
+
+    def factory(rng, i, j):
+        from .algebras import Rel
+
+        return alg.edge(i, j, Rel(rng.randrange(3)))
+
+    return alg, factory, False, True
+
+
+def _stratified():
+    alg = StratifiedAlgebra()
+    return alg, (lambda rng, _i, _j: alg.sample_edge_function(rng)), \
+        False, False
+
+
+ALGEBRAS: Dict[str, Callable] = {
+    "hop-count": _hop,
+    "shortest": _shortest,
+    "widest": _widest,
+    "reliable": _reliable,
+    "shortest-pv": _shortest_pv,
+    "bgplite": _bgplite,
+    "prepending": _prepending,
+    "gao-rexford": _gao_rexford,
+    "stratified": _stratified,
+}
+
+TOPOLOGIES = {
+    "line": line,
+    "ring": ring,
+    "star": star,
+    "complete": complete,
+}
+
+GADGETS = {
+    "disagree": disagree,
+    "bad": bad_gadget,
+    "good": good_gadget,
+    "disagree-increasing": increasing_disagree,
+}
+
+
+def build_network(algebra_name: str, topology: str, n: int,
+                  seed: int) -> Tuple[Network, bool, bool]:
+    if algebra_name not in ALGEBRAS:
+        raise SystemExit(f"unknown algebra {algebra_name!r}; "
+                         f"choose from {sorted(ALGEBRAS)}")
+    alg, factory, finite, is_path = ALGEBRAS[algebra_name]()
+    if topology == "random":
+        net = erdos_renyi(alg, n, 0.4, factory, seed=seed)
+    elif topology in TOPOLOGIES:
+        net = TOPOLOGIES[topology](alg, n, factory, seed=seed)
+    else:
+        raise SystemExit(f"unknown topology {topology!r}; choose from "
+                         f"{sorted(TOPOLOGIES) + ['random']}")
+    return net, finite, is_path
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_list(_args) -> int:
+    print("algebras :", ", ".join(sorted(ALGEBRAS)))
+    print("topologies:", ", ".join(sorted(TOPOLOGIES) + ["random"]))
+    print("gadgets  :", ", ".join(sorted(GADGETS)))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    net, finite, is_path = build_network(args.algebra, args.topology,
+                                         args.n, args.seed)
+    report = verify_network(net, samples=args.samples)
+    print(report.table())
+    print()
+    print("→", convergence_guarantee(report, finite_carrier=finite,
+                                     path_algebra=is_path))
+    return 0 if report.is_routing_algebra else 1
+
+
+def cmd_converge(args) -> int:
+    net, _finite, _is_path = build_network(args.algebra, args.topology,
+                                           args.n, args.seed)
+    report = run_absolute_convergence(net, n_starts=args.starts,
+                                      seed=args.seed,
+                                      max_steps=args.max_steps)
+    print(f"network           : {net.name} ({net.algebra.name})")
+    print(f"runs              : {report.runs} (starts × schedules)")
+    print(f"all converged     : {report.all_converged}")
+    print(f"distinct fixpoints: {len(report.distinct_fixed_points)}")
+    print(f"steps             : mean {report.mean_steps:.1f}, "
+          f"worst {report.max_steps}")
+    print(f"ABSOLUTE          : {report.absolute}")
+    return 0 if report.absolute else 1
+
+
+def cmd_census(args) -> int:
+    if args.gadget not in GADGETS:
+        raise SystemExit(f"unknown gadget {args.gadget!r}; choose from "
+                         f"{sorted(GADGETS)}")
+    net = GADGETS[args.gadget]()
+    census = enumerate_fixed_points(
+        net, candidates={0: spp_fixed_point_candidates(net)}, dests=[0])
+    multistart = multistart_fixed_points(net, n_starts=args.starts,
+                                         seed=args.seed, max_steps=600)
+    print(f"gadget            : {net.name}")
+    print(f"stable states     : {census.per_destination[0]}")
+    print(f"reachable states  : {len(multistart.fixed_points)}")
+    print(f"diverged runs     : {multistart.diverged}/{multistart.runs}")
+    print(f"sync oscillates   : {sync_oscillates(net)}")
+    if census.per_destination[0] > 1:
+        print("VERDICT: wedgie — outcome depends on message timing")
+    elif census.per_destination[0] == 0:
+        print("VERDICT: no stable state — permanent oscillation")
+    else:
+        print("VERDICT: unique stable state")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    net, _finite, _is_path = build_network(args.algebra, args.topology,
+                                           args.n, args.seed)
+    cfg = LinkConfig(min_delay=0.2, max_delay=3.0, loss=args.loss,
+                     duplicate=args.dup)
+    res = simulate(net, seed=args.seed, link_config=cfg,
+                   refresh_interval=5.0, quiet_period=25.0)
+    ref = synchronous_fixed_point(net)
+    print(f"network        : {net.name} ({net.algebra.name})")
+    print(f"converged      : {res.converged} "
+          f"(σ-stable: {res.final_state.equals(ref, net.algebra)})")
+    print(f"conv. time     : {res.convergence_time:.1f}")
+    print(f"messages       : {res.stats.as_dict()}")
+    print(f"table changes  : {res.trace.total_changes}")
+    return 0 if res.converged else 1
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list algebras/topologies/gadgets")
+
+    def common(p):
+        p.add_argument("--algebra", default="hop-count")
+        p.add_argument("--topology", default="ring")
+        p.add_argument("--n", type=int, default=6)
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("verify", help="law-check a deployed network")
+    common(p)
+    p.add_argument("--samples", type=int, default=40)
+
+    p = sub.add_parser("converge", help="absolute-convergence experiment")
+    common(p)
+    p.add_argument("--starts", type=int, default=5)
+    p.add_argument("--max-steps", type=int, default=2500)
+
+    p = sub.add_parser("census", help="stable-state census of a gadget")
+    p.add_argument("--gadget", default="disagree")
+    p.add_argument("--starts", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("simulate", help="event-driven protocol run")
+    common(p)
+    p.add_argument("--loss", type=float, default=0.0)
+    p.add_argument("--dup", type=float, default=0.0)
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "verify": cmd_verify,
+    "converge": cmd_converge,
+    "census": cmd_census,
+    "simulate": cmd_simulate,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = make_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

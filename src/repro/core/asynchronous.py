@@ -1,0 +1,185 @@
+"""The asynchronous operator δ (Section 3.1) and convergence experiments.
+
+Given a schedule ``(α, β)`` and a starting state ``X``, the paper defines
+
+    δ⁰(X)            = X
+    δᵗ(X)[i][j]      = ⨁_k A[i][k]( δ^{β(t,i,k)}(X)[k][j] ) ⊕ I[i][j]   if i ∈ α(t)
+                     = δ^{t-1}(X)[i][j]                                  otherwise
+
+This module implements that recursion *literally*, with the full state
+history kept so that β may reach arbitrarily far back (bounded-memory
+variants belong to :mod:`repro.protocols.simulator`, which models real
+message queues).
+
+Convergence detection
+---------------------
+
+Definition 6 quantifies over infinite time, which an experiment cannot.
+We use a sound finite criterion for bounded-staleness schedules: if the
+state has been constant for a window longer than the schedule's maximum
+read-back *and* the current state is σ-stable, every future activation
+reads data equal to the current state, so the run has provably reached
+its limit.  For schedules without a known staleness bound we fall back
+to "stable for `stability_window` consecutive steps and σ-fixed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .schedule import Schedule
+from .state import Network, RoutingState
+from .synchronous import is_stable, sigma
+from .algebra import RoutingAlgebra
+
+
+@dataclass
+class AsyncResult:
+    """Outcome of a δ run."""
+
+    converged: bool
+    steps: int                        #: total δ steps simulated
+    state: RoutingState               #: state at the final step
+    converged_at: Optional[int] = None  #: first step from which state stayed fixed
+    history: Optional[List[RoutingState]] = field(default=None, repr=False)
+
+    @property
+    def fixed_point(self) -> RoutingState:
+        if not self.converged:
+            raise ValueError("δ run did not converge; no fixed point")
+        return self.state
+
+
+def delta_step(network: Network, schedule: Schedule,
+               history: List[RoutingState], t: int) -> RoutingState:
+    """Compute δᵗ(X) given ``history[0..t-1]`` (history[s] = δˢ(X))."""
+    alg = network.algebra
+    n = network.n
+    prev = history[t - 1]
+    active = schedule.alpha(t)
+    rows = []
+    for i in range(n):
+        if i not in active:
+            rows.append(list(prev.rows[i]))
+            continue
+        row = []
+        in_neighbours = network.neighbours_in(i)
+        for j in range(n):
+            if i == j:
+                row.append(alg.trivial)
+                continue
+            candidates = []
+            for k in in_neighbours:
+                src_time = schedule.beta(t, i, k)
+                candidates.append(network.edge(i, k)(history[src_time].get(k, j)))
+            row.append(alg.best(candidates))
+        rows.append(row)
+    return RoutingState(rows)
+
+
+def delta_run(network: Network, schedule: Schedule, start: RoutingState,
+              max_steps: int = 2_000, stability_window: Optional[int] = None,
+              keep_history: bool = False) -> AsyncResult:
+    """Run δ from ``start`` under ``schedule`` until convergence.
+
+    ``stability_window`` defaults to (max read-back of the schedule) + 2:
+    once the state has been constant for longer than every β read-back
+    *and* is σ-stable, every future activation recomputes the same
+    entries, so the limit has provably been reached.
+    """
+    if stability_window is None:
+        max_delay = getattr(schedule, "max_delay", None) or \
+            getattr(schedule, "delay", None) or 1
+        stability_window = max_delay + 2
+
+    history: List[RoutingState] = [start]
+    alg = network.algebra
+    unchanged = 0
+    for t in range(1, max_steps + 1):
+        nxt = delta_step(network, schedule, history, t)
+        history.append(nxt)
+        if nxt.equals(history[t - 1], alg):
+            unchanged += 1
+        else:
+            unchanged = 0
+        if unchanged >= stability_window and is_stable(network, nxt):
+            converged_at = t - unchanged
+            return AsyncResult(True, t, nxt, converged_at,
+                               history if keep_history else None)
+    return AsyncResult(False, max_steps, history[-1], None,
+                       history if keep_history else None)
+
+
+@dataclass
+class AbsoluteConvergenceReport:
+    """Result of an absolute-convergence experiment (Definition 8).
+
+    δ converges *absolutely* when every (starting state, schedule) pair
+    reaches the same stable state.  The experiment samples both axes
+    and reports the set of distinct final states observed.
+    """
+
+    runs: int
+    all_converged: bool
+    distinct_fixed_points: List[RoutingState]
+    convergence_steps: List[int]
+
+    @property
+    def absolute(self) -> bool:
+        """True when every run converged to one common fixed point."""
+        return self.all_converged and len(self.distinct_fixed_points) == 1
+
+    @property
+    def max_steps(self) -> int:
+        return max(self.convergence_steps) if self.convergence_steps else 0
+
+    @property
+    def mean_steps(self) -> float:
+        if not self.convergence_steps:
+            return 0.0
+        return sum(self.convergence_steps) / len(self.convergence_steps)
+
+
+def absolute_convergence_experiment(
+        network: Network,
+        starts: Sequence[RoutingState],
+        schedules: Sequence[Schedule],
+        max_steps: int = 2_000) -> AbsoluteConvergenceReport:
+    """Run δ for the cross-product of ``starts`` × ``schedules``.
+
+    This is the executable form of Theorem 7 / Theorem 11: for a finite
+    strictly increasing algebra (or an increasing path algebra) the
+    report must come back with ``absolute == True``.  Negative controls
+    (e.g. SPP DISAGREE) come back with several distinct fixed points or
+    non-convergence.
+    """
+    alg = network.algebra
+    fixed_points: List[RoutingState] = []
+    steps: List[int] = []
+    all_converged = True
+    runs = 0
+    for start in starts:
+        for sched in schedules:
+            runs += 1
+            result = delta_run(network, sched, start, max_steps=max_steps)
+            if not result.converged:
+                all_converged = False
+                continue
+            steps.append(result.converged_at or result.steps)
+            if not any(result.state.equals(fp, alg) for fp in fixed_points):
+                fixed_points.append(result.state)
+    return AbsoluteConvergenceReport(runs, all_converged, fixed_points, steps)
+
+
+def random_state(algebra: RoutingAlgebra, n: int, rng,
+                 sampler=None) -> RoutingState:
+    """Draw an arbitrary routing state, as Theorems 7/11 quantify over.
+
+    ``sampler(rng)`` draws one route (defaults to
+    ``algebra.sample_route``).  The diagonal is *not* forced to 0̄: the
+    theorems promise recovery from truly arbitrary (even nonsensical)
+    states, and one application of σ/δ repairs the diagonal (Lemma 1).
+    """
+    draw = sampler or (lambda r: algebra.sample_route(r))
+    return RoutingState.from_function(lambda i, j: draw(rng), n)

@@ -1,0 +1,259 @@
+"""Üresin–Dubois schedules: the model of asynchronicity (Section 3.1).
+
+A schedule is a pair of functions over discrete time ``𝕋 = {1, 2, ...}``:
+
+* ``α(t) ⊆ V`` — the *activation* function: the set of nodes that
+  recompute their routing table at time ``t``;
+* ``β(t, i, j) < t`` — the *data-flow* function: the time at which the
+  information node ``i`` uses from node ``j`` at time ``t`` was sent.
+
+subject to three axioms:
+
+* **S1** every node activates infinitely often,
+* **S2** information only travels forward in time (``β(t,i,j) < t``),
+* **S3** stale information is eventually replaced (for every ``t``
+  there is a ``t'`` after which ``β`` never returns ``t`` again).
+
+Nothing forbids β from modelling *delayed, lost, reordered or
+duplicated* messages: a value sent at time ``s`` that is never the β of
+any later read was lost; reads out of order are reordering; the same
+``s`` read at two different times is duplication.
+
+Schedules here are deterministic objects (random ones derive all their
+choices from a seed via counter-based hashing) so that δ runs are
+reproducible and β can be re-queried at will.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from abc import ABC, abstractmethod
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+
+def _hash_int(*parts) -> int:
+    """Deterministic 64-bit hash of a tuple of ints/strings.
+
+    Used as a counter-based PRNG: every (seed, t, i, j, tag) combination
+    yields an independent, reproducible pseudo-random value.  This makes
+    β a genuine *function* — querying it twice gives the same answer —
+    which the δ recursion relies on.
+    """
+    data = ":".join(str(p) for p in parts).encode()
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class Schedule(ABC):
+    """Abstract (α, β) schedule over ``n`` nodes."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("schedule needs n >= 1 nodes")
+        self.n = n
+
+    @abstractmethod
+    def alpha(self, t: int) -> FrozenSet[int]:
+        """The set of nodes that activate at time ``t`` (t >= 1)."""
+
+    @abstractmethod
+    def beta(self, t: int, i: int, j: int) -> int:
+        """The send time of the data node ``i`` reads from ``j`` at ``t``.
+
+        Must satisfy ``0 <= beta(t, i, j) < t`` (S2; time 0 is the
+        initial state).
+        """
+
+    # ------------------------------------------------------------------
+    # Axiom validation over a finite window.
+    # ------------------------------------------------------------------
+
+    def validate(self, horizon: int) -> List[str]:
+        """Check S1–S3 over ``t ∈ [1, horizon]``; return violation messages.
+
+        S1 and S3 are liveness properties, so over a finite window they
+        are checked in a bounded form: S1 requires every node to
+        activate at least once in every window of length ``horizon``
+        (callers pass a horizon much larger than the schedule's
+        activation period); S3 requires that data sent at time ``t`` is
+        no longer read by the end of the window once ``t`` has fallen
+        ``horizon/2`` steps behind.
+        """
+        problems: List[str] = []
+        activated: Set[int] = set()
+        last_reads = {}
+        for t in range(1, horizon + 1):
+            act = self.alpha(t)
+            if not act.issubset(range(self.n)):
+                problems.append(f"alpha({t}) = {sorted(act)} not a subset of V")
+            activated.update(act)
+            for i in act:
+                for j in range(self.n):
+                    b = self.beta(t, i, j)
+                    if not (0 <= b < t):
+                        problems.append(f"S2 violated: beta({t},{i},{j}) = {b}")
+                    last_reads[(i, j)] = max(last_reads.get((i, j), 0), t - b)
+        missing = set(range(self.n)) - activated
+        if missing:
+            problems.append(f"S1 (bounded): nodes {sorted(missing)} never "
+                            f"activate within horizon {horizon}")
+        stale = {k: v for k, v in last_reads.items() if v > horizon // 2}
+        if stale:
+            problems.append(f"S3 (bounded): reads older than horizon/2 seen "
+                            f"for pairs {sorted(stale)}")
+        return problems
+
+    def is_admissible(self, horizon: int = 200) -> bool:
+        """True when no S1–S3 violation is found over the window."""
+        return not self.validate(horizon)
+
+
+class SynchronousSchedule(Schedule):
+    """The degenerate schedule that recovers σ from δ.
+
+    ``α(t) = V`` and ``β(t, i, j) = t - 1``: every node activates every
+    step using everyone's previous-step data (Section 3.1, last
+    paragraph).
+    """
+
+    def alpha(self, t: int) -> FrozenSet[int]:
+        return frozenset(range(self.n))
+
+    def beta(self, t: int, i: int, j: int) -> int:
+        return t - 1
+
+    def __repr__(self) -> str:
+        return f"SynchronousSchedule(n={self.n})"
+
+
+class RoundRobinSchedule(Schedule):
+    """One node activates per step, cyclically, reading latest data.
+
+    The classic "Gauss–Seidel" schedule: node ``(t-1) mod n`` activates
+    at ``t`` with β = t - 1.
+    """
+
+    def alpha(self, t: int) -> FrozenSet[int]:
+        return frozenset({(t - 1) % self.n})
+
+    def beta(self, t: int, i: int, j: int) -> int:
+        return t - 1
+
+    def __repr__(self) -> str:
+        return f"RoundRobinSchedule(n={self.n})"
+
+
+class FixedDelaySchedule(Schedule):
+    """Every node activates every step but reads data ``delay`` steps old.
+
+    Models a network with uniform propagation delay.
+    """
+
+    def __init__(self, n: int, delay: int = 3):
+        super().__init__(n)
+        if delay < 1:
+            raise ValueError("delay must be >= 1")
+        self.delay = delay
+
+    def alpha(self, t: int) -> FrozenSet[int]:
+        return frozenset(range(self.n))
+
+    def beta(self, t: int, i: int, j: int) -> int:
+        return max(0, t - self.delay)
+
+    def __repr__(self) -> str:
+        return f"FixedDelaySchedule(n={self.n}, delay={self.delay})"
+
+
+class RandomSchedule(Schedule):
+    """Seeded pseudo-random schedule with delays, reordering and duplication.
+
+    * Each node activates at each step with probability
+      ``activation_prob`` — but is *forced* to activate at least once
+      every ``max_silence`` steps, guaranteeing S1.
+    * ``β(t, i, j)`` is drawn uniformly from the window
+      ``[t - max_delay, t - 1]`` (clamped at 0), guaranteeing S2 and,
+      because the window is bounded, S3.
+
+    Because β is sampled independently per (t, i, j), consecutive reads
+    can go *backwards in send-time* (reordering) and the same send-time
+    can be read repeatedly (duplication).  Data generated at times that
+    are never sampled was, from the reader's perspective, lost.
+    """
+
+    def __init__(self, n: int, seed: int = 0, activation_prob: float = 0.5,
+                 max_delay: int = 5, max_silence: int = 10):
+        super().__init__(n)
+        if not (0.0 < activation_prob <= 1.0):
+            raise ValueError("activation_prob must be in (0, 1]")
+        if max_delay < 1 or max_silence < 1:
+            raise ValueError("max_delay and max_silence must be >= 1")
+        self.seed = seed
+        self.activation_prob = activation_prob
+        self.max_delay = max_delay
+        self.max_silence = max_silence
+
+    def alpha(self, t: int) -> FrozenSet[int]:
+        active = set()
+        threshold = int(self.activation_prob * (2 ** 64))
+        for i in range(self.n):
+            if _hash_int(self.seed, "act", t, i) < threshold:
+                active.add(i)
+            elif t % self.max_silence == (i % self.max_silence):
+                # forced activation keeps S1 true even at tiny probabilities
+                active.add(i)
+        return frozenset(active)
+
+    def beta(self, t: int, i: int, j: int) -> int:
+        delay = 1 + _hash_int(self.seed, "delay", t, i, j) % self.max_delay
+        return max(0, t - delay)
+
+    def __repr__(self) -> str:
+        return (f"RandomSchedule(n={self.n}, seed={self.seed}, "
+                f"p={self.activation_prob}, max_delay={self.max_delay})")
+
+
+class AdversarialStaleSchedule(Schedule):
+    """A schedule engineered to keep information as stale as S3 allows.
+
+    Nodes activate in staggered bursts; reads always reach back the full
+    ``max_delay`` window.  Stress-tests absolute convergence claims: any
+    dependence on freshness beyond S1–S3 shows up here first.
+    """
+
+    def __init__(self, n: int, max_delay: int = 8, burst: int = 3):
+        super().__init__(n)
+        self.max_delay = max_delay
+        self.burst = burst
+
+    def alpha(self, t: int) -> FrozenSet[int]:
+        phase = (t // self.burst) % self.n
+        return frozenset({phase})
+
+    def beta(self, t: int, i: int, j: int) -> int:
+        return max(0, t - self.max_delay)
+
+    def __repr__(self) -> str:
+        return (f"AdversarialStaleSchedule(n={self.n}, "
+                f"max_delay={self.max_delay}, burst={self.burst})")
+
+
+def schedule_zoo(n: int, seeds: Sequence[int] = (0, 1, 2)) -> List[Schedule]:
+    """A representative collection of admissible schedules for experiments.
+
+    Used by the absolute-convergence benches: the theorems quantify over
+    *all* schedules, so experiments sample widely across qualitatively
+    different ones.
+    """
+    zoo: List[Schedule] = [
+        SynchronousSchedule(n),
+        RoundRobinSchedule(n),
+        FixedDelaySchedule(n, delay=2),
+        FixedDelaySchedule(n, delay=5),
+        AdversarialStaleSchedule(n, max_delay=6, burst=2),
+    ]
+    for s in seeds:
+        zoo.append(RandomSchedule(n, seed=s, activation_prob=0.4, max_delay=4))
+        zoo.append(RandomSchedule(n, seed=1000 + s, activation_prob=0.8,
+                                  max_delay=7))
+    return zoo

@@ -1,0 +1,216 @@
+"""Routing state matrices, adjacency matrices and networks (Section 2.2).
+
+The paper represents the *global routing state* as an ``n × n`` matrix
+``X`` over the route set ``S`` — row ``i`` is node ``i``'s routing table
+and ``X[i][j]`` is node ``i``'s best current route to destination ``j``.
+The *topology* is an ``n × n`` adjacency matrix ``A`` over the edge
+functions ``F`` — ``A[i][k]`` is the policy function applied by node
+``i`` to routes learned from neighbour ``k``; a missing edge is the
+constant-∞̄ function.
+
+:class:`Network` bundles the algebra with the adjacency matrix; the
+synchronous operator σ and the asynchronous operator δ are defined over
+networks in :mod:`repro.core.synchronous` / :mod:`repro.core.asynchronous`.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .algebra import ConstantEdge, EdgeFunction, Route, RoutingAlgebra
+
+
+class AdjacencyMatrix:
+    """An ``n × n`` matrix of edge functions.
+
+    Only present edges are stored; ``self(i, k)`` returns the constant
+    invalid function for absent entries, implementing the paper's
+    "missing edges are the constant function f(a) = ∞̄".
+    """
+
+    def __init__(self, n: int, algebra: RoutingAlgebra,
+                 edges: Optional[Dict[Tuple[int, int], EdgeFunction]] = None):
+        if n <= 0:
+            raise ValueError("a network needs at least one node")
+        self.n = n
+        self.algebra = algebra
+        self._absent = ConstantEdge(algebra.invalid)
+        self._edges: Dict[Tuple[int, int], EdgeFunction] = {}
+        if edges:
+            for (i, k), fn in edges.items():
+                self.set(i, k, fn)
+
+    def set(self, i: int, k: int, fn: EdgeFunction) -> None:
+        """Install edge function ``A[i][k] = fn`` (i imports from k)."""
+        self._check(i, k)
+        self._edges[(i, k)] = fn
+
+    def remove(self, i: int, k: int) -> None:
+        """Delete the edge ``(i, k)``; it reverts to the constant-∞̄ map."""
+        self._check(i, k)
+        self._edges.pop((i, k), None)
+
+    def __call__(self, i: int, k: int) -> EdgeFunction:
+        """``A[i][k]``: the edge function, constant-∞̄ when absent."""
+        self._check(i, k)
+        return self._edges.get((i, k), self._absent)
+
+    def has_edge(self, i: int, k: int) -> bool:
+        """True when an explicit (non-∞̄) edge function is installed."""
+        return (i, k) in self._edges
+
+    def present_edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over the (i, k) pairs with an installed edge function."""
+        return iter(sorted(self._edges))
+
+    def _check(self, i: int, k: int) -> None:
+        if not (0 <= i < self.n and 0 <= k < self.n):
+            raise IndexError(f"edge ({i}, {k}) out of range for n={self.n}")
+
+    def __repr__(self) -> str:
+        return (f"AdjacencyMatrix(n={self.n}, algebra={self.algebra.name}, "
+                f"edges={len(self._edges)})")
+
+
+class Network:
+    """A routing problem instance: an algebra plus an adjacency matrix.
+
+    This is the paper's pair ``(A, (S, ⊕, F, 0̄, ∞̄))``.  All engines
+    (σ, δ, the event simulator) take a network and never look inside
+    the algebra beyond its public interface.
+    """
+
+    def __init__(self, algebra: RoutingAlgebra, n: int,
+                 edges: Optional[Dict[Tuple[int, int], EdgeFunction]] = None,
+                 name: str = "network"):
+        self.algebra = algebra
+        self.n = n
+        self.adjacency = AdjacencyMatrix(n, algebra, edges)
+        self.name = name
+
+    # -- delegation -----------------------------------------------------
+
+    def edge(self, i: int, k: int) -> EdgeFunction:
+        """``A[i][k]`` — the policy node ``i`` applies to routes from ``k``."""
+        return self.adjacency(i, k)
+
+    def set_edge(self, i: int, k: int, fn: EdgeFunction) -> None:
+        self.adjacency.set(i, k, fn)
+
+    def remove_edge(self, i: int, k: int) -> None:
+        self.adjacency.remove(i, k)
+
+    def present_edges(self) -> Iterator[Tuple[int, int]]:
+        return self.adjacency.present_edges()
+
+    def neighbours_in(self, i: int) -> List[int]:
+        """Nodes ``k`` that node ``i`` imports routes from (A[i][k] present)."""
+        return [k for (a, k) in self.adjacency.present_edges() if a == i]
+
+    def copy(self) -> "Network":
+        """Shallow-copy the topology (edge functions are shared; they are
+        immutable by convention)."""
+        clone = Network(self.algebra, self.n, name=self.name)
+        for (i, k) in self.adjacency.present_edges():
+            clone.set_edge(i, k, self.adjacency(i, k))
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Network({self.name!r}, n={self.n}, algebra={self.algebra.name})"
+
+
+class RoutingState:
+    """An ``n × n`` matrix of routes: the global routing state ``X``.
+
+    Row ``i`` is node ``i``'s routing table.  States are value objects:
+    equality is element-wise route equality; engines never mutate a
+    state they were given (they build successors).
+    """
+
+    __slots__ = ("n", "rows")
+
+    def __init__(self, rows: Sequence[Sequence[Route]]):
+        self.n = len(rows)
+        self.rows: List[List[Route]] = [list(r) for r in rows]
+        for r in self.rows:
+            if len(r) != self.n:
+                raise ValueError("routing state must be a square matrix")
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def identity(cls, algebra: RoutingAlgebra, n: int) -> "RoutingState":
+        """The matrix ``I``: 0̄ on the diagonal, ∞̄ elsewhere."""
+        return cls([[algebra.trivial if i == j else algebra.invalid
+                     for j in range(n)] for i in range(n)])
+
+    @classmethod
+    def filled(cls, value: Route, n: int) -> "RoutingState":
+        """A state with every entry equal to ``value``."""
+        return cls([[value for _ in range(n)] for _ in range(n)])
+
+    @classmethod
+    def from_function(cls, fn, n: int) -> "RoutingState":
+        """Build a state entry-wise from ``fn(i, j)``."""
+        return cls([[fn(i, j) for j in range(n)] for i in range(n)])
+
+    # -- access ----------------------------------------------------------
+
+    def get(self, i: int, j: int) -> Route:
+        return self.rows[i][j]
+
+    def set(self, i: int, j: int, route: Route) -> None:
+        self.rows[i][j] = route
+
+    def row(self, i: int) -> List[Route]:
+        """Node ``i``'s routing table (a copy)."""
+        return list(self.rows[i])
+
+    def column(self, j: int) -> List[Route]:
+        """All nodes' routes towards destination ``j`` (a copy)."""
+        return [self.rows[i][j] for i in range(self.n)]
+
+    def entries(self) -> Iterator[Tuple[int, int, Route]]:
+        for i in range(self.n):
+            for j in range(self.n):
+                yield i, j, self.rows[i][j]
+
+    def copy(self) -> "RoutingState":
+        return RoutingState(self.rows)
+
+    # -- algebra-aware helpers --------------------------------------------
+
+    def equals(self, other: "RoutingState", algebra: RoutingAlgebra) -> bool:
+        """Element-wise equality under the algebra's route equality."""
+        if self.n != other.n:
+            return False
+        return all(algebra.equal(self.rows[i][j], other.rows[i][j])
+                   for i in range(self.n) for j in range(self.n))
+
+    def choice(self, other: "RoutingState", algebra: RoutingAlgebra) -> "RoutingState":
+        """Element-wise ⊕: ``(X ⊕ Y)[i][j] = X[i][j] ⊕ Y[i][j]``."""
+        return RoutingState([[algebra.choice(self.rows[i][j], other.rows[i][j])
+                              for j in range(self.n)] for i in range(self.n)])
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RoutingState) and self.rows == other.rows
+
+    def __hash__(self):
+        return hash(tuple(tuple(r) for r in self.rows))
+
+    def __repr__(self) -> str:
+        return f"RoutingState(n={self.n})"
+
+    def pretty(self, cell_width: int = 18) -> str:
+        """Tabular rendering for debugging and example scripts."""
+        lines = []
+        header = " " * 6 + "".join(f"to {j:<{cell_width - 3}}" for j in range(self.n))
+        lines.append(header)
+        for i in range(self.n):
+            cells = "".join(f"{str(self.rows[i][j]):<{cell_width}}"
+                            for j in range(self.n))
+            lines.append(f"node {i:<2}{cells}")
+        return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""The synchronous Bellman-Ford operator σ and its iteration (Sections 2.2–2.3).
+
+One synchronous round is
+
+    σ(X) = A(X) ⊕ I
+
+element-wise::
+
+    σ(X)[i][j] = ⨁_k A[i][k]( X[k][j] )  ⊕  I[i][j]
+
+i.e. node ``i``'s new route to ``j`` is the best of the policy-extended
+routes its neighbours offered, with the trivial route forced on the
+diagonal (Lemma 1: σ(X)[i][i] = 0̄ always).
+
+A state is *stable* when ``σ(X) = X`` (Definition 4); the synchronous
+computation converges when some iterate reaches a stable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .state import Network, RoutingState
+
+
+def sigma(network: Network, state: RoutingState) -> RoutingState:
+    """Apply one synchronous round: ``σ(X) = A(X) ⊕ I``."""
+    alg = network.algebra
+    n = network.n
+    new_rows = []
+    for i in range(n):
+        row = []
+        in_neighbours = network.neighbours_in(i)
+        for j in range(n):
+            if i == j:
+                # Lemma 1: the diagonal is always the trivial route, since
+                # 0̄ annihilates ⊕.
+                row.append(alg.trivial)
+                continue
+            candidate = alg.best(
+                network.edge(i, k)(state.get(k, j)) for k in in_neighbours
+            )
+            row.append(candidate)
+        new_rows.append(row)
+    return RoutingState(new_rows)
+
+
+def sigma_entry(network: Network, state: RoutingState, i: int, j: int):
+    """A single entry of σ(X) — Eq. 5 of the paper.
+
+    Exposed separately because δ (the asynchronous operator) recomputes
+    individual entries against *per-neighbour historical* states.
+    """
+    alg = network.algebra
+    if i == j:
+        return alg.trivial
+    return alg.best(
+        network.edge(i, k)(state.get(k, j)) for k in network.neighbours_in(i)
+    )
+
+
+def is_stable(network: Network, state: RoutingState) -> bool:
+    """Definition 4: ``X`` is stable iff ``σ(X) = X``."""
+    return sigma(network, state).equals(state, network.algebra)
+
+
+@dataclass
+class SyncResult:
+    """Outcome of a synchronous fixed-point iteration."""
+
+    converged: bool
+    rounds: int                       #: number of σ applications performed
+    state: RoutingState               #: final state reached
+    trajectory: Optional[List[RoutingState]] = field(default=None, repr=False)
+
+    @property
+    def fixed_point(self) -> RoutingState:
+        if not self.converged:
+            raise ValueError("iteration did not converge; no fixed point")
+        return self.state
+
+
+def iterate_sigma(network: Network, start: RoutingState, max_rounds: int = 10_000,
+                  keep_trajectory: bool = False,
+                  detect_cycles: bool = False) -> SyncResult:
+    """Iterate σ from ``start`` until a fixed point (or ``max_rounds``).
+
+    With ``detect_cycles`` the iteration also stops early when a state
+    repeats (σ has entered a limit cycle — e.g. BAD GADGET oscillation),
+    reporting ``converged=False``.
+
+    Returns a :class:`SyncResult`; ``result.rounds`` is the number of σ
+    applications it took to *reach* the fixed point (so a stable start
+    gives ``rounds == 0``).
+    """
+    alg = network.algebra
+    current = start
+    trajectory = [start] if keep_trajectory else None
+    seen = {current: 0} if detect_cycles else None
+    for k in range(max_rounds):
+        nxt = sigma(network, current)
+        if keep_trajectory:
+            trajectory.append(nxt)
+        if nxt.equals(current, alg):
+            return SyncResult(True, k, current, trajectory)
+        if detect_cycles:
+            if nxt in seen:
+                return SyncResult(False, k + 1, nxt, trajectory)
+            seen[nxt] = k + 1
+        current = nxt
+    return SyncResult(False, max_rounds, current, trajectory)
+
+
+def synchronous_fixed_point(network: Network,
+                            max_rounds: int = 10_000) -> RoutingState:
+    """Fixed point of σ starting from the identity matrix ``I``.
+
+    The canonical "clean start" computation; raises if no fixed point is
+    found within ``max_rounds`` (which for a strictly increasing algebra
+    indicates a bug, by Theorem 7 / 11).
+    """
+    result = iterate_sigma(network, RoutingState.identity(network.algebra, network.n),
+                           max_rounds=max_rounds)
+    if not result.converged:
+        raise RuntimeError(
+            f"σ failed to reach a fixed point within {max_rounds} rounds on "
+            f"{network!r}")
+    return result.state

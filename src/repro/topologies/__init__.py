@@ -1,0 +1,49 @@
+"""Topology generators and the gadget zoo."""
+
+from .gadgets import (
+    BACKUP_COMMUNITY,
+    count_to_infinity,
+    count_to_infinity_pv,
+    exploration_clique,
+    preference_cascade,
+    wedgie_bgplite,
+)
+from .generators import (
+    EdgeFactory,
+    barabasi_albert,
+    bgp_policy_factory,
+    build_network,
+    complete,
+    erdos_renyi,
+    fat_tree,
+    gao_rexford_hierarchy,
+    grid,
+    lifted_weight_factory,
+    line,
+    ring,
+    star,
+    uniform_weight_factory,
+)
+
+__all__ = [
+    "BACKUP_COMMUNITY",
+    "EdgeFactory",
+    "barabasi_albert",
+    "bgp_policy_factory",
+    "build_network",
+    "complete",
+    "count_to_infinity",
+    "count_to_infinity_pv",
+    "erdos_renyi",
+    "exploration_clique",
+    "fat_tree",
+    "gao_rexford_hierarchy",
+    "grid",
+    "lifted_weight_factory",
+    "line",
+    "preference_cascade",
+    "ring",
+    "star",
+    "uniform_weight_factory",
+    "wedgie_bgplite",
+]

@@ -1,0 +1,194 @@
+"""The gadget zoo: small networks that witness the paper's phenomena.
+
+* :func:`count_to_infinity` — plain shortest-path DV diverging from a
+  stale state (the Section 5 opening motivation), plus its path-vector
+  repair :func:`count_to_infinity_pv`.
+* :func:`wedgie_bgplite` — the RFC 4264 backup-link scenario written in
+  the safe Section 7 policy language, where the wedgie *cannot* occur.
+* :func:`exploration_clique` / :func:`preference_cascade` — slow-
+  convergence families for the Section 8.1 rate experiments.
+
+(The SPP gadgets DISAGREE / BAD GADGET / GOOD GADGET live in
+:mod:`repro.algebras.spp` next to their algebra.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..algebras.add_paths import AddPaths
+from ..algebras.bgplite import (
+    AddComm,
+    BGPLiteAlgebra,
+    Compose,
+    If,
+    InComm,
+    IncrPrefBy,
+)
+from ..algebras.shortest_paths import ShortestPathsAlgebra
+from ..algebras.spp import SPPAlgebra
+from ..core.state import Network, RoutingState
+
+
+# ----------------------------------------------------------------------
+# Count to infinity
+# ----------------------------------------------------------------------
+
+
+def count_to_infinity() -> Tuple[Network, RoutingState]:
+    """The classic divergence gadget for plain shortest-path DV.
+
+    Topology *after* the failure: nodes 1 and 2 are connected to each
+    other but node 0 (the destination) is unreachable — the link
+    (1, 0) just died.  The returned starting state is the fixed point
+    of the *pre-failure* network, so nodes 1 and 2 still hold stale
+    routes to 0.  Running any engine on (network, state) exhibits
+    count-to-infinity: 1 and 2 bounce ever-growing distances off each
+    other forever.  Theorem 7 does not apply because S = ℕ∞ is
+    infinite; the PV repair below is Theorem 11's fix.
+    """
+    alg = ShortestPathsAlgebra()
+    net = Network(alg, 3, name="count-to-infinity")
+    # post-failure topology: only the 1 <-> 2 link remains
+    net.set_edge(1, 2, alg.edge(1))
+    net.set_edge(2, 1, alg.edge(1))
+    # pre-failure fixed point: 1 reached 0 directly (cost 1), 2 via 1 (cost 2)
+    stale = RoutingState([
+        [0, alg.invalid, alg.invalid],
+        [1, 0, 1],
+        [2, 1, 0],
+    ])
+    return net, stale
+
+
+def count_to_infinity_pv() -> Tuple[Network, RoutingState]:
+    """The same gadget lifted to a path algebra (Theorem 11 applies).
+
+    Routes carry their paths, so the stale routes to 0 are *inconsistent*
+    in the new topology — the loop-rejection of P3 prevents 1 and 2 from
+    laundering each other's dead routes, and the protocol converges to
+    "0 unreachable" from the same stale start.
+    """
+    base = ShortestPathsAlgebra()
+    alg = AddPaths(base, n_nodes=3)
+    net = Network(alg, 3, name="count-to-infinity-pv")
+    net.set_edge(1, 2, alg.edge(1, 2, base.edge(1)))
+    net.set_edge(2, 1, alg.edge(2, 1, base.edge(1)))
+    stale = RoutingState([
+        [alg.trivial, alg.invalid, alg.invalid],
+        [(1, (1, 0)), alg.trivial, (1, (1, 2))],
+        [(2, (2, 1, 0)), (1, (2, 1)), alg.trivial],
+    ])
+    return net, stale
+
+
+# ----------------------------------------------------------------------
+# The RFC 4264 backup-link scenario in safe BGPLite
+# ----------------------------------------------------------------------
+
+#: community tag meaning "this route came over a backup link"
+BACKUP_COMMUNITY = 17
+
+
+def wedgie_bgplite() -> Tuple[Network, BGPLiteAlgebra]:
+    """The BGP-wedgie topology, written in the Section 7 safe language.
+
+    Node 0 is the destination AS; node 3 is its customer with a primary
+    link via provider 2 and a *backup* link via provider 1.  The backup
+    edge tags routes with community 17 and raises the preference level;
+    everyone else penalises routes carrying the tag (the conditional
+    policy of Eq. 2).  In real BGP the analogous configuration has two
+    stable states (the wedgie, RFC 4264); in the increasing algebra the
+    benches show exactly one fixed point survives — primary wins —
+    and re-convergence after failures is deterministic.
+    """
+    alg = BGPLiteAlgebra(n_nodes=4)
+    net = Network(alg, 4, name="wedgie-bgplite")
+    plain = IncrPrefBy(0)
+    backup = Compose(AddComm(BACKUP_COMMUNITY), IncrPrefBy(4))
+    penalise_backup = If(InComm(BACKUP_COMMUNITY), IncrPrefBy(4))
+
+    # 0 <-> 3: the backup link (dest <-> customer, tagged + penalised)
+    net.set_edge(3, 0, alg.edge(3, 0, backup))
+    net.set_edge(0, 3, alg.edge(0, 3, backup))
+    # 0 <-> 2 and 2 <-> 3: the primary route via provider 2
+    net.set_edge(2, 0, alg.edge(2, 0, plain))
+    net.set_edge(0, 2, alg.edge(0, 2, plain))
+    net.set_edge(3, 2, alg.edge(3, 2, plain))
+    net.set_edge(2, 3, alg.edge(2, 3, plain))
+    # 1 is a second provider hanging off 2 (propagates the tag penalty)
+    net.set_edge(1, 2, alg.edge(1, 2, penalise_backup))
+    net.set_edge(2, 1, alg.edge(2, 1, penalise_backup))
+    net.set_edge(1, 3, alg.edge(1, 3, penalise_backup))
+    net.set_edge(3, 1, alg.edge(3, 1, penalise_backup))
+    return net, alg
+
+
+# ----------------------------------------------------------------------
+# Slow-convergence families (Section 8.1)
+# ----------------------------------------------------------------------
+
+
+def exploration_clique(n: int) -> Network:
+    """Path exploration on a clique: the BGP "path hunting" stress case.
+
+    Every node may use every simple path to destination 0 and ranks
+    them by (length, lexicographic) — an *increasing* SPP instance, so
+    Theorem 11 guarantees convergence; the interesting question
+    (Section 8.1) is how many synchronous rounds σ needs as n grows.
+    """
+    rankings: Dict[int, Dict[Tuple[int, ...], int]] = {}
+
+    def all_paths(node: int, remaining: Tuple[int, ...]) -> List[Tuple[int, ...]]:
+        out = []
+        for nxt in remaining:
+            if nxt == 0:
+                out.append((node, 0))
+            else:
+                rest = tuple(r for r in remaining if r != nxt)
+                out.extend((node,) + p for p in all_paths(nxt, rest))
+        return out
+
+    for i in range(1, n):
+        others = tuple(x for x in range(n) if x != i)
+        paths = all_paths(i, others)
+        ranked = sorted(paths, key=lambda p: (len(p), p))
+        rankings[i] = {p: r for r, p in enumerate(ranked)}
+    algebra = SPPAlgebra(rankings, n)
+    net = Network(algebra, n, name=f"exploration-clique-{n}")
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                net.set_edge(i, j, algebra.edge(i, j))
+    return net
+
+
+def preference_cascade(n: int) -> Network:
+    """A line with shortcuts engineered for serial route adoption.
+
+    Node ``i`` sits on the spine ``0 - 1 - ... - n-1`` and also has a
+    direct edge to 0.  Ranks are chosen (increasing in path length, so
+    the algebra is increasing) such that each node first adopts its
+    direct route, then upgrades to the spine route only after its
+    upstream neighbour has — the information wave crosses the whole
+    line node by node, giving convergence time Θ(n) with Θ(n) total
+    route changes *per node pair*, the super-diameter regime the rate
+    bench measures.
+    """
+    rankings: Dict[int, Dict[Tuple[int, ...], int]] = {}
+    for i in range(1, n):
+        table: Dict[Tuple[int, ...], int] = {}
+        spine = tuple(range(i, -1, -1))          # (i, i-1, ..., 0)
+        table[spine] = len(spine) - 1            # rank grows with length
+        if i != 1:
+            table[(i, 0)] = n + i                # direct fallback, worse
+        rankings[i] = table
+    algebra = SPPAlgebra(rankings, n)
+    net = Network(algebra, n, name=f"preference-cascade-{n}")
+    for i in range(1, n):
+        net.set_edge(i, i - 1, algebra.edge(i, i - 1))
+        net.set_edge(i - 1, i, algebra.edge(i - 1, i))
+        if i != 1:
+            net.set_edge(i, 0, algebra.edge(i, 0))
+            net.set_edge(0, i, algebra.edge(0, i))
+    return net

@@ -1,0 +1,38 @@
+"""Executable algebra-law verification (Table 1 as code)."""
+
+from .properties import (
+    AlgebraReport,
+    LawCheck,
+    check_associative,
+    check_commutative,
+    check_distributive,
+    check_increasing,
+    check_invalid_fixed_point,
+    check_invalid_identity,
+    check_path_laws,
+    check_selective,
+    check_strictly_increasing,
+    check_trivial_annihilator,
+    verify_algebra,
+    verify_path_algebra,
+)
+from .suite import convergence_guarantee, verify_network
+
+__all__ = [
+    "AlgebraReport",
+    "LawCheck",
+    "check_associative",
+    "check_commutative",
+    "check_distributive",
+    "check_increasing",
+    "check_invalid_fixed_point",
+    "check_invalid_identity",
+    "check_path_laws",
+    "check_selective",
+    "check_strictly_increasing",
+    "check_trivial_annihilator",
+    "convergence_guarantee",
+    "verify_algebra",
+    "verify_network",
+    "verify_path_algebra",
+]

@@ -1,0 +1,104 @@
+"""Finite chain algebras and table edges (the property-test substrate)."""
+
+import pytest
+
+from repro.algebras import FiniteLevelAlgebra
+from repro.algebras.finite import TableEdge
+from repro.verification import verify_algebra
+
+
+class TestCarrier:
+    def test_routes(self):
+        alg = FiniteLevelAlgebra(3)
+        assert list(alg.routes()) == [0, 1, 2, 3]
+        assert alg.trivial == 0
+        assert alg.invalid == 3
+
+    def test_minimum_levels(self):
+        with pytest.raises(ValueError):
+            FiniteLevelAlgebra(0)
+
+
+class TestTableEdges:
+    def test_lookup(self):
+        alg = FiniteLevelAlgebra(3)
+        f = alg.table_edge([1, 2, 3, 3])
+        assert [f(x) for x in alg.routes()] == [1, 2, 3, 3]
+
+    def test_table_length_validated(self):
+        alg = FiniteLevelAlgebra(3)
+        with pytest.raises(ValueError):
+            alg.table_edge([1, 2, 3])
+
+    def test_invalid_must_be_fixed(self):
+        alg = FiniteLevelAlgebra(3)
+        with pytest.raises(ValueError):
+            alg.table_edge([1, 2, 3, 2])
+
+    def test_values_in_carrier(self):
+        alg = FiniteLevelAlgebra(3)
+        with pytest.raises(ValueError):
+            alg.table_edge([1, 2, 9, 3])
+
+    def test_strictness_predicates(self):
+        alg = FiniteLevelAlgebra(3)
+        strict = alg.table_edge([1, 2, 3, 3])
+        plateau = alg.table_edge([0, 2, 3, 3])
+        broken = alg.table_edge([1, 0, 3, 3])
+        assert strict.is_strictly_increasing and strict.is_increasing
+        assert plateau.is_increasing and not plateau.is_strictly_increasing
+        assert not broken.is_increasing
+
+    def test_step_edge(self):
+        alg = FiniteLevelAlgebra(4)
+        f = alg.step_edge(2)
+        assert [f(x) for x in alg.routes()] == [2, 3, 4, 4, 4]
+
+    def test_filter_edge(self):
+        alg = FiniteLevelAlgebra(4)
+        f = alg.filter_edge()
+        assert all(f(x) == alg.invalid for x in alg.routes())
+        assert f.is_strictly_increasing   # jumping to ∞̄ is strict
+
+
+class TestRandomEdges:
+    def test_random_strict_edges_are_strict(self, rng):
+        alg = FiniteLevelAlgebra(6)
+        for _ in range(50):
+            assert alg.random_strict_edge(rng).is_strictly_increasing
+
+    def test_random_increasing_edges_are_increasing(self, rng):
+        alg = FiniteLevelAlgebra(6)
+        for _ in range(50):
+            assert alg.random_increasing_edge(rng).is_increasing
+
+    def test_arbitrary_edges_fix_invalid(self, rng):
+        alg = FiniteLevelAlgebra(6)
+        for _ in range(50):
+            f = alg.random_arbitrary_edge(rng)
+            assert f(alg.invalid) == alg.invalid
+
+
+class TestLawProfiles:
+    def test_strict_tables_verify_strict(self, rng):
+        alg = FiniteLevelAlgebra(5)
+        edges = [alg.random_strict_edge(rng) for _ in range(10)]
+        rep = verify_algebra(alg, edge_functions=edges, rng=rng)
+        assert rep.is_routing_algebra
+        assert rep.is_strictly_increasing
+
+    def test_plateau_detected(self, rng):
+        alg = FiniteLevelAlgebra(5)
+        identityish = alg.table_edge([0, 1, 2, 3, 4, 5])   # g(x) = x
+        rep = verify_algebra(alg, edge_functions=[identityish], rng=rng)
+        assert rep.is_increasing
+        assert not rep.is_strictly_increasing
+        # the counterexample names the offending (f, a, f(a))
+        check = rep.check("F strictly increasing")
+        assert check.counterexample is not None
+
+    def test_decreasing_table_detected(self, rng):
+        alg = FiniteLevelAlgebra(5)
+        bad = alg.table_edge([0, 0, 1, 2, 3, 5])
+        rep = verify_algebra(alg, edge_functions=[bad], rng=rng)
+        assert not rep.is_increasing

@@ -1,0 +1,132 @@
+"""Property-based tests for BGPLite: safety-by-design over the whole
+policy language (Section 7's headline, hypothesis-style)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.algebras import (
+    AddComm,
+    And,
+    BGPLiteAlgebra,
+    BGPRoute,
+    Compose,
+    DelComm,
+    If,
+    InComm,
+    IncrPrefBy,
+    InPath,
+    INVALID,
+    LprefEq,
+    Not,
+    Or,
+    Reject,
+    valid,
+)
+
+N_NODES = 5
+COMMS = 6
+
+
+def conditions(depth=2):
+    leaf = st.one_of(
+        st.builds(InPath, st.integers(0, N_NODES - 1)),
+        st.builds(InComm, st.integers(0, COMMS - 1)),
+        st.builds(LprefEq, st.integers(0, 6)),
+    )
+    if depth == 0:
+        return leaf
+    sub = conditions(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(And, sub, sub),
+        st.builds(Or, sub, sub),
+        st.builds(Not, sub),
+    )
+
+
+def policies(depth=3):
+    leaf = st.one_of(
+        st.just(Reject()),
+        st.builds(IncrPrefBy, st.integers(0, 5)),
+        st.builds(AddComm, st.integers(0, COMMS - 1)),
+        st.builds(DelComm, st.integers(0, COMMS - 1)),
+    )
+    if depth == 0:
+        return leaf
+    sub = policies(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(Compose, sub, sub),
+        st.builds(If, conditions(), sub),
+    )
+
+
+@st.composite
+def routes(draw):
+    lp = draw(st.integers(0, 8))
+    comms = frozenset(draw(st.lists(st.integers(0, COMMS - 1), max_size=4)))
+    k = draw(st.integers(0, 3))
+    if k == 0:
+        path = ()
+    else:
+        nodes = draw(st.permutations(range(N_NODES)))
+        path = tuple(nodes[:k + 1])
+    return BGPRoute(lp, comms, path)
+
+
+class TestPolicySemantics:
+    @settings(max_examples=200, deadline=None)
+    @given(policies(), routes())
+    def test_policy_never_lowers_the_level(self, pol, route):
+        """The increasing linchpin: no policy can reduce lp."""
+        out = pol.apply(route)
+        if out is not INVALID:
+            assert out.lp >= route.lp
+
+    @settings(max_examples=200, deadline=None)
+    @given(policies(), routes())
+    def test_policy_never_touches_the_path(self, pol, route):
+        out = pol.apply(route)
+        if out is not INVALID:
+            assert out.path == route.path
+
+    @settings(max_examples=100, deadline=None)
+    @given(policies())
+    def test_invalid_is_fixed(self, pol):
+        assert pol.apply(INVALID) is INVALID
+
+
+class TestEdgeIncreasing:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, N_NODES - 1), st.integers(0, N_NODES - 1),
+           policies(), routes())
+    def test_every_edge_strictly_increasing(self, i, j, pol, route):
+        """Definition 3 over arbitrary (edge, policy, route) draws."""
+        alg = BGPLiteAlgebra(n_nodes=N_NODES)
+        if i == j:
+            return
+        f = alg.edge(i, j, pol)
+        out = f(route)
+        if route is INVALID:
+            assert out is INVALID
+        else:
+            assert alg.lt(route, out) or alg.equal(out, alg.invalid)
+            # and never equal:
+            assert not alg.equal(route, out)
+
+
+class TestChoiceLaws:
+    @settings(max_examples=200, deadline=None)
+    @given(routes(), routes(), routes())
+    def test_associative(self, a, b, c):
+        alg = BGPLiteAlgebra(n_nodes=N_NODES)
+        assert alg.choice(a, alg.choice(b, c)) == \
+            alg.choice(alg.choice(a, b), c)
+
+    @settings(max_examples=200, deadline=None)
+    @given(routes(), routes())
+    def test_commutative_and_selective(self, a, b):
+        alg = BGPLiteAlgebra(n_nodes=N_NODES)
+        chosen = alg.choice(a, b)
+        assert chosen == alg.choice(b, a)
+        assert chosen == a or chosen == b

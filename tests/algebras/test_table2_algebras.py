@@ -1,0 +1,160 @@
+"""Law profiles of the four Table 2 algebras.
+
+Each algebra's row in Table 2 is checked: the five required laws hold,
+and the increasing/strictly-increasing/distributive columns come out
+exactly as the theory predicts:
+
+===================  =========  ==========  ===========
+algebra              increasing strictly    distributive
+===================  =========  ==========  ===========
+shortest paths (w≥1)    ✓          ✓            ✓
+longest paths           ✗          ✗            —
+widest paths            ✓          ✗            ✓
+most reliable (s<1)     ✓          ✓            ✓
+===================  =========  ==========  ===========
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.algebras import (
+    LongestPathsAlgebra,
+    MostReliableAlgebra,
+    QuantisedReliabilityAlgebra,
+    ShortestPathsAlgebra,
+    WidestPathsAlgebra,
+)
+from repro.verification import verify_algebra
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestShortestPaths:
+    def test_required_laws(self, rng):
+        rep = verify_algebra(ShortestPathsAlgebra(), rng=rng)
+        assert rep.is_routing_algebra, rep.table()
+
+    def test_strictly_increasing_with_positive_weights(self, rng):
+        rep = verify_algebra(ShortestPathsAlgebra(), rng=rng)
+        assert rep.is_increasing
+        assert rep.is_strictly_increasing
+
+    def test_distributive(self, rng):
+        """min-plus is a semiring: the classical, non-policy-rich case."""
+        rep = verify_algebra(ShortestPathsAlgebra(), rng=rng)
+        assert rep.is_distributive
+
+    def test_zero_weight_breaks_strictness(self, rng):
+        alg = ShortestPathsAlgebra()
+        rep = verify_algebra(alg, edge_functions=[alg.edge(0)], rng=rng)
+        assert rep.is_increasing
+        assert not rep.is_strictly_increasing
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ShortestPathsAlgebra().edge(-1)
+
+    def test_infinity_absorbs(self):
+        alg = ShortestPathsAlgebra()
+        assert alg.edge(5)(alg.invalid) == alg.invalid
+
+
+class TestLongestPaths:
+    def test_required_laws(self, rng):
+        rep = verify_algebra(LongestPathsAlgebra(), rng=rng)
+        assert rep.is_routing_algebra, rep.table()
+
+    def test_not_increasing(self, rng):
+        """Extending a route makes it *better* — the broken direction."""
+        rep = verify_algebra(LongestPathsAlgebra(), rng=rng)
+        assert not rep.is_increasing
+        assert not rep.is_strictly_increasing
+
+    def test_gain_edge_fixes_invalid(self):
+        alg = LongestPathsAlgebra()
+        assert alg.edge(5)(alg.invalid) == alg.invalid
+
+    def test_order_prefers_longer(self):
+        alg = LongestPathsAlgebra()
+        assert alg.choice(10, 3) == 10
+        assert alg.lt(10, 3)
+
+
+class TestWidestPaths:
+    def test_required_laws(self, rng):
+        rep = verify_algebra(WidestPathsAlgebra(), rng=rng)
+        assert rep.is_routing_algebra, rep.table()
+
+    def test_increasing_but_not_strictly(self, rng):
+        rep = verify_algebra(WidestPathsAlgebra(), rng=rng)
+        assert rep.is_increasing
+        assert not rep.is_strictly_increasing
+
+    def test_distributive(self, rng):
+        """max-min is distributive — widest paths is globally optimal."""
+        rep = verify_algebra(WidestPathsAlgebra(), rng=rng)
+        assert rep.is_distributive
+
+    def test_bottleneck_semantics(self):
+        alg = WidestPathsAlgebra()
+        f = alg.edge(4)
+        assert f(10) == 4     # link is the bottleneck
+        assert f(2) == 2      # upstream is the bottleneck
+        assert f(alg.invalid) == alg.invalid
+
+    def test_order_prefers_wider(self):
+        alg = WidestPathsAlgebra()
+        assert alg.choice(3, 7) == 7
+        assert alg.leq(math.inf, 5)
+
+
+class TestMostReliable:
+    def test_required_laws(self, rng):
+        rep = verify_algebra(MostReliableAlgebra(), rng=rng)
+        assert rep.is_routing_algebra, rep.table()
+
+    def test_strictly_increasing_below_one(self, rng):
+        rep = verify_algebra(MostReliableAlgebra(), rng=rng)
+        assert rep.is_strictly_increasing
+
+    def test_perfect_link_breaks_strictness(self, rng):
+        alg = MostReliableAlgebra()
+        rep = verify_algebra(alg, edge_functions=[alg.edge(1.0)], rng=rng)
+        assert rep.is_increasing
+        assert not rep.is_strictly_increasing
+
+    def test_reliability_validation(self):
+        with pytest.raises(ValueError):
+            MostReliableAlgebra().edge(1.5)
+
+    def test_multiplication_semantics(self):
+        alg = MostReliableAlgebra()
+        assert alg.edge(0.5)(0.5) == 0.25
+        assert alg.edge(0.5)(alg.trivial) == 0.5
+
+
+class TestQuantisedReliability:
+    def test_finite_carrier(self):
+        alg = QuantisedReliabilityAlgebra(quantum=4)
+        assert list(alg.routes()) == [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def test_required_laws_exhaustive(self, rng):
+        rep = verify_algebra(QuantisedReliabilityAlgebra(quantum=5), rng=rng)
+        assert rep.is_routing_algebra, rep.table()
+
+    def test_strictly_increasing(self, rng):
+        rep = verify_algebra(QuantisedReliabilityAlgebra(quantum=5), rng=rng)
+        assert rep.is_strictly_increasing, rep.table()
+
+    def test_rounding_stays_on_grid(self, rng):
+        alg = QuantisedReliabilityAlgebra(quantum=10)
+        grid = set(alg.routes())
+        for _ in range(50):
+            f = alg.sample_edge_function(rng)
+            r = alg.sample_route(rng)
+            assert f(r) in grid

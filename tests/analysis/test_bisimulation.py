@@ -1,0 +1,145 @@
+"""Bisimulation (Section 8.4): inheritance of convergence."""
+
+import random
+
+import pytest
+
+from repro.algebras import (
+    AddPaths,
+    BGPLiteAlgebra,
+    Compose,
+    IncrPrefBy,
+    INVALID,
+    Prepend,
+    PrependingBGPAlgebra,
+    ShortestPathsAlgebra,
+    valid,
+)
+from repro.analysis import (
+    check_bisimulation,
+    inherited_convergence,
+    project_state,
+)
+from repro.core import Network, RoutingState
+
+
+def paired_shortest_networks(n=4, seed=0):
+    """AddPaths(shortest) network + the plain shortest network obtained
+    by forgetting paths — the Section 8.4 'extra information' pattern
+    (router-level paths kept vs discarded)."""
+    base = ShortestPathsAlgebra()
+    lifted = AddPaths(base, n_nodes=n)
+    rng = random.Random(seed)
+    concrete = Network(lifted, n, name="with-paths")
+    abstract = Network(base, n, name="values-only")
+    for i in range(n):
+        for j in ((i + 1) % n, (i - 1) % n):
+            w = rng.randint(1, 4)
+            concrete.set_edge(i, j, lifted.edge(i, j, base.edge(w)))
+            abstract.set_edge(i, j, base.edge(w))
+
+    def project(route):
+        if lifted._is_invalid(route):
+            return base.invalid
+        return route[0]
+
+    return concrete, abstract, project
+
+
+class TestProjectState:
+    def test_entrywise(self):
+        X = RoutingState([[(1, ()), (2, (0, 1))], [(3, (1, 0)), (4, ())]])
+        Y = project_state(lambda r: r[0], X)
+        assert Y.rows == [[1, 2], [3, 4]]
+
+
+class TestShortestPathsBisimulation:
+    """AddPaths(shortest) ~ shortest: forgetting paths commutes with σ."""
+
+    def test_square_commutes_from_consistent_starts(self):
+        concrete, abstract, project = paired_shortest_networks()
+        lifted = concrete.algebra
+        starts = [RoutingState.identity(lifted, 4),
+                  RoutingState.filled(lifted.invalid, 4)]
+        report = check_bisimulation(concrete, abstract, project, starts,
+                                    rounds=8)
+        assert report.commutes, report.counterexample
+        assert report.fixed_points_match
+        assert bool(report)
+
+    def test_square_breaks_from_ghost_states(self):
+        """From arbitrary states the two systems genuinely differ: the
+        lifted algebra *filters* ghost routes whose path source does not
+        match the announcing node, plain DV launders them — this is the
+        count-to-infinity gap, caught as a bisimulation failure."""
+        concrete, abstract, project = paired_shortest_networks()
+        lifted = concrete.algebra
+        ghost = RoutingState.filled((5, (1, 0)), 4)
+        report = check_bisimulation(concrete, abstract, project, [ghost],
+                                    rounds=4, compare_fixed_points=False)
+        assert not report.commutes
+
+    def test_inheritance_message(self):
+        concrete, abstract, project = paired_shortest_networks(seed=1)
+        report = check_bisimulation(
+            concrete, abstract, project,
+            [RoutingState.identity(concrete.algebra, 4)])
+        msg = inherited_convergence(report, "Theorem 11")
+        assert "inherited" in msg
+
+
+class TestPrependingBisimulation:
+    """PrependingBGP with zero prepending ~ plain BGPLite; with real
+    prepending the square must FAIL (padding changes preferences — the
+    paper's proviso that policies must not exploit the hidden data)."""
+
+    def _paired(self, prepend_times, n=4):
+        """A diamond 0—1—3 / 0—2—3; imports *from node 1* are padded
+        ``prepend_times`` times (asymmetric padding is what flips
+        decisions — uniform padding cancels out in comparisons)."""
+        concrete_alg = PrependingBGPAlgebra(n_nodes=n)
+        abstract_alg = BGPLiteAlgebra(n_nodes=n)
+        concrete = Network(concrete_alg, n)
+        abstract = Network(abstract_alg, n)
+        for (i, j) in [(0, 1), (1, 0), (0, 2), (2, 0),
+                       (1, 3), (3, 1), (2, 3), (3, 2)]:
+            pol = IncrPrefBy(0)
+            cpol = Compose(pol, Prepend(prepend_times)) \
+                if prepend_times and j == 1 else pol
+            concrete.set_edge(i, j, concrete_alg.edge(i, j, cpol))
+            abstract.set_edge(i, j, abstract_alg.edge(i, j, pol))
+
+        def project(route):
+            if route is INVALID:
+                return INVALID
+            return valid(route.lp, route.communities, route.path)
+
+        return concrete, abstract, project
+
+    def test_no_prepending_commutes(self):
+        concrete, abstract, project = self._paired(0)
+        starts = [RoutingState.identity(concrete.algebra, 4)]
+        report = check_bisimulation(concrete, abstract, project, starts,
+                                    rounds=8)
+        assert report.commutes
+        assert report.fixed_points_match
+
+    def test_real_prepending_breaks_the_square(self):
+        concrete, abstract, project = self._paired(2)
+        starts = [RoutingState.identity(concrete.algebra, 4)]
+        report = check_bisimulation(concrete, abstract, project, starts,
+                                    rounds=8)
+        # padding influences choice, so the abstraction is NOT a
+        # bisimulation; the checker must catch it
+        assert not report.fixed_points_match or not report.commutes
+        assert "no inheritance" in inherited_convergence(report, "T11") \
+            or not bool(report)
+
+
+class TestValidation:
+    def test_mismatched_sizes_rejected(self):
+        base = ShortestPathsAlgebra()
+        a = Network(base, 3)
+        b = Network(base, 4)
+        with pytest.raises(ValueError):
+            check_bisimulation(a, b, lambda r: r, [])

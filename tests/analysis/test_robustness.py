@@ -1,0 +1,96 @@
+"""Failure-injection robustness harness."""
+
+import pytest
+
+from repro.analysis import (
+    failure_sweep,
+    inject_failure,
+    partition_probe,
+    random_multi_failure_sweep,
+)
+from repro.protocols import HOSTILE
+from tests.conftest import bgp_net, hop_net, shortest_pv_net
+
+
+class TestInjectFailure:
+    def test_single_link_on_ring(self):
+        net = hop_net(5)
+        outcome = inject_failure(net, [(0, 1)], seed=1)
+        assert outcome.converged
+        assert outcome.deterministic
+        assert outcome.partitioned_pairs == 0   # ring survives one cut
+        assert outcome.reconvergence_time > 0
+
+    def test_original_network_untouched(self):
+        net = hop_net(4)
+        before = set(net.present_edges())
+        inject_failure(net, [(0, 1)], seed=2)
+        assert set(net.present_edges()) == before
+
+    def test_partitioning_failure_counts_pairs(self):
+        # line 0-1-2-3: cutting 1-2 splits {0,1} from {2,3}
+        net = hop_net(4, arcs=[(0, 1), (1, 0), (1, 2), (2, 1),
+                               (2, 3), (3, 2)])
+        outcome = inject_failure(net, [(1, 2)], seed=3)
+        assert outcome.converged
+        assert outcome.partitioned_pairs == 8   # 2x2 pairs, both directions
+
+
+class TestFailureSweep:
+    def test_ring_sweep_all_recover(self):
+        # n = 6: cutting a link leaves genuinely stale caches (the
+        # nodes whose old routes crossed the cut must re-learn over
+        # several message exchanges), so re-convergence takes real time
+        net = hop_net(6)
+        report = failure_sweep(net, seed=4)
+        assert len(report.outcomes) == 6        # 6 undirected ring links
+        assert report.all_converged
+        assert report.all_deterministic
+        assert report.worst_reconvergence >= report.mean_reconvergence > 0
+
+    def test_max_links_cap(self):
+        net = hop_net(5)
+        report = failure_sweep(net, seed=5, max_links=2)
+        assert len(report.outcomes) == 2
+
+    def test_table_renders(self):
+        net = hop_net(4)
+        report = failure_sweep(net, seed=6, max_links=1)
+        text = report.table()
+        assert "re-time" in text and "0-1" in text
+
+    def test_sweep_under_hostile_channels(self):
+        net = bgp_net(4, seed=7)
+        report = failure_sweep(net, seed=7, link_config=HOSTILE,
+                               max_links=2)
+        assert report.all_converged
+        assert report.all_deterministic
+
+
+class TestMultiFailure:
+    def test_double_failures_on_pv_net(self):
+        net = shortest_pv_net(5, seed=8)
+        report = random_multi_failure_sweep(net, k=2, trials=3, seed=8)
+        assert len(report.outcomes) == 3
+        assert report.all_converged
+        assert report.all_deterministic
+
+
+class TestPartitionProbe:
+    def test_clean_withdrawal_on_pv(self):
+        """The acceptance test the paper motivates: partition ⇒ routes
+        withdrawn (∞̄), not counted to infinity."""
+        net = shortest_pv_net(4, seed=9)
+        # isolate node 0 completely
+        links = [(0, 1), (0, 3)]
+        outcome, withdrew = partition_probe(net, links, seed=9)
+        assert withdrew
+        assert outcome.partitioned_pairs == 6   # node 0 vs 3 others, both ways
+
+    def test_empty_report_statistics(self):
+        from repro.analysis import RobustnessReport
+
+        r = RobustnessReport()
+        assert r.all_converged and r.all_deterministic
+        assert r.worst_reconvergence == 0.0
+        assert r.mean_reconvergence == 0.0

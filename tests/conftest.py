@@ -1,0 +1,73 @@
+"""Shared fixtures and small-network builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebras import (
+    AddPaths,
+    BGPLiteAlgebra,
+    FiniteLevelAlgebra,
+    HopCountAlgebra,
+    ShortestPathsAlgebra,
+    WidestPathsAlgebra,
+)
+from repro.core import Network
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+def hop_net(n: int = 4, bound: int = 16, weight: int = 1,
+            arcs=None) -> Network:
+    """A hop-count network on a ring (or explicit arcs)."""
+    alg = HopCountAlgebra(bound)
+    net = Network(alg, n, name=f"hop-ring-{n}")
+    if arcs is None:
+        arcs = [(i, (i + 1) % n) for i in range(n)]
+        arcs += [((i + 1) % n, i) for i in range(n)]
+    for (i, j) in arcs:
+        net.set_edge(i, j, alg.edge(weight))
+    return net
+
+
+def finite_net(n: int = 4, levels: int = 8, seed: int = 0) -> Network:
+    """A finite-chain-algebra network with random strict tables on a ring."""
+    alg = FiniteLevelAlgebra(levels)
+    r = random.Random(seed)
+    net = Network(alg, n, name=f"finite-ring-{n}")
+    for i in range(n):
+        for j in ((i + 1) % n, (i - 1) % n):
+            net.set_edge(i, j, alg.random_strict_edge(r))
+    return net
+
+
+def shortest_pv_net(n: int = 4, seed: int = 0) -> Network:
+    """AddPaths(shortest-paths) on a ring with random weights."""
+    base = ShortestPathsAlgebra()
+    alg = AddPaths(base, n_nodes=n)
+    r = random.Random(seed)
+    net = Network(alg, n, name=f"sp-pv-ring-{n}")
+    for i in range(n):
+        for j in ((i + 1) % n, (i - 1) % n):
+            net.set_edge(i, j, alg.edge(i, j, base.edge(r.randint(1, 4))))
+    return net
+
+
+def bgp_net(n: int = 4, seed: int = 0, allow_reject: bool = False) -> Network:
+    """BGPLite on a ring with random safe policies."""
+    from repro.algebras.bgplite import random_policy
+
+    alg = BGPLiteAlgebra(n_nodes=n)
+    r = random.Random(seed)
+    net = Network(alg, n, name=f"bgp-ring-{n}")
+    for i in range(n):
+        for j in ((i + 1) % n, (i - 1) % n):
+            pol = random_policy(r, alg.community_universe, n,
+                                allow_reject=allow_reject)
+            net.set_edge(i, j, alg.edge(i, j, pol))
+    return net

@@ -1,0 +1,106 @@
+"""Unit tests for the algebra abstractions (Definition 1 machinery)."""
+
+import pytest
+
+from repro.algebras import HopCountAlgebra, ShortestPathsAlgebra
+from repro.core import ComposedEdge, ConstantEdge, FunctionEdge
+from repro.core.algebra import exhaustive_pairs, exhaustive_triples
+
+
+class TestEdgeFunctions:
+    def test_function_edge_wraps_callable(self):
+        f = FunctionEdge(lambda a: a + 3, name="+3")
+        assert f(4) == 7
+        assert "+3" in repr(f)
+
+    def test_constant_edge_is_constant(self):
+        f = ConstantEdge(99)
+        assert f(0) == 99
+        assert f(12345) == 99
+
+    def test_composed_edge_applies_inner_first(self):
+        double = FunctionEdge(lambda a: a * 2, name="double")
+        inc = FunctionEdge(lambda a: a + 1, name="inc")
+        assert ComposedEdge(double, inc)(3) == 8     # double(inc(3))
+        assert ComposedEdge(inc, double)(3) == 7     # inc(double(3))
+
+    def test_missing_edge_is_constant_invalid(self):
+        alg = ShortestPathsAlgebra()
+        absent = ConstantEdge(alg.invalid)
+        assert absent(0) == alg.invalid
+        assert absent(alg.invalid) == alg.invalid
+
+
+class TestDerivedOrder:
+    """The order a ≤ b ⇔ a ⊕ b = a (Section 2.1)."""
+
+    def setup_method(self):
+        self.alg = HopCountAlgebra(8)
+
+    def test_leq_matches_numeric_order(self):
+        assert self.alg.leq(2, 5)
+        assert not self.alg.leq(5, 2)
+        assert self.alg.leq(3, 3)
+
+    def test_lt_is_strict(self):
+        assert self.alg.lt(2, 5)
+        assert not self.alg.lt(3, 3)
+
+    def test_trivial_below_everything(self):
+        for r in self.alg.routes():
+            assert self.alg.leq(self.alg.trivial, r)
+
+    def test_invalid_above_everything(self):
+        for r in self.alg.routes():
+            assert self.alg.leq(r, self.alg.invalid)
+
+    def test_total_order(self):
+        routes = list(self.alg.routes())
+        for a in routes:
+            for b in routes:
+                assert self.alg.leq(a, b) or self.alg.leq(b, a)
+
+
+class TestBest:
+    def test_best_of_empty_is_invalid(self):
+        alg = HopCountAlgebra(8)
+        assert alg.best([]) == alg.invalid
+
+    def test_best_folds_choice(self):
+        alg = HopCountAlgebra(8)
+        assert alg.best([5, 2, 7, 3]) == 2
+
+    def test_best_with_invalid_entries(self):
+        alg = HopCountAlgebra(8)
+        assert alg.best([alg.invalid, 4, alg.invalid]) == 4
+
+
+class TestSortRoutes:
+    def test_sorts_most_preferred_first(self):
+        alg = HopCountAlgebra(8)
+        assert alg.sort_routes([5, 0, 8, 2]) == [0, 2, 5, 8]
+
+    def test_preserves_multiplicity(self):
+        alg = HopCountAlgebra(8)
+        assert alg.sort_routes([3, 3, 1]) == [1, 3, 3]
+
+
+class TestSamplers:
+    def test_finite_sampler_stays_in_carrier(self, rng):
+        alg = HopCountAlgebra(6)
+        carrier = set(alg.routes())
+        for _ in range(100):
+            assert alg.sample_route(rng) in carrier
+
+    def test_infinite_algebra_has_no_enumeration(self):
+        alg = ShortestPathsAlgebra()
+        with pytest.raises(NotImplementedError):
+            list(alg.routes())
+
+
+class TestExhaustiveHelpers:
+    def test_pairs_count(self):
+        assert len(list(exhaustive_pairs([1, 2, 3]))) == 9
+
+    def test_triples_count(self):
+        assert len(list(exhaustive_triples([1, 2]))) == 8

@@ -1,0 +1,166 @@
+"""Unit tests for paths: ⊥, extension guards, weight, S_c enumeration."""
+
+import pytest
+
+from repro.algebras import AddPaths, ShortestPathsAlgebra
+from repro.core import (
+    BOTTOM,
+    Network,
+    all_simple_paths_to,
+    can_extend,
+    dst,
+    enumerate_consistent_routes,
+    extend,
+    is_simple,
+    is_valid_path,
+    length,
+    src,
+    weight,
+)
+
+
+class TestBottom:
+    def test_singleton(self):
+        from repro.core.paths import _Bottom
+
+        assert _Bottom() is BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "⊥"
+
+    def test_not_a_valid_path(self):
+        assert not is_valid_path(BOTTOM)
+        assert is_valid_path(())
+        assert is_valid_path((1, 2))
+
+
+class TestPathAccessors:
+    def test_src_dst_of_real_path(self):
+        assert src((3, 2, 0)) == 3
+        assert dst((3, 2, 0)) == 0
+
+    def test_src_dst_of_empty_and_bottom(self):
+        assert src(()) is None and dst(()) is None
+        assert src(BOTTOM) is None and dst(BOTTOM) is None
+
+    def test_length_counts_edges(self):
+        assert length(()) == 0
+        assert length((1, 0)) == 1
+        assert length((3, 2, 1, 0)) == 3
+        assert length(BOTTOM) == 0
+
+    def test_is_simple(self):
+        assert is_simple((3, 2, 0))
+        assert not is_simple((3, 2, 3))
+        assert is_simple(())
+        assert is_simple(BOTTOM)
+
+
+class TestExtension:
+    """P3's guards: the edge must plug into the source; no loops."""
+
+    def test_extend_empty_path(self):
+        assert extend(1, 0, ()) == (1, 0)
+
+    def test_extend_empty_path_self_loop_rejected(self):
+        assert extend(2, 2, ()) is BOTTOM
+
+    def test_extend_matching_source(self):
+        assert extend(3, 2, (2, 0)) == (3, 2, 0)
+
+    def test_extend_mismatched_source_rejected(self):
+        # edge (3, 1) cannot extend a path starting at 2
+        assert extend(3, 1, (2, 0)) is BOTTOM
+
+    def test_extend_loop_rejected(self):
+        assert extend(0, 2, (2, 1, 0)) is BOTTOM
+
+    def test_extend_bottom_rejected(self):
+        assert extend(1, 0, BOTTOM) is BOTTOM
+
+    def test_can_extend_agrees_with_extend(self):
+        cases = [(1, 0, ()), (2, 2, ()), (3, 2, (2, 0)), (3, 1, (2, 0)),
+                 (0, 2, (2, 1, 0)), (1, 0, BOTTOM)]
+        for (i, j, p) in cases:
+            assert can_extend(i, j, p) == (extend(i, j, p) is not BOTTOM)
+
+
+def line_network(n=4, w=1):
+    base = ShortestPathsAlgebra()
+    alg = AddPaths(base, n_nodes=n)
+    net = Network(alg, n)
+    for i in range(n - 1):
+        net.set_edge(i, i + 1, alg.edge(i, i + 1, base.edge(w)))
+        net.set_edge(i + 1, i, alg.edge(i + 1, i, base.edge(w)))
+    return net, alg, base
+
+
+class TestWeight:
+    """weight(p) folds the adjacency matrix along p (Section 5.1)."""
+
+    def test_weight_of_bottom_is_invalid(self):
+        net, alg, _ = line_network()
+        assert alg.equal(weight(alg, net, BOTTOM), alg.invalid)
+
+    def test_weight_of_empty_is_trivial(self):
+        net, alg, _ = line_network()
+        assert alg.equal(weight(alg, net, ()), alg.trivial)
+
+    def test_weight_of_line_path(self):
+        net, alg, base = line_network(4, w=2)
+        # path 3 -> 2 -> 1 -> 0 has base value 6 in the lifted algebra
+        r = weight(alg, net, (3, 2, 1, 0))
+        assert r == (6, (3, 2, 1, 0))
+
+    def test_weight_of_missing_edge_path_is_invalid(self):
+        net, alg, _ = line_network(4)
+        # (0, 2) is not an edge of the line
+        assert alg.equal(weight(alg, net, (0, 2)), alg.invalid)
+
+
+class TestSimplePathEnumeration:
+    def test_line_paths_to_end(self):
+        net, _, _ = line_network(4)
+        paths = set(all_simple_paths_to(net, 0))
+        assert (1, 0) in paths
+        assert (3, 2, 1, 0) in paths
+        # no loops, all end at 0
+        for p in paths:
+            assert p[-1] == 0
+            assert len(set(p)) == len(p)
+
+    def test_count_on_line(self):
+        net, _, _ = line_network(4)
+        # on a line the simple paths to node 0 are exactly the prefixes:
+        # (1,0), (2,1,0), (3,2,1,0)
+        assert len(list(all_simple_paths_to(net, 0))) == 3
+
+    def test_max_len_cap(self):
+        net, _, _ = line_network(4)
+        paths = list(all_simple_paths_to(net, 0, max_len=1))
+        assert paths == [(1, 0)]
+
+
+class TestConsistentRoutes:
+    def test_contains_distinguished_routes(self):
+        net, alg, _ = line_network(3)
+        sc = enumerate_consistent_routes(alg, net)
+        assert any(alg.equal(r, alg.invalid) for r in sc)
+        assert any(alg.equal(r, alg.trivial) for r in sc)
+
+    def test_all_enumerated_routes_are_consistent(self):
+        net, alg, _ = line_network(3)
+        for r in enumerate_consistent_routes(alg, net):
+            assert alg.is_consistent(r, net)
+
+    def test_inconsistent_route_detected(self):
+        net, alg, _ = line_network(3)
+        ghost = (42, (2, 1, 0))   # the path exists but its weight is 2
+        assert not alg.is_consistent(ghost, net)
+
+    def test_per_destination_filter(self):
+        net, alg, _ = line_network(4)
+        sc0 = enumerate_consistent_routes(alg, net, dest=0)
+        for r in sc0:
+            if alg.is_valid(r) and not alg.equal(r, alg.trivial):
+                assert r[1][-1] == 0

@@ -1,0 +1,92 @@
+"""Height computation over quotiented carriers.
+
+Lexicographic products and path lifts represent the invalid route by
+*several* denormalised values ((0, x) pairs, (v, ⊥) pairs...); the
+Section 4.1 height function must treat each equivalence class as one
+element, or M1/M3 break.  These tests pin that behaviour down.
+"""
+
+import random
+
+import pytest
+
+from repro.algebras import (
+    AddPaths,
+    HopCountAlgebra,
+    LexicographicAlgebra,
+    ShortestPathsAlgebra,
+    WidestPathsAlgebra,
+)
+from repro.core import (
+    DistanceVectorUltrametric,
+    check_ultrametric_axioms,
+    route_heights,
+)
+
+
+class TestLexProductHeights:
+    def setup_method(self):
+        # finite × finite product: carrier contains many invalid-class
+        # members, e.g. (invalid, x) for every x
+        self.alg = LexicographicAlgebra(HopCountAlgebra(3),
+                                        HopCountAlgebra(2))
+        self.carrier = list(self.alg.routes())
+
+    def test_invalid_class_shares_one_height(self):
+        heights, _H = route_heights(self.alg, self.carrier)
+        invalid_members = [r for r in self.carrier
+                           if self.alg.equal(r, self.alg.invalid)]
+        assert len(invalid_members) > 1          # the quotient is real
+        hs = {heights[r] for r in invalid_members}
+        assert len(hs) == 1
+        assert hs == {1}                         # ∞̄ has minimal height
+
+    def test_trivial_has_maximal_height(self):
+        heights, H = route_heights(self.alg, self.carrier)
+        assert heights[self.alg.trivial] == H
+
+    def test_H_counts_classes_not_values(self):
+        _heights, H = route_heights(self.alg, self.carrier)
+        # distinct classes: all (a, b) with a valid... plus 1 invalid class
+        first_valid = 3      # hop<3>: {0,1,2} valid
+        second_valid = 2     # hop<2>: {0,1} valid
+        assert H == first_valid * second_valid + 1
+
+    def test_metric_axioms_hold_on_the_quotient(self):
+        metric = DistanceVectorUltrametric(self.alg, carrier=self.carrier)
+        for outcome in check_ultrametric_axioms(metric, self.carrier):
+            assert outcome.holds, outcome
+
+    def test_distance_zero_within_the_invalid_class(self):
+        metric = DistanceVectorUltrametric(self.alg, carrier=self.carrier)
+        invalid_members = [r for r in self.carrier
+                           if self.alg.equal(r, self.alg.invalid)]
+        a, b = invalid_members[0], invalid_members[-1]
+        assert a != b                    # distinct representations...
+        assert metric.distance(a, b) == 0   # ...same point of the space
+
+
+class TestAddPathsQuotientHeights:
+    def test_denormalised_invalids_collapse(self):
+        base = ShortestPathsAlgebra()
+        alg = AddPaths(base, n_nodes=3)
+        from repro.core import BOTTOM
+
+        carrier = [alg.trivial, (1, (1, 0)), (2, (2, 1, 0)),
+                   alg.invalid, (5, BOTTOM), (base.invalid, (1, 0))]
+        heights, H = route_heights(alg, carrier)
+        assert heights[alg.invalid] == 1
+        assert heights[(5, BOTTOM)] == 1
+        assert heights[(base.invalid, (1, 0))] == 1
+        assert H == 4     # trivial, two real routes, one invalid class
+
+    def test_axioms_with_denormalised_members(self):
+        base = WidestPathsAlgebra()
+        alg = AddPaths(base, n_nodes=3)
+        from repro.core import BOTTOM
+
+        carrier = [alg.trivial, (3, (1, 0)), (2, (2, 0)),
+                   alg.invalid, (7, BOTTOM)]
+        metric = DistanceVectorUltrametric(alg, carrier=carrier)
+        for outcome in check_ultrametric_axioms(metric, carrier):
+            assert outcome.holds, outcome

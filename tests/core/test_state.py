@@ -1,0 +1,122 @@
+"""Unit tests for routing states, adjacency matrices and networks."""
+
+import pytest
+
+from repro.algebras import HopCountAlgebra
+from repro.core import AdjacencyMatrix, ConstantEdge, Network, RoutingState
+
+
+class TestAdjacencyMatrix:
+    def setup_method(self):
+        self.alg = HopCountAlgebra(8)
+        self.adj = AdjacencyMatrix(3, self.alg)
+
+    def test_missing_edge_is_constant_invalid(self):
+        f = self.adj(0, 1)
+        assert f(3) == self.alg.invalid
+        assert f(self.alg.trivial) == self.alg.invalid
+
+    def test_set_and_get(self):
+        self.adj.set(0, 1, self.alg.edge(2))
+        assert self.adj(0, 1)(3) == 5
+        assert self.adj.has_edge(0, 1)
+        assert not self.adj.has_edge(1, 0)
+
+    def test_remove_reverts_to_invalid(self):
+        self.adj.set(0, 1, self.alg.edge(1))
+        self.adj.remove(0, 1)
+        assert self.adj(0, 1)(0) == self.alg.invalid
+
+    def test_bounds_checked(self):
+        with pytest.raises(IndexError):
+            self.adj(0, 7)
+        with pytest.raises(IndexError):
+            self.adj.set(-1, 0, self.alg.edge(1))
+
+    def test_present_edges_sorted(self):
+        self.adj.set(2, 0, self.alg.edge(1))
+        self.adj.set(0, 1, self.alg.edge(1))
+        assert list(self.adj.present_edges()) == [(0, 1), (2, 0)]
+
+    def test_needs_positive_n(self):
+        with pytest.raises(ValueError):
+            AdjacencyMatrix(0, self.alg)
+
+
+class TestNetwork:
+    def test_neighbours_in(self):
+        alg = HopCountAlgebra(8)
+        net = Network(alg, 3)
+        net.set_edge(0, 1, alg.edge(1))
+        net.set_edge(0, 2, alg.edge(1))
+        net.set_edge(1, 2, alg.edge(1))
+        assert net.neighbours_in(0) == [1, 2]
+        assert net.neighbours_in(1) == [2]
+        assert net.neighbours_in(2) == []
+
+    def test_copy_is_independent(self):
+        alg = HopCountAlgebra(8)
+        net = Network(alg, 2)
+        net.set_edge(0, 1, alg.edge(1))
+        clone = net.copy()
+        clone.remove_edge(0, 1)
+        assert net.adjacency.has_edge(0, 1)
+        assert not clone.adjacency.has_edge(0, 1)
+
+
+class TestRoutingState:
+    def setup_method(self):
+        self.alg = HopCountAlgebra(8)
+
+    def test_identity_matrix(self):
+        I = RoutingState.identity(self.alg, 3)
+        for i in range(3):
+            for j in range(3):
+                expected = self.alg.trivial if i == j else self.alg.invalid
+                assert I.get(i, j) == expected
+
+    def test_filled(self):
+        X = RoutingState.filled(5, 2)
+        assert all(r == 5 for (_i, _j, r) in X.entries())
+
+    def test_from_function(self):
+        X = RoutingState.from_function(lambda i, j: i * 10 + j, 3)
+        assert X.get(2, 1) == 21
+
+    def test_square_enforced(self):
+        with pytest.raises(ValueError):
+            RoutingState([[1, 2], [3]])
+
+    def test_row_and_column_are_copies(self):
+        X = RoutingState.identity(self.alg, 3)
+        row = X.row(0)
+        row[1] = 99
+        assert X.get(0, 1) == self.alg.invalid
+        col = X.column(1)
+        col[0] = 99
+        assert X.get(0, 1) == self.alg.invalid
+
+    def test_elementwise_choice(self):
+        X = RoutingState.filled(5, 2)
+        Y = RoutingState.filled(3, 2)
+        Z = X.choice(Y, self.alg)
+        assert all(r == 3 for (_i, _j, r) in Z.entries())
+
+    def test_equals_under_algebra(self):
+        X = RoutingState.filled(5, 2)
+        Y = RoutingState.filled(5, 2)
+        Z = RoutingState.filled(4, 2)
+        assert X.equals(Y, self.alg)
+        assert not X.equals(Z, self.alg)
+
+    def test_hashable_value_object(self):
+        X = RoutingState.filled(5, 2)
+        Y = RoutingState.filled(5, 2)
+        assert X == Y
+        assert hash(X) == hash(Y)
+        assert len({X, Y}) == 1
+
+    def test_pretty_contains_all_entries(self):
+        X = RoutingState.identity(self.alg, 2)
+        out = X.pretty()
+        assert "node 0" in out and "node 1" in out

@@ -1,0 +1,114 @@
+"""Unit tests for the protocol node state machine and channel configs."""
+
+import random
+
+import pytest
+
+from repro.algebras import HopCountAlgebra
+from repro.core import Network
+from repro.protocols import CacheEntry, LinkConfig, ProtocolNode
+from repro.protocols.messages import Announcement
+
+
+def small_net():
+    alg = HopCountAlgebra(8)
+    net = Network(alg, 3)
+    net.set_edge(0, 1, alg.edge(1))
+    net.set_edge(0, 2, alg.edge(2))
+    net.set_edge(1, 0, alg.edge(1))
+    net.set_edge(2, 0, alg.edge(2))
+    return net, alg
+
+
+class TestProtocolNode:
+    def test_initial_table_is_identity_row(self):
+        net, alg = small_net()
+        node = ProtocolNode(0, net)
+        assert node.table == [alg.trivial, alg.invalid, alg.invalid]
+
+    def test_in_neighbours_and_cache_shape(self):
+        net, _alg = small_net()
+        node = ProtocolNode(0, net)
+        assert node.in_neighbours == [1, 2]
+        assert set(node.cache) == {1, 2}
+        assert len(node.cache[1]) == 3
+
+    def test_receive_updates_cache_only(self):
+        net, alg = small_net()
+        node = ProtocolNode(0, net)
+        node.receive(sender=1, dest=2, route=3, gen_step=7, now=1.5)
+        entry = node.cache[1][2]
+        assert entry.route == 3 and entry.gen_step == 7
+        assert node.table[2] == alg.invalid    # table untouched
+
+    def test_receive_from_unknown_sender_ignored(self):
+        net, _alg = small_net()
+        node = ProtocolNode(0, net)
+        node.receive(sender=2, dest=1, route=1, gen_step=1, now=0.0)
+        node.refresh_neighbour_lists()
+        net.remove_edge(0, 2)
+        node.refresh_neighbour_lists()
+        # stale in-flight message from the removed neighbour: no crash
+        node.receive(sender=2, dest=1, route=1, gen_step=2, now=1.0)
+        assert 2 not in node.cache
+
+    def test_recompute_folds_cache_through_policy(self):
+        net, alg = small_net()
+        node = ProtocolNode(0, net)
+        node.receive(1, 2, 4, gen_step=3, now=0.0)   # 1 knows 2 at 4
+        node.receive(2, 2, 0, gen_step=5, now=0.0)   # 2 is 2 (trivial)
+        changed, new, betas = node.recompute(2)
+        # via 1: 4 + 1 = 5; via 2: 0 + 2 = 2 → best 2
+        assert changed and new == 2
+        assert betas == {1: 3, 2: 5}
+
+    def test_recompute_own_destination_is_trivial(self):
+        net, alg = small_net()
+        node = ProtocolNode(0, net)
+        changed, new, betas = node.recompute(0)
+        assert not changed and new == alg.trivial and betas == {}
+
+    def test_refresh_neighbour_lists_adds_new_edges(self):
+        net, alg = small_net()
+        node = ProtocolNode(1, net)
+        assert node.in_neighbours == [0]
+        net.set_edge(1, 2, alg.edge(1))
+        node.refresh_neighbour_lists()
+        assert node.in_neighbours == [0, 2]
+        assert 2 in node.cache
+
+    def test_load_state_row_keeps_garbage(self):
+        """Theorems quantify over arbitrary states: loading must not
+        sanitise (not even the diagonal — Lemma 1 is the computation's
+        job)."""
+        net, _alg = small_net()
+        node = ProtocolNode(0, net)
+        node.load_state_row([7, 7, 7])
+        assert node.table == [7, 7, 7]
+
+
+class TestAnnouncement:
+    def test_value_object(self):
+        a = Announcement(1, 2, 0, 5, 9)
+        b = Announcement(1, 2, 0, 5, 9)
+        assert a == b
+        assert a.sender == 1 and a.receiver == 2
+        assert a.gen_step == 9
+
+
+class TestLinkConfig:
+    def test_delay_sampling_within_bounds(self):
+        cfg = LinkConfig(min_delay=0.5, max_delay=2.5)
+        rng = random.Random(0)
+        for _ in range(200):
+            d = cfg.sample_delay(rng)
+            assert 0.5 <= d <= 2.5
+
+    def test_defaults_are_reliable(self):
+        cfg = LinkConfig()
+        assert cfg.loss == 0.0 and cfg.duplicate == 0.0 and not cfg.fifo
+
+    def test_hostile_profile(self):
+        from repro.protocols import HOSTILE
+
+        assert HOSTILE.loss > 0 and HOSTILE.duplicate > 0

@@ -1,0 +1,74 @@
+"""CLI front-end tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bgplite" in out and "ring" in out and "disagree" in out
+
+
+class TestVerify:
+    def test_hop_count_ring(self, capsys):
+        assert main(["verify", "--algebra", "hop-count", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 7" in out
+
+    def test_bgplite_gets_theorem11(self, capsys):
+        assert main(["verify", "--algebra", "bgplite", "--n", "4",
+                     "--samples", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 11" in out
+
+    def test_unknown_algebra_exits(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--algebra", "nonsense"])
+
+    def test_unknown_topology_exits(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--topology", "moebius"])
+
+
+class TestConverge:
+    def test_absolute_on_hop_ring(self, capsys):
+        rc = main(["converge", "--algebra", "hop-count", "--n", "4",
+                   "--starts", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ABSOLUTE          : True" in out
+
+
+class TestCensus:
+    def test_disagree_wedgie(self, capsys):
+        assert main(["census", "--gadget", "disagree"]) == 0
+        out = capsys.readouterr().out
+        assert "stable states     : 2" in out
+        assert "wedgie" in out
+
+    def test_bad_gadget(self, capsys):
+        assert main(["census", "--gadget", "bad"]) == 0
+        out = capsys.readouterr().out
+        assert "no stable state" in out
+
+    def test_repaired(self, capsys):
+        assert main(["census", "--gadget", "disagree-increasing"]) == 0
+        out = capsys.readouterr().out
+        assert "unique stable state" in out
+
+
+class TestSimulate:
+    def test_lossy_run(self, capsys):
+        rc = main(["simulate", "--algebra", "hop-count", "--n", "5",
+                   "--loss", "0.2", "--dup", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "converged      : True" in out
+
+    def test_random_topology(self, capsys):
+        rc = main(["simulate", "--algebra", "shortest-pv", "--n", "5",
+                   "--topology", "random"])
+        assert rc == 0

@@ -1,0 +1,156 @@
+"""Topology generators: shape, symmetry, factory plumbing."""
+
+import pytest
+
+from repro.algebras import (
+    AddPaths,
+    BGPLiteAlgebra,
+    HopCountAlgebra,
+    ShortestPathsAlgebra,
+)
+from repro.core import RoutingState, iterate_sigma, synchronous_fixed_point
+from repro.topologies import (
+    barabasi_albert,
+    bgp_policy_factory,
+    build_network,
+    complete,
+    erdos_renyi,
+    fat_tree,
+    gao_rexford_hierarchy,
+    grid,
+    lifted_weight_factory,
+    line,
+    ring,
+    star,
+    uniform_weight_factory,
+)
+
+
+def hop_factory():
+    return uniform_weight_factory(HopCountAlgebra(16), 1, 3)
+
+
+class TestDeterministicFamilies:
+    def test_line_edges(self):
+        net = line(HopCountAlgebra(16), 5, hop_factory())
+        edges = set(net.present_edges())
+        assert (0, 1) in edges and (1, 0) in edges
+        assert (4, 3) in edges
+        assert (0, 4) not in edges
+        assert len(edges) == 2 * 4
+
+    def test_ring_edges(self):
+        net = ring(HopCountAlgebra(16), 5, hop_factory())
+        edges = set(net.present_edges())
+        assert (4, 0) in edges and (0, 4) in edges
+        assert len(edges) == 2 * 5
+
+    def test_star_edges(self):
+        net = star(HopCountAlgebra(16), 5, hop_factory())
+        edges = set(net.present_edges())
+        assert all((0, i) in edges and (i, 0) in edges for i in range(1, 5))
+        assert (1, 2) not in edges
+
+    def test_complete_edges(self):
+        net = complete(HopCountAlgebra(16), 4, hop_factory())
+        assert len(set(net.present_edges())) == 4 * 3
+
+    def test_grid_shape(self):
+        net = grid(HopCountAlgebra(16), 2, 3, hop_factory())
+        assert net.n == 6
+        edges = set(net.present_edges())
+        assert (0, 1) in edges          # same row
+        assert (0, 3) in edges          # same column
+        assert (0, 4) not in edges      # diagonal
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_connected(self):
+        net = erdos_renyi(HopCountAlgebra(16), 12, 0.15, hop_factory(),
+                          seed=5)
+        fp = synchronous_fixed_point(net)
+        alg = net.algebra
+        # connectivity patch: every pair reachable
+        for i in range(12):
+            for j in range(12):
+                assert fp.get(i, j) != alg.invalid
+
+    def test_erdos_renyi_deterministic_in_seed(self):
+        a = erdos_renyi(HopCountAlgebra(16), 10, 0.3, hop_factory(), seed=7)
+        b = erdos_renyi(HopCountAlgebra(16), 10, 0.3, hop_factory(), seed=7)
+        assert set(a.present_edges()) == set(b.present_edges())
+
+    def test_barabasi_albert_shape(self):
+        net = barabasi_albert(HopCountAlgebra(16), 15, 2, hop_factory(),
+                              seed=3)
+        assert net.n == 15
+        assert len(set(net.present_edges())) == 2 * (2 * 13)   # nx BA: m*(n-m) edges
+
+
+class TestFatTree:
+    def test_k4_shape(self):
+        net = fat_tree(HopCountAlgebra(16), 4, hop_factory())
+        # (k/2)^2 = 4 cores + k pods * k switches = 4 + 16 = 20
+        assert net.n == 20
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree(HopCountAlgebra(16), 3, hop_factory())
+
+    def test_all_pairs_reachable(self):
+        net = fat_tree(HopCountAlgebra(16), 4, hop_factory())
+        fp = synchronous_fixed_point(net)
+        for i in range(net.n):
+            for j in range(net.n):
+                assert fp.get(i, j) != net.algebra.invalid
+
+
+class TestGaoRexfordHierarchy:
+    def test_shape_and_convergence(self):
+        net, rels = gao_rexford_hierarchy(2, 3, 6, seed=2)
+        assert net.n == 11
+        res = iterate_sigma(net,
+                            RoutingState.identity(net.algebra, net.n))
+        assert res.converged
+
+    def test_tier1_full_peer_mesh(self):
+        from repro.algebras import Rel
+
+        _net, rels = gao_rexford_hierarchy(3, 2, 2, seed=1)
+        for a in range(3):
+            for b in range(3):
+                if a != b:
+                    assert rels[(a, b)] == Rel.PEER
+
+    def test_every_lower_tier_node_has_a_provider(self):
+        from repro.algebras import Rel
+
+        _net, rels = gao_rexford_hierarchy(2, 4, 8, seed=3)
+        for node in range(2, 14):
+            assert any(rel == Rel.PROVIDER and i == node
+                       for (i, _j), rel in rels.items())
+
+
+class TestFactories:
+    def test_lifted_factory_builds_path_edges(self):
+        base = ShortestPathsAlgebra()
+        alg = AddPaths(base, n_nodes=4)
+        net = ring(alg, 4, lifted_weight_factory(alg))
+        fp = synchronous_fixed_point(net)
+        route = fp.get(0, 2)
+        assert route[1][-1] == 2 and route[1][0] == 0
+
+    def test_bgp_factory_builds_policies(self):
+        alg = BGPLiteAlgebra(n_nodes=4)
+        net = ring(alg, 4, bgp_policy_factory(alg, allow_reject=False))
+        fp = synchronous_fixed_point(net)
+        assert fp.get(0, 1) is not alg.invalid
+
+    def test_build_network_seed_reproducible(self):
+        alg = HopCountAlgebra(16)
+        arcs = [(0, 1), (1, 0)]
+        a = build_network(alg, 2, arcs, uniform_weight_factory(alg, 1, 9),
+                          seed=4)
+        b = build_network(alg, 2, arcs, uniform_weight_factory(alg, 1, 9),
+                          seed=4)
+        assert a.edge(0, 1)(0) == b.edge(0, 1)(0)

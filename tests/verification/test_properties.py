@@ -1,0 +1,144 @@
+"""The law checkers themselves: do they catch deliberately broken algebras?
+
+A verifier that never fails is worthless; these tests feed each checker
+an algebra violating exactly one law and assert the violation is caught
+with a counterexample.
+"""
+
+import random
+
+import pytest
+
+from repro.algebras import FiniteLevelAlgebra, HopCountAlgebra
+from repro.core import FunctionEdge
+from repro.core.algebra import RoutingAlgebra
+from repro.verification import (
+    check_associative,
+    check_commutative,
+    check_invalid_fixed_point,
+    check_invalid_identity,
+    check_selective,
+    check_trivial_annihilator,
+    verify_algebra,
+)
+
+
+class BrokenChoice(RoutingAlgebra):
+    """An 'algebra' whose ⊕ averages — violating selectivity (and more)."""
+
+    name = "broken-average"
+    is_finite = True
+
+    @property
+    def trivial(self):
+        return 0
+
+    @property
+    def invalid(self):
+        return 8
+
+    def choice(self, a, b):
+        return (a + b) // 2
+
+    def routes(self):
+        return iter(range(9))
+
+    def sample_edge_function(self, rng):
+        from repro.core import ConstantEdge
+
+        return ConstantEdge(self.invalid)
+
+
+class NonCommutative(RoutingAlgebra):
+    """⊕ always returns its first argument: selective but not commutative."""
+
+    name = "broken-first"
+    is_finite = True
+
+    @property
+    def trivial(self):
+        return 0
+
+    @property
+    def invalid(self):
+        return 5
+
+    def choice(self, a, b):
+        return a
+
+    def routes(self):
+        return iter(range(6))
+
+
+class TestCheckersCatchViolations:
+    def test_selectivity_violation_caught(self):
+        alg = BrokenChoice()
+        out = check_selective(alg, list(alg.routes()))
+        assert not out.holds
+        assert out.counterexample is not None
+
+    def test_commutativity_violation_caught(self):
+        alg = NonCommutative()
+        out = check_commutative(alg, list(alg.routes()))
+        assert not out.holds
+
+    def test_non_commutative_passes_associativity(self):
+        """first-projection is associative — checkers are independent."""
+        alg = NonCommutative()
+        assert check_associative(alg, list(alg.routes())).holds
+
+    def test_identity_violation_caught(self):
+        alg = NonCommutative()
+        # choice(invalid, a) = invalid != a
+        out = check_invalid_identity(alg, [1, 2])
+        assert not out.holds
+
+    def test_annihilator_violation_caught(self):
+        alg = NonCommutative()
+        # choice(a, trivial) = a != trivial
+        out = check_trivial_annihilator(alg, [2])
+        assert not out.holds
+
+    def test_invalid_fixed_point_violation_caught(self):
+        alg = HopCountAlgebra(8)
+        leaky = FunctionEdge(lambda a: 3, name="const3")
+        out = check_invalid_fixed_point(alg, [leaky])
+        assert not out.holds
+
+
+class TestReportAPI:
+    def test_unknown_law_raises(self, rng):
+        rep = verify_algebra(HopCountAlgebra(4), rng=rng)
+        with pytest.raises(KeyError):
+            rep.check("no such law")
+
+    def test_table_rendering(self, rng):
+        rep = verify_algebra(HopCountAlgebra(4), rng=rng)
+        text = rep.table()
+        assert "hop-count<4>" in text
+        assert "✓ ⊕ associative" in text
+
+    def test_counterexample_rendered_on_failure(self, rng):
+        alg = FiniteLevelAlgebra(4)
+        bad = alg.table_edge([0, 0, 1, 2, 4])
+        rep = verify_algebra(alg, edge_functions=[bad], rng=rng)
+        text = rep.check("F increasing").describe()
+        assert "✗" in text and "counterexample" in text
+
+    def test_broken_algebra_is_not_routing_algebra(self, rng):
+        rep = verify_algebra(BrokenChoice(), rng=rng)
+        assert not rep.is_routing_algebra
+
+
+class TestExhaustiveVsSampled:
+    def test_finite_algebra_checked_exhaustively(self, rng):
+        alg = FiniteLevelAlgebra(3)   # carrier size 4
+        rep = verify_algebra(alg, rng=rng)
+        assert rep.check("⊕ associative").cases == 4 ** 3
+
+    def test_infinite_algebra_sampled(self, rng):
+        from repro.algebras import ShortestPathsAlgebra
+
+        rep = verify_algebra(ShortestPathsAlgebra(), rng=rng, samples=10)
+        # 10 samples + trivial + invalid = 12 routes -> 12^3 triples
+        assert rep.check("⊕ associative").cases == 12 ** 3

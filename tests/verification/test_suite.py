@@ -1,0 +1,68 @@
+"""Network-level verification and the theorem-mapping helper."""
+
+import pytest
+
+from repro.algebras import bad_gadget
+from repro.verification import convergence_guarantee, verify_network
+from tests.conftest import bgp_net, hop_net, shortest_pv_net
+
+
+class TestVerifyNetwork:
+    def test_hop_ring_passes(self):
+        rep = verify_network(hop_net(4))
+        assert rep.is_routing_algebra
+        assert rep.is_strictly_increasing
+
+    def test_path_algebra_network_gets_path_laws(self):
+        rep = verify_network(shortest_pv_net(4))
+        assert rep.holds("P3: path(A_ij(r)) follows the extension rule")
+
+    def test_bgp_network_passes(self):
+        rep = verify_network(bgp_net(4, seed=3))
+        assert rep.is_routing_algebra
+        assert rep.is_strictly_increasing
+
+    def test_spp_gadget_flagged(self):
+        rep = verify_network(bad_gadget(), samples=50)
+        assert rep.is_routing_algebra       # structure is fine
+        assert not rep.is_increasing        # preferences are not
+
+
+class TestConvergenceGuarantee:
+    def test_theorem7_route(self):
+        rep = verify_network(hop_net(4))
+        msg = convergence_guarantee(rep, finite_carrier=True,
+                                    path_algebra=False)
+        assert "Theorem 7" in msg
+
+    def test_theorem11_route(self):
+        rep = verify_network(shortest_pv_net(4))
+        msg = convergence_guarantee(rep, finite_carrier=False,
+                                    path_algebra=True)
+        assert "Theorem 11" in msg
+
+    def test_no_guarantee_for_spp(self):
+        rep = verify_network(bad_gadget(), samples=50)
+        msg = convergence_guarantee(rep, finite_carrier=False,
+                                    path_algebra=True)
+        assert "no convergence guarantee" in msg
+
+    def test_broken_structure_reported(self):
+        from tests.verification.test_properties import BrokenChoice
+        from repro.verification import verify_algebra
+
+        rep = verify_algebra(BrokenChoice())
+        msg = convergence_guarantee(rep, finite_carrier=True,
+                                    path_algebra=False)
+        assert "not a routing algebra" in msg
+
+    def test_infinite_strict_dv_gets_no_guarantee(self):
+        """Strictly increasing but infinite: Theorem 7 does NOT apply
+        (shortest paths counts to infinity) — the mapping must refuse."""
+        from repro.algebras import ShortestPathsAlgebra
+        from repro.verification import verify_algebra
+
+        rep = verify_algebra(ShortestPathsAlgebra())
+        msg = convergence_guarantee(rep, finite_carrier=False,
+                                    path_algebra=False)
+        assert "no convergence guarantee" in msg

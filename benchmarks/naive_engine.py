@@ -1,0 +1,121 @@
+"""Frozen copy of the seed (pre-incremental-engine) σ/δ implementations.
+
+``run_benchmarks.py`` times the live engines against this baseline so
+``BENCH_core.json`` records an honest old-vs-new trajectory even after
+the live code keeps improving.  Do not "fix" this module: its
+inefficiencies (per-call in-neighbour derivation over the sorted edge
+set, per-entry β queries, full-matrix equality scans, unbounded δ
+history) are the measurement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.state import Network, RoutingState
+from repro.core.schedule import Schedule
+from repro.core.synchronous import SyncResult
+from repro.core.asynchronous import AsyncResult
+
+
+def neighbours_in_naive(network: Network, i: int) -> List[int]:
+    """Seed behaviour: re-derive in-neighbours by scanning the (sorted)
+    full edge set on every call."""
+    return [k for (a, k) in sorted(network.adjacency._edges) if a == i]
+
+
+def equals_naive(a: RoutingState, b: RoutingState, algebra) -> bool:
+    """Seed behaviour: genexp over all n² entries, re-resolving
+    ``algebra.equal`` per entry."""
+    if a.n != b.n:
+        return False
+    return all(algebra.equal(a.rows[i][j], b.rows[i][j])
+               for i in range(a.n) for j in range(a.n))
+
+
+def sigma_naive(network: Network, state: RoutingState) -> RoutingState:
+    """The seed σ: full n² recompute with per-node neighbour re-derivation."""
+    alg = network.algebra
+    n = network.n
+    new_rows = []
+    for i in range(n):
+        row = []
+        in_neighbours = neighbours_in_naive(network, i)
+        for j in range(n):
+            if i == j:
+                row.append(alg.trivial)
+                continue
+            candidate = alg.best(
+                network.edge(i, k)(state.get(k, j)) for k in in_neighbours
+            )
+            row.append(candidate)
+        new_rows.append(row)
+    return RoutingState(new_rows)
+
+
+def iterate_sigma_naive(network: Network, start: RoutingState,
+                        max_rounds: int = 10_000) -> SyncResult:
+    """The seed fixed-point iteration: σ + full equality scan per round."""
+    alg = network.algebra
+    current = start
+    for k in range(max_rounds):
+        nxt = sigma_naive(network, current)
+        if equals_naive(nxt, current, alg):
+            return SyncResult(True, k, current, None)
+        current = nxt
+    return SyncResult(False, max_rounds, current, None)
+
+
+def delta_step_naive(network: Network, schedule: Schedule,
+                     history: List[RoutingState], t: int) -> RoutingState:
+    """The seed δᵗ: copies inactive rows, queries β per (t, i, k, j)."""
+    alg = network.algebra
+    n = network.n
+    prev = history[t - 1]
+    active = schedule.alpha(t)
+    rows = []
+    for i in range(n):
+        if i not in active:
+            rows.append(list(prev.rows[i]))
+            continue
+        row = []
+        in_neighbours = neighbours_in_naive(network, i)
+        for j in range(n):
+            if i == j:
+                row.append(alg.trivial)
+                continue
+            candidates = []
+            for k in in_neighbours:
+                src_time = schedule.beta(t, i, k)
+                candidates.append(network.edge(i, k)(history[src_time].get(k, j)))
+            row.append(alg.best(candidates))
+        rows.append(row)
+    return RoutingState(rows)
+
+
+def delta_run_naive(network: Network, schedule: Schedule, start: RoutingState,
+                    max_steps: int = 2_000,
+                    stability_window: Optional[int] = None) -> AsyncResult:
+    """The seed δ run: unbounded history list, per-step equality scan."""
+    from repro.core.synchronous import is_stable
+
+    if stability_window is None:
+        max_delay = getattr(schedule, "max_delay", None) or \
+            getattr(schedule, "delay", None) or 1
+        stability_window = max_delay + 2
+
+    history: List[RoutingState] = [start]
+    alg = network.algebra
+    unchanged = 0
+    for t in range(1, max_steps + 1):
+        nxt = delta_step_naive(network, schedule, history, t)
+        history.append(nxt)
+        if equals_naive(nxt, history[t - 1], alg):
+            unchanged += 1
+        else:
+            unchanged = 0
+        if unchanged >= stability_window and is_stable(network, nxt):
+            return AsyncResult(True, t, nxt, t - unchanged, None,
+                               history_retained=len(history))
+    return AsyncResult(False, max_steps, history[-1], None, None,
+                       history_retained=len(history))

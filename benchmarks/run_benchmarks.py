@@ -1,0 +1,322 @@
+#!/usr/bin/env python
+"""Old-vs-new engine benchmark harness → ``BENCH_core.json``.
+
+Times the incremental delta-propagation engine (PR 1) against the frozen
+seed implementations in :mod:`naive_engine` on chain / ring / grid /
+sparse-random topologies across several algebras, and the ring-buffer
+``delta_run`` against the unbounded-history seed run.  Every comparison
+also verifies that both engines reach fixed points that are ``equal``
+under the algebra — a benchmark row that disagrees is reported and fails
+the harness.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # seconds
+
+The committed ``BENCH_core.json`` is produced by a full run; later PRs
+re-run the harness and regress against it.  Tier-1 tests exercise only
+the ``scale="smoke"`` path (see ``tests/core/test_benchmark_harness.py``
+and the ``perfbench`` marker in ``pytest.ini``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+if __name__ == "__main__":   # allow running without installing the package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.algebras import (
+    BGPLiteAlgebra,
+    HopCountAlgebra,
+    ShortestPathsAlgebra,
+    WidestPathsAlgebra,
+)
+from repro.core import (
+    FixedDelaySchedule,
+    RandomSchedule,
+    RoutingState,
+    delta_run,
+    iterate_sigma,
+)
+from repro.topologies import (
+    bgp_policy_factory,
+    erdos_renyi,
+    grid,
+    line,
+    ring,
+    uniform_weight_factory,
+)
+
+import naive_engine
+
+
+def _time(fn: Callable, repeats: int):
+    """Return (best wall-clock seconds, last result) over ``repeats``."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+# ----------------------------------------------------------------------
+# Case tables: (label, network builder) per scale.
+# ----------------------------------------------------------------------
+
+
+def _sigma_cases(scale: str) -> List[Dict]:
+    sp = ShortestPathsAlgebra()
+    hop = HopCountAlgebra(64)
+    widest = WidestPathsAlgebra()
+
+    def w(alg, hi=20):
+        return uniform_weight_factory(alg, 1, hi)
+
+    if scale == "smoke":
+        return [
+            dict(label="chain-12/shortest-paths",
+                 net=line(sp, 12, w(sp), seed=1)),
+            dict(label="gnp-12/hop-count",
+                 net=erdos_renyi(hop, 12, 0.25, w(hop, 4), seed=2)),
+        ]
+    if scale == "quick":
+        bgp = BGPLiteAlgebra(n_nodes=12)
+        return [
+            dict(label="chain-40/shortest-paths",
+                 net=line(sp, 40, w(sp), seed=1)),
+            dict(label="ring-40/hop-count",
+                 net=ring(hop, 40, w(hop, 4), seed=2)),
+            dict(label="grid-6x6/shortest-paths",
+                 net=grid(sp, 6, 6, w(sp), seed=3)),
+            dict(label="gnp-40/shortest-paths",
+                 net=erdos_renyi(sp, 40, 0.06, w(sp), seed=4)),
+            dict(label="gnp-12/bgplite",
+                 net=erdos_renyi(bgp, 12, 0.3,
+                                 bgp_policy_factory(bgp, allow_reject=False),
+                                 seed=5)),
+        ]
+    bgp = BGPLiteAlgebra(n_nodes=24)
+    return [
+        dict(label="chain-100/shortest-paths",
+             net=line(sp, 100, w(sp), seed=1)),
+        dict(label="ring-100/hop-count",
+             net=ring(hop, 100, w(hop, 4), seed=2)),
+        dict(label="grid-10x10/shortest-paths",
+             net=grid(sp, 10, 10, w(sp), seed=3)),
+        # the headline acceptance case: n=100 sparse random topology
+        dict(label="gnp-100/shortest-paths", headline=True,
+             net=erdos_renyi(sp, 100, 0.03, w(sp), seed=4)),
+        dict(label="gnp-100/widest-paths",
+             net=erdos_renyi(widest, 100, 0.03, w(widest), seed=6)),
+        dict(label="gnp-24/bgplite",
+             net=erdos_renyi(bgp, 24, 0.15,
+                             bgp_policy_factory(bgp, allow_reject=False),
+                             seed=7)),
+    ]
+
+
+def _delta_cases(scale: str) -> List[Dict]:
+    sp = ShortestPathsAlgebra()
+    hop = HopCountAlgebra(64)
+
+    def w(alg, hi=20):
+        return uniform_weight_factory(alg, 1, hi)
+
+    if scale == "smoke":
+        return [
+            dict(label="gnp-10/shortest-paths/random-sched",
+                 net=erdos_renyi(sp, 10, 0.3, w(sp), seed=11),
+                 schedule=lambda n: RandomSchedule(n, seed=3, max_delay=4),
+                 max_steps=300),
+        ]
+    if scale == "quick":
+        return [
+            dict(label="gnp-16/shortest-paths/random-sched",
+                 net=erdos_renyi(sp, 16, 0.2, w(sp), seed=11),
+                 schedule=lambda n: RandomSchedule(n, seed=3, max_delay=5),
+                 max_steps=600),
+            dict(label="ring-12/hop-count/fixed-delay",
+                 net=ring(hop, 12, w(hop, 4), seed=12),
+                 schedule=lambda n: FixedDelaySchedule(n, delay=4),
+                 max_steps=400),
+        ]
+    return [
+        dict(label="gnp-30/shortest-paths/random-sched",
+             net=erdos_renyi(sp, 30, 0.12, w(sp), seed=11),
+             schedule=lambda n: RandomSchedule(n, seed=3, max_delay=5),
+             max_steps=1200),
+        dict(label="ring-20/hop-count/fixed-delay",
+             net=ring(hop, 20, w(hop, 4), seed=12),
+             schedule=lambda n: FixedDelaySchedule(n, delay=4),
+             max_steps=800),
+        dict(label="gnp-30/shortest-paths/fixed-delay",
+             net=erdos_renyi(sp, 30, 0.12, w(sp), seed=13),
+             schedule=lambda n: FixedDelaySchedule(n, delay=6),
+             max_steps=1200),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+
+
+def bench_sigma_case(case: Dict, repeats: int) -> Dict:
+    net = case["net"]
+    alg = net.algebra
+    start = RoutingState.identity(alg, net.n)
+    arcs = sum(1 for _ in net.present_edges())
+
+    naive_s, naive_res = _time(
+        lambda: naive_engine.iterate_sigma_naive(net, start), repeats)
+    inc_s, inc_res = _time(
+        lambda: iterate_sigma(net, start, engine="incremental"), repeats)
+
+    equal = (naive_res.converged == inc_res.converged and
+             naive_res.rounds == inc_res.rounds and
+             naive_res.state.equals(inc_res.state, alg))
+    return dict(
+        case=case["label"],
+        headline=bool(case.get("headline")),
+        n=net.n,
+        arcs=arcs,
+        algebra=alg.name,
+        converged=inc_res.converged,
+        rounds=inc_res.rounds,
+        naive_s=round(naive_s, 6),
+        incremental_s=round(inc_s, 6),
+        speedup=round(naive_s / inc_s, 2) if inc_s > 0 else None,
+        fixed_points_equal=equal,
+    )
+
+
+def bench_delta_case(case: Dict, repeats: int) -> Dict:
+    net = case["net"]
+    alg = net.algebra
+    sched = case["schedule"](net.n)
+    start = RoutingState.identity(alg, net.n)
+    max_steps = case["max_steps"]
+
+    naive_s, naive_res = _time(
+        lambda: naive_engine.delta_run_naive(net, sched, start,
+                                             max_steps=max_steps), repeats)
+    bounded_s, bounded_res = _time(
+        lambda: delta_run(net, sched, start, max_steps=max_steps), repeats)
+
+    equal = (naive_res.converged == bounded_res.converged and
+             naive_res.state.equals(bounded_res.state, alg))
+    mrb = sched.max_read_back() or 1
+    return dict(
+        case=case["label"],
+        n=net.n,
+        algebra=alg.name,
+        schedule=repr(sched),
+        converged=bounded_res.converged,
+        steps=bounded_res.steps,
+        naive_s=round(naive_s, 6),
+        bounded_s=round(bounded_s, 6),
+        speedup=round(naive_s / bounded_s, 2) if bounded_s > 0 else None,
+        max_read_back=mrb,
+        naive_history_retained=naive_res.history_retained,
+        bounded_history_retained=bounded_res.history_retained,
+        memory_bounded=bounded_res.history_retained <= mrb + 2,
+        fixed_points_equal=equal,
+    )
+
+
+def run_suite(scale: str = "full", repeats: Optional[int] = None) -> Dict:
+    """Run every case at ``scale`` ∈ {smoke, quick, full}; return the report."""
+    if scale not in ("smoke", "quick", "full"):
+        raise ValueError(f"unknown scale {scale!r}")
+    if repeats is None:
+        repeats = 2 if scale == "full" else 1
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    report = {
+        "meta": {
+            "scale": scale,
+            "repeats": repeats,
+            "python": platform.python_version(),
+            "engine": "incremental-delta-propagation (PR 1)",
+            "baseline": "frozen seed engine (benchmarks/naive_engine.py)",
+        },
+        "sigma": [bench_sigma_case(c, repeats) for c in _sigma_cases(scale)],
+        "delta": [bench_delta_case(c, repeats) for c in _delta_cases(scale)],
+    }
+    rows = report["sigma"] + report["delta"]
+    report["meta"]["all_fixed_points_equal"] = all(
+        r["fixed_points_equal"] for r in rows)
+    return report
+
+
+def _fmt_speedup(speedup) -> str:
+    # speedup is None when the new-engine timing underflowed the clock
+    return f"{speedup:>7.1f}x" if speedup is not None else f"{'—':>8}"
+
+
+def _print_report(report: Dict) -> None:
+    print(f"engine benchmark — scale={report['meta']['scale']} "
+          f"(best of {report['meta']['repeats']})")
+    print(f"{'case':<40} {'rounds':>6} {'old (s)':>10} {'new (s)':>10} "
+          f"{'speedup':>8}  ok")
+    for r in report["sigma"]:
+        mark = "✓" if r["fixed_points_equal"] else "✗ MISMATCH"
+        star = "*" if r["headline"] else " "
+        print(f"{r['case']:<39}{star} {r['rounds']:>6} {r['naive_s']:>10.4f} "
+              f"{r['incremental_s']:>10.4f} {_fmt_speedup(r['speedup'])}  "
+              f"{mark}")
+    for r in report["delta"]:
+        mark = "✓" if r["fixed_points_equal"] and r["memory_bounded"] else "✗"
+        print(f"{r['case']:<40} {r['steps']:>6} {r['naive_s']:>10.4f} "
+              f"{r['bounded_s']:>10.4f} {_fmt_speedup(r['speedup'])}  {mark} "
+              f"(history {r['naive_history_retained']} → "
+              f"{r['bounded_history_retained']}, bound "
+              f"{r['max_read_back'] + 2})")
+    print("  * = headline acceptance case (n=100 sparse random topology)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small cases; finishes in seconds")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny cases for CI smoke testing")
+    def positive_int(value):
+        n = int(value)
+        if n < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return n
+
+    parser.add_argument("--repeats", type=positive_int, default=None,
+                        help="timing repeats per case (best is kept)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the JSON report here "
+                             "(default: BENCH_core.json for full runs)")
+    args = parser.parse_args(argv)
+
+    scale = "smoke" if args.smoke else "quick" if args.quick else "full"
+    report = run_suite(scale, repeats=args.repeats)
+    _print_report(report)
+
+    out = args.out
+    if out is None and scale == "full":
+        out = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+        print(f"wrote {out}")
+    return 0 if report["meta"]["all_fixed_points_equal"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,10 +6,24 @@ Given a schedule ``(α, β)`` and a starting state ``X``, the paper defines
     δᵗ(X)[i][j]      = ⨁_k A[i][k]( δ^{β(t,i,k)}(X)[k][j] ) ⊕ I[i][j]   if i ∈ α(t)
                      = δ^{t-1}(X)[i][j]                                  otherwise
 
-This module implements that recursion *literally*, with the full state
-history kept so that β may reach arbitrarily far back (bounded-memory
-variants belong to :mod:`repro.protocols.simulator`, which models real
-message queues).
+The recursion is implemented in two forms:
+
+* ``strict=True`` — the *literal* paper recursion
+  (:func:`delta_step_literal`): every inactive row is copied, every
+  entry of an active row queries β afresh, and the **full** state
+  history is retained so β may reach arbitrarily far back.  Kept for
+  paper-fidelity tests.
+* default — the incremental engine: inactive nodes *share* their row
+  objects with the previous state (states are immutable by convention,
+  so copying them was pure waste), β is queried once per (t, i, k)
+  instead of once per entry, changed-row detection happens during the
+  step (no per-step O(n²) ``equals`` scan), and the history lives in a
+  :class:`~repro.core.incremental.BoundedHistory` ring buffer sized by
+  the schedule's declared maximum read-back
+  (:meth:`~repro.core.schedule.Schedule.max_read_back`) — O(window · n²)
+  memory instead of O(steps · n²).  Schedules that declare no staleness
+  bound keep the full history, as before.  Both forms compute exactly
+  the same δᵗ.
 
 Convergence detection
 ---------------------
@@ -26,8 +40,9 @@ to "stable for `stability_window` consecutive steps and σ-fixed".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from .incremental import BoundedHistory
 from .schedule import Schedule
 from .state import Network, RoutingState
 from .synchronous import is_stable, sigma
@@ -43,6 +58,9 @@ class AsyncResult:
     state: RoutingState               #: state at the final step
     converged_at: Optional[int] = None  #: first step from which state stayed fixed
     history: Optional[List[RoutingState]] = field(default=None, repr=False)
+    #: number of states the run actually retained in memory (ring-buffer
+    #: size for the default engine, steps + 1 for strict/keep_history)
+    history_retained: Optional[int] = None
 
     @property
     def fixed_point(self) -> RoutingState:
@@ -51,9 +69,13 @@ class AsyncResult:
         return self.state
 
 
-def delta_step(network: Network, schedule: Schedule,
-               history: List[RoutingState], t: int) -> RoutingState:
-    """Compute δᵗ(X) given ``history[0..t-1]`` (history[s] = δˢ(X))."""
+def delta_step_literal(network: Network, schedule: Schedule,
+                       history, t: int) -> RoutingState:
+    """The paper's δᵗ recursion, implemented literally (``strict`` mode).
+
+    Copies every inactive row and queries β once per (t, i, k, j) — the
+    reference against which :func:`delta_step` is verified.
+    """
     alg = network.algebra
     n = network.n
     prev = history[t - 1]
@@ -78,37 +100,108 @@ def delta_step(network: Network, schedule: Schedule,
     return RoutingState(rows)
 
 
+def _delta_step_tracked(network: Network, schedule: Schedule,
+                        history, t: int) -> Tuple[RoutingState, bool]:
+    """Compute ``(δᵗ(X), changed)`` with structural row sharing.
+
+    Inactive nodes keep their previous row *object*; active rows whose
+    recomputation leaves every entry equal are shared too.  ``changed``
+    reports whether any entry differs from δᵗ⁻¹ — computed during the
+    step, so :func:`delta_run` needs no per-step equality scan.
+    ``history`` is anything indexable by absolute time (a plain list or
+    a :class:`~repro.core.incremental.BoundedHistory`).
+    """
+    alg = network.algebra
+    n = network.n
+    topo = network.adjacency.topology
+    choice, equal = alg.choice, alg.equal
+    trivial, invalid = alg.trivial, alg.invalid
+    prev = history[t - 1]
+    active = schedule.alpha(t)
+    beta = schedule.beta
+    rows = []
+    changed_any = False
+    for i in range(n):
+        old_row = prev.rows[i]
+        if i not in active:
+            rows.append(old_row)
+            continue
+        # β is a deterministic function of (t, i, k): hoist one historic
+        # row per in-neighbour instead of re-querying per destination.
+        sources = [(fn, history[beta(t, i, k)].rows[k])
+                   for (k, fn) in topo.in_edges[i]]
+        row = []
+        row_changed = False
+        for j in range(n):
+            if i == j:
+                new = trivial
+            else:
+                new = invalid
+                for fn, src_row in sources:
+                    new = choice(new, fn(src_row[j]))
+            row.append(new)
+            if not row_changed and not equal(new, old_row[j]):
+                row_changed = True
+        if row_changed:
+            rows.append(row)
+            changed_any = True
+        else:
+            rows.append(old_row)
+    return RoutingState.adopt(rows), changed_any
+
+
+def delta_step(network: Network, schedule: Schedule,
+               history, t: int) -> RoutingState:
+    """Compute δᵗ(X) given ``history[0..t-1]`` (history[s] = δˢ(X))."""
+    state, _ = _delta_step_tracked(network, schedule, history, t)
+    return state
+
+
 def delta_run(network: Network, schedule: Schedule, start: RoutingState,
               max_steps: int = 2_000, stability_window: Optional[int] = None,
-              keep_history: bool = False) -> AsyncResult:
+              keep_history: bool = False, strict: bool = False) -> AsyncResult:
     """Run δ from ``start`` under ``schedule`` until convergence.
 
     ``stability_window`` defaults to (max read-back of the schedule) + 2:
     once the state has been constant for longer than every β read-back
     *and* is σ-stable, every future activation recomputes the same
     entries, so the limit has provably been reached.
-    """
-    if stability_window is None:
-        max_delay = getattr(schedule, "max_delay", None) or \
-            getattr(schedule, "delay", None) or 1
-        stability_window = max_delay + 2
 
-    history: List[RoutingState] = [start]
+    By default the history is a ring buffer of the last
+    ``max read-back + 2`` states (O(window · n²) memory).  The full
+    history is retained instead when ``strict=True`` (which also runs
+    the literal paper recursion, :func:`delta_step_literal`), when
+    ``keep_history=True`` (the caller asked for every state), or when
+    the schedule declares no staleness bound
+    (``max_read_back() is None`` — β may reach arbitrarily far back, so
+    bounding the buffer would be unsound).  Results are identical in
+    every mode.
+    """
+    max_read_back = schedule.max_read_back()
+    if stability_window is None:
+        stability_window = (max_read_back or 1) + 2
+
+    full = strict or keep_history or max_read_back is None
+    history = ([start] if full
+               else BoundedHistory(start, window=max_read_back + 2))
     alg = network.algebra
     unchanged = 0
     for t in range(1, max_steps + 1):
-        nxt = delta_step(network, schedule, history, t)
-        history.append(nxt)
-        if nxt.equals(history[t - 1], alg):
-            unchanged += 1
+        if strict:
+            nxt = delta_step_literal(network, schedule, history, t)
+            changed = not nxt.equals(history[t - 1], alg)
         else:
-            unchanged = 0
+            nxt, changed = _delta_step_tracked(network, schedule, history, t)
+        history.append(nxt)
+        unchanged = 0 if changed else unchanged + 1
         if unchanged >= stability_window and is_stable(network, nxt):
             converged_at = t - unchanged
             return AsyncResult(True, t, nxt, converged_at,
-                               history if keep_history else None)
-    return AsyncResult(False, max_steps, history[-1], None,
-                       history if keep_history else None)
+                               history if keep_history else None,
+                               history_retained=len(history))
+    return AsyncResult(False, max_steps, history[max_steps], None,
+                       history if keep_history else None,
+                       history_retained=len(history))
 
 
 @dataclass

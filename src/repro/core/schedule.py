@@ -64,6 +64,21 @@ class Schedule(ABC):
         initial state).
         """
 
+    def max_read_back(self) -> Optional[int]:
+        """Upper bound on ``t - β(t, i, j)``, or ``None`` if unknown.
+
+        Bounded-staleness schedules declare how far back β can reach;
+        ``delta_run`` sizes its ring-buffer history (and its default
+        convergence window) from this.  The base implementation probes
+        the conventional ``max_delay`` / ``delay`` attributes so that
+        externally defined schedules keep working; subclasses with a
+        known bound should override.
+        """
+        bound = getattr(self, "max_delay", None)
+        if bound:
+            return bound
+        return getattr(self, "delay", None)
+
     # ------------------------------------------------------------------
     # Axiom validation over a finite window.
     # ------------------------------------------------------------------
@@ -122,6 +137,9 @@ class SynchronousSchedule(Schedule):
     def beta(self, t: int, i: int, j: int) -> int:
         return t - 1
 
+    def max_read_back(self) -> Optional[int]:
+        return 1
+
     def __repr__(self) -> str:
         return f"SynchronousSchedule(n={self.n})"
 
@@ -138,6 +156,9 @@ class RoundRobinSchedule(Schedule):
 
     def beta(self, t: int, i: int, j: int) -> int:
         return t - 1
+
+    def max_read_back(self) -> Optional[int]:
+        return 1
 
     def __repr__(self) -> str:
         return f"RoundRobinSchedule(n={self.n})"

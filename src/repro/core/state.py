@@ -21,12 +21,54 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from .algebra import ConstantEdge, EdgeFunction, Route, RoutingAlgebra
 
 
+class NetworkTopology:
+    """Immutable per-node neighbour snapshot of an adjacency matrix.
+
+    Precomputes, in one pass over the edge set,
+
+    * ``in_neighbours[i]`` — the nodes ``k`` that ``i`` imports from
+      (``A[i][k]`` present), ascending;
+    * ``out_neighbours[k]`` — the nodes ``i`` that import from ``k``,
+      ascending;
+    * ``in_edges[i]`` — ``(k, A[i][k])`` pairs, ascending in ``k``, so
+      engines fold σ's big-⊕ without any per-entry dict lookups.
+
+    Snapshots are cached on the adjacency matrix and rebuilt lazily on
+    the next ``.topology`` access after any :meth:`AdjacencyMatrix.set`
+    / :meth:`AdjacencyMatrix.remove`.  A snapshot held *across* a
+    mutation is not auto-refreshed — re-read ``.topology`` after
+    topology changes (the engines do this every round); ``version`` can
+    be compared against ``adjacency.version`` to check freshness.
+    """
+
+    __slots__ = ("n", "version", "in_neighbours", "out_neighbours", "in_edges")
+
+    def __init__(self, adjacency: "AdjacencyMatrix"):
+        n = adjacency.n
+        self.n = n
+        self.version = adjacency.version
+        ins: List[List[int]] = [[] for _ in range(n)]
+        outs: List[List[int]] = [[] for _ in range(n)]
+        in_edges: List[List[Tuple[int, EdgeFunction]]] = [[] for _ in range(n)]
+        for (i, k) in adjacency.present_edges():   # sorted by (i, k)
+            ins[i].append(k)
+            outs[k].append(i)
+            in_edges[i].append((k, adjacency(i, k)))
+        self.in_neighbours = ins
+        self.out_neighbours = outs
+        self.in_edges = in_edges
+
+
 class AdjacencyMatrix:
     """An ``n × n`` matrix of edge functions.
 
     Only present edges are stored; ``self(i, k)`` returns the constant
     invalid function for absent entries, implementing the paper's
     "missing edges are the constant function f(a) = ∞̄".
+
+    The sorted edge view and the :class:`NetworkTopology` neighbour
+    snapshot are cached and invalidated on mutation, so engines pay for
+    neighbour derivation once per topology rather than once per call.
     """
 
     def __init__(self, n: int, algebra: RoutingAlgebra,
@@ -37,19 +79,34 @@ class AdjacencyMatrix:
         self.algebra = algebra
         self._absent = ConstantEdge(algebra.invalid)
         self._edges: Dict[Tuple[int, int], EdgeFunction] = {}
+        self._version = 0
+        self._sorted: Optional[List[Tuple[int, int]]] = None
+        self._topology: Optional[NetworkTopology] = None
         if edges:
             for (i, k), fn in edges.items():
                 self.set(i, k, fn)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumped by every set/remove."""
+        return self._version
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        self._sorted = None
+        self._topology = None
 
     def set(self, i: int, k: int, fn: EdgeFunction) -> None:
         """Install edge function ``A[i][k] = fn`` (i imports from k)."""
         self._check(i, k)
         self._edges[(i, k)] = fn
+        self._invalidate()
 
     def remove(self, i: int, k: int) -> None:
         """Delete the edge ``(i, k)``; it reverts to the constant-∞̄ map."""
         self._check(i, k)
-        self._edges.pop((i, k), None)
+        if self._edges.pop((i, k), None) is not None:
+            self._invalidate()
 
     def __call__(self, i: int, k: int) -> EdgeFunction:
         """``A[i][k]``: the edge function, constant-∞̄ when absent."""
@@ -61,8 +118,21 @@ class AdjacencyMatrix:
         return (i, k) in self._edges
 
     def present_edges(self) -> Iterator[Tuple[int, int]]:
-        """Iterate over the (i, k) pairs with an installed edge function."""
-        return iter(sorted(self._edges))
+        """Iterate over the (i, k) pairs with an installed edge function.
+
+        The sorted view is cached; mutation invalidates it, so repeated
+        calls on a stable topology are O(1) rather than O(E log E).
+        """
+        if self._sorted is None:
+            self._sorted = sorted(self._edges)
+        return iter(self._sorted)
+
+    @property
+    def topology(self) -> NetworkTopology:
+        """The cached :class:`NetworkTopology` snapshot (rebuilt lazily)."""
+        if self._topology is None:
+            self._topology = NetworkTopology(self)
+        return self._topology
 
     def _check(self, i: int, k: int) -> None:
         if not (0 <= i < self.n and 0 <= k < self.n):
@@ -104,9 +174,18 @@ class Network:
     def present_edges(self) -> Iterator[Tuple[int, int]]:
         return self.adjacency.present_edges()
 
+    @property
+    def topology(self) -> NetworkTopology:
+        """Cached per-node neighbour snapshot (see :class:`NetworkTopology`)."""
+        return self.adjacency.topology
+
     def neighbours_in(self, i: int) -> List[int]:
         """Nodes ``k`` that node ``i`` imports routes from (A[i][k] present)."""
-        return [k for (a, k) in self.adjacency.present_edges() if a == i]
+        return list(self.adjacency.topology.in_neighbours[i])
+
+    def neighbours_out(self, k: int) -> List[int]:
+        """Nodes ``i`` that import routes from ``k`` (A[i][k] present)."""
+        return list(self.adjacency.topology.out_neighbours[k])
 
     def copy(self) -> "Network":
         """Shallow-copy the topology (edge functions are shared; they are
@@ -125,7 +204,10 @@ class RoutingState:
 
     Row ``i`` is node ``i``'s routing table.  States are value objects:
     equality is element-wise route equality; engines never mutate a
-    state they were given (they build successors).
+    state they were given (they build successors).  Successors built by
+    the incremental engines *share* unchanged row objects with their
+    predecessor (:meth:`adopt`), so treat every engine-produced state as
+    frozen — use :meth:`copy` before calling :meth:`set`.
     """
 
     __slots__ = ("n", "rows")
@@ -155,12 +237,36 @@ class RoutingState:
         """Build a state entry-wise from ``fn(i, j)``."""
         return cls([[fn(i, j) for j in range(n)] for i in range(n)])
 
+    @classmethod
+    def adopt(cls, rows: List[List[Route]]) -> "RoutingState":
+        """Wrap ``rows`` *without copying* (engine fast path).
+
+        The incremental engines build successors that share unchanged
+        row objects with their predecessor, so the square-matrix copy in
+        ``__init__`` would defeat the point.  Callers hand over
+        ownership: adopted rows (including rows shared from earlier
+        states) must never be mutated afterwards — states are immutable
+        by convention.
+        """
+        state = cls.__new__(cls)
+        state.n = len(rows)
+        state.rows = rows
+        return state
+
     # -- access ----------------------------------------------------------
 
     def get(self, i: int, j: int) -> Route:
         return self.rows[i][j]
 
     def set(self, i: int, j: int, route: Route) -> None:
+        """Overwrite one entry **in place**.
+
+        Only call this on a state you built yourself (or obtained via
+        :meth:`copy`).  States produced by the engines share unchanged
+        row objects with their predecessors (see :meth:`adopt`), so
+        mutating one would silently corrupt every state in the
+        trajectory/history that shares the row.
+        """
         self.rows[i][j] = route
 
     def row(self, i: int) -> List[Route]:
@@ -182,11 +288,25 @@ class RoutingState:
     # -- algebra-aware helpers --------------------------------------------
 
     def equals(self, other: "RoutingState", algebra: RoutingAlgebra) -> bool:
-        """Element-wise equality under the algebra's route equality."""
+        """Element-wise equality under the algebra's route equality.
+
+        Returns on the first mismatch; the bound ``algebra.equal`` is
+        hoisted out of the loop, and rows shared structurally between
+        the two states (common under the incremental engines) are
+        skipped by identity without touching their entries.
+        """
+        if self is other:
+            return True
         if self.n != other.n:
             return False
-        return all(algebra.equal(self.rows[i][j], other.rows[i][j])
-                   for i in range(self.n) for j in range(self.n))
+        equal = algebra.equal
+        for mine, theirs in zip(self.rows, other.rows):
+            if mine is theirs:
+                continue
+            for a, b in zip(mine, theirs):
+                if not equal(a, b):
+                    return False
+        return True
 
     def choice(self, other: "RoutingState", algebra: RoutingAlgebra) -> "RoutingState":
         """Element-wise ⊕: ``(X ⊕ Y)[i][j] = X[i][j] ⊕ Y[i][j]``."""

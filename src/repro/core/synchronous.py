@@ -14,6 +14,28 @@ diagonal (Lemma 1: σ(X)[i][i] = 0̄ always).
 
 A state is *stable* when ``σ(X) = X`` (Definition 4); the synchronous
 computation converges when some iterate reaches a stable state.
+
+Execution engines
+-----------------
+
+Two engines implement the iteration:
+
+* ``engine="naive"`` — the literal definition: every round recomputes
+  all ``n²`` entries and a full ``equals`` scan detects the fixed
+  point.  Kept as the executable form of Eq. 5 and as the reference the
+  incremental engine is verified against.
+* ``engine="incremental"`` (default) — delta propagation via
+  :mod:`repro.core.incremental`: after a seeding full round, each round
+  recomputes only the entries whose in-neighbours' routes changed in
+  the previous round (the *dirty set*), shares untouched row objects
+  structurally, and declares the fixed point the moment the dirty set
+  is empty — no per-round equality scan.  Both engines compute exactly
+  σ every round, so trajectories and fixed points are identical.
+
+Both engines read neighbour structure from the cached
+:class:`~repro.core.state.NetworkTopology`, which is invalidated by
+``set_edge`` / ``remove_edge``, so iterating again after a topology
+change is always safe.
 """
 
 from __future__ import annotations
@@ -21,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from .incremental import sigma_propagate, sigma_with_dirty
 from .state import Network, RoutingState
 
 
@@ -28,22 +51,19 @@ def sigma(network: Network, state: RoutingState) -> RoutingState:
     """Apply one synchronous round: ``σ(X) = A(X) ⊕ I``."""
     alg = network.algebra
     n = network.n
+    topo = network.adjacency.topology
+    best, trivial = alg.best, alg.trivial
+    rows = state.rows
     new_rows = []
     for i in range(n):
-        row = []
-        in_neighbours = network.neighbours_in(i)
-        for j in range(n):
-            if i == j:
-                # Lemma 1: the diagonal is always the trivial route, since
-                # 0̄ annihilates ⊕.
-                row.append(alg.trivial)
-                continue
-            candidate = alg.best(
-                network.edge(i, k)(state.get(k, j)) for k in in_neighbours
-            )
-            row.append(candidate)
+        in_edges = topo.in_edges[i]
+        # Lemma 1: the diagonal is always the trivial route, since 0̄
+        # annihilates ⊕.
+        row = [trivial if i == j else
+               best(fn(rows[k][j]) for (k, fn) in in_edges)
+               for j in range(n)]
         new_rows.append(row)
-    return RoutingState(new_rows)
+    return RoutingState.adopt(new_rows)
 
 
 def sigma_entry(network: Network, state: RoutingState, i: int, j: int):
@@ -55,14 +75,14 @@ def sigma_entry(network: Network, state: RoutingState, i: int, j: int):
     alg = network.algebra
     if i == j:
         return alg.trivial
-    return alg.best(
-        network.edge(i, k)(state.get(k, j)) for k in network.neighbours_in(i)
-    )
+    in_edges = network.adjacency.topology.in_edges[i]
+    return alg.best(fn(state.rows[k][j]) for (k, fn) in in_edges)
 
 
 def is_stable(network: Network, state: RoutingState) -> bool:
     """Definition 4: ``X`` is stable iff ``σ(X) = X``."""
-    return sigma(network, state).equals(state, network.algebra)
+    _, dirty = sigma_with_dirty(network, state)
+    return not dirty
 
 
 @dataclass
@@ -83,26 +103,43 @@ class SyncResult:
 
 def iterate_sigma(network: Network, start: RoutingState, max_rounds: int = 10_000,
                   keep_trajectory: bool = False,
-                  detect_cycles: bool = False) -> SyncResult:
+                  detect_cycles: bool = False,
+                  engine: str = "incremental") -> SyncResult:
     """Iterate σ from ``start`` until a fixed point (or ``max_rounds``).
 
     With ``detect_cycles`` the iteration also stops early when a state
     repeats (σ has entered a limit cycle — e.g. BAD GADGET oscillation),
     reporting ``converged=False``.
 
+    ``engine`` selects ``"incremental"`` (dirty-set delta propagation,
+    the default) or ``"naive"`` (full recompute + equality scan per
+    round); see the module docstring.  Both produce identical iterates.
+
     Returns a :class:`SyncResult`; ``result.rounds`` is the number of σ
     applications it took to *reach* the fixed point (so a stable start
     gives ``rounds == 0``).
     """
+    if engine not in ("incremental", "naive"):
+        raise ValueError(f"unknown engine {engine!r}")
+    incremental = engine == "incremental"
     alg = network.algebra
     current = start
     trajectory = [start] if keep_trajectory else None
     seen = {current: 0} if detect_cycles else None
+    dirty = None
     for k in range(max_rounds):
-        nxt = sigma(network, current)
+        if incremental:
+            if dirty is None:
+                nxt, dirty = sigma_with_dirty(network, current)
+            else:
+                nxt, dirty = sigma_propagate(network, current, dirty)
+            stable = not dirty
+        else:
+            nxt = sigma(network, current)
+            stable = nxt.equals(current, alg)
         if keep_trajectory:
             trajectory.append(nxt)
-        if nxt.equals(current, alg):
+        if stable:
             return SyncResult(True, k, current, trajectory)
         if detect_cycles:
             if nxt in seen:

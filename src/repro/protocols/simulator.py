@@ -102,8 +102,16 @@ class Simulator:
         heapq.heappush(self._queue, _Event(time, next(self._seq), kind, payload))
 
     def _out_neighbours(self, i: int) -> List[int]:
-        """Nodes that import from ``i`` (i.e. have an edge (m, i))."""
-        return [m for (m, k) in self.network.present_edges() if k == i]
+        """Nodes that import from ``i`` (i.e. have an edge (m, i)).
+
+        Reads the adjacency matrix's cached
+        :class:`~repro.core.state.NetworkTopology` (via the copying
+        accessor, so callers can't corrupt the shared snapshot) —
+        O(out-degree) per send instead of a full edge-set scan, and
+        automatically fresh after dynamic topology changes (the cache
+        is invalidated by ``set_edge`` / ``remove_edge``).
+        """
+        return self.network.neighbours_out(i)
 
     # -- sending -------------------------------------------------------------
 

@@ -1,0 +1,72 @@
+"""Smoke coverage for benchmarks/run_benchmarks.py.
+
+Tier-1 runs only the tiny ``smoke`` scale (a second or two); the real
+suites are invoked explicitly (``--quick`` / full) and the full-scale
+pytest entry is gated behind the ``perfbench`` marker, which
+``pytest.ini`` deselects by default.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+sys.path.insert(0, str(BENCH_DIR))
+
+import run_benchmarks  # noqa: E402
+
+
+class TestSmokeSuite:
+    def test_smoke_suite_agrees_and_bounds_memory(self):
+        report = run_benchmarks.run_suite("smoke", repeats=1)
+        assert report["meta"]["all_fixed_points_equal"]
+        assert report["sigma"] and report["delta"]
+        for row in report["sigma"]:
+            assert row["fixed_points_equal"], row["case"]
+            assert row["converged"], row["case"]
+        for row in report["delta"]:
+            assert row["fixed_points_equal"], row["case"]
+            assert row["memory_bounded"], row["case"]
+            assert (row["bounded_history_retained"]
+                    <= row["max_read_back"] + 2), row["case"]
+
+    def test_main_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = run_benchmarks.main(["--smoke", "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["meta"]["scale"] == "smoke"
+        assert capsys.readouterr().out      # the table was printed
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_benchmarks.run_suite("galactic")
+
+
+class TestCommittedBaseline:
+    """BENCH_core.json is the committed perf trajectory; keep it honest."""
+
+    def test_committed_report_meets_acceptance(self):
+        path = BENCH_DIR.parent / "BENCH_core.json"
+        report = json.loads(path.read_text())
+        assert report["meta"]["all_fixed_points_equal"]
+        headline = [r for r in report["sigma"] if r.get("headline")]
+        assert headline, "headline n=100 sparse random case missing"
+        for row in headline:
+            assert row["n"] >= 100
+            assert row["speedup"] >= 10, row
+        for row in report["delta"]:
+            assert row["memory_bounded"], row
+            assert (row["bounded_history_retained"]
+                    <= row["max_read_back"] + 2), row
+
+
+@pytest.mark.perfbench
+class TestFullQuickSuite:
+    """Deselected in tier-1 (see pytest.ini); run with -m perfbench."""
+
+    def test_quick_suite(self):
+        report = run_benchmarks.run_suite("quick", repeats=1)
+        assert report["meta"]["all_fixed_points_equal"]

@@ -1,0 +1,145 @@
+"""Unit tests for the cached NetworkTopology / sorted-edge view.
+
+The caches replace per-call O(E log E) neighbour derivation, so the
+tests focus on (a) correctness against a brute-force scan and (b)
+invalidation on every mutation path — a stale cache here would corrupt
+every engine at once.
+"""
+
+import random
+
+import pytest
+
+from repro.algebras import HopCountAlgebra, ShortestPathsAlgebra
+from repro.core import Network, NetworkTopology, RoutingState
+from repro.protocols.simulator import Simulator
+from repro.topologies import erdos_renyi, uniform_weight_factory
+
+
+def _random_net(n=15, p=0.2, seed=0):
+    alg = ShortestPathsAlgebra()
+    return erdos_renyi(alg, n, p, uniform_weight_factory(alg, 1, 5), seed=seed)
+
+
+def _brute_in(net, i):
+    return [k for (a, k) in sorted(net.adjacency._edges) if a == i]
+
+
+def _brute_out(net, k):
+    return [i for (a, b) in sorted(net.adjacency._edges) if b == k for i in [a]]
+
+
+class TestNetworkTopology:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_brute_force(self, seed):
+        net = _random_net(seed=seed)
+        topo = net.topology
+        for i in range(net.n):
+            assert topo.in_neighbours[i] == _brute_in(net, i)
+            assert topo.out_neighbours[i] == _brute_out(net, i)
+            assert net.neighbours_in(i) == _brute_in(net, i)
+            assert net.neighbours_out(i) == _brute_out(net, i)
+            assert [k for (k, _fn) in topo.in_edges[i]] == _brute_in(net, i)
+            for k, fn in topo.in_edges[i]:
+                assert fn is net.edge(i, k)
+
+    def test_snapshot_is_cached(self):
+        net = _random_net()
+        assert net.topology is net.topology
+        assert net.adjacency.topology is net.topology
+
+    def test_set_edge_invalidates(self):
+        alg = HopCountAlgebra(8)
+        net = Network(alg, 4)
+        net.set_edge(0, 1, alg.edge(1))
+        before = net.topology
+        net.set_edge(2, 1, alg.edge(1))
+        after = net.topology
+        assert after is not before
+        assert after.out_neighbours[1] == [0, 2]
+        assert net.neighbours_in(2) == [1]
+
+    def test_replacing_edge_function_invalidates(self):
+        """set_edge on an existing pair must refresh in_edges — a stale
+        edge-function snapshot would apply the old policy forever."""
+        alg = HopCountAlgebra(16)
+        net = Network(alg, 3)
+        net.set_edge(0, 1, alg.edge(1))
+        assert net.topology.in_edges[0][0][1](0) == 1
+        net.set_edge(0, 1, alg.edge(5))
+        assert net.topology.in_edges[0][0][1](0) == 5
+
+    def test_remove_edge_invalidates(self):
+        alg = HopCountAlgebra(8)
+        net = Network(alg, 4)
+        net.set_edge(0, 1, alg.edge(1))
+        net.set_edge(0, 2, alg.edge(1))
+        net.remove_edge(0, 1)
+        assert net.neighbours_in(0) == [2]
+        assert net.topology.out_neighbours[1] == []
+
+    def test_removing_absent_edge_keeps_cache(self):
+        net = _random_net()
+        before = net.adjacency.version
+        topo = net.topology
+        net.remove_edge(0, 0)        # nothing installed there
+        assert net.adjacency.version == before
+        assert net.topology is topo
+
+    def test_version_monotonic(self):
+        alg = HopCountAlgebra(8)
+        net = Network(alg, 3)
+        v0 = net.adjacency.version
+        net.set_edge(0, 1, alg.edge(1))
+        v1 = net.adjacency.version
+        net.remove_edge(0, 1)
+        v2 = net.adjacency.version
+        assert v0 < v1 < v2
+
+    def test_snapshot_records_version(self):
+        net = _random_net()
+        topo = net.topology
+        assert isinstance(topo, NetworkTopology)
+        assert topo.version == net.adjacency.version
+
+
+class TestPresentEdgesCache:
+    def test_sorted_and_stable(self):
+        alg = HopCountAlgebra(8)
+        net = Network(alg, 4)
+        for (i, k) in [(3, 0), (0, 2), (1, 1), (0, 1)]:
+            net.set_edge(i, k, alg.edge(1))
+        assert list(net.present_edges()) == [(0, 1), (0, 2), (1, 1), (3, 0)]
+        # cached: repeated calls iterate the same sorted view
+        assert list(net.present_edges()) == list(net.present_edges())
+
+    def test_mutation_refreshes_view(self):
+        alg = HopCountAlgebra(8)
+        net = Network(alg, 4)
+        net.set_edge(2, 0, alg.edge(1))
+        assert list(net.present_edges()) == [(2, 0)]
+        net.set_edge(0, 3, alg.edge(1))
+        assert list(net.present_edges()) == [(0, 3), (2, 0)]
+        net.remove_edge(2, 0)
+        assert list(net.present_edges()) == [(0, 3)]
+
+
+class TestSimulatorUsesCache:
+    def test_out_neighbours_follow_topology_changes(self):
+        net = _random_net(n=8, p=0.4, seed=1)
+        sim = Simulator(net, seed=0)
+        k = 0
+        expected = _brute_out(net, k)
+        assert sim._out_neighbours(k) == expected
+        assert expected, "seeded network should give node 0 importers"
+        m = expected[0]
+        net.remove_edge(m, k)
+        assert sim._out_neighbours(k) == _brute_out(net, k)
+        assert m not in sim._out_neighbours(k)
+
+    def test_simulation_still_converges(self):
+        net = _random_net(n=6, p=0.5, seed=2)
+        sim = Simulator(net, seed=0)
+        res = sim.run(RoutingState.identity(net.algebra, net.n),
+                      max_time=5_000.0)
+        assert res.converged

@@ -4,20 +4,28 @@
 Times the incremental delta-propagation engine (PR 1) against the frozen
 seed implementations in :mod:`naive_engine` on chain / ring / grid /
 sparse-random topologies across several algebras, and the ring-buffer
-``delta_run`` against the unbounded-history seed run.  Every comparison
-also verifies that both engines reach fixed points that are ``equal``
-under the algebra — a benchmark row that disagrees is reported and fails
-the harness.
+``delta_run`` against the unbounded-history seed run.  Finite algebras
+additionally get a **vectorized** column (PR 2): the int-encoded numpy
+engine of :mod:`repro.core.vectorized`, timed against both baselines on
+the same cases.  Every comparison also verifies that all engines reach
+fixed points that are ``equal`` under the algebra — a benchmark row that
+disagrees is reported and fails the harness.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # full
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # seconds
 
-The committed ``BENCH_core.json`` is produced by a full run; later PRs
-re-run the harness and regress against it.  Tier-1 tests exercise only
-the ``scale="smoke"`` path (see ``tests/core/test_benchmark_harness.py``
-and the ``perfbench`` marker in ``pytest.ini``).
+The committed ``BENCH_core.json`` is produced by a full run.  A
+``--quick`` run additionally **regresses against the committed
+baseline** instead of leaving the comparison to eyeballs: it fails when
+the baseline's finite-headline vectorized speedup is below the
+acceptance floor, when the baseline recorded any engine disagreement, or
+when the current quick run shows the vectorized engine disagreeing or
+catastrophically regressing on its own finite case.  Tier-1 tests
+exercise only the ``scale="smoke"`` path (see
+``tests/core/test_benchmark_harness.py`` and the ``perfbench`` marker in
+``pytest.ini``).
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from repro.core import (
     RoutingState,
     delta_run,
     iterate_sigma,
+    supports_vectorized,
 )
 from repro.topologies import (
     bgp_policy_factory,
@@ -87,7 +96,7 @@ def _sigma_cases(scale: str) -> List[Dict]:
         return [
             dict(label="chain-12/shortest-paths",
                  net=line(sp, 12, w(sp), seed=1)),
-            dict(label="gnp-12/hop-count",
+            dict(label="gnp-12/hop-count", headline_finite=True,
                  net=erdos_renyi(hop, 12, 0.25, w(hop, 4), seed=2)),
         ]
     if scale == "quick":
@@ -97,6 +106,9 @@ def _sigma_cases(scale: str) -> List[Dict]:
                  net=line(sp, 40, w(sp), seed=1)),
             dict(label="ring-40/hop-count",
                  net=ring(hop, 40, w(hop, 4), seed=2)),
+            # quick-scale guard for the vectorized-vs-incremental ratio
+            dict(label="gnp-40/hop-count", headline_finite=True,
+                 net=erdos_renyi(hop, 40, 0.25, w(hop, 4), seed=8)),
             dict(label="grid-6x6/shortest-paths",
                  net=grid(sp, 6, 6, w(sp), seed=3)),
             dict(label="gnp-40/shortest-paths",
@@ -114,9 +126,13 @@ def _sigma_cases(scale: str) -> List[Dict]:
              net=ring(hop, 100, w(hop, 4), seed=2)),
         dict(label="grid-10x10/shortest-paths",
              net=grid(sp, 10, 10, w(sp), seed=3)),
-        # the headline acceptance case: n=100 sparse random topology
+        # the PR 1 headline acceptance case: n=100 sparse random topology
         dict(label="gnp-100/shortest-paths", headline=True,
              net=erdos_renyi(sp, 100, 0.03, w(sp), seed=4)),
+        # the PR 2 headline acceptance case: n=100 finite algebra — the
+        # vectorized engine must beat the incremental one here
+        dict(label="gnp-100/hop-count", headline_finite=True,
+             net=erdos_renyi(hop, 100, 0.25, w(hop, 4), seed=8)),
         dict(label="gnp-100/widest-paths",
              net=erdos_renyi(widest, 100, 0.03, w(widest), seed=6)),
         dict(label="gnp-24/bgplite",
@@ -186,9 +202,23 @@ def bench_sigma_case(case: Dict, repeats: int) -> Dict:
     equal = (naive_res.converged == inc_res.converged and
              naive_res.rounds == inc_res.rounds and
              naive_res.state.equals(inc_res.state, alg))
+
+    vec_s = vec_speedup = vec_vs_inc = None
+    if supports_vectorized(alg):
+        vec_s, vec_res = _time(
+            lambda: iterate_sigma(net, start, engine="vectorized"), repeats)
+        equal = (equal and
+                 vec_res.converged == inc_res.converged and
+                 vec_res.rounds == inc_res.rounds and
+                 vec_res.state.equals(inc_res.state, alg))
+        if vec_s > 0:
+            vec_speedup = round(naive_s / vec_s, 2)
+            vec_vs_inc = round(inc_s / vec_s, 2)
+        vec_s = round(vec_s, 6)
     return dict(
         case=case["label"],
         headline=bool(case.get("headline")),
+        headline_finite=bool(case.get("headline_finite")),
         n=net.n,
         arcs=arcs,
         algebra=alg.name,
@@ -197,6 +227,9 @@ def bench_sigma_case(case: Dict, repeats: int) -> Dict:
         naive_s=round(naive_s, 6),
         incremental_s=round(inc_s, 6),
         speedup=round(naive_s / inc_s, 2) if inc_s > 0 else None,
+        vectorized_s=vec_s,
+        vectorized_speedup=vec_speedup,
+        vectorized_vs_incremental=vec_vs_inc,
         fixed_points_equal=equal,
     )
 
@@ -216,6 +249,18 @@ def bench_delta_case(case: Dict, repeats: int) -> Dict:
 
     equal = (naive_res.converged == bounded_res.converged and
              naive_res.state.equals(bounded_res.state, alg))
+
+    vec_s = vec_speedup = None
+    if supports_vectorized(alg):
+        vec_s, vec_res = _time(
+            lambda: delta_run(net, sched, start, max_steps=max_steps,
+                              engine="vectorized"), repeats)
+        equal = (equal and
+                 vec_res.converged == bounded_res.converged and
+                 vec_res.state.equals(bounded_res.state, alg))
+        if vec_s > 0:
+            vec_speedup = round(naive_s / vec_s, 2)
+        vec_s = round(vec_s, 6)
     mrb = sched.max_read_back() or 1
     return dict(
         case=case["label"],
@@ -227,6 +272,8 @@ def bench_delta_case(case: Dict, repeats: int) -> Dict:
         naive_s=round(naive_s, 6),
         bounded_s=round(bounded_s, 6),
         speedup=round(naive_s / bounded_s, 2) if bounded_s > 0 else None,
+        vectorized_s=vec_s,
+        vectorized_speedup=vec_speedup,
         max_read_back=mrb,
         naive_history_retained=naive_res.history_retained,
         bounded_history_retained=bounded_res.history_retained,
@@ -248,7 +295,8 @@ def run_suite(scale: str = "full", repeats: Optional[int] = None) -> Dict:
             "scale": scale,
             "repeats": repeats,
             "python": platform.python_version(),
-            "engine": "incremental-delta-propagation (PR 1)",
+            "engine": "incremental (PR 1) + vectorized finite-algebra "
+                      "(PR 2)",
             "baseline": "frozen seed engine (benchmarks/naive_engine.py)",
         },
         "sigma": [bench_sigma_case(c, repeats) for c in _sigma_cases(scale)],
@@ -265,25 +313,92 @@ def _fmt_speedup(speedup) -> str:
     return f"{speedup:>7.1f}x" if speedup is not None else f"{'—':>8}"
 
 
+def _fmt_seconds(value) -> str:
+    return f"{value:>10.4f}" if value is not None else f"{'—':>10}"
+
+
 def _print_report(report: Dict) -> None:
     print(f"engine benchmark — scale={report['meta']['scale']} "
           f"(best of {report['meta']['repeats']})")
     print(f"{'case':<40} {'rounds':>6} {'old (s)':>10} {'new (s)':>10} "
-          f"{'speedup':>8}  ok")
+          f"{'vec (s)':>10} {'speedup':>8} {'vec/inc':>8}  ok")
     for r in report["sigma"]:
         mark = "✓" if r["fixed_points_equal"] else "✗ MISMATCH"
-        star = "*" if r["headline"] else " "
+        star = ("*" if r["headline"] else
+                "†" if r.get("headline_finite") else " ")
         print(f"{r['case']:<39}{star} {r['rounds']:>6} {r['naive_s']:>10.4f} "
-              f"{r['incremental_s']:>10.4f} {_fmt_speedup(r['speedup'])}  "
-              f"{mark}")
+              f"{r['incremental_s']:>10.4f} {_fmt_seconds(r['vectorized_s'])} "
+              f"{_fmt_speedup(r['speedup'])} "
+              f"{_fmt_speedup(r.get('vectorized_vs_incremental'))}  {mark}")
     for r in report["delta"]:
         mark = "✓" if r["fixed_points_equal"] and r["memory_bounded"] else "✗"
         print(f"{r['case']:<40} {r['steps']:>6} {r['naive_s']:>10.4f} "
-              f"{r['bounded_s']:>10.4f} {_fmt_speedup(r['speedup'])}  {mark} "
+              f"{r['bounded_s']:>10.4f} {_fmt_seconds(r['vectorized_s'])} "
+              f"{_fmt_speedup(r['speedup'])} {'':>8}  {mark} "
               f"(history {r['naive_history_retained']} → "
               f"{r['bounded_history_retained']}, bound "
               f"{r['max_read_back'] + 2})")
-    print("  * = headline acceptance case (n=100 sparse random topology)")
+    print("  * = PR 1 headline (n=100 sparse random)   "
+          "† = PR 2 finite headline (vectorized vs incremental)")
+
+
+# ----------------------------------------------------------------------
+# Baseline regression (the --quick gate)
+# ----------------------------------------------------------------------
+
+#: acceptance floor for the committed full run: the n=100 finite
+#: headline must show the vectorized engine ≥ 3× the incremental one.
+HEADLINE_VEC_FLOOR = 3.0
+#: guard for the quick-scale finite case in the *current* run: generous
+#: (timing noise, tiny cases), catches only catastrophic regressions.
+QUICK_VEC_FLOOR = 0.8
+
+
+def regress_against_baseline(report: Dict, baseline_path: Path) -> List[str]:
+    """Compare a quick run against the committed full-run baseline.
+
+    Returns a list of human-readable problems (empty = pass).  The
+    committed numbers carry the acceptance claims, so they are checked
+    structurally; the current run is checked for correctness on every
+    row and for a catastrophic vectorized slowdown on its finite
+    headline case.
+    """
+    problems: List[str] = []
+    if not baseline_path.exists():
+        return [f"no committed baseline at {baseline_path}; "
+                "run the full suite first"]
+    baseline = json.loads(baseline_path.read_text())
+
+    if not baseline.get("meta", {}).get("all_fixed_points_equal"):
+        problems.append("baseline records an engine disagreement")
+    base_sigma = baseline.get("sigma", [])
+    vec_rows = [r for r in base_sigma
+                if r.get("vectorized_vs_incremental") is not None]
+    if not vec_rows:
+        problems.append("baseline has no vectorized column; "
+                        "re-run the full suite")
+    for r in base_sigma:
+        if r.get("headline_finite"):
+            ratio = r.get("vectorized_vs_incremental") or 0.0
+            if ratio < HEADLINE_VEC_FLOOR:
+                problems.append(
+                    f"baseline {r['case']}: vectorized only {ratio}x over "
+                    f"incremental (< {HEADLINE_VEC_FLOOR}x acceptance floor)")
+
+    for r in report["sigma"] + report["delta"]:
+        if not r["fixed_points_equal"]:
+            problems.append(f"current run: engines disagree on {r['case']}")
+    for r in report["sigma"]:
+        if r.get("headline_finite"):
+            ratio = r.get("vectorized_vs_incremental")
+            if ratio is None:
+                problems.append(
+                    f"current run: {r['case']} lost its vectorized column")
+            elif ratio < QUICK_VEC_FLOOR:
+                problems.append(
+                    f"current run: vectorized regressed to {ratio}x over "
+                    f"incremental on {r['case']} (< {QUICK_VEC_FLOOR}x)")
+    return problems
 
 
 def main(argv=None) -> int:
@@ -309,13 +424,25 @@ def main(argv=None) -> int:
     report = run_suite(scale, repeats=args.repeats)
     _print_report(report)
 
+    baseline = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+    ok = report["meta"]["all_fixed_points_equal"]
+    if scale == "quick":
+        problems = regress_against_baseline(report, baseline)
+        if problems:
+            print("\nbaseline regression FAILED:")
+            for p in problems:
+                print(f"  - {p}")
+            ok = False
+        else:
+            print(f"\nbaseline regression vs {baseline.name}: ok")
+
     out = args.out
     if out is None and scale == "full":
-        out = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+        out = baseline
     if out is not None:
         out.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
         print(f"wrote {out}")
-    return 0 if report["meta"]["all_fixed_points_equal"] else 1
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -13,13 +13,105 @@ routes compared equal, ⊕ would have to pick one arbitrarily, silently
 breaking commutativity (``a ⊕ b = a`` but ``b ⊕ a = b``).  Algebras with
 natural ties (e.g. BGPLite routes differing only in communities) must
 fold a canonical tiebreak into the key.
+
+Finite encodings
+----------------
+
+A *finite* key-ordered algebra admits a canonical **int encoding** of
+its carrier: sort the ``m + 1`` routes by preference and number them
+``0..m``.  Because the derived order is total and the key injective,
+
+* code ``0`` is the trivial route 0̄ and code ``m`` the invalid route ∞̄,
+* ``⊕`` on routes is exactly ``min`` on codes, and
+* every edge function collapses to a dense ``(m + 1)``-entry lookup
+  table ``table[c] = encode(f(decode(c)))``.
+
+That is the contract the vectorized engine
+(:mod:`repro.core.vectorized`) builds on: σ becomes a generalised
+min-plus matrix product over small ints.  :class:`AlgebraEncoding`
+holds one such encoding; :meth:`KeyOrderedAlgebra.finite_encoding`
+builds and caches it.  Edge functions may implement an
+``encoded_table(encoding)`` hook to supply their table directly (see
+:class:`~repro.algebras.finite.TableEdge`, whose table *is* the
+encoding).
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, List, Optional, Sequence
 
-from ..core.algebra import Route, RoutingAlgebra
+from ..core.algebra import (
+    EdgeFunction,
+    Route,
+    RoutingAlgebra,
+    UnsupportedAlgebraError,
+)
+
+
+class AlgebraEncoding:
+    """A preference-ordered int encoding of a finite algebra's carrier.
+
+    ``codes[c]`` is the route encoded as ``c``; smaller codes are more
+    preferred, so ``choice`` on routes is ``min`` on codes, ``encode``
+    of the trivial route is :attr:`trivial_code` ``= 0`` and of the
+    invalid route :attr:`invalid_code` ``= size - 1``.
+    """
+
+    __slots__ = ("algebra", "codes", "index", "size", "identity")
+
+    def __init__(self, algebra: RoutingAlgebra, codes: Sequence[Route]):
+        self.algebra = algebra
+        self.codes: List[Route] = list(codes)
+        self.size = len(self.codes)
+        self.index = {route: c for c, route in enumerate(self.codes)}
+        if len(self.index) != self.size:
+            raise UnsupportedAlgebraError(
+                f"{algebra.name}: carrier enumeration repeats a route; "
+                "cannot build an injective encoding")
+        # int-carrier algebras (hop count, finite chains) encode to
+        # themselves; engines use this to skip per-route dict lookups.
+        self.identity = all(
+            isinstance(route, int) and route == c
+            for c, route in enumerate(self.codes))
+
+    trivial_code = 0
+
+    @property
+    def invalid_code(self) -> int:
+        return self.size - 1
+
+    def encode(self, route: Route) -> int:
+        try:
+            return self.index[route]
+        except (KeyError, TypeError):
+            raise UnsupportedAlgebraError(
+                f"{self.algebra.name}: route {route!r} is outside the "
+                f"finite carrier ({self.size} routes)") from None
+
+    def decode(self, code: int) -> Route:
+        return self.codes[code]
+
+    def edge_table(self, fn: EdgeFunction) -> List[int]:
+        """Dense lookup table ``table[c] = encode(fn(decode(c)))``.
+
+        Honours the ``encoded_table(encoding)`` fast-path hook when the
+        edge function provides one (returning ``None`` from the hook
+        falls back to the generic pointwise build).
+        """
+        hook = getattr(fn, "encoded_table", None)
+        if hook is not None:
+            table = hook(self)
+            if table is not None:
+                if len(table) != self.size:
+                    raise UnsupportedAlgebraError(
+                        f"{fn!r}: encoded_table returned {len(table)} "
+                        f"entries for a {self.size}-route carrier")
+                return list(table)
+        return [self.encode(fn(route)) for route in self.codes]
+
+    def __repr__(self) -> str:
+        return (f"AlgebraEncoding({self.algebra.name}, size={self.size}, "
+                f"identity={self.identity})")
 
 
 class KeyOrderedAlgebra(RoutingAlgebra):
@@ -52,3 +144,54 @@ class KeyOrderedAlgebra(RoutingAlgebra):
     def sort_routes(self, routes):
         """Sort by key directly (equivalent to the ⊕-selection sort)."""
         return sorted(routes, key=self.preference_key)
+
+    # ------------------------------------------------------------------
+    # FiniteEncoding protocol
+    # ------------------------------------------------------------------
+
+    def finite_encoding(self) -> AlgebraEncoding:
+        """The canonical int encoding of a finite carrier (cached).
+
+        Raises :class:`~repro.core.algebra.UnsupportedAlgebraError` when
+        the carrier is infinite, when enumeration is unavailable, or
+        when the preference key fails to totally order it (a tie would
+        make ``min`` on codes disagree with ⊕ on routes).
+        """
+        cached: Optional[AlgebraEncoding] = getattr(
+            self, "_finite_encoding", None)
+        if cached is not None:
+            return cached
+        if not self.is_finite:
+            raise UnsupportedAlgebraError(
+                f"{self.name}: carrier is not finite; no int encoding exists")
+        try:
+            universe = list(self.routes())
+        except NotImplementedError:
+            raise UnsupportedAlgebraError(
+                f"{self.name}: is_finite is set but routes() does not "
+                "enumerate the carrier") from None
+        try:
+            universe.sort(key=self.preference_key)
+            keys = [self.preference_key(r) for r in universe]
+            strictly_sorted = all(a < b for a, b in zip(keys, keys[1:]))
+        except TypeError:
+            # incomparable keys must surface as a capability gap, so the
+            # engine selectors fall back instead of crashing
+            raise UnsupportedAlgebraError(
+                f"{self.name}: preference keys are not mutually "
+                "comparable; the carrier cannot be totally ordered into "
+                "codes") from None
+        if not strictly_sorted:
+            raise UnsupportedAlgebraError(
+                f"{self.name}: preference keys are not injective over "
+                "the carrier; ⊕ on routes would disagree with min on "
+                "codes")
+        encoding = AlgebraEncoding(self, universe)
+        if not self.equal(encoding.decode(0), self.trivial) or \
+                not self.equal(encoding.decode(encoding.size - 1),
+                               self.invalid):
+            raise UnsupportedAlgebraError(
+                f"{self.name}: carrier enumeration does not place 0̄ first "
+                "and ∞̄ last under the preference order")
+        self._finite_encoding = encoding
+        return encoding

@@ -104,6 +104,13 @@ class TableEdge(EdgeFunction):
     def __call__(self, route: Route) -> Route:
         return self.table[route]
 
+    def encoded_table(self, encoding):
+        """FiniteEncoding fast path: the chain carrier encodes to itself,
+        so this table *is* the vectorized engine's lookup table."""
+        if not encoding.identity or encoding.size != self.levels + 1:
+            return None
+        return self.table
+
     @property
     def is_strictly_increasing(self) -> bool:
         return all(self.table[x] > x for x in range(self.levels))

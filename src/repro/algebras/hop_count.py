@@ -76,6 +76,13 @@ class HopEdge(EdgeFunction):
     def __call__(self, route: Route) -> Route:
         return min(route + self.weight, self.bound)
 
+    def encoded_table(self, encoding):
+        """FiniteEncoding fast path: hop counts encode to themselves, so
+        the lookup table is the saturating shift in closed form."""
+        if not encoding.identity or encoding.size != self.bound + 1:
+            return None
+        return [min(c + self.weight, self.bound) for c in range(self.bound + 1)]
+
     def __repr__(self) -> str:
         return f"HopEdge(+{self.weight}, cap={self.bound})"
 

@@ -84,6 +84,87 @@ class StratifiedAlgebra(KeyOrderedAlgebra):
         return LevelMapEdge(mapping, add)
 
 
+class CarrierClampEdge(EdgeFunction):
+    """Clamp an unbounded stratified policy into a finite carrier.
+
+    Routes that the inner policy pushes past ``max_level`` /
+    ``max_distance`` become ∞̄ — the same truncation-to-unreachable RIP
+    applies at 16 hops.  The clamp maps a route strictly above the
+    carrier to the top element, so it preserves the (strictly)
+    increasing laws of the inner policy.
+    """
+
+    def __init__(self, inner: EdgeFunction, max_level: int,
+                 max_distance: int):
+        self.inner = inner
+        self.max_level = max_level
+        self.max_distance = max_distance
+
+    def __call__(self, route: Route) -> Route:
+        out = self.inner(route)
+        if out == STRAT_INVALID:
+            return STRAT_INVALID
+        level, dist = out
+        if level > self.max_level or dist > self.max_distance:
+            return STRAT_INVALID
+        return out
+
+    def __repr__(self) -> str:
+        return (f"CarrierClampEdge({self.inner!r}, "
+                f"≤({self.max_level},{self.max_distance}))")
+
+
+class BoundedStratifiedAlgebra(StratifiedAlgebra):
+    """The finite restriction of stratified shortest paths.
+
+    Carrier: ``{(l, d) : 0 ≤ l ≤ L, 0 ≤ d ≤ D} ∪ {∞̄}`` with the same
+    lexicographic preference.  Every edge policy is wrapped in
+    :class:`CarrierClampEdge`, so routes leaving the box become ∞̄ —
+    which keeps the algebra strictly increasing *and* finite, hence
+    Theorem 7 applies and the vectorized engine can int-encode it
+    (FiniteEncoding protocol, ``(L+1)·(D+1)+1`` codes).
+    """
+
+    is_finite = True
+
+    def __init__(self, max_level: int = 3, max_distance: int = 12):
+        if max_level < 0 or max_distance < 0:
+            raise ValueError("carrier bounds must be non-negative")
+        super().__init__(max_sample_level=max_level,
+                         max_sample_distance=max_distance)
+        self.max_level = max_level
+        self.max_distance = max_distance
+        self.name = f"stratified<{max_level},{max_distance}>"
+
+    def routes(self) -> Iterator[Route]:
+        for level in range(self.max_level + 1):
+            for dist in range(self.max_distance + 1):
+                yield (level, dist)
+        yield STRAT_INVALID
+
+    def clamp(self, fn: EdgeFunction) -> CarrierClampEdge:
+        return CarrierClampEdge(fn, self.max_level, self.max_distance)
+
+    # every factory yields carrier-closed policies
+
+    def add(self, w: int) -> EdgeFunction:
+        return self.clamp(super().add(w))
+
+    def raise_level(self, k: int = 1) -> EdgeFunction:
+        return self.clamp(super().raise_level(k))
+
+    def level_map(self, mapping, add: int = 1) -> EdgeFunction:
+        return self.clamp(super().level_map(mapping, add))
+
+    def sample_edge_function(self, rng) -> EdgeFunction:
+        return self.clamp(super().sample_edge_function(rng))
+
+    def sample_route(self, rng) -> Route:
+        # the sampling bounds coincide with the carrier, so the parent
+        # sampler already stays inside it
+        return super().sample_route(rng)
+
+
 class AddDistance(EdgeFunction):
     """Stay in the stratum, add ``w ≥ 1`` to the distance."""
 

@@ -24,6 +24,7 @@ from typing import Callable, Dict, Optional, Tuple
 from .algebras import (
     AddPaths,
     BGPLiteAlgebra,
+    BoundedStratifiedAlgebra,
     GaoRexfordAlgebra,
     HopCountAlgebra,
     MostReliableAlgebra,
@@ -44,7 +45,7 @@ from .analysis import (
     run_absolute_convergence,
     sync_oscillates,
 )
-from .core import Network, synchronous_fixed_point
+from .core import ENGINES, Network, synchronous_fixed_point
 from .protocols import LinkConfig, simulate
 from .topologies import (
     bgp_policy_factory,
@@ -116,6 +117,12 @@ def _stratified():
         False, False
 
 
+def _stratified_bounded():
+    alg = BoundedStratifiedAlgebra(max_level=3, max_distance=12)
+    return alg, (lambda rng, _i, _j: alg.sample_edge_function(rng)), \
+        True, False
+
+
 ALGEBRAS: Dict[str, Callable] = {
     "hop-count": _hop,
     "shortest": _shortest,
@@ -126,6 +133,7 @@ ALGEBRAS: Dict[str, Callable] = {
     "prepending": _prepending,
     "gao-rexford": _gao_rexford,
     "stratified": _stratified,
+    "stratified-bounded": _stratified_bounded,
 }
 
 TOPOLOGIES = {
@@ -164,6 +172,17 @@ def build_network(algebra_name: str, topology: str, n: int,
 # ----------------------------------------------------------------------
 
 
+def _effective_engine(net, requested: str) -> str:
+    """The engine that will actually run (vectorized may fall back)."""
+    if requested == "vectorized":
+        from .core import supports_vectorized
+
+        if not supports_vectorized(net.algebra):
+            return "incremental (vectorized unsupported: " \
+                   f"{net.algebra.name} has no finite encoding)"
+    return requested
+
+
 def cmd_list(_args) -> int:
     print("algebras :", ", ".join(sorted(ALGEBRAS)))
     print("topologies:", ", ".join(sorted(TOPOLOGIES) + ["random"]))
@@ -187,8 +206,10 @@ def cmd_converge(args) -> int:
                                            args.n, args.seed)
     report = run_absolute_convergence(net, n_starts=args.starts,
                                       seed=args.seed,
-                                      max_steps=args.max_steps)
+                                      max_steps=args.max_steps,
+                                      engine=args.engine)
     print(f"network           : {net.name} ({net.algebra.name})")
+    print(f"engine            : {_effective_engine(net, args.engine)}")
     print(f"runs              : {report.runs} (starts × schedules)")
     print(f"all converged     : {report.all_converged}")
     print(f"distinct fixpoints: {len(report.distinct_fixed_points)}")
@@ -227,9 +248,13 @@ def cmd_simulate(args) -> int:
     cfg = LinkConfig(min_delay=0.2, max_delay=3.0, loss=args.loss,
                      duplicate=args.dup)
     res = simulate(net, seed=args.seed, link_config=cfg,
-                   refresh_interval=5.0, quiet_period=25.0)
+                   refresh_interval=5.0, quiet_period=25.0,
+                   engine=args.engine)
     ref = synchronous_fixed_point(net)
     print(f"network        : {net.name} ({net.algebra.name})")
+    # the event simulation itself is pure-python; only the final
+    # σ-stability verdict runs on the selected engine
+    print(f"σ-check engine : {_effective_engine(net, args.engine)}")
     print(f"converged      : {res.converged} "
           f"(σ-stable: {res.final_state.equals(ref, net.algebra)})")
     print(f"conv. time     : {res.convergence_time:.1f}")
@@ -256,6 +281,12 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--topology", default="ring")
         p.add_argument("--n", type=int, default=6)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--engine", default="incremental",
+                       choices=ENGINES,
+                       help="σ/δ engine; 'vectorized' needs a finite "
+                            "algebra and otherwise falls back to "
+                            "'incremental' (for `simulate` only the "
+                            "σ-stability check uses it)")
 
     p = sub.add_parser("verify", help="law-check a deployed network")
     common(p)

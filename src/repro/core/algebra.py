@@ -34,6 +34,16 @@ Route = Any
 """Routes are plain hashable Python values; each algebra picks its own type."""
 
 
+class UnsupportedAlgebraError(TypeError):
+    """An engine or encoding was asked for an algebra it cannot handle.
+
+    Raised e.g. when the vectorized engine is constructed over an
+    algebra with an infinite (or non-encodable) carrier.  The public
+    engine *selectors* catch the capability check instead and fall back
+    to the incremental engine; only direct construction surfaces this.
+    """
+
+
 class EdgeFunction(ABC):
     """An element of ``F``: a function from routes to routes.
 

@@ -45,7 +45,7 @@ from typing import List, Optional, Sequence, Tuple
 from .incremental import BoundedHistory
 from .schedule import Schedule
 from .state import Network, RoutingState
-from .synchronous import is_stable, sigma
+from .synchronous import ENGINES, is_stable, sigma
 from .algebra import RoutingAlgebra
 
 
@@ -159,7 +159,8 @@ def delta_step(network: Network, schedule: Schedule,
 
 def delta_run(network: Network, schedule: Schedule, start: RoutingState,
               max_steps: int = 2_000, stability_window: Optional[int] = None,
-              keep_history: bool = False, strict: bool = False) -> AsyncResult:
+              keep_history: bool = False, strict: bool = False,
+              engine: str = "incremental") -> AsyncResult:
     """Run δ from ``start`` under ``schedule`` until convergence.
 
     ``stability_window`` defaults to (max read-back of the schedule) + 2:
@@ -176,7 +177,26 @@ def delta_run(network: Network, schedule: Schedule, start: RoutingState,
     (``max_read_back() is None`` — β may reach arbitrarily far back, so
     bounding the buffer would be unsound).  Results are identical in
     every mode.
+
+    ``engine`` selects ``"incremental"`` (the default tracked stepper),
+    ``"naive"`` (alias for the strict literal recursion) or
+    ``"vectorized"`` — int-encoded numpy δ for finite algebras
+    (:func:`repro.core.vectorized.delta_run_vectorized`), falling back
+    to the incremental engine when the algebra has no finite encoding.
+    All engines compute exactly the same δᵗ.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}")
+    if engine == "naive":
+        strict = True
+    elif engine == "vectorized" and not strict:
+        # local import: vectorized imports AsyncResult from this module
+        from .vectorized import delta_run_vectorized, supports_vectorized
+        if supports_vectorized(network.algebra):
+            return delta_run_vectorized(
+                network, schedule, start, max_steps=max_steps,
+                stability_window=stability_window, keep_history=keep_history)
+        # non-finite fallback: continue with the incremental engine
     max_read_back = schedule.max_read_back()
     if stability_window is None:
         stability_window = (max_read_back or 1) + 2
@@ -238,15 +258,39 @@ def absolute_convergence_experiment(
         network: Network,
         starts: Sequence[RoutingState],
         schedules: Sequence[Schedule],
-        max_steps: int = 2_000) -> AbsoluteConvergenceReport:
+        max_steps: int = 2_000,
+        engine: str = "incremental") -> AbsoluteConvergenceReport:
     """Run δ for the cross-product of ``starts`` × ``schedules``.
 
     This is the executable form of Theorem 7 / Theorem 11: for a finite
     strictly increasing algebra (or an increasing path algebra) the
     report must come back with ``absolute == True``.  Negative controls
     (e.g. SPP DISAGREE) come back with several distinct fixed points or
-    non-convergence.
+    non-convergence.  ``engine`` is forwarded to every
+    :func:`delta_run` (finite algebras benefit from ``"vectorized"``;
+    one :class:`~repro.core.vectorized.VectorizedEngine` is built up
+    front and reused across all runs so the edge tables are encoded
+    once, not once per (start × schedule) pair).
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}")
+    vec_engine = None
+    if engine == "vectorized":
+        from .vectorized import VectorizedEngine, supports_vectorized
+
+        if supports_vectorized(network.algebra):
+            vec_engine = VectorizedEngine(network)
+
+    def run(sched, start):
+        if vec_engine is not None:
+            from .vectorized import delta_run_vectorized
+
+            return delta_run_vectorized(network, sched, start,
+                                        max_steps=max_steps,
+                                        engine=vec_engine)
+        return delta_run(network, sched, start, max_steps=max_steps,
+                         engine=engine)
+
     alg = network.algebra
     fixed_points: List[RoutingState] = []
     steps: List[int] = []
@@ -255,7 +299,7 @@ def absolute_convergence_experiment(
     for start in starts:
         for sched in schedules:
             runs += 1
-            result = delta_run(network, sched, start, max_steps=max_steps)
+            result = run(sched, start)
             if not result.converged:
                 all_converged = False
                 continue

@@ -29,8 +29,17 @@ Two engines implement the iteration:
   recomputes only the entries whose in-neighbours' routes changed in
   the previous round (the *dirty set*), shares untouched row objects
   structurally, and declares the fixed point the moment the dirty set
-  is empty — no per-round equality scan.  Both engines compute exactly
-  σ every round, so trajectories and fixed points are identical.
+  is empty — no per-round equality scan.
+* ``engine="vectorized"`` — for finite algebras
+  (:func:`~repro.core.vectorized.supports_vectorized`), routes are
+  int-encoded and σ runs as a numpy table-gather min-product over the
+  dirty columns (:mod:`repro.core.vectorized`).  Algebras without a
+  finite encoding silently fall back to the incremental engine, so the
+  selector is always safe to request.
+
+All engines compute exactly σ every round, so trajectories and fixed
+points are identical — ``tests/core/test_engine_equivalence.py`` is the
+differential oracle holding them to it.
 
 Both engines read neighbour structure from the cached
 :class:`~repro.core.state.NetworkTopology`, which is invalidated by
@@ -45,6 +54,10 @@ from typing import List, Optional
 
 from .incremental import sigma_propagate, sigma_with_dirty
 from .state import Network, RoutingState
+
+#: The engine selector vocabulary, shared by every σ/δ driver, the
+#: simulator, the CLI and the test matrix.
+ENGINES = ("naive", "incremental", "vectorized")
 
 
 def sigma(network: Network, state: RoutingState) -> RoutingState:
@@ -112,15 +125,25 @@ def iterate_sigma(network: Network, start: RoutingState, max_rounds: int = 10_00
     reporting ``converged=False``.
 
     ``engine`` selects ``"incremental"`` (dirty-set delta propagation,
-    the default) or ``"naive"`` (full recompute + equality scan per
-    round); see the module docstring.  Both produce identical iterates.
+    the default), ``"naive"`` (full recompute + equality scan per
+    round) or ``"vectorized"`` (int-encoded numpy engine for finite
+    algebras, incremental fallback otherwise); see the module
+    docstring.  All produce identical iterates.
 
     Returns a :class:`SyncResult`; ``result.rounds`` is the number of σ
     applications it took to *reach* the fixed point (so a stable start
     gives ``rounds == 0``).
     """
-    if engine not in ("incremental", "naive"):
+    if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}")
+    if engine == "vectorized":
+        # local import: vectorized imports SyncResult from this module
+        from .vectorized import iterate_sigma_vectorized, supports_vectorized
+        if supports_vectorized(network.algebra):
+            return iterate_sigma_vectorized(
+                network, start, max_rounds=max_rounds,
+                keep_trajectory=keep_trajectory, detect_cycles=detect_cycles)
+        engine = "incremental"           # documented non-finite fallback
     incremental = engine == "incremental"
     alg = network.algebra
     current = start

@@ -1,0 +1,373 @@
+"""Vectorized σ/δ engine for finite algebras: routes as small ints.
+
+Theorem 7 lives on *finite* strictly increasing algebras (RIP-style hop
+count, finite chains, bounded stratified levels).  Finiteness is not
+just a proof device — it is an implementation opportunity: encode the
+``m + 1`` routes of the carrier as ints ``0..m`` ordered by preference
+(:meth:`repro.algebras.base.KeyOrderedAlgebra.finite_encoding`) and
+
+* ⊕ becomes ``min`` on codes,
+* every edge function becomes a dense ``(m + 1)``-entry lookup table,
+* the routing state becomes an ``(n, n)`` int matrix ``C``, and
+* one σ round becomes a generalised min-plus product:
+
+      σ(C)[i][j] = min_k  T_{ik}[ C[k][j] ]        (diag forced to 0)
+
+  evaluated for *all* edges and destinations at once with one fancy
+  gather ``T[edge, C[src]]`` and one ``np.minimum.reduceat`` over the
+  per-importer edge groups — no per-route Python calls at all.
+
+Layered on the PR 1 dirty-set idea: entry ``(i, j)`` of σ(X) depends
+only on column ``j`` of ``X``, so columns are independent and a round
+needs to re-multiply only the **dirty columns** (those with an entry
+that changed last round).  An empty dirty-column set is exactly
+σ-stability, so fixed-point detection stays free.  δ activations use
+the same tables as per-activation gathers against a
+:class:`~repro.core.incremental.BoundedHistory` of code matrices, so
+asynchronous rounds are array ops too (`delta_run_vectorized`).
+
+Capability & fallback
+---------------------
+
+The engine needs numpy and a :class:`~repro.algebras.base.AlgebraEncoding`
+(finite carrier, injective preference keys, default route equality).
+:func:`supports_vectorized` reports capability; the public selectors
+(``iterate_sigma(engine="vectorized")``, ``delta_run(...)``,
+``Simulator(engine=...)``) silently fall back to the incremental engine
+for unsupported algebras, while constructing :class:`VectorizedEngine`
+directly raises :class:`~repro.core.algebra.UnsupportedAlgebraError`
+with the reason.
+
+Cache discipline: edge tables are derived from the adjacency matrix and
+rebuilt whenever ``adjacency.version`` moves (checked by
+:meth:`VectorizedEngine.refresh` at the top of every public entry
+point), so mid-run ``set_edge`` / ``remove_edge`` can never leave a
+stale table behind — the vectorized mirror of the
+:class:`~repro.core.state.NetworkTopology` invalidation contract.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+try:
+    import numpy as np
+except ImportError:                      # pragma: no cover - numpy is baked in
+    np = None
+
+from .algebra import RoutingAlgebra, UnsupportedAlgebraError
+from .asynchronous import AsyncResult
+from .incremental import BoundedHistory
+from .schedule import Schedule
+from .state import Network, RoutingState
+from .synchronous import SyncResult
+
+#: dtype for code matrices and tables; carriers are small, int32 is ample.
+_DTYPE = "int32"
+
+
+def supports_vectorized(algebra: RoutingAlgebra) -> bool:
+    """True when the vectorized engine can run this algebra.
+
+    Requires numpy, a finite carrier, the FiniteEncoding protocol, and a
+    successfully built encoding (injective preference keys, 0̄ first, ∞̄
+    last).  Used by the engine selectors to decide between dispatch and
+    fallback.
+    """
+    if np is None or not getattr(algebra, "is_finite", False):
+        return False
+    builder = getattr(algebra, "finite_encoding", None)
+    if builder is None:
+        return False
+    try:
+        builder()
+    except UnsupportedAlgebraError:
+        return False
+    return True
+
+
+class VectorizedEngine:
+    """σ/δ over int-encoded routing states for one network.
+
+    The engine snapshots the adjacency matrix into flat arrays —
+    ``_src[e]`` (exporter of edge ``e``), ``_tables[e]`` (its dense
+    lookup table), edges grouped by importer with group starts
+    ``_starts`` aligned to ``_importers`` — and refreshes the snapshot
+    whenever ``adjacency.version`` moves.  States cross the boundary via
+    :meth:`encode_state` / :meth:`decode_state`.
+    """
+
+    def __init__(self, network: Network):
+        if np is None:
+            raise UnsupportedAlgebraError(
+                "vectorized engine unavailable: numpy is not installed")
+        builder = getattr(network.algebra, "finite_encoding", None)
+        if builder is None:
+            raise UnsupportedAlgebraError(
+                f"{network.algebra.name}: does not implement the "
+                "FiniteEncoding protocol")
+        self.network = network
+        self.encoding = builder()        # raises for non-finite carriers
+        self.trivial_code = self.encoding.trivial_code
+        self.invalid_code = self.encoding.invalid_code
+        self._version: Optional[int] = None
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # Topology snapshot
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Rebuild edge arrays iff the adjacency matrix has mutated."""
+        adjacency = self.network.adjacency
+        if self._version == adjacency.version:
+            return
+        topo = adjacency.topology
+        n = self.network.n
+        size = self.encoding.size
+        srcs: List[int] = []
+        tables: List[List[int]] = []
+        importers: List[int] = []
+        counts: List[int] = []
+        built = {}                       # id(fn) -> table, this snapshot only
+        for i in range(n):
+            edges = topo.in_edges[i]
+            if not edges:
+                continue
+            importers.append(i)
+            counts.append(len(edges))
+            for (k, fn) in edges:
+                srcs.append(k)
+                table = built.get(id(fn))
+                if table is None:
+                    table = self.encoding.edge_table(fn)
+                    built[id(fn)] = table
+                tables.append(table)
+        n_edges = len(srcs)
+        self._n = n
+        self._src = np.asarray(srcs, dtype=np.intp)
+        self._tables = (np.asarray(tables, dtype=_DTYPE)
+                        if n_edges else np.zeros((0, size), dtype=_DTYPE))
+        self._erange = np.arange(n_edges)[:, None]
+        self._importers = np.asarray(importers, dtype=np.intp)
+        starts = np.zeros(len(importers), dtype=np.intp)
+        if len(importers) > 1:
+            starts[1:] = np.cumsum(counts[:-1])
+        self._starts = starts
+        offsets = {}
+        degrees = {}
+        offset = 0
+        for i, count in zip(importers, counts):
+            offsets[i] = offset
+            degrees[i] = count
+            offset += count
+        self._offsets = offsets
+        self._degrees = degrees
+        self._version = adjacency.version
+
+    # ------------------------------------------------------------------
+    # State codecs
+    # ------------------------------------------------------------------
+
+    def encode_state(self, state: RoutingState) -> "np.ndarray":
+        """``RoutingState`` → ``(n, n)`` int code matrix."""
+        if self.encoding.identity:
+            matrix = np.asarray(state.rows)
+            # the fast path is only sound for genuinely integer routes —
+            # casting would silently truncate e.g. 2.5 into the carrier;
+            # anything else drops to the per-route dict path below, which
+            # rejects out-of-carrier routes exactly
+            if matrix.dtype.kind in "iu":
+                # bounds-check BEFORE the int32 cast: a wider route like
+                # 2**32 would otherwise wrap into the carrier silently
+                if matrix.size and (matrix.min() < 0 or
+                                    matrix.max() >= self.encoding.size):
+                    raise UnsupportedAlgebraError(
+                        f"{self.network.algebra.name}: state contains "
+                        "routes outside the finite carrier")
+                return matrix.astype(_DTYPE, copy=False)
+        index = self.encoding.index
+        try:
+            rows = [[index[route] for route in row] for row in state.rows]
+        except (KeyError, TypeError):
+            raise UnsupportedAlgebraError(
+                f"{self.network.algebra.name}: state contains routes "
+                "outside the finite carrier") from None
+        return np.asarray(rows, dtype=_DTYPE)
+
+    def decode_state(self, matrix: "np.ndarray") -> RoutingState:
+        """``(n, n)`` int code matrix → ``RoutingState``."""
+        codes = self.encoding.codes
+        return RoutingState.adopt(
+            [[codes[c] for c in row] for row in matrix.tolist()])
+
+    # ------------------------------------------------------------------
+    # σ
+    # ------------------------------------------------------------------
+
+    def _sigma_codes(self, C: "np.ndarray",
+                     cols: Optional["np.ndarray"] = None) -> "np.ndarray":
+        """One σ round on codes, over all columns or just ``cols``.
+
+        Column independence (entry (i, j) reads only column j) makes the
+        restricted recompute exact, not approximate.
+        """
+        sub = C if cols is None else C[:, cols]
+        new = np.full(sub.shape, self.invalid_code, dtype=_DTYPE)
+        if self._src.size:
+            extended = self._tables[self._erange, sub[self._src]]
+            new[self._importers] = np.minimum.reduceat(
+                extended, self._starts, axis=0)
+        if cols is None:
+            np.fill_diagonal(new, self.trivial_code)  # Lemma 1
+        else:
+            new[cols, np.arange(len(cols))] = self.trivial_code
+        return new
+
+    def _advance(self, C: "np.ndarray", dirty: Optional["np.ndarray"]):
+        """``(C, dirty columns) → (σ(C), next dirty columns)``.
+
+        ``dirty=None`` means "unknown — full round" (seeding, or after a
+        topology change).  Untouched columns are carried over by copy;
+        an empty result is exactly σ-stability.
+        """
+        if dirty is None:
+            new = self._sigma_codes(C)
+            return new, np.nonzero((new != C).any(axis=0))[0]
+        if dirty.size == 0:
+            return C, dirty
+        new_sub = self._sigma_codes(C, dirty)
+        changed = dirty[(new_sub != C[:, dirty]).any(axis=0)]
+        if changed.size == 0:
+            return C, changed
+        nxt = C.copy()
+        nxt[:, dirty] = new_sub
+        return nxt, changed
+
+    def sigma(self, state: RoutingState) -> RoutingState:
+        """One full σ round (decoded); the lockstep-oracle entry point."""
+        self.refresh()
+        C = self.encode_state(state)
+        return self.decode_state(self._sigma_codes(C))
+
+    def is_stable(self, state: RoutingState) -> bool:
+        """Definition 4 check, vectorized: σ(X) = X on codes."""
+        self.refresh()
+        C = self.encode_state(state)
+        return bool(np.array_equal(self._sigma_codes(C), C))
+
+    # ------------------------------------------------------------------
+    # δ
+    # ------------------------------------------------------------------
+
+    def _delta_row(self, history, t: int, i: int, beta) -> "np.ndarray":
+        """Node ``i``'s recomputed table at time ``t``: per-activation
+        table gathers against per-neighbour historical rows."""
+        degree = self._degrees.get(i, 0)
+        if degree == 0:
+            row = np.full(self._n, self.invalid_code, dtype=_DTYPE)
+        else:
+            offset = self._offsets[i]
+            gathered = np.empty((degree, self._n), dtype=_DTYPE)
+            for idx in range(degree):
+                k = int(self._src[offset + idx])
+                gathered[idx] = history[beta(t, i, k)][k]
+            tables = self._tables[offset:offset + degree]
+            row = tables[np.arange(degree)[:, None], gathered].min(axis=0)
+        row[i] = self.trivial_code
+        return row
+
+
+# ----------------------------------------------------------------------
+# Drivers (SyncResult / AsyncResult compatible)
+# ----------------------------------------------------------------------
+
+
+def iterate_sigma_vectorized(network: Network, start: RoutingState,
+                             max_rounds: int = 10_000,
+                             keep_trajectory: bool = False,
+                             detect_cycles: bool = False,
+                             engine: Optional[VectorizedEngine] = None
+                             ) -> SyncResult:
+    """Vectorized drop-in for :func:`repro.core.synchronous.iterate_sigma`.
+
+    Same trajectory, fixed point and round count as the other engines —
+    the differential oracle in ``tests/core/test_engine_equivalence.py``
+    holds it to that.  Pass ``engine`` to reuse a prebuilt
+    :class:`VectorizedEngine` (its caches auto-refresh on topology
+    changes).
+    """
+    eng = engine if engine is not None else VectorizedEngine(network)
+    eng.refresh()
+    C = eng.encode_state(start)
+    trajectory: Optional[List[RoutingState]] = \
+        [start] if keep_trajectory else None
+    seen = {C.tobytes(): 0} if detect_cycles else None
+    dirty = None
+    for k in range(max_rounds):
+        nxt, dirty = eng._advance(C, dirty)
+        if keep_trajectory:
+            trajectory.append(eng.decode_state(nxt))
+        if dirty.size == 0:
+            return SyncResult(True, k, eng.decode_state(C), trajectory)
+        if detect_cycles:
+            key = nxt.tobytes()
+            if key in seen:
+                return SyncResult(False, k + 1, eng.decode_state(nxt),
+                                  trajectory)
+            seen[key] = k + 1
+        C = nxt
+    return SyncResult(False, max_rounds, eng.decode_state(C), trajectory)
+
+
+def delta_run_vectorized(network: Network, schedule: Schedule,
+                         start: RoutingState, max_steps: int = 2_000,
+                         stability_window: Optional[int] = None,
+                         keep_history: bool = False,
+                         engine: Optional[VectorizedEngine] = None
+                         ) -> AsyncResult:
+    """Vectorized drop-in for :func:`repro.core.asynchronous.delta_run`.
+
+    Identical history semantics: the code-matrix history is a
+    :class:`~repro.core.incremental.BoundedHistory` ring buffer sized by
+    ``schedule.max_read_back() + 2`` (full list when the schedule
+    declares no bound or ``keep_history`` is set), and convergence uses
+    the same constant-window + σ-stable criterion.
+    """
+    eng = engine if engine is not None else VectorizedEngine(network)
+    eng.refresh()
+    max_read_back = schedule.max_read_back()
+    if stability_window is None:
+        stability_window = (max_read_back or 1) + 2
+    C0 = eng.encode_state(start)
+    full = keep_history or max_read_back is None
+    history = ([C0] if full
+               else BoundedHistory(C0, window=max_read_back + 2))
+    beta = schedule.beta
+    unchanged = 0
+
+    def result(converged: bool, t: int, C, converged_at):
+        decoded_history = None
+        if keep_history:
+            decoded_history = [eng.decode_state(h) for h in history]
+        return AsyncResult(converged, t, eng.decode_state(C), converged_at,
+                           decoded_history, history_retained=len(history))
+
+    for t in range(1, max_steps + 1):
+        prev = history[t - 1]
+        nxt = None
+        for i in schedule.alpha(t):
+            row = eng._delta_row(history, t, i, beta)
+            if not np.array_equal(row, prev[i]):
+                if nxt is None:
+                    nxt = prev.copy()
+                nxt[i] = row
+        changed = nxt is not None
+        if nxt is None:
+            nxt = prev                   # share the unchanged matrix
+        history.append(nxt)
+        unchanged = 0 if changed else unchanged + 1
+        if unchanged >= stability_window and \
+                np.array_equal(eng._sigma_codes(nxt), nxt):
+            return result(True, t, nxt, t - unchanged)
+    return result(False, max_steps, history[max_steps], None)

@@ -30,7 +30,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.algebra import Route
 from ..core.state import Network, RoutingState
-from ..core.synchronous import is_stable
+from ..core.synchronous import ENGINES, is_stable
 from .messages import Announcement, LinkConfig, RELIABLE
 from .node import ProtocolNode
 from .trace import Activation, MessageStats, TableChange, Trace
@@ -70,8 +70,13 @@ class Simulator:
 
     def __init__(self, network: Network, seed: int = 0,
                  link_config=None, default_link: LinkConfig = RELIABLE,
-                 refresh_interval: float = 10.0, quiet_period: float = 30.0):
+                 refresh_interval: float = 10.0, quiet_period: float = 30.0,
+                 engine: str = "incremental"):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}")
         self.network = network
+        self.engine = engine
+        self._vec_engine = None          # built lazily, auto-refreshing
         self.rng = random.Random(seed)
         self.default_link = default_link
         self._links: Dict[Tuple[int, int], LinkConfig] = {}
@@ -190,6 +195,22 @@ class Simulator:
         self._announce_all(node_id)
         self._push(self.now + self.refresh_interval, "refresh", (node_id,))
 
+    # -- stability check ------------------------------------------------------------
+
+    def _is_sigma_stable(self, state: RoutingState) -> bool:
+        """σ-stability of the final table (Definition 4), using the
+        selected engine: the vectorized check runs the table-gather σ
+        when the algebra has a finite encoding, and silently falls back
+        to the incremental dirty-set check otherwise."""
+        if self.engine == "vectorized":
+            from ..core.vectorized import VectorizedEngine, supports_vectorized
+
+            if supports_vectorized(self.network.algebra):
+                if self._vec_engine is None:
+                    self._vec_engine = VectorizedEngine(self.network)
+                return self._vec_engine.is_stable(state)
+        return is_stable(self.network, state)
+
     # -- running --------------------------------------------------------------------
 
     def current_state(self) -> RoutingState:
@@ -234,7 +255,7 @@ class Simulator:
         final = self.current_state()
         return SimulationResult(
             final_state=final,
-            converged=is_stable(self.network, final),
+            converged=self._is_sigma_stable(final),
             quiesced=quiesced,
             sim_time=self.now,
             convergence_time=self.trace.last_change_time,
@@ -255,9 +276,10 @@ class Simulator:
 def simulate(network: Network, start: Optional[RoutingState] = None,
              seed: int = 0, link_config=None,
              refresh_interval: float = 10.0, quiet_period: float = 30.0,
-             max_time: float = 10_000.0) -> SimulationResult:
+             max_time: float = 10_000.0,
+             engine: str = "incremental") -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     sim = Simulator(network, seed=seed, link_config=link_config,
                     refresh_interval=refresh_interval,
-                    quiet_period=quiet_period)
+                    quiet_period=quiet_period, engine=engine)
     return sim.run(start, max_time=max_time)

@@ -14,7 +14,29 @@ from repro.algebras import (
     ShortestPathsAlgebra,
     WidestPathsAlgebra,
 )
+from repro.core import ENGINES as ENGINE_CHOICES
 from repro.core import Network
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine", action="store", default="all",
+        choices=("all",) + ENGINE_CHOICES,
+        help="restrict tests using the `engine` fixture to one engine "
+             "(default: parametrise over all engines)")
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrise the ``engine`` fixture from ``--engine``.
+
+    Tier-1 runs the whole engine matrix at small sizes; CI shards can
+    pass ``--engine=vectorized`` (etc.) to split the matrix, and
+    ``-m slow`` scales the oracle suite's sizes up.
+    """
+    if "engine" in metafunc.fixturenames:
+        chosen = metafunc.config.getoption("--engine")
+        engines = ENGINE_CHOICES if chosen == "all" else (chosen,)
+        metafunc.parametrize("engine", engines)
 
 
 @pytest.fixture

@@ -1,0 +1,266 @@
+"""Differential-testing oracle: naive vs incremental vs vectorized.
+
+The vectorized engine's speedup only counts if its compressed iteration
+reaches exactly the reference fixed points, so this module holds every
+engine to *observational identity*: identical per-round lockstep
+states, identical fixed points and round counts for σ, and identical
+histories/convergence times for δ — across every shipped finite
+algebra, two non-finite controls (which must fall back, not diverge),
+and random-gnp / chain / gadget topology families.
+
+``assert_engines_agree`` is the reusable oracle; other test modules and
+the benchmark harness lean on the same contract.  The ``--engine``
+pytest option (see ``tests/conftest.py``) restricts the per-engine
+parametrised tests to one engine for CI sharding; ``-m slow`` runs the
+scaled-up sizes.
+"""
+
+import random
+
+import pytest
+
+from repro.algebras import (
+    BGPLiteAlgebra,
+    BoundedStratifiedAlgebra,
+    FiniteLevelAlgebra,
+    HopCountAlgebra,
+    ShortestPathsAlgebra,
+    good_gadget,
+    increasing_disagree,
+)
+from repro.algebras.bgplite import random_policy
+from repro.core import (
+    ENGINES,
+    AdversarialStaleSchedule,
+    FixedDelaySchedule,
+    RandomSchedule,
+    RoundRobinSchedule,
+    RoutingState,
+    SynchronousSchedule,
+    VectorizedEngine,
+    delta_run,
+    iterate_sigma,
+    sigma,
+    sigma_propagate,
+    sigma_with_dirty,
+    supports_vectorized,
+)
+from repro.topologies import erdos_renyi, line, uniform_weight_factory
+
+pytestmark = pytest.mark.engine_matrix
+
+
+# ----------------------------------------------------------------------
+# Network families: (algebra × topology) builders, each taking a size.
+# ----------------------------------------------------------------------
+
+
+def _hop(n, seed=1):
+    alg = HopCountAlgebra(16)
+    return erdos_renyi(alg, n, 0.3, uniform_weight_factory(alg, 1, 3),
+                       seed=seed)
+
+
+def _hop_chain(n, seed=1):
+    alg = HopCountAlgebra(32)
+    return line(alg, n, uniform_weight_factory(alg, 1, 2), seed=seed)
+
+
+def _finite_chain_alg(n, seed=2):
+    alg = FiniteLevelAlgebra(7)
+    return erdos_renyi(alg, n, 0.3,
+                       lambda rng, _i, _j: alg.random_strict_edge(rng),
+                       seed=seed)
+
+
+def _stratified(n, seed=3):
+    alg = BoundedStratifiedAlgebra(max_level=3, max_distance=10)
+    return erdos_renyi(alg, n, 0.3,
+                       lambda rng, _i, _j: alg.sample_edge_function(rng),
+                       seed=seed)
+
+
+def _shortest(n, seed=4):
+    alg = ShortestPathsAlgebra()
+    return erdos_renyi(alg, n, 0.3, uniform_weight_factory(alg, 1, 9),
+                       seed=seed)
+
+
+def _bgplite(n, seed=5):
+    alg = BGPLiteAlgebra(n_nodes=n)
+
+    def factory(rng, i, j):
+        pol = random_policy(rng, alg.community_universe, n,
+                            allow_reject=False)
+        return alg.edge(i, j, pol)
+
+    return erdos_renyi(alg, n, 0.3, factory, seed=seed)
+
+
+#: family name → builder(n).  Gadgets have fixed sizes; the size
+#: argument is ignored there so they slot into the same matrix.
+FAMILIES = {
+    "gnp/hop-count": _hop,
+    "chain/hop-count": _hop_chain,
+    "gnp/finite-chain": _finite_chain_alg,
+    "gnp/stratified-bounded": _stratified,
+    "gnp/shortest-paths": _shortest,
+    "gnp/bgplite": _bgplite,
+    "gadget/spp-good": lambda n, seed=0: good_gadget(),
+    "gadget/spp-increasing-disagree": lambda n, seed=0: increasing_disagree(),
+}
+
+#: families whose algebra must vectorize (the rest must fall back)
+FINITE_FAMILIES = frozenset({
+    "gnp/hop-count", "chain/hop-count", "gnp/finite-chain",
+    "gnp/stratified-bounded",
+})
+
+
+def _schedules(n, seed=0):
+    return [
+        SynchronousSchedule(n),
+        RoundRobinSchedule(n),
+        FixedDelaySchedule(n, delay=3),
+        AdversarialStaleSchedule(n, max_delay=5, burst=2),
+        RandomSchedule(n, seed=seed + 8, max_delay=4),
+    ]
+
+
+# ----------------------------------------------------------------------
+# The reusable oracle
+# ----------------------------------------------------------------------
+
+
+def assert_engines_agree(net, schedules=(), lockstep_rounds=10,
+                         max_rounds=500, max_steps=500):
+    """Assert all engines are observationally identical on ``net``.
+
+    * per-round lockstep: naive σ vs incremental dirty-set propagation
+      vs the vectorized single-round ``VectorizedEngine.sigma``;
+    * σ fixed points: ``iterate_sigma`` under every engine selector
+      agrees on convergence, round count and final state;
+    * δ oracle: for every schedule, ``strict`` (literal recursion) vs
+      incremental vs vectorized runs agree on convergence step and
+      final state.
+
+    Non-finite algebras exercise the documented fallback path: the
+    vectorized selector must behave exactly like the incremental one.
+    """
+    alg = net.algebra
+    start = RoutingState.identity(alg, net.n)
+    vec = VectorizedEngine(net) if supports_vectorized(alg) else None
+
+    # -- per-round lockstep ------------------------------------------------
+    naive = start
+    inc, dirty = start, None
+    for _ in range(lockstep_rounds):
+        nxt = sigma(net, naive)
+        if dirty is None:
+            inc, dirty = sigma_with_dirty(net, inc)
+        else:
+            inc, dirty = sigma_propagate(net, inc, dirty)
+        assert inc.equals(nxt, alg), "incremental σ diverged from naive"
+        if vec is not None:
+            assert vec.sigma(naive).equals(nxt, alg), \
+                "vectorized σ diverged from naive"
+        naive = nxt
+
+    # -- σ fixed points ----------------------------------------------------
+    results = {e: iterate_sigma(net, start, max_rounds=max_rounds,
+                                detect_cycles=True, engine=e)
+               for e in ENGINES}
+    ref = results["naive"]
+    for name, res in results.items():
+        assert res.converged == ref.converged, name
+        assert res.rounds == ref.rounds, name
+        assert res.state.equals(ref.state, alg), name
+
+    # -- δ oracle ----------------------------------------------------------
+    for sched in schedules:
+        strict = delta_run(net, sched, start, max_steps=max_steps,
+                           strict=True)
+        inc = delta_run(net, sched, start, max_steps=max_steps)
+        vecr = delta_run(net, sched, start, max_steps=max_steps,
+                         engine="vectorized")
+        for name, res in (("incremental", inc), ("vectorized", vecr)):
+            assert res.converged == strict.converged, (name, repr(sched))
+            assert res.converged_at == strict.converged_at, \
+                (name, repr(sched))
+            assert res.state.equals(strict.state, alg), (name, repr(sched))
+    return ref
+
+
+# ----------------------------------------------------------------------
+# The oracle across the (algebra × topology) matrix
+# ----------------------------------------------------------------------
+
+
+class TestOracleMatrix:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_small(self, family):
+        net = FAMILIES[family](9)
+        assert_engines_agree(net, schedules=_schedules(net.n),
+                             max_steps=400)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_scaled(self, family):
+        net = FAMILIES[family](24, seed=11)
+        assert_engines_agree(net, schedules=_schedules(net.n, seed=11),
+                             lockstep_rounds=6, max_steps=900)
+
+    @pytest.mark.parametrize("family", sorted(FINITE_FAMILIES))
+    def test_finite_families_vectorize(self, family):
+        assert supports_vectorized(FAMILIES[family](6).algebra)
+
+    def test_lockstep_from_garbage_state(self):
+        """The theorems quantify over arbitrary starts; so does the
+        oracle."""
+        net = _hop(10, seed=9)
+        rng = random.Random(7)
+        garbage = RoutingState.from_function(
+            lambda i, j: net.algebra.sample_route(rng), net.n)
+        alg = net.algebra
+        vec = VectorizedEngine(net)
+        state = garbage
+        for _ in range(8):
+            nxt = sigma(net, state)
+            assert vec.sigma(state).equals(nxt, alg)
+            state = nxt
+
+
+class TestPerEngine:
+    """Tests parametrised by the ``--engine`` fixture (CI sharding)."""
+
+    def test_reaches_reference_fixed_point(self, engine):
+        net = _hop(10, seed=2)
+        start = RoutingState.identity(net.algebra, net.n)
+        res = iterate_sigma(net, start, engine=engine)
+        ref = iterate_sigma(net, start, engine="naive")
+        assert res.converged and res.rounds == ref.rounds
+        assert res.state.equals(ref.state, net.algebra)
+
+    def test_delta_matches_strict(self, engine):
+        net = _finite_chain_alg(8, seed=6)
+        start = RoutingState.identity(net.algebra, net.n)
+        sched = RandomSchedule(net.n, seed=4, max_delay=4)
+        res = delta_run(net, sched, start, max_steps=400, engine=engine)
+        ref = delta_run(net, sched, start, max_steps=400, strict=True)
+        assert res.converged == ref.converged
+        assert res.converged_at == ref.converged_at
+        assert res.state.equals(ref.state, net.algebra)
+
+    def test_mid_run_topology_change(self, engine):
+        """Engine-agnostic mirror of the PR 1 cache-invalidation tests:
+        reconverging after set_edge must see the new topology."""
+        net = _hop(10, seed=3)
+        alg = net.algebra
+        fp = iterate_sigma(net, RoutingState.identity(alg, net.n),
+                           engine=engine).state
+        net.set_edge(0, net.n - 1, alg.edge(1))
+        net.set_edge(net.n - 1, 0, alg.edge(1))
+        res = iterate_sigma(net, fp, engine=engine)
+        ref = iterate_sigma(net, fp, engine="naive")
+        assert res.converged and res.rounds == ref.rounds
+        assert res.state.equals(ref.state, alg)

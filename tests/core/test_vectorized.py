@@ -1,0 +1,423 @@
+"""Unit and property tests for the vectorized finite-algebra engine.
+
+Covers the FiniteEncoding protocol (preference-ordered codes, edge
+tables, fast-path hooks), the engine's cache-invalidation contract
+under mid-run topology mutation (mirror of ``test_topology_cache.py``),
+the non-finite guard/fallback behaviour, and Hypothesis properties:
+random :class:`~repro.algebras.finite.FiniteLevelAlgebra` lookup-table
+networks under random schedules must reproduce the ``strict=True``
+history semantics exactly, including ``max_read_back`` ring-buffer
+bounding.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebras import (
+    BoundedStratifiedAlgebra,
+    FiniteLevelAlgebra,
+    GaoRexfordAlgebra,
+    HopCountAlgebra,
+    ShortestPathsAlgebra,
+    good_gadget,
+)
+from repro.algebras.stratified import STRAT_INVALID
+from repro.core import (
+    FixedDelaySchedule,
+    Network,
+    RandomSchedule,
+    RoutingState,
+    SynchronousSchedule,
+    UnsupportedAlgebraError,
+    VectorizedEngine,
+    delta_run,
+    delta_run_vectorized,
+    iterate_sigma,
+    iterate_sigma_vectorized,
+    supports_vectorized,
+)
+from repro.protocols.simulator import Simulator
+from repro.topologies import erdos_renyi, uniform_weight_factory
+
+
+def _hop_net(n=10, p=0.3, seed=0, bound=16):
+    alg = HopCountAlgebra(bound)
+    return erdos_renyi(alg, n, p, uniform_weight_factory(alg, 1, 3),
+                       seed=seed)
+
+
+# ----------------------------------------------------------------------
+# FiniteEncoding protocol
+# ----------------------------------------------------------------------
+
+
+class TestFiniteEncoding:
+    def test_hop_count_identity_encoding(self):
+        alg = HopCountAlgebra(8)
+        enc = alg.finite_encoding()
+        assert enc.size == 9 and enc.identity
+        assert enc.encode(alg.trivial) == enc.trivial_code == 0
+        assert enc.encode(alg.invalid) == enc.invalid_code == 8
+        for r in alg.routes():
+            assert enc.decode(enc.encode(r)) == r
+
+    def test_encoding_is_cached(self):
+        alg = FiniteLevelAlgebra(5)
+        assert alg.finite_encoding() is alg.finite_encoding()
+
+    def test_stratified_encoding_orders_by_preference(self):
+        alg = BoundedStratifiedAlgebra(max_level=2, max_distance=3)
+        enc = alg.finite_encoding()
+        assert enc.size == 3 * 4 + 1
+        assert enc.decode(0) == alg.trivial
+        assert enc.decode(enc.invalid_code) == STRAT_INVALID
+        # min on codes == ⊕ on routes, for every pair
+        universe = list(alg.routes())
+        for a in universe:
+            for b in universe:
+                best = alg.choice(a, b)
+                assert enc.encode(best) == min(enc.encode(a), enc.encode(b))
+
+    def test_edge_table_matches_pointwise_application(self):
+        alg = BoundedStratifiedAlgebra(max_level=2, max_distance=4)
+        rng = random.Random(3)
+        enc = alg.finite_encoding()
+        for _ in range(10):
+            fn = alg.sample_edge_function(rng)
+            table = enc.edge_table(fn)
+            assert len(table) == enc.size
+            for code, route in enumerate(enc.codes):
+                assert table[code] == enc.encode(fn(route))
+
+    def test_table_edge_fast_path_is_its_own_table(self):
+        alg = FiniteLevelAlgebra(6)
+        fn = alg.random_strict_edge(random.Random(1))
+        assert alg.finite_encoding().edge_table(fn) == fn.table
+
+    def test_hop_edge_fast_path(self):
+        alg = HopCountAlgebra(10)
+        fn = alg.edge(3)
+        table = alg.finite_encoding().edge_table(fn)
+        assert table == [min(c + 3, 10) for c in range(11)]
+
+    def test_non_finite_algebra_raises(self):
+        with pytest.raises(UnsupportedAlgebraError, match="not finite"):
+            ShortestPathsAlgebra().finite_encoding()
+
+    def test_route_outside_carrier_raises(self):
+        enc = HopCountAlgebra(4).finite_encoding()
+        with pytest.raises(UnsupportedAlgebraError, match="outside"):
+            enc.encode(99)
+
+    def test_incomparable_keys_surface_as_capability_gap(self):
+        """A finite algebra whose keys cannot be totally ordered must be
+        reported unsupported (selector falls back), not crash with a
+        raw TypeError from sort()."""
+
+        class Mixed(HopCountAlgebra):
+            def routes(self):
+                return iter([0, "one", self.bound])
+
+        alg = Mixed(4)
+        with pytest.raises(UnsupportedAlgebraError, match="comparable"):
+            alg.finite_encoding()
+        assert not supports_vectorized(alg)
+
+
+class TestStateCodecs:
+    def test_round_trip(self):
+        net = _hop_net(6, seed=1)
+        eng = VectorizedEngine(net)
+        rng = random.Random(5)
+        state = RoutingState.from_function(
+            lambda i, j: net.algebra.sample_route(rng), net.n)
+        back = eng.decode_state(eng.encode_state(state))
+        assert back.equals(state, net.algebra)
+
+    def test_out_of_carrier_state_rejected(self):
+        net = _hop_net(4, seed=1)
+        eng = VectorizedEngine(net)
+        bad = RoutingState.filled(999, net.n)
+        with pytest.raises(UnsupportedAlgebraError):
+            eng.encode_state(bad)
+
+    def test_float_routes_rejected_not_truncated(self):
+        """The identity fast path must not cast 2.5 → 2 (or -0.5 → 0):
+        a silently truncated start state would diverge from the
+        reference engines with no error."""
+        net = _hop_net(4, seed=1)
+        eng = VectorizedEngine(net)
+        for value in (2.5, -0.5):
+            with pytest.raises(UnsupportedAlgebraError):
+                eng.encode_state(RoutingState.filled(value, net.n))
+
+    def test_wide_int_routes_rejected_not_wrapped(self):
+        """Bounds are checked before the int32 cast: 2**32 must raise,
+        not wrap modulo 2³² into the trivial route."""
+        net = _hop_net(4, seed=1)
+        eng = VectorizedEngine(net)
+        with pytest.raises(UnsupportedAlgebraError):
+            eng.encode_state(RoutingState.filled(2 ** 32, net.n))
+
+
+# ----------------------------------------------------------------------
+# Non-finite guard / fallback (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestNonFiniteGuard:
+    def test_spp_engine_construction_raises(self):
+        with pytest.raises(UnsupportedAlgebraError):
+            VectorizedEngine(good_gadget())
+
+    def test_gao_rexford_engine_construction_raises(self):
+        alg = GaoRexfordAlgebra(n_nodes=4)
+        with pytest.raises(UnsupportedAlgebraError):
+            VectorizedEngine(Network(alg, 4))
+
+    def test_supports_vectorized_flags(self):
+        assert supports_vectorized(HopCountAlgebra(16))
+        assert supports_vectorized(FiniteLevelAlgebra(4))
+        assert supports_vectorized(BoundedStratifiedAlgebra(2, 5))
+        assert not supports_vectorized(ShortestPathsAlgebra())
+        assert not supports_vectorized(good_gadget().algebra)
+        assert not supports_vectorized(GaoRexfordAlgebra(n_nodes=4))
+
+    def test_sigma_selector_falls_back_silently(self):
+        alg = ShortestPathsAlgebra()
+        net = erdos_renyi(alg, 8, 0.3, uniform_weight_factory(alg, 1, 5),
+                          seed=2)
+        start = RoutingState.identity(alg, net.n)
+        vec = iterate_sigma(net, start, engine="vectorized")
+        inc = iterate_sigma(net, start, engine="incremental")
+        assert vec.converged and vec.rounds == inc.rounds
+        assert vec.state.equals(inc.state, alg)
+
+    def test_delta_selector_falls_back_silently(self):
+        net = good_gadget()
+        start = RoutingState.identity(net.algebra, net.n)
+        sched = RandomSchedule(net.n, seed=1, max_delay=3)
+        vec = delta_run(net, sched, start, max_steps=400, engine="vectorized")
+        inc = delta_run(net, sched, start, max_steps=400)
+        assert vec.converged == inc.converged
+        assert vec.converged_at == inc.converged_at
+        assert vec.state.equals(inc.state, net.algebra)
+
+    def test_unknown_engine_rejected_everywhere(self):
+        net = _hop_net(4)
+        start = RoutingState.identity(net.algebra, net.n)
+        with pytest.raises(ValueError):
+            iterate_sigma(net, start, engine="quantum")
+        with pytest.raises(ValueError):
+            delta_run(net, SynchronousSchedule(net.n), start, engine="quantum")
+        with pytest.raises(ValueError):
+            Simulator(net, engine="quantum")
+
+
+# ----------------------------------------------------------------------
+# Cache invalidation under mid-run topology mutation (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestVectorizedCacheInvalidation:
+    """Mirror of ``test_topology_cache.py`` for the engine's edge-table
+    snapshot: a stale table after set_edge / remove_edge would silently
+    compute fixed points for the old topology."""
+
+    def test_set_edge_mid_run_invalidates_tables(self):
+        net = _hop_net(10, seed=3)
+        alg = net.algebra
+        eng = VectorizedEngine(net)
+        fp = iterate_sigma_vectorized(net, RoutingState.identity(alg, net.n),
+                                      engine=eng).state
+        net.set_edge(0, net.n - 1, alg.edge(1))
+        net.set_edge(net.n - 1, 0, alg.edge(1))
+        fp2 = iterate_sigma_vectorized(net, fp, engine=eng).state
+        ref = iterate_sigma(net, fp, engine="naive").state
+        assert fp2.equals(ref, alg)
+        assert not fp2.equals(fp, alg)       # the shortcut was visible
+
+    def test_remove_edge_mid_run_invalidates_tables(self):
+        net = _hop_net(10, seed=4)
+        alg = net.algebra
+        eng = VectorizedEngine(net)
+        start = RoutingState.identity(alg, net.n)
+        fp = iterate_sigma_vectorized(net, start, engine=eng).state
+        i, k = next(iter(net.present_edges()))
+        net.remove_edge(i, k)
+        fp2 = iterate_sigma_vectorized(net, fp, engine=eng).state
+        ref = iterate_sigma(net, fp, engine="naive").state
+        assert fp2.equals(ref, alg)
+
+    def test_replacing_edge_function_refreshes_table(self):
+        """The id()-reuse trap: a replaced edge function must never be
+        served from a previous snapshot's table."""
+        alg = HopCountAlgebra(16)
+        net = Network(alg, 3)
+        net.set_edge(0, 1, alg.edge(1))
+        net.set_edge(1, 0, alg.edge(1))
+        net.set_edge(1, 2, alg.edge(1))
+        net.set_edge(2, 1, alg.edge(1))
+        eng = VectorizedEngine(net)
+        fp = iterate_sigma_vectorized(
+            net, RoutingState.identity(alg, net.n), engine=eng).state
+        assert fp.get(0, 2) == 2
+        net.set_edge(0, 1, alg.edge(5))
+        fp2 = iterate_sigma_vectorized(net, fp, engine=eng).state
+        assert fp2.get(0, 2) == 6
+
+    def test_delta_after_topology_change(self):
+        net = _hop_net(8, p=0.35, seed=5)
+        alg = net.algebra
+        eng = VectorizedEngine(net)
+        sched = RandomSchedule(net.n, seed=2, max_delay=4)
+        start = RoutingState.identity(alg, net.n)
+        mid = delta_run_vectorized(net, sched, start, max_steps=500,
+                                   engine=eng)
+        assert mid.converged
+        net.set_edge(0, net.n - 1, alg.edge(1))
+        vec = delta_run_vectorized(net, sched, mid.state, max_steps=500,
+                                   engine=eng)
+        strict = delta_run(net, sched, mid.state, max_steps=500, strict=True)
+        assert vec.converged and strict.converged
+        assert vec.state.equals(strict.state, alg)
+
+    def test_simulator_vectorized_stability_follows_changes(self):
+        net = _hop_net(8, p=0.4, seed=6)
+        sim = Simulator(net, seed=0, engine="vectorized")
+        res = sim.run(RoutingState.identity(net.algebra, net.n),
+                      max_time=5_000.0)
+        assert res.converged
+        # the cached engine must notice a post-run topology change
+        net.set_edge(0, net.n - 1, net.algebra.edge(1))
+        assert not sim._is_sigma_stable(res.final_state)
+
+
+# ----------------------------------------------------------------------
+# δ memory bounding
+# ----------------------------------------------------------------------
+
+
+class TestBoundedHistorySemantics:
+    def test_ring_buffer_sized_by_max_read_back(self):
+        net = _hop_net(10, seed=7)
+        sched = RandomSchedule(net.n, seed=1, max_delay=5)
+        start = RoutingState.identity(net.algebra, net.n)
+        res = delta_run_vectorized(net, sched, start, max_steps=600)
+        assert res.converged
+        assert res.history_retained <= sched.max_read_back() + 2
+
+    def test_unbounded_schedule_keeps_full_history(self):
+        class HalfTime(SynchronousSchedule):
+            def beta(self, t, i, j):
+                return t // 2
+
+            def max_read_back(self):
+                return None
+
+        net = _hop_net(6, p=0.4, seed=8)
+        start = RoutingState.identity(net.algebra, net.n)
+        res = delta_run_vectorized(net, HalfTime(net.n), start, max_steps=300)
+        assert res.converged
+        assert res.history_retained == res.steps + 1
+
+    def test_keep_history_returns_decoded_states(self):
+        net = _hop_net(6, p=0.4, seed=9)
+        sched = FixedDelaySchedule(net.n, delay=2)
+        start = RoutingState.identity(net.algebra, net.n)
+        vec = delta_run_vectorized(net, sched, start, max_steps=300,
+                                   keep_history=True)
+        ref = delta_run(net, sched, start, max_steps=300, keep_history=True)
+        assert vec.converged and len(vec.history) == len(ref.history)
+        for mine, theirs in zip(vec.history, ref.history):
+            assert mine.equals(theirs, net.algebra)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random finite tables × random schedules ≡ strict (satellite)
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def finite_table_networks(draw):
+    """A FiniteLevelAlgebra network with *arbitrary* lookup tables.
+
+    Tables only fix g(m) = m, so the draw space includes strictly
+    increasing tables, plateaus, filters and outright non-increasing
+    policies — the vectorized δ must mirror strict semantics on all of
+    them, converging or not.
+    """
+    levels = draw(st.integers(min_value=2, max_value=6))
+    n = draw(st.integers(min_value=3, max_value=6))
+    pairs = [(i, j) for i in range(n) for j in range(n) if i != j]
+    arcs = draw(st.lists(st.sampled_from(pairs), unique=True,
+                         min_size=n, max_size=len(pairs)))
+    alg = FiniteLevelAlgebra(levels)
+    net = Network(alg, n, name="hypothesis-finite")
+    for (i, j) in arcs:
+        table = draw(st.lists(st.integers(0, levels), min_size=levels,
+                              max_size=levels))
+        net.set_edge(i, j, alg.table_edge(table + [levels]))
+    return net
+
+
+@st.composite
+def schedules_for(draw, n):
+    kind = draw(st.sampled_from(["random", "sync", "fixed"]))
+    if kind == "sync":
+        return SynchronousSchedule(n)
+    if kind == "fixed":
+        return FixedDelaySchedule(n, delay=draw(st.integers(1, 4)))
+    return RandomSchedule(n, seed=draw(st.integers(0, 2 ** 16)),
+                          activation_prob=draw(st.sampled_from([0.3, 0.6, 1.0])),
+                          max_delay=draw(st.integers(1, 4)))
+
+
+class TestHypothesisDeltaEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_vectorized_delta_matches_strict_history(self, data):
+        net = data.draw(finite_table_networks())
+        sched = data.draw(schedules_for(net.n))
+        start = RoutingState.identity(net.algebra, net.n)
+        strict = delta_run(net, sched, start, max_steps=60, strict=True,
+                           keep_history=True)
+        vec = delta_run_vectorized(net, sched, start, max_steps=60,
+                                   keep_history=True)
+        assert vec.converged == strict.converged
+        assert vec.steps == strict.steps
+        assert vec.converged_at == strict.converged_at
+        assert len(vec.history) == len(strict.history)
+        for t, (mine, theirs) in enumerate(zip(vec.history, strict.history)):
+            assert mine.equals(theirs, net.algebra), f"δ^{t} differs"
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_bounded_ring_buffer_matches_strict_fixed_point(self, data):
+        net = data.draw(finite_table_networks())
+        sched = data.draw(schedules_for(net.n))
+        start = RoutingState.identity(net.algebra, net.n)
+        strict = delta_run(net, sched, start, max_steps=60, strict=True)
+        vec = delta_run_vectorized(net, sched, start, max_steps=60)
+        assert vec.converged == strict.converged
+        assert vec.steps == strict.steps
+        assert vec.state.equals(strict.state, net.algebra)
+        mrb = sched.max_read_back()
+        assert mrb is not None
+        assert vec.history_retained <= mrb + 2
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_vectorized_sigma_matches_naive_trajectory(self, data):
+        from repro.core import sigma
+
+        net = data.draw(finite_table_networks())
+        eng = VectorizedEngine(net)
+        state = RoutingState.identity(net.algebra, net.n)
+        for _ in range(8):
+            nxt = sigma(net, state)
+            assert eng.sigma(state).equals(nxt, net.algebra)
+            state = nxt

@@ -51,6 +51,13 @@ class TestExamples:
         assert "Theorem 11" in out
         assert "deterministic outcome: True" in out
 
+    def test_vectorized_rip(self):
+        out = run_example("vectorized_rip.py")
+        assert "vectorizable: True" in out
+        assert "engines agree: True" in out
+        assert "δ engines agree: True" in out
+        assert "fell back" in out
+
     def test_custom_algebra(self):
         out = run_example("custom_algebra.py")
         assert "✗ F increasing" in out             # the buggy round

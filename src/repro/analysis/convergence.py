@@ -67,15 +67,19 @@ def sample_starts(network: Network, n_starts: int, seed: int = 0,
 def run_absolute_convergence(network: Network, n_starts: int = 5,
                              schedules: Optional[Sequence[Schedule]] = None,
                              seed: int = 0, max_steps: int = 2_000,
-                             engine: str = "incremental"
+                             engine: str = "incremental",
+                             workers: Optional[int] = None
                              ) -> AbsoluteConvergenceReport:
     """The Theorem 7/11 experiment with sensible defaults.
 
     ``engine`` is forwarded to every δ run — finite algebras can request
-    ``"vectorized"``; others fall back to the incremental engine.
+    ``"vectorized"`` or ``"parallel"`` (``workers`` sizes the shared
+    worker pool, reused across all runs); unsupported combinations fall
+    back down the engine ladder automatically.
     """
     if schedules is None:
         schedules = schedule_zoo(network.n, seeds=(seed, seed + 17))
     starts = sample_starts(network, n_starts, seed=seed)
     return absolute_convergence_experiment(network, starts, schedules,
-                                           max_steps=max_steps, engine=engine)
+                                           max_steps=max_steps, engine=engine,
+                                           workers=workers)

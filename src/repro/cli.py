@@ -172,15 +172,27 @@ def build_network(algebra_name: str, topology: str, n: int,
 # ----------------------------------------------------------------------
 
 
-def _effective_engine(net, requested: str) -> str:
-    """The engine that will actually run (vectorized may fall back)."""
+def _effective_engine(net, requested: str, workers=None) -> str:
+    """The engine that will actually run (the ladder may fall back)."""
+    if requested == "parallel":
+        from .core import parallel_workers
+
+        effective = parallel_workers(net, workers)
+        if effective is not None:
+            return f"parallel ({effective} workers, " \
+                   "shared-memory column sharding)"
+        requested = "vectorized"
+        suffix = " (parallel fell back: no finite encoding, workers<=1, " \
+                 "or problem too small)"
+    else:
+        suffix = ""
     if requested == "vectorized":
         from .core import supports_vectorized
 
         if not supports_vectorized(net.algebra):
             return "incremental (vectorized unsupported: " \
-                   f"{net.algebra.name} has no finite encoding)"
-    return requested
+                   f"{net.algebra.name} has no finite encoding)" + suffix
+    return requested + suffix
 
 
 def cmd_list(_args) -> int:
@@ -207,9 +219,11 @@ def cmd_converge(args) -> int:
     report = run_absolute_convergence(net, n_starts=args.starts,
                                       seed=args.seed,
                                       max_steps=args.max_steps,
-                                      engine=args.engine)
+                                      engine=args.engine,
+                                      workers=args.workers)
     print(f"network           : {net.name} ({net.algebra.name})")
-    print(f"engine            : {_effective_engine(net, args.engine)}")
+    print(f"engine            : "
+          f"{_effective_engine(net, args.engine, args.workers)}")
     print(f"runs              : {report.runs} (starts × schedules)")
     print(f"all converged     : {report.all_converged}")
     print(f"distinct fixpoints: {len(report.distinct_fixed_points)}")
@@ -249,12 +263,13 @@ def cmd_simulate(args) -> int:
                      duplicate=args.dup)
     res = simulate(net, seed=args.seed, link_config=cfg,
                    refresh_interval=5.0, quiet_period=25.0,
-                   engine=args.engine)
+                   engine=args.engine, workers=args.workers)
     ref = synchronous_fixed_point(net)
     print(f"network        : {net.name} ({net.algebra.name})")
     # the event simulation itself is pure-python; only the final
     # σ-stability verdict runs on the selected engine
-    print(f"σ-check engine : {_effective_engine(net, args.engine)}")
+    print(f"σ-check engine : "
+          f"{_effective_engine(net, args.engine, args.workers)}")
     print(f"converged      : {res.converged} "
           f"(σ-stable: {res.final_state.equals(ref, net.algebra)})")
     print(f"conv. time     : {res.convergence_time:.1f}")
@@ -283,10 +298,18 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--engine", default="incremental",
                        choices=ENGINES,
-                       help="σ/δ engine; 'vectorized' needs a finite "
-                            "algebra and otherwise falls back to "
-                            "'incremental' (for `simulate` only the "
-                            "σ-stability check uses it)")
+                       help="σ/δ engine ladder rung; 'vectorized' needs "
+                            "a finite algebra (else falls back to "
+                            "'incremental'), 'parallel' additionally "
+                            "needs shared memory and >= 2 effective "
+                            "workers (else falls back to 'vectorized'); "
+                            "for `simulate` only the σ-stability check "
+                            "uses it")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for --engine parallel "
+                            "(default: auto-size to the host CPUs; "
+                            "small problems and single-CPU hosts fall "
+                            "back to the vectorized engine)")
 
     p = sub.add_parser("verify", help="law-check a deployed network")
     common(p)

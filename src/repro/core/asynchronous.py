@@ -17,13 +17,22 @@ The recursion is implemented in two forms:
   objects with the previous state (states are immutable by convention,
   so copying them was pure waste), β is queried once per (t, i, k)
   instead of once per entry, changed-row detection happens during the
-  step (no per-step O(n²) ``equals`` scan), and the history lives in a
+  step (no per-step O(n²) ``equals`` scan), each node's activation
+  diffs its historic reads against a
+  :class:`~repro.core.incremental.DeltaRowCache` of the rows it read
+  last time and refolds only the destinations that actually changed,
+  and the history lives in a
   :class:`~repro.core.incremental.BoundedHistory` ring buffer sized by
   the schedule's declared maximum read-back
   (:meth:`~repro.core.schedule.Schedule.max_read_back`) — O(window · n²)
   memory instead of O(steps · n²).  Schedules that declare no staleness
   bound keep the full history, as before.  Both forms compute exactly
   the same δᵗ.
+
+``delta_run`` additionally accepts the full engine ladder
+(``engine="vectorized"`` / ``"parallel"``, see
+:mod:`repro.core.vectorized` and :mod:`repro.core.parallel`) with the
+same fallback discipline as :func:`repro.core.synchronous.iterate_sigma`.
 
 Convergence detection
 ---------------------
@@ -42,7 +51,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from .incremental import BoundedHistory
+from .incremental import BoundedHistory, DeltaRowCache
 from .schedule import Schedule
 from .state import Network, RoutingState
 from .synchronous import ENGINES, is_stable, sigma
@@ -101,7 +110,9 @@ def delta_step_literal(network: Network, schedule: Schedule,
 
 
 def _delta_step_tracked(network: Network, schedule: Schedule,
-                        history, t: int) -> Tuple[RoutingState, bool]:
+                        history, t: int,
+                        cache: Optional[DeltaRowCache] = None
+                        ) -> Tuple[RoutingState, bool]:
     """Compute ``(δᵗ(X), changed)`` with structural row sharing.
 
     Inactive nodes keep their previous row *object*; active rows whose
@@ -110,6 +121,14 @@ def _delta_step_tracked(network: Network, schedule: Schedule,
     step, so :func:`delta_run` needs no per-step equality scan.
     ``history`` is anything indexable by absolute time (a plain list or
     a :class:`~repro.core.incremental.BoundedHistory`).
+
+    With a :class:`~repro.core.incremental.DeltaRowCache`, an
+    activation first diffs the historic rows it is about to read
+    against the rows it read last time (object identity skips shared
+    rows outright) and refolds **only the destinations whose reads
+    changed** — entry ``(i, j)`` depends on the sources' column ``j``
+    alone, so untouched destinations provably keep their value.  The
+    cache is invalidated wholesale on topology mutation (``sync``).
     """
     alg = network.algebra
     n = network.n
@@ -119,6 +138,8 @@ def _delta_step_tracked(network: Network, schedule: Schedule,
     prev = history[t - 1]
     active = schedule.alpha(t)
     beta = schedule.beta
+    if cache is not None:
+        cache.sync(network.adjacency)
     rows = []
     changed_any = False
     for i in range(n):
@@ -128,25 +149,56 @@ def _delta_step_tracked(network: Network, schedule: Schedule,
             continue
         # β is a deterministic function of (t, i, k): hoist one historic
         # row per in-neighbour instead of re-querying per destination.
-        sources = [(fn, history[beta(t, i, k)].rows[k])
-                   for (k, fn) in topo.in_edges[i]]
-        row = []
+        in_edges = topo.in_edges[i]
+        src_rows = [history[beta(t, i, k)].rows[k] for (k, _fn) in in_edges]
+        new_row = None
         row_changed = False
-        for j in range(n):
-            if i == j:
-                new = trivial
-            else:
-                new = invalid
-                for fn, src_row in sources:
-                    new = choice(new, fn(src_row[j]))
-            row.append(new)
-            if not row_changed and not equal(new, old_row[j]):
-                row_changed = True
-        if row_changed:
-            rows.append(row)
-            changed_any = True
+        cached = cache.get(i) if cache is not None else None
+        if cached is not None and cached[1] is old_row and \
+                len(cached[0]) == len(src_rows):
+            # the previous activation's result still is i's current row,
+            # so only destinations whose reads changed can move
+            dests = set()
+            for new_src, old_src in zip(src_rows, cached[0]):
+                if new_src is old_src:
+                    continue
+                for j in range(n):
+                    a, b = new_src[j], old_src[j]
+                    if a is not b and not equal(a, b):
+                        dests.add(j)
+            if dests:
+                sources = [(fn, r) for (_k, fn), r in zip(in_edges, src_rows)]
+                new_row = list(old_row)
+                for j in dests:
+                    if i == j:
+                        new = trivial
+                    else:
+                        new = invalid
+                        for fn, src_row in sources:
+                            new = choice(new, fn(src_row[j]))
+                    if not equal(new, old_row[j]):
+                        row_changed = True
+                    new_row[j] = new
         else:
-            rows.append(old_row)
+            # no usable memo: full refold (also the cache-less path)
+            sources = [(fn, r) for (_k, fn), r in zip(in_edges, src_rows)]
+            new_row = []
+            for j in range(n):
+                if i == j:
+                    new = trivial
+                else:
+                    new = invalid
+                    for fn, src_row in sources:
+                        new = choice(new, fn(src_row[j]))
+                new_row.append(new)
+                if not row_changed and not equal(new, old_row[j]):
+                    row_changed = True
+        row = new_row if row_changed else old_row
+        if row_changed:
+            changed_any = True
+        if cache is not None:
+            cache.store(i, src_rows, row)
+        rows.append(row)
     return RoutingState.adopt(rows), changed_any
 
 
@@ -160,7 +212,8 @@ def delta_step(network: Network, schedule: Schedule,
 def delta_run(network: Network, schedule: Schedule, start: RoutingState,
               max_steps: int = 2_000, stability_window: Optional[int] = None,
               keep_history: bool = False, strict: bool = False,
-              engine: str = "incremental") -> AsyncResult:
+              engine: str = "incremental",
+              workers: Optional[int] = None) -> AsyncResult:
     """Run δ from ``start`` under ``schedule`` until convergence.
 
     ``stability_window`` defaults to (max read-back of the schedule) + 2:
@@ -178,18 +231,34 @@ def delta_run(network: Network, schedule: Schedule, start: RoutingState,
     bounding the buffer would be unsound).  Results are identical in
     every mode.
 
-    ``engine`` selects ``"incremental"`` (the default tracked stepper),
-    ``"naive"`` (alias for the strict literal recursion) or
-    ``"vectorized"`` — int-encoded numpy δ for finite algebras
-    (:func:`repro.core.vectorized.delta_run_vectorized`), falling back
-    to the incremental engine when the algebra has no finite encoding.
-    All engines compute exactly the same δᵗ.
+    ``engine`` selects ``"incremental"`` (the default tracked stepper,
+    with a :class:`~repro.core.incremental.DeltaRowCache` making each
+    activation O(changed entries)), ``"naive"`` (alias for the strict
+    literal recursion), ``"vectorized"`` — int-encoded numpy δ for
+    finite algebras (:func:`repro.core.vectorized.delta_run_vectorized`),
+    falling back to the incremental engine when the algebra has no
+    finite encoding — or ``"parallel"``: the vectorized δ sharded by
+    destination columns over ``workers`` shared-memory worker processes
+    (:func:`repro.core.parallel.delta_run_parallel`), falling back down
+    the ladder when not worthwhile or unsupported (including
+    ``keep_history`` and schedules without a declared staleness bound,
+    which a fixed shared ring cannot serve).  All engines compute
+    exactly the same δᵗ.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}")
     if engine == "naive":
         strict = True
-    elif engine == "vectorized" and not strict:
+    elif engine == "parallel" and not strict:
+        from .parallel import delta_run_parallel, parallel_workers
+        effective = parallel_workers(network, workers)
+        if effective is not None and not keep_history and \
+                schedule.max_read_back() is not None:
+            return delta_run_parallel(
+                network, schedule, start, max_steps=max_steps,
+                stability_window=stability_window, workers=effective)
+        engine = "vectorized"            # fall one rung down the ladder
+    if engine == "vectorized" and not strict:
         # local import: vectorized imports AsyncResult from this module
         from .vectorized import delta_run_vectorized, supports_vectorized
         if supports_vectorized(network.algebra):
@@ -206,12 +275,14 @@ def delta_run(network: Network, schedule: Schedule, start: RoutingState,
                else BoundedHistory(start, window=max_read_back + 2))
     alg = network.algebra
     unchanged = 0
+    cache = None if strict else DeltaRowCache()
     for t in range(1, max_steps + 1):
         if strict:
             nxt = delta_step_literal(network, schedule, history, t)
             changed = not nxt.equals(history[t - 1], alg)
         else:
-            nxt, changed = _delta_step_tracked(network, schedule, history, t)
+            nxt, changed = _delta_step_tracked(network, schedule, history, t,
+                                               cache)
         history.append(nxt)
         unchanged = 0 if changed else unchanged + 1
         if unchanged >= stability_window and is_stable(network, nxt):
@@ -259,7 +330,8 @@ def absolute_convergence_experiment(
         starts: Sequence[RoutingState],
         schedules: Sequence[Schedule],
         max_steps: int = 2_000,
-        engine: str = "incremental") -> AbsoluteConvergenceReport:
+        engine: str = "incremental",
+        workers: Optional[int] = None) -> AbsoluteConvergenceReport:
     """Run δ for the cross-product of ``starts`` × ``schedules``.
 
     This is the executable form of Theorem 7 / Theorem 11: for a finite
@@ -267,14 +339,26 @@ def absolute_convergence_experiment(
     report must come back with ``absolute == True``.  Negative controls
     (e.g. SPP DISAGREE) come back with several distinct fixed points or
     non-convergence.  ``engine`` is forwarded to every
-    :func:`delta_run` (finite algebras benefit from ``"vectorized"``;
-    one :class:`~repro.core.vectorized.VectorizedEngine` is built up
-    front and reused across all runs so the edge tables are encoded
-    once, not once per (start × schedule) pair).
+    :func:`delta_run` (finite algebras benefit from ``"vectorized"`` or
+    ``"parallel"``; one engine — and for ``"parallel"`` one worker pool
+    — is built up front and reused across all runs so edge tables are
+    encoded and workers spawned once, not once per (start × schedule)
+    pair; the pool is torn down in a ``finally`` even when a run
+    raises).  ``workers`` sizes the parallel pool as in
+    :func:`delta_run`.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}")
     vec_engine = None
+    par_engine = None
+    if engine == "parallel":
+        from .parallel import ParallelVectorizedEngine, parallel_workers
+
+        effective = parallel_workers(network, workers)
+        if effective is not None:
+            par_engine = ParallelVectorizedEngine(network, workers=effective)
+        else:
+            engine = "vectorized"        # fall one rung down the ladder
     if engine == "vectorized":
         from .vectorized import VectorizedEngine, supports_vectorized
 
@@ -282,6 +366,14 @@ def absolute_convergence_experiment(
             vec_engine = VectorizedEngine(network)
 
     def run(sched, start):
+        if par_engine is not None:
+            # delta_run_parallel reuses the pool engine even when an
+            # unbounded schedule forces its serial-vectorized fallback
+            from .parallel import delta_run_parallel
+
+            return delta_run_parallel(network, sched, start,
+                                      max_steps=max_steps,
+                                      engine=par_engine)
         if vec_engine is not None:
             from .vectorized import delta_run_vectorized
 
@@ -296,16 +388,21 @@ def absolute_convergence_experiment(
     steps: List[int] = []
     all_converged = True
     runs = 0
-    for start in starts:
-        for sched in schedules:
-            runs += 1
-            result = run(sched, start)
-            if not result.converged:
-                all_converged = False
-                continue
-            steps.append(result.converged_at or result.steps)
-            if not any(result.state.equals(fp, alg) for fp in fixed_points):
-                fixed_points.append(result.state)
+    try:
+        for start in starts:
+            for sched in schedules:
+                runs += 1
+                result = run(sched, start)
+                if not result.converged:
+                    all_converged = False
+                    continue
+                steps.append(result.converged_at or result.steps)
+                if not any(result.state.equals(fp, alg)
+                           for fp in fixed_points):
+                    fixed_points.append(result.state)
+    finally:
+        if par_engine is not None:
+            par_engine.close()
     return AbsoluteConvergenceReport(runs, all_converged, fixed_points, steps)
 
 

@@ -36,6 +36,16 @@ bounded-staleness schedules, so ``delta_run`` needs a ring buffer of the
 last ``max read-back + 2`` states, not the O(steps · n²) full history
 the literal recursion keeps (``strict=True`` restores the latter for
 paper-fidelity tests).
+
+:class:`DeltaRowCache` is the δ mirror of the dirty-set idea: a node's
+activation refolds exactly the per-neighbour historic rows it reads, so
+remembering the rows *last* read (as
+:class:`~repro.protocols.node.ProtocolNode` keeps the last route heard
+per neighbour) lets the next activation refold only the destinations
+whose reads actually changed — O(changed entries) instead of O(n) per
+activation, with identity checks skipping whole neighbours for free
+because the incremental engines share unchanged row objects across
+history states.
 """
 
 from __future__ import annotations
@@ -139,6 +149,51 @@ def sigma_propagate(network: Network, state: RoutingState,
         if new_row is not None:
             new_rows[i] = new_row
     return RoutingState.adopt(new_rows), new_dirty
+
+
+class DeltaRowCache:
+    """Per-node memo of a δ activation's reads and its folded result.
+
+    ``store(i, src_rows, row)`` records, for node ``i``'s most recent
+    activation, the historic source rows it read (aligned to the
+    topology snapshot's in-edge order) and the row object it produced —
+    which is by construction the row of ``i`` in every later state
+    until ``i``'s next activation, so the cache can prove most of the
+    next refold redundant.  ``sync`` must be called with the adjacency
+    matrix before each step: a topology mutation changes both the
+    in-edge lists and the edge functions, so all memos are dropped when
+    ``adjacency.version`` moves.
+
+    Memory trade-off: memos hold references to historic row objects, so
+    rows already evicted from the :class:`BoundedHistory` ring can stay
+    alive — at most one row per present edge (the last one each
+    importer read from each neighbour), i.e. worst-case O(E · n) route
+    references on top of the ring's O(window · n²).  Mostly these are
+    the *same* objects the ring still holds (the engines share
+    unchanged rows structurally), the cache lives only for the duration
+    of one ``delta_run``, and the refolds it saves dominate — but dense
+    networks with very stale schedules pay the pin.
+    """
+
+    __slots__ = ("_version", "_entries")
+
+    def __init__(self):
+        self._version = None
+        self._entries: Dict[int, Tuple[List, List]] = {}
+
+    def sync(self, adjacency) -> None:
+        """Drop every memo if the topology has mutated since last step."""
+        if self._version != adjacency.version:
+            self._entries.clear()
+            self._version = adjacency.version
+
+    def get(self, i: int):
+        """``(src_rows, result_row)`` from ``i``'s last activation, or
+        ``None``."""
+        return self._entries.get(i)
+
+    def store(self, i: int, src_rows: List, row: List) -> None:
+        self._entries[i] = (src_rows, row)
 
 
 class BoundedHistory:

@@ -1,0 +1,826 @@
+"""Shared-memory parallel σ/δ engine: destination-column sharding.
+
+The top rung of the four-engine ladder (naive → incremental →
+vectorized → **parallel**).  The vectorized engine already turned σ
+into a numpy table-gather min-product over the dirty columns of an
+``(n, n)`` int code matrix; this module distributes that product over a
+persistent pool of worker *processes*, exploiting the same structural
+fact one level up: entry ``(i, j)`` of σ(X) only ever reads **column
+j** of ``X``, so destination columns are fully independent and can be
+sharded with zero cross-worker synchronisation inside a round.
+
+Architecture
+------------
+
+* The code matrix ``C``, the edge lookup tables, the per-round dirty /
+  next-dirty bitmaps and (for δ) a ring of ``window`` historical code
+  matrices live in :mod:`multiprocessing.shared_memory` segments; every
+  process maps them as numpy views, so no matrix bytes are ever
+  pickled.
+* Each worker owns a contiguous block of destination columns
+  ``[lo, hi)`` (``np.array_split`` layout).  One σ round is: read the
+  shared dirty bitmap over the owned block, gather-reduce new values
+  for those columns, write changed columns back **in place** (sound
+  because no other worker reads them), and flag them in the shared
+  next-dirty bitmap.  Only the tiny per-round command tuple and a
+  changed-column count cross the pipe — the dirty/fixed-point bitmaps
+  themselves live in shared memory.
+* An empty union of per-worker dirty sets is exactly σ-stability
+  (Definition 4), so fixed-point detection stays free, as in the
+  incremental and vectorized engines.
+* δ steps activate workers per ``(round, owned columns)``: the master
+  sends the activation list and the β read-back times (computed once
+  per ``(t, i, k)``), and each worker recomputes the active rows'
+  entries *restricted to its column block* against the shared history
+  ring — the row-sharded paper recursion re-expressed column-wise.
+
+Fallback & selection
+--------------------
+
+``engine="parallel"`` is safe to request anywhere: the selectors call
+:func:`parallel_workers`, which returns ``None`` (→ vectorized
+fallback, which itself falls back to incremental for non-finite
+algebras) when the algebra has no finite encoding, when shared memory
+or the platform's process support is missing, when ``workers`` resolves
+to ≤ 1, or — in auto mode (``workers=None``) — when the host has a
+single CPU or the problem is too small (``n <`` :data:`PARALLEL_MIN_N`)
+for process fan-out to pay.  Passing an explicit ``workers >= 2``
+overrides the size heuristics (tests and benchmarks do), but never the
+capability checks.  Constructing :class:`ParallelVectorizedEngine`
+directly raises :class:`~repro.core.algebra.UnsupportedAlgebraError`
+with the reason, mirroring :class:`~repro.core.vectorized.VectorizedEngine`.
+
+Cache discipline & cleanup
+--------------------------
+
+Topology mutations are handled by the same ``adjacency.version``
+contract as the vectorized engine: :meth:`ParallelVectorizedEngine.refresh`
+(called at the top of every public entry point) rebuilds the edge-table
+snapshot and **republishes** it — a fresh shared-memory segment plus a
+``reload`` command to every worker, acknowledged before the old segment
+is unlinked — so a mid-run ``set_edge`` / ``remove_edge`` can never
+leave a worker computing against stale tables.
+
+Worker processes and shared-memory segments are released by
+:meth:`~ParallelVectorizedEngine.close` (idempotent; also a context
+manager), by a ``weakref.finalize`` hook when the engine is garbage
+collected, and by the driver functions' ``finally`` blocks for engines
+they created themselves — an exception anywhere in a run must never
+leak a segment or a process (``tests/core/test_parallel.py`` holds the
+engine to that).
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:
+    import numpy as np
+except ImportError:                      # pragma: no cover - numpy is baked in
+    np = None
+
+try:
+    import multiprocessing as _mp
+    from multiprocessing import shared_memory as _shm
+except ImportError:                      # pragma: no cover - stdlib
+    _mp = None
+    _shm = None
+
+from .algebra import UnsupportedAlgebraError
+from .asynchronous import AsyncResult
+from .schedule import Schedule
+from .state import Network, RoutingState
+from .synchronous import SyncResult
+from .vectorized import (
+    _DTYPE,
+    VectorizedEngine,
+    fold_edge_tables,
+    gather_min_reduce,
+    supports_vectorized,
+)
+
+#: auto-mode floor: below this many destinations the per-round IPC and
+#: process fan-out outweigh the numpy work being sharded — the
+#: committed BENCH_core.json measures the pool *losing* to the serial
+#: vectorized engine at n=200 (0.8×) and winning at n=400 (1.3×) on a
+#: memory-bandwidth-limited host, so auto mode only engages from the
+#: size class where the win is demonstrated.  Explicit ``workers``
+#: overrides it (the differential tests and benchmarks do).
+PARALLEL_MIN_N = 256
+
+#: seconds to wait on a worker reply before declaring the pool dead.
+_REPLY_TIMEOUT = 120.0
+
+
+def _mp_context():
+    """Fork where available (cheap, inherits the numpy import), else
+    spawn; ``None`` when multiprocessing is unusable on this platform."""
+    if _mp is None or _shm is None:
+        return None
+    try:
+        methods = _mp.get_all_start_methods()
+    except Exception:                    # pragma: no cover - exotic platforms
+        return None
+    if "fork" in methods:
+        return _mp.get_context("fork")
+    if "spawn" in methods:               # pragma: no cover - non-posix
+        return _mp.get_context("spawn")
+    return None                          # pragma: no cover - no methods
+
+
+def supports_parallel(algebra) -> bool:
+    """True when the parallel engine *could* run this algebra here.
+
+    Capability only (finite encoding + numpy + shared memory + a
+    process start method); whether fan-out is worthwhile for a given
+    ``(n, workers)`` is decided by :func:`parallel_workers`.
+    """
+    return _mp_context() is not None and supports_vectorized(algebra)
+
+
+def parallel_workers(network: Network,
+                     workers: Optional[int] = None) -> Optional[int]:
+    """Resolve the effective worker count, or ``None`` to fall back.
+
+    ``None`` means "the selector should silently drop to the vectorized
+    engine": no capability, an explicit ``workers=1`` request, or auto
+    mode on a single-CPU host / a problem smaller than
+    :data:`PARALLEL_MIN_N`.  Explicit ``workers >= 2`` skips the size
+    heuristics but is still clamped to ``n`` (every worker needs at
+    least one column).
+
+    Caveat: auto mode trusts ``os.cpu_count()``, which containers
+    routinely clamp to 1 even when the hypervisor schedules several
+    vCPUs (the benchmark harness's ``usable_cpus()`` probe measures the
+    difference empirically — too slow to run inside a library call).
+    On such hosts pass an explicit ``workers`` count to engage the
+    pool.
+    """
+    if not supports_parallel(network.algebra):
+        return None
+    if workers is None:
+        cpus = os.cpu_count() or 1
+        if cpus < 2 or network.n < PARALLEL_MIN_N:
+            return None
+        workers = cpus
+    workers = min(int(workers), network.n)
+    return workers if workers >= 2 else None
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class _WorkerState:
+    """Everything one worker holds: shm attachments + numpy views."""
+
+    def __init__(self):
+        self.segments: Dict[str, "_shm.SharedMemory"] = {}
+        self.C = None                    # (n, n) view of the code matrix
+        self.dirty = None                # (n,) uint8 view (round input)
+        self.next_dirty = None           # (n,) uint8 view (round output)
+        self.hist: List = []             # ring of (n, n) views (δ)
+        self.window = 0
+        self.tables = None
+        self.src = None
+        self.importers = None
+        self.starts = None
+        self.erange = None
+        self.offsets: Dict[int, int] = {}
+        self.degrees: Dict[int, int] = {}
+        self.n = 0
+        self.lo = 0
+        self.hi = 0
+        self.trivial = 0
+        self.invalid = 0
+
+    def attach(self, key: str, name: str, shape, dtype):
+        old = self.segments.pop(key, None)
+        if old is not None:
+            old.close()
+        seg = _shm.SharedMemory(name=name)
+        self.segments[key] = seg
+        return np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+
+    def close(self):
+        for seg in self.segments.values():
+            try:
+                seg.close()
+            except OSError:              # pragma: no cover - already gone
+                pass
+        self.segments.clear()
+
+
+def _worker_load(state: _WorkerState, meta: dict) -> None:
+    """Attach the base segments and install the edge-table snapshot."""
+    n = meta["n"]
+    state.n = n
+    state.lo, state.hi = meta["block"]
+    state.trivial = meta["trivial"]
+    state.invalid = meta["invalid"]
+    state.C = state.attach("C", meta["C"], (n, n), _DTYPE)
+    state.dirty = state.attach("dirty", meta["dirty"], (n,), np.uint8)
+    state.next_dirty = state.attach(
+        "next_dirty", meta["next_dirty"], (n,), np.uint8)
+    _worker_reload_tables(state, meta)
+
+
+def _worker_reload_tables(state: _WorkerState, meta: dict) -> None:
+    """(Re)install the topology snapshot after a publish/republish."""
+    n_edges, size = meta["tables_shape"]
+    state.tables = state.attach("tables", meta["tables"],
+                                (n_edges, size), _DTYPE)
+    state.src = np.asarray(meta["src"], dtype=np.intp)
+    state.importers = np.asarray(meta["importers"], dtype=np.intp)
+    state.starts = np.asarray(meta["starts"], dtype=np.intp)
+    state.erange = np.arange(n_edges)[:, None]
+    state.offsets = dict(meta["offsets"])
+    state.degrees = dict(meta["degrees"])
+
+
+def _worker_sigma(state: _WorkerState, full: bool) -> int:
+    """One σ round over this worker's dirty columns; returns #changed.
+
+    Reads only the owned columns of ``C`` (plus the shared tables),
+    writes only the owned columns — the in-place update is sound
+    because entry ``(i, j)`` of σ(X) depends on column ``j`` alone and
+    column ownership is exclusive.
+    """
+    lo, hi = state.lo, state.hi
+    if full:
+        cols = np.arange(lo, hi)
+    else:
+        cols = lo + np.nonzero(state.dirty[lo:hi])[0]
+    if cols.size == 0:
+        return 0
+    C = state.C
+    sub = C[:, cols]                     # copy: the round's frozen input
+    new = gather_min_reduce(sub, state.tables, state.src, state.erange,
+                            state.importers, state.starts, state.invalid)
+    new[cols, np.arange(cols.size)] = state.trivial    # Lemma 1 diagonal
+    changed = (new != sub).any(axis=0)
+    if not changed.any():
+        return 0
+    changed_cols = cols[changed]
+    C[:, changed_cols] = new[:, changed]
+    state.next_dirty[changed_cols] = 1
+    return int(changed_cols.size)
+
+
+def _worker_history(state: _WorkerState, names: Sequence[str],
+                    window: int) -> None:
+    """Attach the δ history ring (``window`` shared code matrices)."""
+    n = state.n
+    # detach any previous ring first (segment keys are positional)
+    for key in [k for k in state.segments if k.startswith("hist:")]:
+        state.segments.pop(key).close()
+    state.hist = [state.attach(f"hist:{i}", name, (n, n), _DTYPE)
+                  for i, name in enumerate(names)]
+    state.window = window
+
+
+def _worker_delta(state: _WorkerState, t: int,
+                  acts: Sequence[Tuple[int, Sequence[int]]]) -> bool:
+    """One δ step restricted to the owned column block.
+
+    ``acts`` is ``[(i, read_times)]`` for every active node, with
+    ``read_times`` aligned to node ``i``'s in-edge order in the
+    snapshot.  Copies the previous matrix's block into the new ring
+    slot, overwrites active rows, and reports whether anything in the
+    block changed.
+    """
+    W = state.window
+    lo, hi = state.lo, state.hi
+    block = slice(lo, hi)
+    width = hi - lo
+    prev = state.hist[(t - 1) % W]
+    nxt = state.hist[t % W]
+    nxt[:, block] = prev[:, block]
+    changed = False
+    for i, times in acts:
+        degree = state.degrees.get(i, 0)
+        if degree:
+            offset = state.offsets[i]
+            gathered = np.empty((degree, width), dtype=_DTYPE)
+            for idx in range(degree):
+                k = int(state.src[offset + idx])
+                gathered[idx] = state.hist[times[idx] % W][k, block]
+            row = fold_edge_tables(state.tables[offset:offset + degree],
+                                   gathered)
+        else:
+            row = np.full(width, state.invalid, dtype=_DTYPE)
+        if lo <= i < hi:
+            row[i - lo] = state.trivial
+        if not changed and not np.array_equal(row, prev[i, block]):
+            changed = True
+        nxt[i, block] = row
+    return changed
+
+
+def _worker_main(conn) -> None:
+    """Worker process entry point: a command loop over one pipe end.
+
+    Commands (tuples, first element is the verb):
+
+    * ``("load", meta)``     — attach C/dirty/table segments → ack ``True``
+    * ``("reload", meta)``   — swap in a republished table snapshot → ack
+    * ``("history", names, window)`` — attach the δ ring → ack ``True``
+    * ``("sigma", full)``    — one σ round → #changed columns
+    * ``("delta", t, acts)`` — one δ step → changed flag
+    * ``("stop",)``          — drain and exit
+    """
+    state = _WorkerState()
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break                    # master vanished: exit quietly
+            cmd = msg[0]
+            if cmd == "stop":
+                break
+            # relay failures instead of dying: a raised exception would
+            # kill the (daemon) worker and reduce the master's error to
+            # "died mid-command" with the real traceback lost to stderr
+            try:
+                if cmd == "sigma":
+                    reply = _worker_sigma(state, msg[1])
+                elif cmd == "delta":
+                    reply = _worker_delta(state, msg[1], msg[2])
+                elif cmd == "load":
+                    _worker_load(state, msg[1])
+                    reply = True
+                elif cmd == "reload":
+                    _worker_reload_tables(state, msg[1])
+                    reply = True
+                elif cmd == "history":
+                    _worker_history(state, msg[1], msg[2])
+                    reply = True
+                else:                    # pragma: no cover - protocol bug
+                    reply = RuntimeError(f"unknown command {cmd!r}")
+            except Exception as exc:
+                reply = RuntimeError(
+                    f"parallel worker failed on {cmd!r}: {exc!r}")
+            conn.send(reply)
+    finally:
+        state.close()
+        try:
+            conn.close()
+        except OSError:                  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# Master side
+# ----------------------------------------------------------------------
+
+
+class _PoolResources:
+    """Owns every leak-prone handle, detached from the engine object.
+
+    Kept separate so a ``weakref.finalize`` on the engine can close
+    everything without keeping the engine alive; ``close`` is
+    idempotent and tolerant of already-dead workers / already-unlinked
+    segments, because it also runs on interpreter shutdown.
+    """
+
+    def __init__(self):
+        self.segments: List["_shm.SharedMemory"] = []
+        self.procs: List = []
+        self.conns: List = []
+
+    def add_segment(self, seg) -> None:
+        self.segments.append(seg)
+
+    def drop_segment(self, seg) -> None:
+        """Unlink one segment early (e.g. a superseded table snapshot)."""
+        if seg in self.segments:
+            self.segments.remove(seg)
+        _destroy_segment(seg)
+
+    def close(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for proc in self.procs:
+            proc.join(timeout=2.0)
+        for proc in self.procs:
+            if proc.is_alive():          # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:              # pragma: no cover
+                pass
+        for seg in self.segments:
+            _destroy_segment(seg)
+        self.segments = []
+        self.procs = []
+        self.conns = []
+
+
+def _destroy_segment(seg) -> None:
+    try:
+        seg.close()
+    except OSError:                      # pragma: no cover - already closed
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass                             # already unlinked (idempotent close)
+    except OSError:                      # pragma: no cover
+        pass
+
+
+class ParallelVectorizedEngine(VectorizedEngine):
+    """Column-sharded multi-process σ/δ over shared code matrices.
+
+    Extends :class:`~repro.core.vectorized.VectorizedEngine` — the
+    encoding, codecs, and the master's local edge snapshot (used for
+    the rare σ-stability probes during δ convergence) are inherited;
+    what this class adds is the shared-memory mirror of that snapshot
+    and the worker pool that computes over it.
+
+    The pool is started lazily on the first σ/δ entry and persists
+    across calls; release it with :meth:`close` (or use the engine as a
+    context manager).  A ``weakref.finalize`` backstop releases
+    everything if the engine is dropped without closing.
+    """
+
+    def __init__(self, network: Network, workers: Optional[int] = None):
+        ctx = _mp_context()
+        if ctx is None:
+            raise UnsupportedAlgebraError(
+                "parallel engine unavailable: multiprocessing shared "
+                "memory is not supported on this platform")
+        resolved = (min(int(workers), network.n) if workers is not None
+                    else min(os.cpu_count() or 1, network.n))
+        if resolved < 2:
+            raise UnsupportedAlgebraError(
+                f"parallel engine needs >= 2 workers (resolved {resolved}); "
+                "use the vectorized engine instead")
+        self._res = _PoolResources()
+        self._finalizer = weakref.finalize(self, self._res.close)
+        super().__init__(network)        # raises for non-finite algebras
+        self.workers = resolved
+        self._ctx = ctx
+        self._published_version: Optional[int] = None
+        self._seg_C = self._seg_dirty = self._seg_next = None
+        self._C_view = self._dirty_view = self._next_view = None
+        self._seg_tables = None
+        self._hist_segs: List = []
+        self._hist_views: List = []
+        self._window = 0
+        self._blocks = self._split_columns(network.n, resolved)
+
+    # -- layout ---------------------------------------------------------
+
+    @staticmethod
+    def _split_columns(n: int, workers: int) -> List[Tuple[int, int]]:
+        """Contiguous ``np.array_split``-style column blocks, one per
+        worker (first ``n % workers`` blocks get the extra column)."""
+        base, extra = divmod(n, workers)
+        blocks = []
+        lo = 0
+        for w in range(workers):
+            hi = lo + base + (1 if w < extra else 0)
+            blocks.append((lo, hi))
+            lo = hi
+        return blocks
+
+    # -- pool / shared-memory lifecycle ----------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and unlink every shared segment (idempotent)."""
+        self._finalizer()                # runs _res.close at most once
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "ParallelVectorizedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _alloc(self, nbytes: int):
+        seg = _shm.SharedMemory(create=True, size=max(int(nbytes), 1))
+        self._res.add_segment(seg)
+        return seg
+
+    def _matrix_segment(self):
+        n = self._n
+        seg = self._alloc(n * n * np.dtype(_DTYPE).itemsize)
+        return seg, np.ndarray((n, n), dtype=_DTYPE, buffer=seg.buf)
+
+    def _table_meta(self, seg) -> dict:
+        """The picklable half of the snapshot: small index arrays travel
+        over the pipe, the dense tables stay in shared memory."""
+        return dict(
+            tables=seg.name,
+            tables_shape=tuple(self._tables.shape),
+            src=self._src.tolist(),
+            importers=self._importers.tolist(),
+            starts=self._starts.tolist(),
+            offsets=self._offsets,
+            degrees=self._degrees,
+        )
+
+    def _publish_tables(self):
+        """Copy the current edge-table snapshot into a fresh segment."""
+        seg = self._alloc(max(self._tables.nbytes, 1))
+        if self._tables.size:
+            view = np.ndarray(self._tables.shape, dtype=_DTYPE,
+                              buffer=seg.buf)
+            view[:] = self._tables
+        return seg
+
+    def _ensure_pool(self) -> None:
+        """Start the workers (first use) or republish a stale snapshot."""
+        if self.closed:
+            raise RuntimeError("engine is closed; build a new one")
+        if not self._res.procs:
+            n = self._n
+            self._seg_C, self._C_view = self._matrix_segment()
+            self._seg_dirty = self._alloc(n)
+            self._dirty_view = np.ndarray((n,), dtype=np.uint8,
+                                          buffer=self._seg_dirty.buf)
+            self._seg_next = self._alloc(n)
+            self._next_view = np.ndarray((n,), dtype=np.uint8,
+                                         buffer=self._seg_next.buf)
+            self._seg_tables = self._publish_tables()
+            base = dict(
+                n=n, trivial=self.trivial_code, invalid=self.invalid_code,
+                C=self._seg_C.name, dirty=self._seg_dirty.name,
+                next_dirty=self._seg_next.name,
+                **self._table_meta(self._seg_tables))
+            for block in self._blocks:
+                parent, child = self._ctx.Pipe()
+                proc = self._ctx.Process(
+                    target=_worker_main, args=(child,), daemon=True,
+                    name=f"repro-sigma-delta-{block[0]}-{block[1]}")
+                proc.start()
+                child.close()
+                self._res.conns.append(parent)
+                self._res.procs.append(proc)
+                parent.send(("load", dict(base, block=block)))
+            self._collect()              # acks
+            self._published_version = self._version
+        elif self._published_version != self._version:
+            old = self._seg_tables
+            self._seg_tables = self._publish_tables()
+            meta = self._table_meta(self._seg_tables)
+            self._broadcast(("reload", meta))
+            self._collect()              # all workers on the new snapshot
+            if old is not None:
+                self._res.drop_segment(old)
+            self._published_version = self._version
+
+    def _broadcast(self, msg) -> None:
+        for conn in self._res.conns:
+            conn.send(msg)
+
+    def _collect(self) -> list:
+        """One reply per worker, with a liveness guard (a worker that
+        died mid-command would otherwise hang the master forever)."""
+        replies = []
+        for conn, proc in zip(self._res.conns, self._res.procs):
+            if not conn.poll(_REPLY_TIMEOUT):
+                self.close()
+                raise RuntimeError(
+                    f"parallel worker {proc.name} did not reply within "
+                    f"{_REPLY_TIMEOUT}s (alive={proc.is_alive()})")
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError):
+                self.close()
+                raise RuntimeError(
+                    f"parallel worker {proc.name} died mid-command")
+            if isinstance(reply, Exception):
+                self.close()
+                raise reply
+            replies.append(reply)
+        return replies
+
+    def _ensure_history(self, window: int) -> None:
+        """Grow (never shrink) the shared δ ring to ``window`` slots."""
+        if window <= self._window:
+            return
+        while len(self._hist_segs) < window:
+            seg, view = self._matrix_segment()
+            self._hist_segs.append(seg)
+            self._hist_views.append(view)
+        self._window = window
+        self._broadcast(("history",
+                         [s.name for s in self._hist_segs[:window]], window))
+        self._collect()
+
+    # -- σ ---------------------------------------------------------------
+
+    def _load(self, C: "np.ndarray") -> None:
+        self._ensure_pool()
+        self._C_view[:] = C
+
+    def _round(self, full: bool) -> int:
+        """One parallel σ round in place; returns changed-column count
+        and leaves the next dirty bitmap installed for the round after."""
+        self._next_view[:] = 0
+        self._broadcast(("sigma", full))
+        total = sum(self._collect())
+        # next round's input bitmap is this round's output bitmap
+        self._dirty_view[:] = self._next_view
+        return total
+
+    def sigma(self, state: RoutingState) -> RoutingState:
+        """One full σ round, computed by the pool (lockstep oracle)."""
+        self.refresh()
+        self._load(self.encode_state(state))
+        self._round(full=True)
+        return self.decode_state(self._C_view)
+
+    def is_stable(self, state: RoutingState) -> bool:
+        """Definition 4 on the pool: a full round with no changed column."""
+        self.refresh()
+        self._load(self.encode_state(state))
+        return self._round(full=True) == 0
+
+    def iterate(self, start: RoutingState, max_rounds: int = 10_000,
+                keep_trajectory: bool = False,
+                detect_cycles: bool = False) -> SyncResult:
+        """σ fixed-point iteration on the pool.
+
+        Same trajectory / round-count / fixed-point contract as every
+        other engine (the differential oracle enforces it): the first
+        round is full, later rounds touch only dirty columns, and an
+        empty dirty union is convergence.
+        """
+        self.refresh()
+        self._load(self.encode_state(start))
+        view = self._C_view
+        trajectory: Optional[List[RoutingState]] = \
+            [start] if keep_trajectory else None
+        seen = {view.tobytes(): 0} if detect_cycles else None
+        for k in range(max_rounds):
+            changed = self._round(full=(k == 0))
+            if keep_trajectory:
+                trajectory.append(self.decode_state(view))
+            if changed == 0:
+                return SyncResult(True, k, self.decode_state(view),
+                                  trajectory)
+            if detect_cycles:
+                key = view.tobytes()
+                if key in seen:
+                    return SyncResult(False, k + 1, self.decode_state(view),
+                                      trajectory)
+                seen[key] = k + 1
+        return SyncResult(False, max_rounds, self.decode_state(view),
+                          trajectory)
+
+    # -- δ ---------------------------------------------------------------
+
+    def delta(self, schedule: Schedule, start: RoutingState,
+              max_steps: int = 2_000,
+              stability_window: Optional[int] = None) -> AsyncResult:
+        """δ on the pool against the shared bounded history ring.
+
+        Requires a schedule with a declared staleness bound (the ring
+        size is ``max_read_back + 2``, exactly the
+        :class:`~repro.core.incremental.BoundedHistory` window); the
+        ``delta_run`` selector routes unbounded schedules and
+        ``keep_history`` requests to the vectorized engine instead.
+        Identical convergence semantics: constant for a full stability
+        window *and* σ-stable (the σ probe runs on the master's local
+        snapshot — matrices never leave shared memory for it).
+        """
+        max_read_back = schedule.max_read_back()
+        if max_read_back is None:
+            raise UnsupportedAlgebraError(
+                "parallel δ needs a bounded-staleness schedule "
+                "(max_read_back() returned None); use "
+                "delta_run(..., engine='vectorized') or strict=True")
+        if stability_window is None:
+            stability_window = (max_read_back or 1) + 2
+        window = max_read_back + 2       # the BoundedHistory window
+        self.refresh()
+        self._ensure_pool()
+        # one spare slot beyond the BoundedHistory window: the serial
+        # engines tolerate reads up to ``t - window`` (the oldest state
+        # still retained while step t computes), and the slot being
+        # written at step t must never alias a legal read — so the ring
+        # is ``window + 1`` slots and the staleness guard below raises
+        # exactly where BoundedHistory would, keeping the "all engines
+        # compute exactly the same δᵗ" contract even for schedules that
+        # read slightly past their declaration.  The ring may be larger
+        # still (it is reused across runs and never shrinks): slot
+        # arithmetic uses the actual ring size, validation the
+        # schedule's declared window.
+        self._ensure_history(window + 1)
+        W = self._window
+        self._hist_views[0][:] = self.encode_state(start)
+        beta, alpha = schedule.beta, schedule.alpha
+        in_neighbours = {
+            i: [int(self._src[self._offsets[i] + d])
+                for d in range(self._degrees[i])]
+            for i in self._degrees}
+        unchanged = 0
+        for t in range(1, max_steps + 1):
+            acts = []
+            for i in sorted(alpha(t)):
+                times = []
+                for k in in_neighbours.get(i, ()):
+                    s = beta(t, i, k)
+                    # s < 0 violates S2 outright and would wrap the ring
+                    # modulo into an arbitrary slot; s < t - window is
+                    # exactly the read BoundedHistory would refuse as
+                    # evicted — fail loudly either way
+                    if s < 0 or s >= t or t - s > window:
+                        raise LookupError(
+                            f"δ history for time {s} is outside the shared "
+                            f"ring (window={window}, t={t}); the schedule reads "
+                            "further back than its declared max_read_back — "
+                            "run delta_run(..., strict=True) to keep the "
+                            "full history")
+                    times.append(s)
+                acts.append((i, times))
+            self._broadcast(("delta", t, acts))
+            changed = any(self._collect())
+            unchanged = 0 if changed else unchanged + 1
+            nxt = self._hist_views[t % W]
+            if unchanged >= stability_window and \
+                    np.array_equal(self._sigma_codes(nxt), nxt):
+                return AsyncResult(True, t, self.decode_state(nxt),
+                                   t - unchanged, None,
+                                   history_retained=min(t + 1, window))
+        final = self._hist_views[max_steps % W]
+        return AsyncResult(False, max_steps, self.decode_state(final), None,
+                           None, history_retained=min(max_steps + 1, window))
+
+
+# ----------------------------------------------------------------------
+# Drivers (SyncResult / AsyncResult compatible)
+# ----------------------------------------------------------------------
+
+
+def iterate_sigma_parallel(network: Network, start: RoutingState,
+                           max_rounds: int = 10_000,
+                           keep_trajectory: bool = False,
+                           detect_cycles: bool = False,
+                           engine: Optional[ParallelVectorizedEngine] = None,
+                           workers: Optional[int] = None) -> SyncResult:
+    """Parallel drop-in for :func:`repro.core.synchronous.iterate_sigma`.
+
+    Pass ``engine`` to reuse a running pool across calls (its caches
+    and published snapshots auto-refresh on topology changes); without
+    one, a pool is started for the call and torn down in a ``finally``
+    — exceptions included, so no run can leak workers or segments.
+    """
+    eng = engine if engine is not None \
+        else ParallelVectorizedEngine(network, workers=workers)
+    try:
+        return eng.iterate(start, max_rounds=max_rounds,
+                           keep_trajectory=keep_trajectory,
+                           detect_cycles=detect_cycles)
+    finally:
+        if engine is None:
+            eng.close()
+
+
+def delta_run_parallel(network: Network, schedule: Schedule,
+                       start: RoutingState, max_steps: int = 2_000,
+                       stability_window: Optional[int] = None,
+                       keep_history: bool = False,
+                       engine: Optional[ParallelVectorizedEngine] = None,
+                       workers: Optional[int] = None) -> AsyncResult:
+    """Parallel drop-in for :func:`repro.core.asynchronous.delta_run`.
+
+    ``keep_history`` and unbounded schedules delegate to the vectorized
+    engine (full decoded histories cannot live in a fixed shared ring);
+    everything else runs on the pool.  A caller-supplied ``engine`` is
+    reused even on the delegating path — a
+    :class:`ParallelVectorizedEngine` *is* a
+    :class:`~repro.core.vectorized.VectorizedEngine`, so its encoding
+    and table snapshot serve the serial run without re-encoding.
+    Engine ownership and cleanup as in :func:`iterate_sigma_parallel`.
+    """
+    if keep_history or schedule.max_read_back() is None:
+        from .vectorized import delta_run_vectorized
+        return delta_run_vectorized(network, schedule, start,
+                                    max_steps=max_steps,
+                                    stability_window=stability_window,
+                                    keep_history=keep_history,
+                                    engine=engine)
+    eng = engine if engine is not None \
+        else ParallelVectorizedEngine(network, workers=workers)
+    try:
+        return eng.delta(schedule, start, max_steps=max_steps,
+                         stability_window=stability_window)
+    finally:
+        if engine is None:
+            eng.close()

@@ -36,10 +36,19 @@ Two engines implement the iteration:
   dirty columns (:mod:`repro.core.vectorized`).  Algebras without a
   finite encoding silently fall back to the incremental engine, so the
   selector is always safe to request.
+* ``engine="parallel"`` — the vectorized engine's column-independent
+  round sharded over a pool of worker processes against shared-memory
+  code matrices (:mod:`repro.core.parallel`).  Falls back to the
+  vectorized engine (and transitively to incremental) when the algebra
+  has no finite encoding, when the platform lacks shared memory, or
+  when ``workers`` resolves to ≤ 1 — e.g. auto mode on a single-CPU
+  host or a problem below :data:`repro.core.parallel.PARALLEL_MIN_N`.
 
-All engines compute exactly σ every round, so trajectories and fixed
-points are identical — ``tests/core/test_engine_equivalence.py`` is the
-differential oracle holding them to it.
+The four-engine ladder (naive → incremental → vectorized → parallel)
+trades generality for speed rung by rung, but every rung computes
+exactly σ each round, so trajectories and fixed points are identical —
+``tests/core/test_engine_equivalence.py`` is the differential oracle
+holding them to it.
 
 Both engines read neighbour structure from the cached
 :class:`~repro.core.state.NetworkTopology`, which is invalidated by
@@ -56,8 +65,8 @@ from .incremental import sigma_propagate, sigma_with_dirty
 from .state import Network, RoutingState
 
 #: The engine selector vocabulary, shared by every σ/δ driver, the
-#: simulator, the CLI and the test matrix.
-ENGINES = ("naive", "incremental", "vectorized")
+#: simulator, the CLI and the test matrix — ordered as the ladder.
+ENGINES = ("naive", "incremental", "vectorized", "parallel")
 
 
 def sigma(network: Network, state: RoutingState) -> RoutingState:
@@ -117,18 +126,25 @@ class SyncResult:
 def iterate_sigma(network: Network, start: RoutingState, max_rounds: int = 10_000,
                   keep_trajectory: bool = False,
                   detect_cycles: bool = False,
-                  engine: str = "incremental") -> SyncResult:
+                  engine: str = "incremental",
+                  workers: Optional[int] = None) -> SyncResult:
     """Iterate σ from ``start`` until a fixed point (or ``max_rounds``).
 
     With ``detect_cycles`` the iteration also stops early when a state
     repeats (σ has entered a limit cycle — e.g. BAD GADGET oscillation),
     reporting ``converged=False``.
 
-    ``engine`` selects ``"incremental"`` (dirty-set delta propagation,
-    the default), ``"naive"`` (full recompute + equality scan per
-    round) or ``"vectorized"`` (int-encoded numpy engine for finite
-    algebras, incremental fallback otherwise); see the module
-    docstring.  All produce identical iterates.
+    ``engine`` selects one rung of the ladder: ``"incremental"``
+    (dirty-set delta propagation, the default), ``"naive"`` (full
+    recompute + equality scan per round), ``"vectorized"``
+    (int-encoded numpy engine for finite algebras, incremental fallback
+    otherwise) or ``"parallel"`` (the vectorized round sharded by
+    destination columns over ``workers`` processes, vectorized fallback
+    when not worthwhile or unsupported); see the module docstring.  All
+    produce identical iterates.  ``workers`` applies to
+    ``engine="parallel"`` only: ``None`` sizes the pool to the host's
+    CPUs (falling back entirely on small problems or single-CPU
+    hosts), an explicit count ≥ 2 forces a pool of that size.
 
     Returns a :class:`SyncResult`; ``result.rounds`` is the number of σ
     applications it took to *reach* the fixed point (so a stable start
@@ -136,6 +152,16 @@ def iterate_sigma(network: Network, start: RoutingState, max_rounds: int = 10_00
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}")
+    if engine == "parallel":
+        # local import: parallel imports SyncResult from this module
+        from .parallel import iterate_sigma_parallel, parallel_workers
+        effective = parallel_workers(network, workers)
+        if effective is not None:
+            return iterate_sigma_parallel(
+                network, start, max_rounds=max_rounds,
+                keep_trajectory=keep_trajectory,
+                detect_cycles=detect_cycles, workers=effective)
+        engine = "vectorized"            # documented fallback ladder
     if engine == "vectorized":
         # local import: vectorized imports SyncResult from this module
         from .vectorized import iterate_sigma_vectorized, supports_vectorized

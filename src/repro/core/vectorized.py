@@ -29,6 +29,12 @@ asynchronous rounds are array ops too (`delta_run_vectorized`).
 Capability & fallback
 ---------------------
 
+This is the third rung of the four-engine ladder (naive → incremental
+→ **vectorized** → parallel): :mod:`repro.core.parallel` shards this
+engine's column-independent round over worker processes against
+shared-memory code matrices, and inherits its encoding and snapshot
+machinery from :class:`VectorizedEngine`.
+
 The engine needs numpy and a :class:`~repro.algebras.base.AlgebraEncoding`
 (finite carrier, injective preference keys, default route equality).
 :func:`supports_vectorized` reports capability; the public selectors
@@ -64,6 +70,38 @@ from .synchronous import SyncResult
 
 #: dtype for code matrices and tables; carriers are small, int32 is ample.
 _DTYPE = "int32"
+
+
+def gather_min_reduce(sub, tables, src, erange, importers, starts,
+                      invalid_code):
+    """The σ kernel: one gather/min-reduce over the columns of ``sub``.
+
+    ``sub`` is the (column-restricted) code matrix; the remaining
+    arguments are a topology snapshot in the flat layout built by
+    :meth:`VectorizedEngine.refresh`.  Returns the new values with
+    importer-less rows at ``invalid_code``; the Lemma-1 diagonal fix-up
+    stays with the caller (it depends on which columns ``sub`` holds).
+    Single source of truth for the kernel — the serial engine and every
+    :mod:`repro.core.parallel` worker run exactly this code, so the
+    master's σ-stability probe can never drift from the workers' rounds.
+    """
+    new = np.full(sub.shape, invalid_code, dtype=_DTYPE)
+    if src.size:
+        extended = tables[erange, sub[src]]
+        new[importers] = np.minimum.reduceat(extended, starts, axis=0)
+    return new
+
+
+def fold_edge_tables(tables, gathered):
+    """The δ kernel: apply each edge table to its gathered historic row
+    slice and ⊕ (= ``min`` on codes) across the neighbours.
+
+    ``tables`` is the ``(degree, carrier)`` slice for one importer and
+    ``gathered`` the ``(degree, width)`` historic reads; shared by
+    :meth:`VectorizedEngine._delta_row` and the parallel workers.
+    """
+    degree = gathered.shape[0]
+    return tables[np.arange(degree)[:, None], gathered].min(axis=0)
 
 
 def supports_vectorized(algebra: RoutingAlgebra) -> bool:
@@ -213,11 +251,9 @@ class VectorizedEngine:
         restricted recompute exact, not approximate.
         """
         sub = C if cols is None else C[:, cols]
-        new = np.full(sub.shape, self.invalid_code, dtype=_DTYPE)
-        if self._src.size:
-            extended = self._tables[self._erange, sub[self._src]]
-            new[self._importers] = np.minimum.reduceat(
-                extended, self._starts, axis=0)
+        new = gather_min_reduce(sub, self._tables, self._src, self._erange,
+                                self._importers, self._starts,
+                                self.invalid_code)
         if cols is None:
             np.fill_diagonal(new, self.trivial_code)  # Lemma 1
         else:
@@ -272,8 +308,8 @@ class VectorizedEngine:
             for idx in range(degree):
                 k = int(self._src[offset + idx])
                 gathered[idx] = history[beta(t, i, k)][k]
-            tables = self._tables[offset:offset + degree]
-            row = tables[np.arange(degree)[:, None], gathered].min(axis=0)
+            row = fold_edge_tables(self._tables[offset:offset + degree],
+                                   gathered)
         row[i] = self.trivial_code
         return row
 

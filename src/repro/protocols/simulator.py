@@ -13,6 +13,19 @@ probability ``loss``, duplicates it with probability ``duplicate`` and
 — unless FIFO is forced — reorders freely.  All randomness flows from a
 single seed, so runs are reproducible.
 
+Announcement storms (bootstrap and periodic refresh, where a node
+re-advertises *every* destination to *every* out-neighbour) are
+coalesced into **per-link vector events**: the surviving per-destination
+announcements for one ``(sender, receiver)`` link travel as one heap
+event — the real-protocol analogue of packing many NLRIs into one BGP
+UPDATE — cutting the event count from O(n · E) to O(E) per storm.
+Loss is still drawn per announcement (so per-destination loss
+statistics are unchanged); delay, FIFO ordering and duplication apply
+to the vector, and the receiver ingests the whole vector before
+recomputing, so each activation sees all the fresh data at once.
+Per-announcement accounting (``sent`` / ``lost`` / ``delivered`` /
+``duplicated``) is preserved.
+
 Termination: the run ends when no table entry has changed for
 ``quiet_period`` time units and no messages are in flight (refresh
 timers shut themselves off once the network is quiet, and resume on any
@@ -31,7 +44,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core.algebra import Route
 from ..core.state import Network, RoutingState
 from ..core.synchronous import ENGINES, is_stable
-from .messages import Announcement, LinkConfig, RELIABLE
+from .messages import LinkConfig, RELIABLE
 from .node import ProtocolNode
 from .trace import Activation, MessageStats, TableChange, Trace
 
@@ -71,11 +84,12 @@ class Simulator:
     def __init__(self, network: Network, seed: int = 0,
                  link_config=None, default_link: LinkConfig = RELIABLE,
                  refresh_interval: float = 10.0, quiet_period: float = 30.0,
-                 engine: str = "incremental"):
+                 engine: str = "incremental", workers: Optional[int] = None):
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
         self.network = network
         self.engine = engine
+        self.workers = workers           # pool size for engine="parallel"
         self._vec_engine = None          # built lazily, auto-refreshing
         self.rng = random.Random(seed)
         self.default_link = default_link
@@ -120,17 +134,33 @@ class Simulator:
 
     # -- sending -------------------------------------------------------------
 
-    def _send(self, sender: int, receiver: int, dest: int, route: Route,
-              gen_step: int) -> None:
+    def _send_vector(self, sender: int, receiver: int,
+                     items: List[Tuple[int, Route, int]]) -> None:
+        """Ship ``(dest, route, gen_step)`` announcements over one link
+        as a single vector event.
+
+        Loss is drawn per announcement (each destination's announcement
+        is still an independent victim, exactly as when they travelled
+        separately); the survivors share one delay sample, one FIFO
+        slot and one duplication draw — the whole packet is duplicated,
+        so ``duplicated`` counts every announcement in the copy.
+        """
         cfg = self.link(sender, receiver)
-        self.trace.stats.sent += 1
-        if self.rng.random() < cfg.loss:
-            self.trace.stats.lost += 1
+        stats = self.trace.stats
+        survivors = []
+        for item in items:
+            stats.sent += 1
+            if self.rng.random() < cfg.loss:
+                stats.lost += 1
+            else:
+                survivors.append(item)
+        if not survivors:
             return
         copies = 1
         if self.rng.random() < cfg.duplicate:
             copies = 2
-            self.trace.stats.duplicated += 1
+            stats.duplicated += len(survivors)
+        payload = tuple(survivors)
         for _ in range(copies):
             delay = cfg.sample_delay(self.rng)
             arrival = self.now + delay
@@ -138,8 +168,12 @@ class Simulator:
                 key = (sender, receiver)
                 arrival = max(arrival, self._fifo_clock.get(key, 0.0))
                 self._fifo_clock[key] = arrival
-            msg = Announcement(sender, receiver, dest, route, gen_step)
-            self._push(arrival, "deliver", (msg,))
+            self._push(arrival, "deliver", (sender, receiver, payload))
+
+    def _send(self, sender: int, receiver: int, dest: int, route: Route,
+              gen_step: int) -> None:
+        """Single-announcement convenience wrapper (triggered updates)."""
+        self._send_vector(sender, receiver, [(dest, route, gen_step)])
 
     def _announce(self, node_id: int, dest: int) -> None:
         """Triggered update: tell everyone who imports from us."""
@@ -149,8 +183,12 @@ class Simulator:
                        node.table_gen[dest])
 
     def _announce_all(self, node_id: int) -> None:
-        for dest in range(self.network.n):
-            self._announce(node_id, dest)
+        """Full-table storm (bootstrap / refresh), one vector per link."""
+        node = self.nodes[node_id]
+        items = [(dest, node.table[dest], node.table_gen[dest])
+                 for dest in range(self.network.n)]
+        for m in self._out_neighbours(node_id):
+            self._send_vector(node_id, m, items)
 
     # -- recompute ----------------------------------------------------------------
 
@@ -180,12 +218,17 @@ class Simulator:
 
     # -- event handlers ----------------------------------------------------------
 
-    def _handle_deliver(self, msg: Announcement) -> None:
-        receiver = self.nodes[msg.receiver]
-        self.trace.stats.delivered += 1
-        receiver.receive(msg.sender, msg.dest, msg.route, msg.gen_step,
-                         self.now)
-        self._activate(msg.receiver, msg.dest)
+    def _handle_deliver(self, sender: int, receiver: int,
+                        items: Tuple[Tuple[int, Route, int], ...]) -> None:
+        """Ingest a vector announcement: cache every destination's
+        route first, then recompute each — so a storm's activations all
+        see the freshest data (coalescing, not just batching)."""
+        node = self.nodes[receiver]
+        for dest, route, gen_step in items:
+            self.trace.stats.delivered += 1
+            node.receive(sender, dest, route, gen_step, self.now)
+        for dest, _route, _gen in items:
+            self._activate(receiver, dest)
 
     def _handle_refresh(self, node_id: int) -> None:
         if self.now - self._last_change > self.quiet_period:
@@ -199,10 +242,25 @@ class Simulator:
 
     def _is_sigma_stable(self, state: RoutingState) -> bool:
         """σ-stability of the final table (Definition 4), using the
-        selected engine: the vectorized check runs the table-gather σ
-        when the algebra has a finite encoding, and silently falls back
-        to the incremental dirty-set check otherwise."""
-        if self.engine == "vectorized":
+        selected engine: ``parallel`` runs the check on the
+        shared-memory worker pool (auto-closed when the simulator is
+        collected), ``vectorized`` runs the table-gather σ, and both
+        silently fall back down the ladder when the algebra has no
+        finite encoding or the pool is not worthwhile."""
+        engine = self.engine
+        if engine == "parallel":
+            from ..core.parallel import (ParallelVectorizedEngine,
+                                         parallel_workers)
+
+            effective = parallel_workers(self.network, self.workers)
+            if effective is not None:
+                if not isinstance(self._vec_engine,
+                                  ParallelVectorizedEngine):
+                    self._vec_engine = ParallelVectorizedEngine(
+                        self.network, workers=effective)
+                return self._vec_engine.is_stable(state)
+            engine = "vectorized"        # documented fallback ladder
+        if engine == "vectorized":
             from ..core.vectorized import VectorizedEngine, supports_vectorized
 
             if supports_vectorized(self.network.algebra):
@@ -210,6 +268,21 @@ class Simulator:
                     self._vec_engine = VectorizedEngine(self.network)
                 return self._vec_engine.is_stable(state)
         return is_stable(self.network, state)
+
+    def close(self) -> None:
+        """Release the σ-check engine.
+
+        Only meaningful for ``engine="parallel"`` (worker processes and
+        shared-memory segments); idempotent, and the engine's own
+        ``weakref.finalize`` backstop covers simulators that are simply
+        dropped.
+        """
+        eng = self._vec_engine
+        if eng is not None and hasattr(eng, "close"):
+            eng.close()
+            # a closed pool refuses to run; drop the reference so a
+            # later run() lazily rebuilds it instead of crashing
+            self._vec_engine = None
 
     # -- running --------------------------------------------------------------------
 
@@ -277,9 +350,14 @@ def simulate(network: Network, start: Optional[RoutingState] = None,
              seed: int = 0, link_config=None,
              refresh_interval: float = 10.0, quiet_period: float = 30.0,
              max_time: float = 10_000.0,
-             engine: str = "incremental") -> SimulationResult:
+             engine: str = "incremental",
+             workers: Optional[int] = None) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     sim = Simulator(network, seed=seed, link_config=link_config,
                     refresh_interval=refresh_interval,
-                    quiet_period=quiet_period, engine=engine)
-    return sim.run(start, max_time=max_time)
+                    quiet_period=quiet_period, engine=engine,
+                    workers=workers)
+    try:
+        return sim.run(start, max_time=max_time)
+    finally:
+        sim.close()

@@ -23,6 +23,9 @@ class TestSmokeSuite:
         report = run_benchmarks.run_suite("smoke", repeats=1)
         assert report["meta"]["all_fixed_points_equal"]
         assert report["sigma"] and report["delta"]
+        # smoke stays pool-free, but the column must exist in the schema
+        assert "parallel" in report
+        assert report["meta"]["cpu_count"] >= 1
         for row in report["sigma"]:
             assert row["fixed_points_equal"], row["case"]
             assert row["converged"], row["case"]
@@ -61,6 +64,31 @@ class TestCommittedBaseline:
             assert row["memory_bounded"], row
             assert (row["bounded_history_retained"]
                     <= row["max_read_back"] + 2), row
+
+    def test_committed_parallel_column(self):
+        """The PR 3 column: a headline row must exist, carry agreement
+        evidence, and meet the hardware-aware floor (the full ≥ 2×
+        acceptance floor when the baseline host's σ-kernel scaling
+        ceiling allows it, 80% of the measured memory-bandwidth ceiling
+        otherwise — see ``run_benchmarks.parallel_floor``)."""
+        path = BENCH_DIR.parent / "BENCH_core.json"
+        report = json.loads(path.read_text())
+        rows = report.get("parallel", [])
+        headline = [r for r in rows if r.get("headline_parallel")]
+        assert headline, "parallel headline (n >= 400) case missing"
+        for row in rows:
+            assert row["fixed_points_equal"], row["case"]
+        floor, _reason = run_benchmarks.parallel_floor(report["meta"])
+        for row in headline:
+            assert row["n"] >= 400
+            if row.get("skipped"):
+                # single-core baseline host: the skip must say why
+                assert "single-core" in row["skipped"]
+                continue
+            if floor is not None:
+                best = max((p["vs_vectorized"] or 0.0)
+                           for p in row["scaling"] if p["workers"] >= 4)
+                assert best >= floor, (row, floor)
 
 
 @pytest.mark.perfbench

@@ -1,18 +1,26 @@
-"""Differential-testing oracle: naive vs incremental vs vectorized.
+"""Differential oracle: naive vs incremental vs vectorized vs parallel.
 
-The vectorized engine's speedup only counts if its compressed iteration
+An engine's speedup only counts if its compressed/sharded iteration
 reaches exactly the reference fixed points, so this module holds every
-engine to *observational identity*: identical per-round lockstep
-states, identical fixed points and round counts for σ, and identical
-histories/convergence times for δ — across every shipped finite
-algebra, two non-finite controls (which must fall back, not diverge),
-and random-gnp / chain / gadget topology families.
+rung of the four-engine ladder to *observational identity*: identical
+per-round lockstep states, identical fixed points and round counts for
+σ, and identical histories/convergence times for δ — across every
+shipped finite algebra, two non-finite controls (which must fall back,
+not diverge), and random-gnp / chain / gadget topology families.
+
+The parallel engine is exercised with an explicit ``workers=2`` pool
+(auto mode would decline these small nets and single-CPU CI hosts —
+exactly the fallback it is supposed to take); one pool is shared across
+the lockstep and δ phases of each oracle call and torn down in a
+``finally``, while the σ fixed-point phase goes through the public
+``iterate_sigma(engine="parallel")`` selector so the dispatch path is
+covered too.
 
 ``assert_engines_agree`` is the reusable oracle; other test modules and
 the benchmark harness lean on the same contract.  The ``--engine``
 pytest option (see ``tests/conftest.py``) restricts the per-engine
-parametrised tests to one engine for CI sharding; ``-m slow`` runs the
-scaled-up sizes.
+parametrised tests to one engine for CI sharding — ``parallel``
+included; ``-m slow`` runs the scaled-up sizes.
 """
 
 import random
@@ -33,16 +41,19 @@ from repro.core import (
     ENGINES,
     AdversarialStaleSchedule,
     FixedDelaySchedule,
+    ParallelVectorizedEngine,
     RandomSchedule,
     RoundRobinSchedule,
     RoutingState,
     SynchronousSchedule,
     VectorizedEngine,
     delta_run,
+    delta_run_parallel,
     iterate_sigma,
     sigma,
     sigma_propagate,
     sigma_with_dirty,
+    supports_parallel,
     supports_vectorized,
 )
 from repro.topologies import erdos_renyi, line, uniform_weight_factory
@@ -132,63 +143,86 @@ def _schedules(n, seed=0):
 # ----------------------------------------------------------------------
 
 
+#: extra driver kwargs per engine: the parallel engine gets an explicit
+#: 2-worker pool, because auto mode would (correctly) decline the
+#: oracle's small nets and any single-CPU CI host.
+ENGINE_KWARGS = {"parallel": {"workers": 2}}
+
+
 def assert_engines_agree(net, schedules=(), lockstep_rounds=10,
                          max_rounds=500, max_steps=500):
     """Assert all engines are observationally identical on ``net``.
 
     * per-round lockstep: naive σ vs incremental dirty-set propagation
-      vs the vectorized single-round ``VectorizedEngine.sigma``;
+      vs the vectorized single-round ``VectorizedEngine.sigma`` vs the
+      pool-computed ``ParallelVectorizedEngine.sigma``;
     * σ fixed points: ``iterate_sigma`` under every engine selector
       agrees on convergence, round count and final state;
     * δ oracle: for every schedule, ``strict`` (literal recursion) vs
-      incremental vs vectorized runs agree on convergence step and
-      final state.
+      incremental vs vectorized vs parallel runs agree on convergence
+      step and final state (one shared pool serves every schedule).
 
-    Non-finite algebras exercise the documented fallback path: the
-    vectorized selector must behave exactly like the incremental one.
+    Non-finite algebras exercise the documented fallback ladder: the
+    vectorized and parallel selectors must behave exactly like the
+    incremental one.
     """
     alg = net.algebra
     start = RoutingState.identity(alg, net.n)
     vec = VectorizedEngine(net) if supports_vectorized(alg) else None
+    par = (ParallelVectorizedEngine(net, workers=2)
+           if supports_parallel(alg) else None)
+    try:
+        # -- per-round lockstep --------------------------------------------
+        naive = start
+        inc, dirty = start, None
+        for _ in range(lockstep_rounds):
+            nxt = sigma(net, naive)
+            if dirty is None:
+                inc, dirty = sigma_with_dirty(net, inc)
+            else:
+                inc, dirty = sigma_propagate(net, inc, dirty)
+            assert inc.equals(nxt, alg), "incremental σ diverged from naive"
+            if vec is not None:
+                assert vec.sigma(naive).equals(nxt, alg), \
+                    "vectorized σ diverged from naive"
+            if par is not None:
+                assert par.sigma(naive).equals(nxt, alg), \
+                    "parallel σ diverged from naive"
+            naive = nxt
 
-    # -- per-round lockstep ------------------------------------------------
-    naive = start
-    inc, dirty = start, None
-    for _ in range(lockstep_rounds):
-        nxt = sigma(net, naive)
-        if dirty is None:
-            inc, dirty = sigma_with_dirty(net, inc)
-        else:
-            inc, dirty = sigma_propagate(net, inc, dirty)
-        assert inc.equals(nxt, alg), "incremental σ diverged from naive"
-        if vec is not None:
-            assert vec.sigma(naive).equals(nxt, alg), \
-                "vectorized σ diverged from naive"
-        naive = nxt
+        # -- σ fixed points ------------------------------------------------
+        results = {e: iterate_sigma(net, start, max_rounds=max_rounds,
+                                    detect_cycles=True, engine=e,
+                                    **ENGINE_KWARGS.get(e, {}))
+                   for e in ENGINES}
+        ref = results["naive"]
+        for name, res in results.items():
+            assert res.converged == ref.converged, name
+            assert res.rounds == ref.rounds, name
+            assert res.state.equals(ref.state, alg), name
 
-    # -- σ fixed points ----------------------------------------------------
-    results = {e: iterate_sigma(net, start, max_rounds=max_rounds,
-                                detect_cycles=True, engine=e)
-               for e in ENGINES}
-    ref = results["naive"]
-    for name, res in results.items():
-        assert res.converged == ref.converged, name
-        assert res.rounds == ref.rounds, name
-        assert res.state.equals(ref.state, alg), name
-
-    # -- δ oracle ----------------------------------------------------------
-    for sched in schedules:
-        strict = delta_run(net, sched, start, max_steps=max_steps,
-                           strict=True)
-        inc = delta_run(net, sched, start, max_steps=max_steps)
-        vecr = delta_run(net, sched, start, max_steps=max_steps,
-                         engine="vectorized")
-        for name, res in (("incremental", inc), ("vectorized", vecr)):
-            assert res.converged == strict.converged, (name, repr(sched))
-            assert res.converged_at == strict.converged_at, \
-                (name, repr(sched))
-            assert res.state.equals(strict.state, alg), (name, repr(sched))
-    return ref
+        # -- δ oracle ------------------------------------------------------
+        for sched in schedules:
+            strict = delta_run(net, sched, start, max_steps=max_steps,
+                               strict=True)
+            inc = delta_run(net, sched, start, max_steps=max_steps)
+            vecr = delta_run(net, sched, start, max_steps=max_steps,
+                             engine="vectorized")
+            runs = [("incremental", inc), ("vectorized", vecr)]
+            if par is not None and sched.max_read_back() is not None:
+                runs.append(("parallel",
+                             delta_run_parallel(net, sched, start,
+                                                max_steps=max_steps,
+                                                engine=par)))
+            for name, res in runs:
+                assert res.converged == strict.converged, (name, repr(sched))
+                assert res.converged_at == strict.converged_at, \
+                    (name, repr(sched))
+                assert res.state.equals(strict.state, alg), (name, repr(sched))
+        return ref
+    finally:
+        if par is not None:
+            par.close()
 
 
 # ----------------------------------------------------------------------
@@ -236,7 +270,8 @@ class TestPerEngine:
     def test_reaches_reference_fixed_point(self, engine):
         net = _hop(10, seed=2)
         start = RoutingState.identity(net.algebra, net.n)
-        res = iterate_sigma(net, start, engine=engine)
+        res = iterate_sigma(net, start, engine=engine,
+                            **ENGINE_KWARGS.get(engine, {}))
         ref = iterate_sigma(net, start, engine="naive")
         assert res.converged and res.rounds == ref.rounds
         assert res.state.equals(ref.state, net.algebra)
@@ -245,7 +280,8 @@ class TestPerEngine:
         net = _finite_chain_alg(8, seed=6)
         start = RoutingState.identity(net.algebra, net.n)
         sched = RandomSchedule(net.n, seed=4, max_delay=4)
-        res = delta_run(net, sched, start, max_steps=400, engine=engine)
+        res = delta_run(net, sched, start, max_steps=400, engine=engine,
+                        **ENGINE_KWARGS.get(engine, {}))
         ref = delta_run(net, sched, start, max_steps=400, strict=True)
         assert res.converged == ref.converged
         assert res.converged_at == ref.converged_at
@@ -260,7 +296,8 @@ class TestPerEngine:
                            engine=engine).state
         net.set_edge(0, net.n - 1, alg.edge(1))
         net.set_edge(net.n - 1, 0, alg.edge(1))
-        res = iterate_sigma(net, fp, engine=engine)
+        res = iterate_sigma(net, fp, engine=engine,
+                            **ENGINE_KWARGS.get(engine, {}))
         ref = iterate_sigma(net, fp, engine="naive")
         assert res.converged and res.rounds == ref.rounds
         assert res.state.equals(ref.state, alg)

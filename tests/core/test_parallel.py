@@ -1,0 +1,376 @@
+"""Parallel-engine specifics: sharding, fallback ladder, and cleanup.
+
+The observational-identity contract lives in the shared oracle
+(``test_engine_equivalence.py``, which covers ``engine="parallel"``
+lockstep σ, fixed points and δ-vs-strict across the algebra×topology
+matrix).  This module covers what is unique to the process pool:
+
+* worker/shared-memory lifecycle — segments and processes must be
+  released on ``close()``, on garbage collection, and (the regression
+  the engine is explicitly held to) when an exception escapes a run the
+  driver started;
+* topology-mutation invalidation: a shared engine must republish its
+  edge-table snapshot to the workers when ``adjacency.version`` moves;
+* the fallback ladder (`parallel_workers`) and the direct-construction
+  error contract;
+* ring-buffer staleness policing (schedules that read further back
+  than they declared must fail loudly, like ``BoundedHistory``).
+
+All pools are built with explicit tiny worker counts so the suite runs
+(and actually exercises the pool) on single-CPU CI hosts.
+"""
+
+import gc
+import random
+
+import pytest
+
+from repro.algebras import FiniteLevelAlgebra, HopCountAlgebra, \
+    ShortestPathsAlgebra
+from repro.core import (
+    ParallelVectorizedEngine,
+    RandomSchedule,
+    RoutingState,
+    UnsupportedAlgebraError,
+    delta_run,
+    delta_run_parallel,
+    iterate_sigma,
+    iterate_sigma_parallel,
+    parallel_workers,
+    supports_parallel,
+)
+from repro.core import parallel as parallel_mod
+from repro.core.schedule import Schedule
+from repro.topologies import erdos_renyi, uniform_weight_factory
+
+pytestmark = [
+    pytest.mark.parallel,
+    pytest.mark.skipif(not supports_parallel(HopCountAlgebra(4)),
+                       reason="no multiprocessing shared memory here"),
+]
+
+
+def _net(n=14, seed=1, bound=16):
+    alg = HopCountAlgebra(bound)
+    return erdos_renyi(alg, n, 0.3, uniform_weight_factory(alg, 1, 3),
+                       seed=seed)
+
+
+def _segment_names(engine):
+    return [seg.name for seg in engine._res.segments]
+
+
+def _assert_released(names, procs):
+    from multiprocessing import shared_memory
+
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            seg = shared_memory.SharedMemory(name=name)
+            seg.close()                 # pragma: no cover - leak witness
+    for proc in procs:
+        assert not proc.is_alive()
+
+
+class TestLifecycle:
+    def test_close_releases_everything_and_is_idempotent(self):
+        net = _net()
+        eng = ParallelVectorizedEngine(net, workers=3)
+        start = RoutingState.identity(net.algebra, net.n)
+        eng.iterate(start)
+        names, procs = _segment_names(eng), list(eng._res.procs)
+        assert names and procs
+        eng.close()
+        eng.close()                      # second close must be a no-op
+        assert eng.closed
+        _assert_released(names, procs)
+        with pytest.raises(RuntimeError):
+            eng.iterate(start)           # a closed engine refuses to run
+
+    def test_context_manager(self):
+        net = _net()
+        with ParallelVectorizedEngine(net, workers=2) as eng:
+            res = eng.iterate(RoutingState.identity(net.algebra, net.n))
+            names, procs = _segment_names(eng), list(eng._res.procs)
+        assert res.converged
+        _assert_released(names, procs)
+
+    def test_finalizer_backstop_on_garbage_collection(self):
+        net = _net()
+        eng = ParallelVectorizedEngine(net, workers=2)
+        eng.iterate(RoutingState.identity(net.algebra, net.n))
+        names, procs = _segment_names(eng), list(eng._res.procs)
+        del eng
+        gc.collect()
+        _assert_released(names, procs)
+
+    def test_driver_cleans_up_when_sigma_run_raises(self, monkeypatch):
+        """The regression: an exception escaping a driver-owned run must
+        not leak workers or segments."""
+        created = []
+        original = parallel_mod.ParallelVectorizedEngine
+
+        class Recording(original):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(parallel_mod, "ParallelVectorizedEngine",
+                            Recording)
+        net = _net()
+        bad = RoutingState.filled(10 ** 9, net.n)   # outside the carrier
+        with pytest.raises(UnsupportedAlgebraError):
+            iterate_sigma_parallel(net, bad, workers=2)
+        assert len(created) == 1
+        assert created[0].closed
+        _assert_released([], list(created[0]._res.procs))
+
+    def test_driver_cleans_up_when_delta_schedule_raises(self, monkeypatch):
+        created = []
+        original = parallel_mod.ParallelVectorizedEngine
+
+        class Recording(original):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(parallel_mod, "ParallelVectorizedEngine",
+                            Recording)
+
+        class Poisoned(RandomSchedule):
+            def alpha(self, t):
+                if t >= 3:
+                    raise RuntimeError("schedule detonated")
+                return super().alpha(t)
+
+        net = _net()
+        start = RoutingState.identity(net.algebra, net.n)
+        with pytest.raises(RuntimeError, match="detonated"):
+            delta_run_parallel(net, Poisoned(net.n, seed=1, max_delay=3),
+                               start, max_steps=50, workers=2)
+        assert len(created) == 1 and created[0].closed
+
+    def test_worker_failure_is_relayed_and_pool_closed(self):
+        """A failure inside a worker command must surface as a raised
+        exception on the master (not a silent worker death) and leave
+        no pool behind."""
+        net = _net(10, seed=6)
+        eng = ParallelVectorizedEngine(net, workers=2)
+        eng.refresh()
+        eng._load(eng.encode_state(RoutingState.identity(net.algebra,
+                                                         net.n)))
+        procs = list(eng._res.procs)
+        eng._broadcast(("delta", 1, [(0, [99])]))   # read before history
+        with pytest.raises(RuntimeError, match="failed on 'delta'"):
+            eng._collect()
+        assert eng.closed
+        _assert_released([], procs)
+
+    def test_shared_engine_survives_driver_calls(self):
+        """Engines passed in by the caller are *not* closed by drivers."""
+        net = _net()
+        start = RoutingState.identity(net.algebra, net.n)
+        with ParallelVectorizedEngine(net, workers=2) as eng:
+            iterate_sigma_parallel(net, start, engine=eng)
+            assert not eng.closed
+            delta_run_parallel(net, RandomSchedule(net.n, seed=2, max_delay=3),
+                               start, engine=eng)
+            assert not eng.closed
+
+
+class TestInvalidation:
+    def test_set_edge_republishes_tables(self):
+        net = _net(12, seed=3)
+        alg = net.algebra
+        start = RoutingState.identity(alg, net.n)
+        with ParallelVectorizedEngine(net, workers=3) as eng:
+            fp = eng.iterate(start).state
+            net.set_edge(0, net.n - 1, alg.edge(1))
+            net.set_edge(net.n - 1, 0, alg.edge(1))
+            res = eng.iterate(fp)
+            ref = iterate_sigma(net, fp, engine="naive")
+            assert res.rounds == ref.rounds
+            assert res.state.equals(ref.state, alg)
+
+    def test_remove_edge_republishes_tables(self):
+        net = _net(12, seed=4)
+        alg = net.algebra
+        start = RoutingState.identity(alg, net.n)
+        with ParallelVectorizedEngine(net, workers=2) as eng:
+            fp = eng.iterate(start).state
+            removed = next(iter(net.present_edges()))
+            net.remove_edge(*removed)
+            res = eng.iterate(fp)
+            ref = iterate_sigma(net, fp, engine="naive")
+            assert res.rounds == ref.rounds
+            assert res.state.equals(ref.state, alg)
+
+    def test_mid_delta_topology_change_between_runs(self):
+        net = _net(10, seed=5)
+        alg = net.algebra
+        start = RoutingState.identity(alg, net.n)
+        sched = RandomSchedule(net.n, seed=6, max_delay=4)
+        with ParallelVectorizedEngine(net, workers=2) as eng:
+            first = eng.delta(sched, start, max_steps=400)
+            net.set_edge(1, net.n - 1, alg.edge(2))
+            second = eng.delta(sched, first.state, max_steps=400)
+            ref = delta_run(net, sched, first.state, max_steps=400,
+                            strict=True)
+            assert second.converged == ref.converged
+            assert second.converged_at == ref.converged_at
+            assert second.state.equals(ref.state, alg)
+
+
+class TestFallbackLadder:
+    def test_parallel_workers_resolution(self):
+        net = _net(12)
+        assert parallel_workers(net, 1) is None          # explicit serial
+        assert parallel_workers(net, 4) == 4             # explicit pool
+        assert parallel_workers(net, 100) == net.n       # clamped to n
+        sp = ShortestPathsAlgebra()
+        infinite = erdos_renyi(sp, 12, 0.3,
+                               uniform_weight_factory(sp, 1, 5), seed=1)
+        assert parallel_workers(infinite, 4) is None     # no finite encoding
+
+    def test_auto_mode_declines_tiny_problems(self):
+        net = _net(parallel_mod.PARALLEL_MIN_N - 1)
+        if (parallel_mod.os.cpu_count() or 1) >= 2:
+            assert parallel_workers(net) is None
+        big_enough = parallel_workers(net, 2)
+        assert big_enough == 2           # explicit request still honoured
+
+    def test_selector_falls_back_silently(self):
+        sp = ShortestPathsAlgebra()
+        net = erdos_renyi(sp, 10, 0.3, uniform_weight_factory(sp, 1, 5),
+                          seed=2)
+        start = RoutingState.identity(sp, net.n)
+        res = iterate_sigma(net, start, engine="parallel", workers=4)
+        ref = iterate_sigma(net, start, engine="naive")
+        assert res.rounds == ref.rounds
+        assert res.state.equals(ref.state, sp)
+
+    def test_direct_construction_raises_for_nonfinite(self):
+        sp = ShortestPathsAlgebra()
+        net = erdos_renyi(sp, 8, 0.3, uniform_weight_factory(sp, 1, 5),
+                          seed=3)
+        with pytest.raises(UnsupportedAlgebraError):
+            ParallelVectorizedEngine(net, workers=2)
+
+    def test_direct_construction_rejects_single_worker(self):
+        with pytest.raises(UnsupportedAlgebraError):
+            ParallelVectorizedEngine(_net(8), workers=1)
+
+    def test_delta_keep_history_delegates_to_vectorized(self):
+        net = _net(10, seed=7)
+        start = RoutingState.identity(net.algebra, net.n)
+        sched = RandomSchedule(net.n, seed=8, max_delay=3)
+        par = delta_run(net, sched, start, max_steps=300, engine="parallel",
+                        workers=2, keep_history=True)
+        vec = delta_run(net, sched, start, max_steps=300, engine="vectorized",
+                        keep_history=True)
+        assert par.history is not None and len(par.history) == \
+            len(vec.history)
+        for a, b in zip(par.history, vec.history):
+            assert a.equals(b, net.algebra)
+
+
+class TestSemantics:
+    def test_sigma_and_stability_match_reference_on_garbage(self):
+        net = _net(11, seed=9)
+        alg = net.algebra
+        rng = random.Random(13)
+        from repro.core import sigma as sigma_ref
+
+        with ParallelVectorizedEngine(net, workers=3) as eng:
+            state = RoutingState.from_function(
+                lambda i, j: alg.sample_route(rng), net.n)
+            for _ in range(6):
+                nxt = sigma_ref(net, state)
+                assert eng.sigma(state).equals(nxt, alg)
+                assert eng.is_stable(state) == state.equals(nxt, alg)
+                state = nxt
+            fixed = iterate_sigma(net, state, engine="naive").state
+            assert eng.is_stable(fixed)
+
+    def test_block_split_covers_all_columns(self):
+        blocks = ParallelVectorizedEngine._split_columns(11, 3)
+        assert blocks[0][0] == 0 and blocks[-1][1] == 11
+        for (a, b), (c, d) in zip(blocks, blocks[1:]):
+            assert b == c and b > a
+        assert sum(hi - lo for lo, hi in blocks) == 11
+
+    def test_overdeclared_read_back_raises_lookup_error(self):
+        """A schedule reaching further back than its declared bound must
+        fail loudly (BoundedHistory parity), not read a recycled slot."""
+
+        class Lying(Schedule):
+            def alpha(self, t):
+                return set(range(self.n))
+
+            def beta(self, t, i, k):
+                return max(0, t - 6)     # reads 6 back...
+
+            def max_read_back(self):
+                return 2                 # ...but declares 2
+
+        net = _net(8, seed=10)
+        start = RoutingState.identity(net.algebra, net.n)
+        with pytest.raises(LookupError):
+            delta_run_parallel(net, Lying(net.n), start, max_steps=60,
+                               workers=2)
+
+    def test_reads_slightly_past_declaration_match_serial(self):
+        """BoundedHistory tolerates reads up to (declared bound + 2)
+        before declaring eviction; the shared ring must tolerate — and
+        compute identically on — exactly the same reads."""
+
+        class Overreaching(Schedule):
+            def alpha(self, t):
+                return set(range(self.n)) if t % 2 else {t % self.n}
+
+            def beta(self, t, i, k):
+                return max(0, t - 4)     # 2 past the declared bound...
+
+            def max_read_back(self):
+                return 2                 # ...but within the +2 window
+
+        net = _net(9, seed=12)
+        alg = net.algebra
+        start = RoutingState.identity(alg, net.n)
+        ref = delta_run(net, Overreaching(net.n), start, max_steps=200)
+        par = delta_run_parallel(net, Overreaching(net.n), start,
+                                 max_steps=200, workers=2)
+        assert par.converged == ref.converged
+        assert par.converged_at == ref.converged_at
+        assert par.state.equals(ref.state, alg)
+
+    def test_negative_beta_raises_lookup_error(self):
+        """A β that forgets the max(0, …) clamp (S2 violation) must not
+        wrap the ring modulo into an arbitrary slot."""
+
+        class Unclamped(Schedule):
+            def alpha(self, t):
+                return set(range(self.n))
+
+            def beta(self, t, i, k):
+                return t - 3             # goes negative at t = 1, 2
+
+            def max_read_back(self):
+                return 3
+
+        net = _net(8, seed=10)
+        start = RoutingState.identity(net.algebra, net.n)
+        with pytest.raises(LookupError):
+            delta_run_parallel(net, Unclamped(net.n), start, max_steps=60,
+                               workers=2)
+
+    def test_finite_level_algebra_on_pool(self):
+        alg = FiniteLevelAlgebra(7)
+        rng_net = erdos_renyi(alg, 13, 0.3,
+                              lambda rng, _i, _j: alg.random_strict_edge(rng),
+                              seed=11)
+        start = RoutingState.identity(alg, rng_net.n)
+        res = iterate_sigma_parallel(rng_net, start, workers=3)
+        ref = iterate_sigma(rng_net, start, engine="naive")
+        assert res.converged == ref.converged
+        assert res.rounds == ref.rounds
+        assert res.state.equals(ref.state, alg)

@@ -36,10 +36,23 @@ class SyncMeasurement:
 
 def measure_sync(network: Network, start: Optional[RoutingState] = None,
                  max_rounds: int = 10_000) -> SyncMeasurement:
-    """Iterate σ and measure rounds + churn."""
+    """Iterate σ and measure rounds + churn.
+
+    Finite algebras take the vectorized path: the trajectory is never
+    materialised — consecutive code matrices are diffed with numpy
+    (:func:`repro.core.vectorized.sigma_churn`), which counts exactly
+    the entry changes the object path counts (equal routes ⇔ equal
+    codes under a finite encoding) without the O(rounds · n²) Python
+    comparison loop.  Everything else keeps the object path.
+    """
     alg = network.algebra
     if start is None:
         start = RoutingState.identity(alg, network.n)
+    from ..core.vectorized import sigma_churn, supports_vectorized
+    if supports_vectorized(alg):
+        converged, rounds, churn = sigma_churn(network, start,
+                                               max_rounds=max_rounds)
+        return SyncMeasurement(converged, rounds, churn)
     result = iterate_sigma(network, start, max_rounds=max_rounds,
                            keep_trajectory=True)
     churn = 0
@@ -73,9 +86,12 @@ def run_absolute_convergence(network: Network, n_starts: int = 5,
     """The Theorem 7/11 experiment with sensible defaults.
 
     ``engine`` is forwarded to every δ run — finite algebras can request
-    ``"vectorized"`` or ``"parallel"`` (``workers`` sizes the shared
-    worker pool, reused across all runs); unsupported combinations fall
-    back down the engine ladder automatically.
+    ``"vectorized"``, ``"parallel"`` (``workers`` sizes the shared
+    worker pool, reused across all runs) or ``"batched"`` (the whole
+    (start × schedule) grid stacked into one ``(B, n, n)`` tensor
+    workload, every δ step computed for all trials per kernel
+    invocation); unsupported combinations fall back down the engine
+    ladder automatically.
     """
     if schedules is None:
         schedules = schedule_zoo(network.n, seeds=(seed, seed + 17))

@@ -174,18 +174,24 @@ def build_network(algebra_name: str, topology: str, n: int,
 
 def _effective_engine(net, requested: str, workers=None) -> str:
     """The engine that will actually run (the ladder may fall back)."""
+    suffix = ""
+    if requested == "batched":
+        from .core import supports_vectorized
+
+        if supports_vectorized(net.algebra):
+            return "batched (grid stacked as one (B, n, n) tensor workload)"
+        requested = "parallel"
+        suffix = " (batched fell back: no finite encoding)"
     if requested == "parallel":
         from .core import parallel_workers
 
         effective = parallel_workers(net, workers)
         if effective is not None:
             return f"parallel ({effective} workers, " \
-                   "shared-memory column sharding)"
+                   "shared-memory column sharding)" + suffix
         requested = "vectorized"
-        suffix = " (parallel fell back: no finite encoding, workers<=1, " \
-                 "or problem too small)"
-    else:
-        suffix = ""
+        suffix += " (parallel fell back: no finite encoding, workers<=1, " \
+                  "or problem too small)"
     if requested == "vectorized":
         from .core import supports_vectorized
 
@@ -267,9 +273,12 @@ def cmd_simulate(args) -> int:
     ref = synchronous_fixed_point(net)
     print(f"network        : {net.name} ({net.algebra.name})")
     # the event simulation itself is pure-python; only the final
-    # σ-stability verdict runs on the selected engine
+    # σ-stability verdict runs on the selected engine — and a single
+    # stability check has no trial grid to batch, so the simulator
+    # drops "batched" one rung down the ladder (report what truly ran)
+    engine = "parallel" if args.engine == "batched" else args.engine
     print(f"σ-check engine : "
-          f"{_effective_engine(net, args.engine, args.workers)}")
+          f"{_effective_engine(net, engine, args.workers)}")
     print(f"converged      : {res.converged} "
           f"(σ-stable: {res.final_state.equals(ref, net.algebra)})")
     print(f"conv. time     : {res.convergence_time:.1f}")
@@ -302,9 +311,11 @@ def make_parser() -> argparse.ArgumentParser:
                             "a finite algebra (else falls back to "
                             "'incremental'), 'parallel' additionally "
                             "needs shared memory and >= 2 effective "
-                            "workers (else falls back to 'vectorized'); "
-                            "for `simulate` only the σ-stability check "
-                            "uses it")
+                            "workers (else falls back to 'vectorized'), "
+                            "'batched' runs `converge` grids as one "
+                            "(B, n, n) tensor workload (else falls back "
+                            "to 'parallel'); for `simulate` only the "
+                            "σ-stability check uses it")
         p.add_argument("--workers", type=int, default=None,
                        help="worker processes for --engine parallel "
                             "(default: auto-size to the host CPUs; "

@@ -237,19 +237,37 @@ def delta_run(network: Network, schedule: Schedule, start: RoutingState,
     literal recursion), ``"vectorized"`` — int-encoded numpy δ for
     finite algebras (:func:`repro.core.vectorized.delta_run_vectorized`),
     falling back to the incremental engine when the algebra has no
-    finite encoding — or ``"parallel"``: the vectorized δ sharded by
+    finite encoding — ``"parallel"``: the vectorized δ sharded by
     destination columns over ``workers`` shared-memory worker processes
     (:func:`repro.core.parallel.delta_run_parallel`), falling back down
     the ladder when not worthwhile or unsupported (including
     ``keep_history`` and schedules without a declared staleness bound,
-    which a fixed shared ring cannot serve).  All engines compute
-    exactly the same δᵗ.
+    which a fixed shared ring cannot serve) — or ``"batched"``: the
+    multi-trial tensor engine run as a B = 1 batch
+    (:func:`repro.core.vectorized.delta_run_batched`; compiled
+    schedule, batch-axis history ring), so a single run exercises
+    exactly the kernel the grid experiments use; schedules that
+    declare no staleness bound fall down the ladder here (deriving one
+    costs a full pass over the horizon — justified across a grid, not
+    for one run).  All engines compute exactly the same δᵗ.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}")
     if engine == "naive":
         strict = True
-    elif engine == "parallel" and not strict:
+    elif engine == "batched" and not strict:
+        from .vectorized import delta_run_batched, supports_vectorized
+        # undeclared-bound schedules fall through: sizing the batch
+        # ring for one would cost a full derived-bound pass over the
+        # horizon up front — worth amortising across a grid
+        # (delta_grid supports it), never for a single run
+        if supports_vectorized(network.algebra) and not keep_history \
+                and schedule.max_read_back() is not None:
+            return delta_run_batched(
+                network, schedule, start, max_steps=max_steps,
+                stability_window=stability_window)
+        engine = "parallel"              # fall one rung down the ladder
+    if engine == "parallel" and not strict:
         from .parallel import delta_run_parallel, parallel_workers
         effective = parallel_workers(network, workers)
         if effective is not None and not keep_history and \
@@ -346,11 +364,27 @@ def absolute_convergence_experiment(
     pair; the pool is torn down in a ``finally`` even when a run
     raises).  ``workers`` sizes the parallel pool as in
     :func:`delta_run`.
+
+    ``engine="batched"`` changes the execution *shape*, not the
+    result: instead of a Python loop over (start × schedule) pairs,
+    the whole grid is stacked into one ``(B, n, n)`` code tensor and
+    every δ step runs for all trials per kernel invocation
+    (:func:`repro.core.vectorized.absolute_convergence_batched`),
+    with finished trials dropping out.  Non-finite algebras fall one
+    rung down to ``"parallel"`` (and onward down the ladder) as usual.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}")
     vec_engine = None
     par_engine = None
+    if engine == "batched":
+        from .vectorized import absolute_convergence_batched, \
+            supports_vectorized
+
+        if supports_vectorized(network.algebra):
+            return absolute_convergence_batched(network, starts, schedules,
+                                                max_steps=max_steps)
+        engine = "parallel"              # fall one rung down the ladder
     if engine == "parallel":
         from .parallel import ParallelVectorizedEngine, parallel_workers
 

@@ -33,6 +33,18 @@ Architecture
   per ``(t, i, k)``), and each worker recomputes the active rows'
   entries *restricted to its column block* against the shared history
   ring — the row-sharded paper recursion re-expressed column-wise.
+* δ commands are **windowed**: one IPC command carries a whole window
+  of schedule steps (:data:`DELTA_WINDOW`, default 16) — the workers
+  already hold the history ring, so nothing about a step depends on
+  the master seeing its predecessor first — and the workers reply with
+  per-step changed flags the master folds into the usual convergence
+  counter.  This amortises the per-step pipe round-trip that dominated
+  high-activation-rate schedules (the ring is widened by the window so
+  a slot written inside a command can never alias a slot any of its
+  steps, or the master's post-window σ-stability probes, still need);
+  results are bit-identical to the per-step protocol because a run
+  that satisfies the convergence criterion at step ``t`` provably
+  cannot change at any later step the window already executed.
 
 Fallback & selection
 --------------------
@@ -112,6 +124,12 @@ PARALLEL_MIN_N = 256
 
 #: seconds to wait on a worker reply before declaring the pool dead.
 _REPLY_TIMEOUT = 120.0
+
+#: default number of δ schedule steps shipped per worker command; at 16
+#: the per-step IPC command count drops ≥ 8× on any run longer than a
+#: couple of windows (the ISSUE 4 acceptance point), and the widened
+#: ring costs only ``window`` extra shared (n, n) slots.
+DELTA_WINDOW = 16
 
 
 def _mp_context():
@@ -282,42 +300,47 @@ def _worker_history(state: _WorkerState, names: Sequence[str],
     state.window = window
 
 
-def _worker_delta(state: _WorkerState, t: int,
-                  acts: Sequence[Tuple[int, Sequence[int]]]) -> bool:
-    """One δ step restricted to the owned column block.
+def _worker_delta(state: _WorkerState,
+                  steps: Sequence[Tuple[int, Sequence]]) -> List[bool]:
+    """One *window* of δ steps restricted to the owned column block.
 
-    ``acts`` is ``[(i, read_times)]`` for every active node, with
+    ``steps`` is ``[(t, acts)]`` for consecutive times, each ``acts``
+    being ``[(i, read_times)]`` for every active node with
     ``read_times`` aligned to node ``i``'s in-edge order in the
-    snapshot.  Copies the previous matrix's block into the new ring
-    slot, overwrites active rows, and reports whether anything in the
-    block changed.
+    snapshot.  Every step copies the previous ring slot's block into
+    the new one, overwrites active rows, and records whether anything
+    in the block changed; the per-step flags go back to the master in
+    one reply — the whole window costs a single pipe round-trip.
     """
     W = state.window
     lo, hi = state.lo, state.hi
     block = slice(lo, hi)
     width = hi - lo
-    prev = state.hist[(t - 1) % W]
-    nxt = state.hist[t % W]
-    nxt[:, block] = prev[:, block]
-    changed = False
-    for i, times in acts:
-        degree = state.degrees.get(i, 0)
-        if degree:
-            offset = state.offsets[i]
-            gathered = np.empty((degree, width), dtype=_DTYPE)
-            for idx in range(degree):
-                k = int(state.src[offset + idx])
-                gathered[idx] = state.hist[times[idx] % W][k, block]
-            row = fold_edge_tables(state.tables[offset:offset + degree],
-                                   gathered)
-        else:
-            row = np.full(width, state.invalid, dtype=_DTYPE)
-        if lo <= i < hi:
-            row[i - lo] = state.trivial
-        if not changed and not np.array_equal(row, prev[i, block]):
-            changed = True
-        nxt[i, block] = row
-    return changed
+    flags: List[bool] = []
+    for t, acts in steps:
+        prev = state.hist[(t - 1) % W]
+        nxt = state.hist[t % W]
+        nxt[:, block] = prev[:, block]
+        changed = False
+        for i, times in acts:
+            degree = state.degrees.get(i, 0)
+            if degree:
+                offset = state.offsets[i]
+                gathered = np.empty((degree, width), dtype=_DTYPE)
+                for idx in range(degree):
+                    k = int(state.src[offset + idx])
+                    gathered[idx] = state.hist[times[idx] % W][k, block]
+                row = fold_edge_tables(state.tables[offset:offset + degree],
+                                       gathered)
+            else:
+                row = np.full(width, state.invalid, dtype=_DTYPE)
+            if lo <= i < hi:
+                row[i - lo] = state.trivial
+            if not changed and not np.array_equal(row, prev[i, block]):
+                changed = True
+            nxt[i, block] = row
+        flags.append(changed)
+    return flags
 
 
 def _worker_main(conn) -> None:
@@ -329,7 +352,7 @@ def _worker_main(conn) -> None:
     * ``("reload", meta)``   — swap in a republished table snapshot → ack
     * ``("history", names, window)`` — attach the δ ring → ack ``True``
     * ``("sigma", full)``    — one σ round → #changed columns
-    * ``("delta", t, acts)`` — one δ step → changed flag
+    * ``("delta", steps)``   — one *window* of δ steps → per-step flags
     * ``("stop",)``          — drain and exit
     """
     state = _WorkerState()
@@ -349,7 +372,7 @@ def _worker_main(conn) -> None:
                 if cmd == "sigma":
                     reply = _worker_sigma(state, msg[1])
                 elif cmd == "delta":
-                    reply = _worker_delta(state, msg[1], msg[2])
+                    reply = _worker_delta(state, msg[1])
                 elif cmd == "load":
                     _worker_load(state, msg[1])
                     reply = True
@@ -478,6 +501,9 @@ class ParallelVectorizedEngine(VectorizedEngine):
         self._hist_views: List = []
         self._window = 0
         self._blocks = self._split_columns(network.n, resolved)
+        #: IPC amortisation achieved by the most recent δ run
+        self.delta_ipc_commands = 0
+        self.delta_ipc_steps = 0
 
     # -- layout ---------------------------------------------------------
 
@@ -687,17 +713,30 @@ class ParallelVectorizedEngine(VectorizedEngine):
 
     def delta(self, schedule: Schedule, start: RoutingState,
               max_steps: int = 2_000,
-              stability_window: Optional[int] = None) -> AsyncResult:
+              stability_window: Optional[int] = None,
+              window: Optional[int] = None) -> AsyncResult:
         """δ on the pool against the shared bounded history ring.
 
-        Requires a schedule with a declared staleness bound (the ring
-        size is ``max_read_back + 2``, exactly the
+        Requires a schedule with a declared staleness bound (reads are
+        policed against ``max_read_back + 2``, exactly the
         :class:`~repro.core.incremental.BoundedHistory` window); the
         ``delta_run`` selector routes unbounded schedules and
         ``keep_history`` requests to the vectorized engine instead.
         Identical convergence semantics: constant for a full stability
         window *and* σ-stable (the σ probe runs on the master's local
         snapshot — matrices never leave shared memory for it).
+
+        ``window`` schedule steps travel per IPC command
+        (:data:`DELTA_WINDOW` by default; 1 restores the per-step
+        protocol).  The workers execute the whole window against the
+        ring and reply with per-step changed flags; the master then
+        replays the convergence counter over the flags and probes
+        σ-stability on the retained ring slots, so a run converging at
+        step ``t`` mid-window reports exactly the serial result — the
+        criterion (constant for a full read-back window + σ-stable)
+        guarantees the already-executed later steps changed nothing.
+        ``delta_ipc_commands`` / ``delta_ipc_steps`` record the
+        amortisation achieved by the last run.
         """
         max_read_back = schedule.max_read_back()
         if max_read_back is None:
@@ -707,21 +746,22 @@ class ParallelVectorizedEngine(VectorizedEngine):
                 "delta_run(..., engine='vectorized') or strict=True")
         if stability_window is None:
             stability_window = (max_read_back or 1) + 2
-        window = max_read_back + 2       # the BoundedHistory window
+        read_window = max_read_back + 2  # the BoundedHistory window
+        w = DELTA_WINDOW if window is None else max(1, int(window))
         self.refresh()
         self._ensure_pool()
-        # one spare slot beyond the BoundedHistory window: the serial
-        # engines tolerate reads up to ``t - window`` (the oldest state
-        # still retained while step t computes), and the slot being
-        # written at step t must never alias a legal read — so the ring
-        # is ``window + 1`` slots and the staleness guard below raises
-        # exactly where BoundedHistory would, keeping the "all engines
-        # compute exactly the same δᵗ" contract even for schedules that
-        # read slightly past their declaration.  The ring may be larger
-        # still (it is reused across runs and never shrinks): slot
-        # arithmetic uses the actual ring size, validation the
-        # schedule's declared window.
-        self._ensure_history(window + 1)
+        # ring sizing: the serial engines tolerate reads up to
+        # ``t - read_window`` (the oldest state BoundedHistory still
+        # retains while step t computes), and a windowed command writes
+        # ``w`` consecutive slots before the master sees any flag — so
+        # the ring holds ``w + read_window`` slots and the staleness
+        # guard below raises exactly where BoundedHistory would,
+        # keeping the "all engines compute exactly the same δᵗ"
+        # contract even for schedules that read slightly past their
+        # declaration.  The ring may be larger still (it is reused
+        # across runs and never shrinks): slot arithmetic uses the
+        # actual ring size, validation the schedule's declared window.
+        self._ensure_history(w + read_window)
         W = self._window
         self._hist_views[0][:] = self.encode_state(start)
         beta, alpha = schedule.beta, schedule.alpha
@@ -729,38 +769,69 @@ class ParallelVectorizedEngine(VectorizedEngine):
             i: [int(self._src[self._offsets[i] + d])
                 for d in range(self._degrees[i])]
             for i in self._degrees}
+        self.delta_ipc_commands = 0
+        self.delta_ipc_steps = 0
         unchanged = 0
-        for t in range(1, max_steps + 1):
-            acts = []
-            for i in sorted(alpha(t)):
-                times = []
-                for k in in_neighbours.get(i, ()):
-                    s = beta(t, i, k)
-                    # s < 0 violates S2 outright and would wrap the ring
-                    # modulo into an arbitrary slot; s < t - window is
-                    # exactly the read BoundedHistory would refuse as
-                    # evicted — fail loudly either way
-                    if s < 0 or s >= t or t - s > window:
-                        raise LookupError(
-                            f"δ history for time {s} is outside the shared "
-                            f"ring (window={window}, t={t}); the schedule reads "
-                            "further back than its declared max_read_back — "
-                            "run delta_run(..., strict=True) to keep the "
-                            "full history")
-                    times.append(s)
-                acts.append((i, times))
-            self._broadcast(("delta", t, acts))
-            changed = any(self._collect())
-            unchanged = 0 if changed else unchanged + 1
-            nxt = self._hist_views[t % W]
-            if unchanged >= stability_window and \
-                    np.array_equal(self._sigma_codes(nxt), nxt):
-                return AsyncResult(True, t, self.decode_state(nxt),
-                                   t - unchanged, None,
-                                   history_retained=min(t + 1, window))
+        t0 = 1
+        while t0 <= max_steps:
+            w_eff = min(w, max_steps - t0 + 1)
+            steps = []
+            stale_error: Optional[LookupError] = None
+            for t in range(t0, t0 + w_eff):
+                acts = []
+                for i in sorted(alpha(t)):
+                    times = []
+                    for k in in_neighbours.get(i, ()):
+                        s = beta(t, i, k)
+                        # s < 0 violates S2 outright and would wrap the
+                        # ring modulo into an arbitrary slot;
+                        # s < t - read_window is exactly the read
+                        # BoundedHistory would refuse as evicted — fail
+                        # loudly either way
+                        if s < 0 or s >= t or t - s > read_window:
+                            stale_error = LookupError(
+                                f"δ history for time {s} is outside the "
+                                f"shared ring (window={read_window}, t={t}); "
+                                "the schedule reads further back than its "
+                                "declared max_read_back — run "
+                                "delta_run(..., strict=True) to keep the "
+                                "full history")
+                            break
+                        times.append(s)
+                    if stale_error is not None:
+                        break
+                    acts.append((i, times))
+                if stale_error is not None:
+                    # truncate the window at the offending step: the
+                    # per-step protocol executes (and may converge on)
+                    # every step before it without ever evaluating it,
+                    # so the windowed protocol must too — raise only if
+                    # the run is still going when that step is reached
+                    break
+                steps.append((t, acts))
+            if steps:
+                self._broadcast(("delta", steps))
+                self.delta_ipc_commands += 1
+                self.delta_ipc_steps += len(steps)
+                flags = self._collect()  # per worker: one flag per step
+                for off in range(len(steps)):
+                    t = t0 + off
+                    unchanged = 0 if any(f[off] for f in flags) \
+                        else unchanged + 1
+                    if unchanged >= stability_window:
+                        nxt = self._hist_views[t % W]
+                        if np.array_equal(self._sigma_codes(nxt), nxt):
+                            return AsyncResult(
+                                True, t, self.decode_state(nxt),
+                                t - unchanged, None,
+                                history_retained=min(t + 1, read_window))
+            if stale_error is not None:
+                raise stale_error
+            t0 += len(steps)
         final = self._hist_views[max_steps % W]
         return AsyncResult(False, max_steps, self.decode_state(final), None,
-                           None, history_retained=min(max_steps + 1, window))
+                           None,
+                           history_retained=min(max_steps + 1, read_window))
 
 
 # ----------------------------------------------------------------------
@@ -797,7 +868,8 @@ def delta_run_parallel(network: Network, schedule: Schedule,
                        stability_window: Optional[int] = None,
                        keep_history: bool = False,
                        engine: Optional[ParallelVectorizedEngine] = None,
-                       workers: Optional[int] = None) -> AsyncResult:
+                       workers: Optional[int] = None,
+                       window: Optional[int] = None) -> AsyncResult:
     """Parallel drop-in for :func:`repro.core.asynchronous.delta_run`.
 
     ``keep_history`` and unbounded schedules delegate to the vectorized
@@ -808,6 +880,8 @@ def delta_run_parallel(network: Network, schedule: Schedule,
     :class:`~repro.core.vectorized.VectorizedEngine`, so its encoding
     and table snapshot serve the serial run without re-encoding.
     Engine ownership and cleanup as in :func:`iterate_sigma_parallel`.
+    ``window`` sets the number of schedule steps per worker command
+    (:data:`DELTA_WINDOW` default; 1 restores the per-step protocol).
     """
     if keep_history or schedule.max_read_back() is None:
         from .vectorized import delta_run_vectorized
@@ -820,7 +894,7 @@ def delta_run_parallel(network: Network, schedule: Schedule,
         else ParallelVectorizedEngine(network, workers=workers)
     try:
         return eng.delta(schedule, start, max_steps=max_steps,
-                         stability_window=stability_window)
+                         stability_window=stability_window, window=window)
     finally:
         if engine is None:
             eng.close()

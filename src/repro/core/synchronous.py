@@ -43,12 +43,19 @@ Two engines implement the iteration:
   has no finite encoding, when the platform lacks shared memory, or
   when ``workers`` resolves to ≤ 1 — e.g. auto mode on a single-CPU
   host or a problem below :data:`repro.core.parallel.PARALLEL_MIN_N`.
+* ``engine="batched"`` — the multi-trial tensor engine
+  (:class:`~repro.core.vectorized.BatchedVectorizedEngine`): many
+  starts stacked along a batch axis, one kernel invocation per round
+  for all of them.  Built for experiment grids
+  (:func:`~repro.core.asynchronous.absolute_convergence_experiment`);
+  a single run through this selector is the degenerate B = 1 batch,
+  and non-finite algebras fall down the ladder as usual.
 
-The four-engine ladder (naive → incremental → vectorized → parallel)
-trades generality for speed rung by rung, but every rung computes
-exactly σ each round, so trajectories and fixed points are identical —
-``tests/core/test_engine_equivalence.py`` is the differential oracle
-holding them to it.
+The five-engine ladder (naive → incremental → vectorized → parallel →
+batched) trades generality for speed rung by rung, but every rung
+computes exactly σ each round, so trajectories and fixed points are
+identical — ``tests/core/test_engine_equivalence.py`` is the
+differential oracle holding them to it.
 
 Both engines read neighbour structure from the cached
 :class:`~repro.core.state.NetworkTopology`, which is invalidated by
@@ -66,7 +73,7 @@ from .state import Network, RoutingState
 
 #: The engine selector vocabulary, shared by every σ/δ driver, the
 #: simulator, the CLI and the test matrix — ordered as the ladder.
-ENGINES = ("naive", "incremental", "vectorized", "parallel")
+ENGINES = ("naive", "incremental", "vectorized", "parallel", "batched")
 
 
 def sigma(network: Network, state: RoutingState) -> RoutingState:
@@ -138,9 +145,11 @@ def iterate_sigma(network: Network, start: RoutingState, max_rounds: int = 10_00
     (dirty-set delta propagation, the default), ``"naive"`` (full
     recompute + equality scan per round), ``"vectorized"``
     (int-encoded numpy engine for finite algebras, incremental fallback
-    otherwise) or ``"parallel"`` (the vectorized round sharded by
+    otherwise), ``"parallel"`` (the vectorized round sharded by
     destination columns over ``workers`` processes, vectorized fallback
-    when not worthwhile or unsupported); see the module docstring.  All
+    when not worthwhile or unsupported) or ``"batched"`` (the
+    multi-trial tensor engine run as a B = 1 batch, parallel fallback
+    for non-finite algebras); see the module docstring.  All
     produce identical iterates.  ``workers`` applies to
     ``engine="parallel"`` only: ``None`` sizes the pool to the host's
     CPUs (falling back entirely on small problems or single-CPU
@@ -152,6 +161,15 @@ def iterate_sigma(network: Network, start: RoutingState, max_rounds: int = 10_00
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}")
+    if engine == "batched":
+        # local import: vectorized imports SyncResult from this module
+        from .vectorized import iterate_sigma_batched, supports_vectorized
+        if supports_vectorized(network.algebra):
+            return iterate_sigma_batched(
+                network, [start], max_rounds=max_rounds,
+                keep_trajectory=keep_trajectory,
+                detect_cycles=detect_cycles)[0]
+        engine = "parallel"              # documented fallback ladder
     if engine == "parallel":
         # local import: parallel imports SyncResult from this module
         from .parallel import iterate_sigma_parallel, parallel_workers

@@ -54,7 +54,7 @@ stale table behind — the vectorized mirror of the
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 try:
     import numpy as np
@@ -62,9 +62,9 @@ except ImportError:                      # pragma: no cover - numpy is baked in
     np = None
 
 from .algebra import RoutingAlgebra, UnsupportedAlgebraError
-from .asynchronous import AsyncResult
+from .asynchronous import AbsoluteConvergenceReport, AsyncResult
 from .incremental import BoundedHistory
-from .schedule import Schedule
+from .schedule import CompiledSchedule, Schedule
 from .state import Network, RoutingState
 from .synchronous import SyncResult
 
@@ -315,6 +315,363 @@ class VectorizedEngine:
 
 
 # ----------------------------------------------------------------------
+# Batched multi-trial engine
+# ----------------------------------------------------------------------
+
+
+def _concat_ranges(counts):
+    """``concatenate([arange(c) for c in counts])`` without a Python loop."""
+    total = int(counts.sum())
+    ends = np.cumsum(counts)
+    return np.arange(total) - np.repeat(ends - counts, counts)
+
+
+class BatchedVectorizedEngine(VectorizedEngine):
+    """Multi-trial σ/δ over a ``(B, n, n)`` stacked code tensor.
+
+    The top rung of the five-engine ladder (naive → incremental →
+    vectorized → parallel → **batched**).  The vectorized engine made
+    one *trial* an array computation; experiments, however, run *grids*
+    of trials — the absolute-convergence experiment (Definition 8)
+    quantifies over (starting state × schedule) pairs — and looping
+    Python over trials re-pays the per-step interpreter overhead B
+    times.  This engine stacks B trials along a leading batch axis and
+    runs every σ round / δ step for **all** trials per kernel
+    invocation:
+
+    * σ: one table gather + ``minimum.reduceat`` over a ``(B, E, n)``
+      extension tensor (:meth:`_sigma_codes_batch`);
+    * δ: the activations of *all* trials at step ``t`` are flattened
+      into one ``(total edges, n)`` gather against a shared history
+      ring widened by the batch axis — ``(W, B, n, n)`` — followed by a
+      single ``reduceat`` fold (:meth:`_delta_step_batch`).  Schedules
+      are precompiled (:class:`~repro.core.schedule.CompiledSchedule`)
+      so α bitmask rows and β read-time arrays are array lookups, not
+      per-(t, i, j) Python calls.
+
+    Per-trial convergence masking: each trial keeps its own
+    unchanged-step counter and stability window, finished trials drop
+    out of the activation mask (their final state is snapshotted at
+    completion), and the grid ends when every trial has converged or
+    exhausted ``max_steps``.  Each trial's result is observationally
+    identical to a solo :func:`delta_run_vectorized` — converged flag,
+    convergence step and fixed point — which the differential oracle
+    (``tests/core/test_engine_equivalence.py``) enforces against the
+    strict literal recursion.
+
+    Staleness discipline mirrors :class:`~repro.core.incremental.BoundedHistory`
+    per trial: reads further back than the trial's declared
+    ``max_read_back() + 2`` raise :class:`LookupError`; schedules that
+    declare **no** bound run against their *derived* bound (exact over
+    the compiled horizon), which the object engines could only serve
+    with a full O(steps · n²) history.
+    """
+
+    # -- node-indexed snapshot arrays (degree/offset per node) -----------
+
+    def _node_arrays(self):
+        if getattr(self, "_node_arrays_version", None) != self._version:
+            deg = np.zeros(self._n, dtype=np.intp)
+            off = np.zeros(self._n, dtype=np.intp)
+            for i, d in self._degrees.items():
+                deg[i] = d
+                off[i] = self._offsets[i]
+            self._deg_arr, self._off_arr = deg, off
+            self._node_arrays_version = self._version
+        return self._deg_arr, self._off_arr
+
+    @property
+    def _batch_dtype(self):
+        """Narrowest dtype the stacked code tensors fit in.
+
+        Finite carriers are small (hop bounds, levels); int16 halves
+        the memory traffic of every gather/fold/compare in the batched
+        step, which is bandwidth-bound.  The margin (``2 · size``)
+        keeps the affine fast path's ``x + w`` sum in range too.
+        """
+        return np.int16 if 2 * self.encoding.size < 32_000 else _DTYPE
+
+    def _affine_tables(self):
+        """``(all_affine, w, cap)`` — the clipped-shift view of the
+        edge tables, when exact.
+
+        Many finite encodings produce tables of the form
+        ``T[x] = min(x + w, cap)`` (hop count and weighted chains: the
+        carrier is preference-ordered, an edge adds a cost, ∞̄ absorbs).
+        Verified *element-wise* against the real tables at snapshot
+        time, so the fast path is exact or unused — never approximate.
+        When it holds, the δ kernel's per-element table gather (a 2-D
+        fancy index, the most expensive op in the batched step) becomes
+        two SIMD-friendly arithmetic ops, in the batch dtype.
+        """
+        if getattr(self, "_affine_version", None) != self._version:
+            T = self._tables
+            if T.size:
+                w = T[:, :1]
+                cap = T[:, -1:]
+                size = T.shape[1]
+                ar = np.arange(size, dtype=_DTYPE)[None, :]
+                ok = bool((T == np.minimum(ar + w, cap)).all())
+                dtype = self._batch_dtype
+                w = w.astype(dtype)
+                cap = cap.astype(dtype)
+            else:
+                ok, w, cap = True, T, T
+            self._affine = (ok, w, cap)
+            self._affine_version = self._version
+        return self._affine
+
+    def _slot_segment(self, comp, t: int, deg_arr, off_arr):
+        """Flat read-time array over ``comp``'s active, degree > 0
+        importers at ``t``, aligned to the snapshot's edge layout.
+
+        Cached per (schedule, step): trials replicate schedules across
+        starting states, and the pair list of a batched step is exactly
+        the per-trial concatenation of these segments, so the β work of
+        a step is paid once per *distinct* schedule, not once per
+        trial."""
+        cache = self._seg_cache
+        if cache.get("t") != t:
+            cache.clear()
+            cache["t"] = t
+        seg = cache.get(id(comp))
+        if seg is None:
+            mask = comp.alpha_mask(t)
+            nodes = np.nonzero(mask)[0]
+            nodes = nodes[deg_arr[nodes] > 0]
+            total = int(deg_arr[nodes].sum())
+            uniform = comp.beta_uniform(t)
+            if uniform is not None:
+                seg = np.full(total, uniform, dtype=np.int64)
+            elif total:
+                src = self._src
+                seg = np.concatenate(
+                    [comp.beta_times_for(
+                        t, int(i), src[off_arr[i]:off_arr[i] + deg_arr[i]])
+                     for i in nodes.tolist()])
+            else:
+                seg = np.empty(0, dtype=np.int64)
+            cache[id(comp)] = seg
+        return seg
+
+    # -- σ ---------------------------------------------------------------
+
+    def _sigma_codes_batch(self, C: "np.ndarray") -> "np.ndarray":
+        """One full σ round on a ``(B, n, n)`` stack of code matrices."""
+        B, n = C.shape[0], self._n
+        new = np.full((B, n, n), self.invalid_code, dtype=_DTYPE)
+        if self._src.size:
+            ext = self._tables[self._erange[None], C[:, self._src, :]]
+            new[:, self._importers, :] = np.minimum.reduceat(
+                ext, self._starts, axis=1)
+        diag = np.arange(n)
+        new[:, diag, diag] = self.trivial_code   # Lemma 1, every trial
+        return new
+
+    # -- δ ---------------------------------------------------------------
+
+    def _delta_step_batch(self, ring, W: int, t: int, scheds, live,
+                          windows, prev, nxt, copy, last_change,
+                          prev_read_min) -> "np.ndarray":
+        """One δ step for every live trial; returns ``(B,)`` changed flags.
+
+        ``prev``/``nxt`` are the ring slots for ``t - 1`` and ``t``;
+        the trials listed in ``copy`` get their ``nxt`` slice
+        initialised from ``prev`` (the caller omits trials whose state
+        has been constant for a full ring — their slots already hold
+        the current state) and active rows are overwritten in place.
+        The whole step is one fused gather/fold: every (trial, active
+        node, in-edge) triple becomes one row of a flat extension
+        matrix, reduced per activation with ``minimum.reduceat``.
+        Read-time blocks come from the compiled schedules —
+        one constant fill for uniform-β schedules
+        (:meth:`~repro.core.schedule.Schedule.beta_uniform`), a cached
+        in-neighbour slice otherwise
+        (:meth:`~repro.core.schedule.CompiledSchedule.beta_times_for`).
+
+        ``last_change``/``prev_read_min`` are the batch analogue of the
+        incremental engine's :class:`~repro.core.incremental.DeltaRowCache`:
+        ``last_change[b, k]`` is the last step trial ``b``'s row ``k``
+        changed, ``prev_read_min[b, i]`` the earliest read time of
+        ``i``'s previous activation.  An activation whose every source
+        row provably hasn't changed between its previous reads and its
+        current ones recomputes the same row (entry-wise σ over equal
+        inputs), so the pair is *skipped* — no gather, no fold, no
+        compare — which is what turns high-activation-rate schedules'
+        long quiet phases from O(E · n) into O(E) per step.
+        """
+        n = self._n
+        B = ring.shape[1]
+        changed = np.zeros(B, dtype=bool)
+        act = np.zeros((B, n), dtype=bool)
+        for b in live:
+            act[b] = scheds[b].alpha_mask(t)
+        if copy.size:
+            nxt[copy] = prev[copy]
+        pairs_b, pairs_i = np.nonzero(act)
+        if pairs_b.size == 0:
+            return changed
+        deg_arr, off_arr = self._node_arrays()
+        d = deg_arr[pairs_i]
+        has_edges = d > 0
+        eb, ei, ed = pairs_b[has_edges], pairs_i[has_edges], d[has_edges]
+        zb, zi = pairs_b[~has_edges], pairs_i[~has_edges]
+
+        if eb.size:
+            src = self._src
+            starts = np.zeros(ed.size, dtype=np.intp)
+            starts[1:] = np.cumsum(ed[:-1])
+            # pairs are b-major / i-ascending — exactly the per-trial
+            # concatenation of the cached per-(schedule, t) segments
+            trial_ids = np.unique(eb)
+            slot = np.concatenate(
+                [self._slot_segment(scheds[b], t, deg_arr, off_arr)
+                 for b in trial_ids.tolist()])
+            rep_b = np.repeat(eb, ed)
+            bad = (slot < 0) | (slot >= t) | ((t - slot) > windows[rep_b])
+            if bad.any():
+                k = int(np.nonzero(bad)[0][0])
+                raise LookupError(
+                    f"δ history for time {int(slot[k])} is outside trial "
+                    f"{int(rep_b[k])}'s ring window "
+                    f"(window={int(windows[rep_b[k]])}, t={t}); the "
+                    "schedule reads further back than its declared "
+                    "max_read_back — run delta_run(..., strict=True) to "
+                    "keep the full history")
+            edge_flat = np.repeat(off_arr[ei], ed) + _concat_ranges(ed)
+            src_flat = src[edge_flat]
+            # -- read-diff skip (vectorized DeltaRowCache) --------------
+            # sound because entry (i, j) is a pure fold of the sources'
+            # reads: if no source row changed anywhere in the span
+            # between the previous activation's reads and this one's,
+            # the fold recomputes the row it already produced.
+            read_min = np.minimum.reduceat(slot, starts)
+            lc_max = np.maximum.reduceat(last_change[rep_b, src_flat],
+                                         starts)
+            skip = lc_max <= np.minimum(read_min, prev_read_min[eb, ei])
+            prev_read_min[eb, ei] = read_min
+            if skip.any():
+                keep = ~skip
+                keep_edges = np.repeat(keep, ed)
+                eb, ei, ed = eb[keep], ei[keep], ed[keep]
+                edge_flat = edge_flat[keep_edges]
+                src_flat = src_flat[keep_edges]
+                slot = slot[keep_edges]
+                rep_b = rep_b[keep_edges]
+                starts = np.zeros(ed.size, dtype=np.intp)
+                starts[1:] = np.cumsum(ed[:-1])
+        if eb.size:
+            gathered = ring[slot % W, rep_b, src_flat, :]
+            affine, w, cap = self._affine_tables()
+            if affine:
+                ext = np.minimum(gathered + w[edge_flat], cap[edge_flat])
+            else:
+                ext = self._tables[edge_flat[:, None], gathered]
+            folded = np.minimum.reduceat(ext, starts, axis=0)
+            folded[np.arange(ei.size), ei] = self.trivial_code
+            row_changed = (folded != prev[eb, ei, :]).any(axis=1)
+            nxt[eb, ei, :] = folded
+            hit = row_changed
+            changed[eb[hit]] = True
+            last_change[eb[hit], ei[hit]] = t
+        if zb.size:
+            rows = np.full((zb.size, n), self.invalid_code,
+                           dtype=ring.dtype)
+            rows[np.arange(zb.size), zi] = self.trivial_code
+            row_changed = (rows != prev[zb, zi, :]).any(axis=1)
+            nxt[zb, zi, :] = rows
+            hit = row_changed
+            changed[zb[hit]] = True
+            last_change[zb[hit], zi[hit]] = t
+        return changed
+
+    def delta_grid(self, trials, max_steps: int = 2_000,
+                   stability_window: Optional[int] = None
+                   ) -> List[AsyncResult]:
+        """Run δ for every ``(schedule, start)`` trial as one workload.
+
+        Returns one :class:`~repro.core.asynchronous.AsyncResult` per
+        trial, in order, each identical to what a solo
+        :func:`delta_run_vectorized` would have produced.
+        """
+        self.refresh()
+        B = len(trials)
+        if B == 0:
+            return []
+        n = self._n
+        scheds: List[CompiledSchedule] = []
+        windows = np.empty(B, dtype=np.int64)
+        sws = np.empty(B, dtype=np.int64)
+        compiled = {}   # id(schedule) -> compiled form, shared across trials
+        for b, (sched, _start) in enumerate(trials):
+            comp = compiled.get(id(sched))
+            if comp is None:
+                comp = CompiledSchedule.ensure(sched, max_steps)
+                compiled[id(sched)] = comp
+            scheds.append(comp)
+            declared = comp.source.max_read_back()
+            # declared bounds get the BoundedHistory tolerance (+2);
+            # undeclared ones get the exact bound their compiled reads
+            # attain — the ring substitute for "keep the full history"
+            windows[b] = (declared + 2 if declared is not None
+                          else comp.derived_max_read_back())
+            sws[b] = (stability_window if stability_window is not None
+                      else (declared or 1) + 2)
+        W = int(windows.max()) + 1
+        ring = np.empty((W, B, n, n), dtype=self._batch_dtype)
+        ring[0] = np.stack([self.encode_state(start)
+                            for (_sched, start) in trials])
+        self._seg_cache: dict = {}       # per-(schedule, step) β segments
+
+        done = np.zeros(B, dtype=bool)
+        unchanged = np.zeros(B, dtype=np.int64)
+        converged = np.zeros(B, dtype=bool)
+        steps_res = np.full(B, max_steps, dtype=np.int64)
+        conv_at: List[Optional[int]] = [None] * B
+        final: List[Optional["np.ndarray"]] = [None] * B
+        # read-diff skip state (see _delta_step_batch): row k of trial b
+        # last changed at step last_change[b, k] (the start counts as a
+        # change at 0); prev_read_min[b, i] = earliest read time of i's
+        # previous activation (-1 = never activated, never skippable)
+        last_change = np.zeros((B, n), dtype=np.int64)
+        prev_read_min = np.full((B, n), -1, dtype=np.int64)
+
+        for t in range(1, max_steps + 1):
+            live = np.nonzero(~done)[0]
+            if live.size == 0:
+                break
+            prev = ring[(t - 1) % W]
+            nxt = ring[t % W]
+            # a trial constant for >= W steps has every ring slot equal
+            # to its current state — the prev→nxt copy is a no-op; skip
+            # it (long quiet tails of sparse-activation schedules
+            # otherwise pay a B·n² memcpy per step for nothing)
+            copy = live[unchanged[live] < W]
+            changed = self._delta_step_batch(ring, W, t, scheds, live,
+                                             windows, prev, nxt, copy,
+                                             last_change, prev_read_min)
+            unchanged[live] = np.where(changed[live], 0, unchanged[live] + 1)
+            cand = live[unchanged[live] >= sws[live]]
+            if cand.size:
+                sub = nxt[cand]
+                stable = (self._sigma_codes_batch(sub) == sub).all(axis=(1, 2))
+                for b in cand[stable].tolist():
+                    done[b] = True
+                    converged[b] = True
+                    steps_res[b] = t
+                    conv_at[b] = t - int(unchanged[b])
+                    final[b] = nxt[b].copy()
+        for b in np.nonzero(~done)[0].tolist():
+            final[b] = ring[max_steps % W][b].copy()
+
+        return [AsyncResult(bool(converged[b]), int(steps_res[b]),
+                            self.decode_state(final[b]), conv_at[b], None,
+                            history_retained=min(int(steps_res[b]) + 1,
+                                                 int(windows[b])))
+                for b in range(B)]
+
+
+# ----------------------------------------------------------------------
 # Drivers (SyncResult / AsyncResult compatible)
 # ----------------------------------------------------------------------
 
@@ -407,3 +764,152 @@ def delta_run_vectorized(network: Network, schedule: Schedule,
                 np.array_equal(eng._sigma_codes(nxt), nxt):
             return result(True, t, nxt, t - unchanged)
     return result(False, max_steps, history[max_steps], None)
+
+
+def sigma_churn(network: Network, start: RoutingState,
+                max_rounds: int = 10_000,
+                engine: Optional[VectorizedEngine] = None):
+    """``(converged, rounds, total entry changes)`` of the σ iteration.
+
+    The churn measurement
+    (:func:`repro.analysis.convergence.measure_sync`) on codes: instead
+    of decoding every trajectory state and comparing O(rounds · n²)
+    route pairs in Python, diff consecutive code matrices with numpy —
+    sound because a finite encoding maps equal routes to equal codes
+    and distinct routes to distinct codes.  Counts exactly what the
+    object path counts, without materialising the trajectory.
+    """
+    eng = engine if engine is not None else VectorizedEngine(network)
+    eng.refresh()
+    C = eng.encode_state(start)
+    churn = 0
+    dirty = None
+    for k in range(max_rounds):
+        nxt, dirty = eng._advance(C, dirty)
+        if dirty.size == 0:
+            return True, k, churn
+        churn += int((nxt[:, dirty] != C[:, dirty]).sum())
+        C = nxt
+    return False, max_rounds, churn
+
+
+def iterate_sigma_batched(network: Network,
+                          starts: Sequence[RoutingState],
+                          max_rounds: int = 10_000,
+                          keep_trajectory: bool = False,
+                          detect_cycles: bool = False,
+                          engine: Optional[BatchedVectorizedEngine] = None
+                          ) -> List[SyncResult]:
+    """σ fixed-point iteration for many starts as one tensor workload.
+
+    Every round applies σ to the whole live stack at once; each trial's
+    :class:`~repro.core.synchronous.SyncResult` (convergence, round
+    count, fixed point, optional trajectory / cycle detection) is
+    identical to a solo :func:`iterate_sigma_vectorized` run, and
+    finished trials drop out of the stack.
+    """
+    eng = engine if engine is not None else BatchedVectorizedEngine(network)
+    eng.refresh()
+    B = len(starts)
+    results: List[Optional[SyncResult]] = [None] * B
+    if B == 0:
+        return []
+    C = np.stack([eng.encode_state(s) for s in starts])
+    live = np.ones(B, dtype=bool)
+    trajs = [[s] if keep_trajectory else None for s in starts]
+    seens = ([{C[b].tobytes(): 0} for b in range(B)]
+             if detect_cycles else None)
+    for k in range(max_rounds):
+        idx = np.nonzero(live)[0]
+        if idx.size == 0:
+            break
+        new = eng._sigma_codes_batch(C[idx])
+        for pos, b in enumerate(idx.tolist()):
+            nxt = new[pos]
+            if keep_trajectory:
+                trajs[b].append(eng.decode_state(nxt))
+            if np.array_equal(nxt, C[b]):
+                results[b] = SyncResult(True, k, eng.decode_state(C[b]),
+                                        trajs[b])
+                live[b] = False
+                continue
+            if detect_cycles:
+                key = nxt.tobytes()
+                if key in seens[b]:
+                    results[b] = SyncResult(False, k + 1,
+                                            eng.decode_state(nxt), trajs[b])
+                    live[b] = False
+                    continue
+                seens[b][key] = k + 1
+            C[b] = nxt
+    for b in np.nonzero(live)[0].tolist():
+        results[b] = SyncResult(False, max_rounds, eng.decode_state(C[b]),
+                                trajs[b])
+    return results
+
+
+def delta_run_batched(network: Network, schedule: Schedule,
+                      start: RoutingState, max_steps: int = 2_000,
+                      stability_window: Optional[int] = None,
+                      engine: Optional[BatchedVectorizedEngine] = None
+                      ) -> AsyncResult:
+    """Single-trial δ through the batched kernel (the B = 1 grid).
+
+    Exists so ``delta_run(engine="batched")`` exercises exactly the
+    code path the grid driver uses — the differential oracle runs every
+    engine through the same selectors.
+    """
+    eng = engine if engine is not None else BatchedVectorizedEngine(network)
+    return eng.delta_grid([(schedule, start)], max_steps=max_steps,
+                          stability_window=stability_window)[0]
+
+
+def absolute_convergence_batched(
+        network: Network,
+        starts: Sequence[RoutingState],
+        schedules: Sequence[Schedule],
+        max_steps: int = 2_000,
+        engine: Optional[BatchedVectorizedEngine] = None,
+        batch_size: Optional[int] = 64) -> AbsoluteConvergenceReport:
+    """The absolute-convergence grid as one (chunked) tensor workload.
+
+    Drop-in for
+    :func:`repro.core.asynchronous.absolute_convergence_experiment` on
+    finite algebras: same trial order (starts major), same report —
+    runs, convergence flags, first-occurrence-ordered distinct fixed
+    points and convergence steps.  ``batch_size`` bounds the ring's
+    batch axis (``None`` stacks the whole grid at once).
+    """
+    eng = engine if engine is not None else BatchedVectorizedEngine(network)
+    # compile each distinct schedule once up front — chunked grids
+    # would otherwise re-wrap (and, for undeclared staleness bounds,
+    # re-derive) per chunk; delta_grid's own ensure() is then a no-op
+    compiled: dict = {}
+
+    def _compile(sched):
+        comp = compiled.get(id(sched))
+        if comp is None:
+            comp = CompiledSchedule.ensure(sched, max_steps)
+            compiled[id(sched)] = comp
+        return comp
+
+    trials = [(_compile(sched), start)
+              for start in starts for sched in schedules]
+    chunk = len(trials) if not batch_size else max(1, int(batch_size))
+    results: List[AsyncResult] = []
+    for lo in range(0, len(trials), chunk):
+        results.extend(eng.delta_grid(trials[lo:lo + chunk],
+                                      max_steps=max_steps))
+    alg = network.algebra
+    fixed_points: List[RoutingState] = []
+    steps: List[int] = []
+    all_converged = True
+    for res in results:
+        if not res.converged:
+            all_converged = False
+            continue
+        steps.append(res.converged_at or res.steps)
+        if not any(res.state.equals(fp, alg) for fp in fixed_points):
+            fixed_points.append(res.state)
+    return AbsoluteConvergenceReport(len(trials), all_converged,
+                                     fixed_points, steps)

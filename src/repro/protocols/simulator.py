@@ -248,6 +248,10 @@ class Simulator:
         silently fall back down the ladder when the algebra has no
         finite encoding or the pool is not worthwhile."""
         engine = self.engine
+        if engine == "batched":
+            # batching is a grid-of-trials concept; a single stability
+            # check falls one rung down the ladder
+            engine = "parallel"
         if engine == "parallel":
             from ..core.parallel import (ParallelVectorizedEngine,
                                          parallel_workers)

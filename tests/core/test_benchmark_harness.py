@@ -23,8 +23,10 @@ class TestSmokeSuite:
         report = run_benchmarks.run_suite("smoke", repeats=1)
         assert report["meta"]["all_fixed_points_equal"]
         assert report["sigma"] and report["delta"]
-        # smoke stays pool-free, but the column must exist in the schema
+        # smoke stays pool-free, but the columns must exist in the schema
         assert "parallel" in report
+        assert "batched" in report
+        assert "windowed_ipc" in report
         assert report["meta"]["cpu_count"] >= 1
         for row in report["sigma"]:
             assert row["fixed_points_equal"], row["case"]
@@ -89,6 +91,35 @@ class TestCommittedBaseline:
                 best = max((p["vs_vectorized"] or 0.0)
                            for p in row["scaling"] if p["workers"] >= 4)
                 assert best >= floor, (row, floor)
+
+
+class TestCommittedBatchedColumn:
+    """The PR 4 columns: batched-grid headline and windowed-δ IPC."""
+
+    def test_committed_batched_headline(self):
+        path = BENCH_DIR.parent / "BENCH_core.json"
+        report = json.loads(path.read_text())
+        rows = report.get("batched", [])
+        headline = [r for r in rows if r.get("headline_batched")]
+        assert headline, "batched headline (n=100 grid) case missing"
+        for row in rows:
+            assert row["fixed_points_equal"], row["case"]
+        for row in headline:
+            assert row["n"] >= 100
+            assert row["trials"] >= 16
+            assert row["batched_vs_loop"] >= \
+                run_benchmarks.BATCHED_HEADLINE_FLOOR, row
+
+    def test_committed_windowed_ipc(self):
+        path = BENCH_DIR.parent / "BENCH_core.json"
+        report = json.loads(path.read_text())
+        rows = report.get("windowed_ipc", [])
+        assert rows, "windowed-IPC row missing"
+        for row in rows:
+            assert row["fixed_points_equal"], row["case"]
+            if row["delta_steps"] >= 4 * row["window"]:
+                assert row["steps_per_command"] >= \
+                    run_benchmarks.WINDOWED_IPC_FLOOR, row
 
 
 @pytest.mark.perfbench

@@ -1,0 +1,188 @@
+"""CompiledSchedule ≡ its source Schedule — the equivalence contract.
+
+The batched engine trusts the compiled form blindly (α bitmask rows, β
+read-time arrays, derived staleness bound), so the contract is held
+property-style over random schedules and horizons: every query a δ
+recursion could make must answer exactly as the object form does, the
+axioms must be preserved verbatim, and the derived bound must cover
+every read the compiled horizon performs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AdversarialStaleSchedule,
+    CompiledSchedule,
+    FixedDelaySchedule,
+    RandomSchedule,
+    RoundRobinSchedule,
+    SynchronousSchedule,
+    schedule_zoo,
+)
+
+np = pytest.importorskip("numpy")
+
+
+def _random_schedule(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    kind = draw(st.sampled_from(
+        ["sync", "round-robin", "fixed", "adversarial", "random"]))
+    if kind == "sync":
+        return SynchronousSchedule(n)
+    if kind == "round-robin":
+        return RoundRobinSchedule(n)
+    if kind == "fixed":
+        return FixedDelaySchedule(n, delay=draw(st.integers(1, 6)))
+    if kind == "adversarial":
+        return AdversarialStaleSchedule(
+            n, max_delay=draw(st.integers(1, 7)),
+            burst=draw(st.integers(1, 4)))
+    return RandomSchedule(
+        n, seed=draw(st.integers(0, 2 ** 16)),
+        activation_prob=draw(st.sampled_from([0.2, 0.5, 0.9, 1.0])),
+        max_delay=draw(st.integers(1, 6)),
+        max_silence=draw(st.integers(1, 8)))
+
+
+class TestEquivalenceContract:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_alpha_beta_identical_over_random_horizons(self, data):
+        src = _random_schedule(data.draw)
+        horizon = data.draw(st.integers(min_value=1, max_value=90))
+        block = data.draw(st.sampled_from([1, 3, 8, 32]))
+        comp = CompiledSchedule(src, horizon, block=block)
+        for t in range(1, horizon + 1):
+            assert comp.alpha(t) == src.alpha(t), t
+            mask = comp.alpha_mask(t)
+            assert set(np.nonzero(mask)[0].tolist()) == set(src.alpha(t))
+            for i in range(src.n):
+                for j in range(src.n):
+                    assert comp.beta(t, i, j) == src.beta(t, i, j), (t, i, j)
+            for i in src.alpha(t):
+                assert comp.beta_times(t, i).tolist() == src.beta_row(t, i)
+        # queries past the horizon delegate wholesale
+        beyond = horizon + data.draw(st.integers(1, 5))
+        assert comp.alpha(beyond) == src.alpha(beyond)
+        assert comp.beta(beyond, 0, 0) == src.beta(beyond, 0, 0)
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_admissibility_preserved(self, data):
+        src = _random_schedule(data.draw)
+        horizon = data.draw(st.integers(min_value=20, max_value=80))
+        comp = CompiledSchedule(src, horizon)
+        assert comp.validate(horizon) == src.validate(horizon)
+        assert comp.is_admissible(horizon) == src.is_admissible(horizon)
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_declared_bound_is_preserved(self, data):
+        src = _random_schedule(data.draw)
+        horizon = data.draw(st.integers(min_value=1, max_value=60))
+        comp = CompiledSchedule(src, horizon)
+        assert comp.max_read_back() == src.max_read_back()
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_derived_bound_covers_every_active_read(self, data):
+        base = _random_schedule(data.draw)
+
+        class Undeclared(type(base)):
+            def max_read_back(self):
+                return None
+
+        src = Undeclared.__new__(Undeclared)
+        src.__dict__.update(base.__dict__)
+        src.n = base.n
+        horizon = data.draw(st.integers(min_value=5, max_value=60))
+        comp = CompiledSchedule(src, horizon)
+        derived = comp.max_read_back()
+        assert derived == comp.derived_max_read_back()
+        worst = 1
+        for t in range(1, horizon + 1):
+            for i in src.alpha(t):
+                for j in range(src.n):
+                    worst = max(worst, t - src.beta(t, i, j))
+        assert derived == worst
+        assert derived >= 1
+
+
+class TestCompileMechanics:
+    def test_block_eviction_recompiles_deterministically(self):
+        """Revisiting an evicted block must answer identically — the
+        compiled form is a pure function of (source, t)."""
+        src = RandomSchedule(6, seed=11, max_delay=4)
+        comp = CompiledSchedule(src, horizon=300, block=4)
+        first = {(t, i, j): comp.beta(t, i, j)
+                 for t in (1, 2, 3) for i in range(6) for j in range(6)}
+        for t in range(4, 300, 4):        # walk far enough to evict t<4
+            comp.alpha(t)
+        again = {(t, i, j): comp.beta(t, i, j)
+                 for t in (1, 2, 3) for i in range(6) for j in range(6)}
+        assert first == again
+
+    def test_ensure_reuses_wide_enough_compilations(self):
+        src = RandomSchedule(5, seed=2)
+        comp = CompiledSchedule(src, horizon=100)
+        assert CompiledSchedule.ensure(comp, 50) is comp
+        wider = CompiledSchedule.ensure(comp, 200)
+        assert wider is not comp and wider.source is src
+        assert CompiledSchedule.ensure(src, 10).source is src
+
+    def test_beta_times_for_is_layout_independent(self):
+        """The sliced read-time view must answer per the *caller's*
+        source array — one compiled instance can serve engines over
+        different edge layouts (or the same network across topology
+        mutations)."""
+        src = RandomSchedule(8, seed=21, max_delay=4)
+        comp = CompiledSchedule(src, horizon=50)
+        a = np.asarray([0, 3, 5])
+        b = np.asarray([1, 2, 6, 7])
+        for t in (1, 9, 30):
+            row = src.beta_row(t, 2)
+            assert comp.beta_times_for(t, 2, a).tolist() == \
+                [row[j] for j in a.tolist()]
+            assert comp.beta_times_for(t, 2, b).tolist() == \
+                [row[j] for j in b.tolist()]
+            # and again in the other order (no stale cache)
+            assert comp.beta_times_for(t, 2, a).tolist() == \
+                [row[j] for j in a.tolist()]
+
+    def test_zoo_compiles(self):
+        for src in schedule_zoo(7):
+            comp = CompiledSchedule(src, horizon=40)
+            for t in (1, 7, 40):
+                assert comp.alpha(t) == src.alpha(t)
+
+    def test_rejects_bad_parameters(self):
+        src = SynchronousSchedule(3)
+        with pytest.raises(ValueError):
+            CompiledSchedule(src, horizon=0)
+        with pytest.raises(ValueError):
+            CompiledSchedule(src, 10, block=0)
+
+
+class TestRandomScheduleMemo:
+    def test_memoized_draws_match_fresh_instance(self):
+        """The per-step memo is caching only: two instances with the
+        same seed answer identically under interleaved query orders."""
+        a = RandomSchedule(7, seed=42, max_delay=5)
+        b = RandomSchedule(7, seed=42, max_delay=5)
+        for t in range(1, 50):
+            assert a.alpha(t) == b.alpha(t)
+            # a queried row-wise, b element-wise, both twice
+            for i in range(7):
+                row = a.beta_row(t, i)
+                assert row == [b.beta(t, i, j) for j in range(7)]
+                assert a.beta_row(t, i) == row
+
+    def test_memo_eviction_recomputes_identically(self):
+        sched = RandomSchedule(5, seed=9, max_delay=4)
+        early = [sched.beta(2, i, j) for i in range(5) for j in range(5)]
+        for t in range(3, 60):            # push t=2 out of the memo
+            sched.beta(t, 0, 0)
+        assert early == [sched.beta(2, i, j)
+                         for i in range(5) for j in range(5)]

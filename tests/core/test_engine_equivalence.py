@@ -1,12 +1,13 @@
-"""Differential oracle: naive vs incremental vs vectorized vs parallel.
+"""Differential oracle: naive vs incremental vs vectorized vs parallel
+vs batched.
 
-An engine's speedup only counts if its compressed/sharded iteration
-reaches exactly the reference fixed points, so this module holds every
-rung of the four-engine ladder to *observational identity*: identical
-per-round lockstep states, identical fixed points and round counts for
-σ, and identical histories/convergence times for δ — across every
-shipped finite algebra, two non-finite controls (which must fall back,
-not diverge), and random-gnp / chain / gadget topology families.
+An engine's speedup only counts if its compressed/sharded/stacked
+iteration reaches exactly the reference fixed points, so this module
+holds every rung of the five-engine ladder to *observational identity*:
+identical per-round lockstep states, identical fixed points and round
+counts for σ, and identical histories/convergence times for δ — across
+every shipped finite algebra, two non-finite controls (which must fall
+back, not diverge), and random-gnp / chain / gadget topology families.
 
 The parallel engine is exercised with an explicit ``workers=2`` pool
 (auto mode would decline these small nets and single-CPU CI hosts —
@@ -14,7 +15,13 @@ exactly the fallback it is supposed to take); one pool is shared across
 the lockstep and δ phases of each oracle call and torn down in a
 ``finally``, while the σ fixed-point phase goes through the public
 ``iterate_sigma(engine="parallel")`` selector so the dispatch path is
-covered too.
+covered too.  Parallel δ runs through the *windowed* IPC protocol at
+its default window, plus an explicit ``window=1`` run (the per-step
+protocol) on the first schedule to pin both wire formats to the same
+results.  The batched engine is exercised per schedule through the
+``delta_run(engine="batched")`` selector (the B = 1 grid) *and* as one
+multi-trial ``delta_grid`` over every schedule at once — each trial of
+the grid must match the strict literal recursion for its schedule.
 
 ``assert_engines_agree`` is the reusable oracle; other test modules and
 the benchmark harness lean on the same contract.  The ``--engine``
@@ -40,6 +47,7 @@ from repro.algebras.bgplite import random_policy
 from repro.core import (
     ENGINES,
     AdversarialStaleSchedule,
+    BatchedVectorizedEngine,
     FixedDelaySchedule,
     ParallelVectorizedEngine,
     RandomSchedule,
@@ -155,20 +163,26 @@ def assert_engines_agree(net, schedules=(), lockstep_rounds=10,
 
     * per-round lockstep: naive σ vs incremental dirty-set propagation
       vs the vectorized single-round ``VectorizedEngine.sigma`` vs the
-      pool-computed ``ParallelVectorizedEngine.sigma``;
+      pool-computed ``ParallelVectorizedEngine.sigma`` vs the batched
+      tensor kernel applied to a stacked copy of the state;
     * σ fixed points: ``iterate_sigma`` under every engine selector
       agrees on convergence, round count and final state;
     * δ oracle: for every schedule, ``strict`` (literal recursion) vs
-      incremental vs vectorized vs parallel runs agree on convergence
-      step and final state (one shared pool serves every schedule).
+      incremental vs vectorized vs parallel (windowed, plus a
+      ``window=1`` per-step run on the first schedule) vs batched
+      (B = 1) runs agree on convergence step and final state (one
+      shared pool serves every schedule);
+    * δ grid: one ``BatchedVectorizedEngine.delta_grid`` over *all*
+      schedules at once — every trial must match its strict reference.
 
     Non-finite algebras exercise the documented fallback ladder: the
-    vectorized and parallel selectors must behave exactly like the
-    incremental one.
+    vectorized, parallel and batched selectors must behave exactly like
+    the incremental one.
     """
     alg = net.algebra
     start = RoutingState.identity(alg, net.n)
     vec = VectorizedEngine(net) if supports_vectorized(alg) else None
+    bat = BatchedVectorizedEngine(net) if supports_vectorized(alg) else None
     par = (ParallelVectorizedEngine(net, workers=2)
            if supports_parallel(alg) else None)
     try:
@@ -188,6 +202,14 @@ def assert_engines_agree(net, schedules=(), lockstep_rounds=10,
             if par is not None:
                 assert par.sigma(naive).equals(nxt, alg), \
                     "parallel σ diverged from naive"
+            if bat is not None:
+                import numpy as np
+                bat.refresh()
+                stacked = np.stack([bat.encode_state(naive)] * 2)
+                batch = bat._sigma_codes_batch(stacked)
+                for b in range(2):
+                    assert bat.decode_state(batch[b]).equals(nxt, alg), \
+                        "batched σ diverged from naive"
             naive = nxt
 
         # -- σ fixed points ------------------------------------------------
@@ -202,23 +224,43 @@ def assert_engines_agree(net, schedules=(), lockstep_rounds=10,
             assert res.state.equals(ref.state, alg), name
 
         # -- δ oracle ------------------------------------------------------
-        for sched in schedules:
+        stricts = []
+        for pos, sched in enumerate(schedules):
             strict = delta_run(net, sched, start, max_steps=max_steps,
                                strict=True)
+            stricts.append(strict)
             inc = delta_run(net, sched, start, max_steps=max_steps)
             vecr = delta_run(net, sched, start, max_steps=max_steps,
                              engine="vectorized")
-            runs = [("incremental", inc), ("vectorized", vecr)]
+            batr = delta_run(net, sched, start, max_steps=max_steps,
+                             engine="batched")
+            runs = [("incremental", inc), ("vectorized", vecr),
+                    ("batched", batr)]
             if par is not None and sched.max_read_back() is not None:
-                runs.append(("parallel",
+                runs.append(("parallel-windowed",
                              delta_run_parallel(net, sched, start,
                                                 max_steps=max_steps,
                                                 engine=par)))
+                if pos == 0:
+                    # pin the per-step wire protocol to the same result
+                    runs.append(("parallel-window-1",
+                                 delta_run_parallel(net, sched, start,
+                                                    max_steps=max_steps,
+                                                    engine=par, window=1)))
             for name, res in runs:
                 assert res.converged == strict.converged, (name, repr(sched))
                 assert res.converged_at == strict.converged_at, \
                     (name, repr(sched))
                 assert res.state.equals(strict.state, alg), (name, repr(sched))
+
+        # -- δ grid (all schedules as one tensor workload) -----------------
+        if bat is not None and schedules:
+            grid = bat.delta_grid([(sched, start) for sched in schedules],
+                                  max_steps=max_steps)
+            for sched, res, strict in zip(schedules, grid, stricts):
+                assert res.converged == strict.converged, repr(sched)
+                assert res.converged_at == strict.converged_at, repr(sched)
+                assert res.state.equals(strict.state, alg), repr(sched)
         return ref
     finally:
         if par is not None:

@@ -28,6 +28,8 @@ import pytest
 from repro.algebras import FiniteLevelAlgebra, HopCountAlgebra, \
     ShortestPathsAlgebra
 from repro.core import (
+    DELTA_WINDOW,
+    FixedDelaySchedule,
     ParallelVectorizedEngine,
     RandomSchedule,
     RoutingState,
@@ -159,7 +161,8 @@ class TestLifecycle:
         eng._load(eng.encode_state(RoutingState.identity(net.algebra,
                                                          net.n)))
         procs = list(eng._res.procs)
-        eng._broadcast(("delta", 1, [(0, [99])]))   # read before history
+        # a window whose only step reads a ring that was never attached
+        eng._broadcast(("delta", [(1, [(0, [99])])]))
         with pytest.raises(RuntimeError, match="failed on 'delta'"):
             eng._collect()
         assert eng.closed
@@ -362,6 +365,93 @@ class TestSemantics:
         with pytest.raises(LookupError):
             delta_run_parallel(net, Unclamped(net.n), start, max_steps=60,
                                workers=2)
+
+    def test_windowed_delta_bit_identical_across_window_sizes(self):
+        """One command per window vs one per step must compute the same
+        run — every window size, same converged_at, same fixed point."""
+        net = _net(12, seed=14)
+        alg = net.algebra
+        start = RoutingState.identity(alg, net.n)
+        sched = RandomSchedule(net.n, seed=15, max_delay=4)
+        ref = delta_run(net, sched, start, max_steps=400, strict=True)
+        with ParallelVectorizedEngine(net, workers=2) as eng:
+            for window in (1, 2, 7, 16, 64):
+                res = eng.delta(sched, start, max_steps=400, window=window)
+                assert res.converged == ref.converged, window
+                assert res.converged_at == ref.converged_at, window
+                assert res.state.equals(ref.state, alg), window
+
+    def test_windowed_delta_amortises_ipc_8x(self):
+        """The ISSUE 4 acceptance point: at window=16 the per-step IPC
+        command count drops ≥ 8× (vs the one-command-per-step protocol)
+        on any run spanning at least a couple of windows."""
+        net = _net(12, seed=16)
+        start = RoutingState.identity(net.algebra, net.n)
+        # a slow-converging schedule so the run spans many windows
+        sched = RandomSchedule(net.n, seed=17, activation_prob=0.3,
+                               max_delay=4)
+        with ParallelVectorizedEngine(net, workers=2) as eng:
+            res = eng.delta(sched, start, max_steps=600, window=16)
+            assert res.converged
+            assert eng.delta_ipc_steps >= 32, \
+                "need a run long enough to amortise"
+            ratio = eng.delta_ipc_steps / eng.delta_ipc_commands
+            assert ratio >= 8.0, (eng.delta_ipc_steps,
+                                  eng.delta_ipc_commands)
+            # the default window is the amortising one
+            assert DELTA_WINDOW >= 16
+            eng.delta(sched, start, max_steps=600)
+            assert eng.delta_ipc_steps / eng.delta_ipc_commands >= 8.0
+
+    def test_windowed_delta_converges_mid_window_like_serial(self):
+        """Convergence at a step that is not a window boundary must
+        report the serial step/state (the master replays the counter
+        over the per-step flags)."""
+        net = _net(10, seed=18)
+        alg = net.algebra
+        start = RoutingState.identity(alg, net.n)
+        sched = FixedDelaySchedule(net.n, delay=3)
+        ref = delta_run(net, sched, start, max_steps=400, strict=True)
+        assert ref.converged
+        with ParallelVectorizedEngine(net, workers=2) as eng:
+            # a window far larger than the whole run: everything happens
+            # inside one command
+            res = eng.delta(sched, start, max_steps=400, window=128)
+            assert eng.delta_ipc_commands <= 2
+            assert res.converged and res.converged_at == ref.converged_at
+            assert res.steps == ref.steps
+            assert res.state.equals(ref.state, alg)
+
+    def test_window_does_not_evaluate_steps_past_convergence(self):
+        """The per-step protocol never looks at schedule steps after
+        the convergence point; a windowed run must not raise for a
+        staleness violation located there (bit-identical contract)."""
+
+        class LiesLate(Schedule):
+            """Declares bound 1, reads 9 back — but only at t >= 60,
+            far after the run below converges."""
+
+            def alpha(self, t):
+                return frozenset(range(self.n))
+
+            def beta(self, t, i, k):
+                return max(0, t - 9) if t >= 60 else t - 1
+
+            def max_read_back(self):
+                return 1
+
+        net = _net(10, seed=20)
+        start = RoutingState.identity(net.algebra, net.n)
+        ref = delta_run(net, LiesLate(net.n), start, max_steps=400,
+                        engine="vectorized")
+        assert ref.converged and ref.steps < 60
+        with ParallelVectorizedEngine(net, workers=2) as eng:
+            res = eng.delta(LiesLate(net.n), start, max_steps=400,
+                            window=64)   # window spans the bad step
+            assert res.converged and res.converged_at == ref.converged_at
+            assert res.state.equals(ref.state, net.algebra)
+        # a run that genuinely reaches its violation still fails loudly
+        # (test_overdeclared_read_back_raises_lookup_error covers it)
 
     def test_finite_level_algebra_on_pool(self):
         alg = FiniteLevelAlgebra(7)

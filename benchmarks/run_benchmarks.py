@@ -61,6 +61,7 @@ from repro.algebras import (
 )
 import os
 
+from repro.session import EngineSpec, RoutingSession
 from repro.core import (
     BatchedVectorizedEngine,
     FixedDelaySchedule,
@@ -69,9 +70,7 @@ from repro.core import (
     RoutingState,
     SynchronousSchedule,
     VectorizedEngine,
-    delta_run,
     delta_run_vectorized,
-    iterate_sigma,
     iterate_sigma_parallel,
     iterate_sigma_vectorized,
     random_state,
@@ -427,8 +426,10 @@ def bench_sigma_case(case: Dict, repeats: int) -> Dict:
 
     naive_s, naive_res = _time(
         lambda: naive_engine.iterate_sigma_naive(net, start), repeats)
-    inc_s, inc_res = _time(
-        lambda: iterate_sigma(net, start, engine="incremental"), repeats)
+    # timed through the public facade: the committed baselines gate
+    # "no regression from the session layer" directly
+    with RoutingSession(net, EngineSpec("incremental")) as ses:
+        inc_s, inc_res = _time(lambda: ses.sigma(start).result, repeats)
 
     equal = (naive_res.converged == inc_res.converged and
              naive_res.rounds == inc_res.rounds and
@@ -436,8 +437,8 @@ def bench_sigma_case(case: Dict, repeats: int) -> Dict:
 
     vec_s = vec_speedup = vec_vs_inc = None
     if supports_vectorized(alg):
-        vec_s, vec_res = _time(
-            lambda: iterate_sigma(net, start, engine="vectorized"), repeats)
+        with RoutingSession(net, EngineSpec("vectorized")) as ses:
+            vec_s, vec_res = _time(lambda: ses.sigma(start).result, repeats)
         equal = (equal and
                  vec_res.converged == inc_res.converged and
                  vec_res.rounds == inc_res.rounds and
@@ -475,17 +476,20 @@ def bench_delta_case(case: Dict, repeats: int) -> Dict:
     naive_s, naive_res = _time(
         lambda: naive_engine.delta_run_naive(net, sched, start,
                                              max_steps=max_steps), repeats)
-    bounded_s, bounded_res = _time(
-        lambda: delta_run(net, sched, start, max_steps=max_steps), repeats)
+    with RoutingSession(net, EngineSpec("incremental")) as ses:
+        bounded_s, bounded_res = _time(
+            lambda: ses.delta(sched, start, max_steps=max_steps).result,
+            repeats)
 
     equal = (naive_res.converged == bounded_res.converged and
              naive_res.state.equals(bounded_res.state, alg))
 
     vec_s = vec_speedup = None
     if supports_vectorized(alg):
-        vec_s, vec_res = _time(
-            lambda: delta_run(net, sched, start, max_steps=max_steps,
-                              engine="vectorized"), repeats)
+        with RoutingSession(net, EngineSpec("vectorized")) as ses:
+            vec_s, vec_res = _time(
+                lambda: ses.delta(sched, start,
+                                  max_steps=max_steps).result, repeats)
         equal = (equal and
                  vec_res.converged == bounded_res.converged and
                  vec_res.state.equals(bounded_res.state, alg))
@@ -678,8 +682,7 @@ def bench_windowed_ipc(scale: str) -> Optional[Dict]:
     sched = RandomSchedule(n, seed=17, activation_prob=0.1, max_delay=8)
     with ParallelVectorizedEngine(net, workers=2) as eng:
         res = eng.delta(sched, start, max_steps=800)
-        serial = delta_run(net, sched, start, max_steps=800,
-                           engine="vectorized")
+        serial = delta_run_vectorized(net, sched, start, max_steps=800)
         commands, steps = eng.delta_ipc_commands, eng.delta_ipc_steps
     from repro.core import DELTA_WINDOW
 

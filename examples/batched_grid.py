@@ -12,23 +12,21 @@ code tensor, precompiles the schedules
 as read-time arrays), and runs each δ step for *all* trials per kernel
 invocation, with finished trials dropping out.
 
-This example runs the same grid through the per-trial and the batched
-paths, checks the reports agree trial for trial, and prints the
-wall-clock ratio.
+This example runs the same grid through two sessions — one pinned to
+the per-trial vectorized rung, one to the batched rung — checks the
+:class:`repro.session.GridReport` pair agrees trial for trial, and
+prints the wall-clock ratio.
 
 Run:  python examples/batched_grid.py
 """
 
-import time
-
+from repro import EngineSpec, RoutingSession
 from repro.algebras import HopCountAlgebra
-from repro.analysis import run_absolute_convergence
 from repro.core import (
     FixedDelaySchedule,
     RandomSchedule,
     RoutingState,
     SynchronousSchedule,
-    absolute_convergence_experiment,
     random_state,
 )
 from repro.topologies import erdos_renyi, uniform_weight_factory
@@ -57,17 +55,15 @@ def main() -> None:
           f"= {n_trials} trials\n")
 
     # ------------------------------------------------------------------
-    # 2. The same experiment, two execution shapes.
+    # 2. The same experiment, two execution shapes (the reports carry
+    #    their own wall-clock and engine resolution).
     # ------------------------------------------------------------------
-    t0 = time.perf_counter()
-    per_trial = absolute_convergence_experiment(
-        net, starts, schedules, max_steps=2000, engine="vectorized")
-    t_loop = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    batched = absolute_convergence_experiment(
-        net, starts, schedules, max_steps=2000, engine="batched")
-    t_batched = time.perf_counter() - t0
+    trials = [(sched, start) for start in starts for sched in schedules]
+    with RoutingSession(net, EngineSpec("vectorized")) as s:
+        per_trial = s.delta_grid(trials, max_steps=2000)
+    with RoutingSession(net, EngineSpec("batched")) as s:
+        batched = s.delta_grid(trials, max_steps=2000)
+    t_loop, t_batched = per_trial.elapsed_s, batched.elapsed_s
 
     # ------------------------------------------------------------------
     # 3. Identical science, different wall clock.
@@ -81,21 +77,24 @@ def main() -> None:
                     per_trial.distinct_fixed_points):
         assert a.equals(b, alg)
 
-    print(f"per-trial vectorized loop : {t_loop:8.3f} s")
+    print(f"per-trial vectorized loop : {t_loop:8.3f} s "
+          f"(engine={per_trial.resolution.chosen})")
     print(f"batched tensor grid       : {t_batched:8.3f} s "
-          f"({t_loop / t_batched:.1f}x)")
+          f"({t_loop / t_batched:.1f}x, "
+          f"engine={batched.resolution.chosen}, "
+          f"schedule seeds v{batched.schedule_seed_version})")
     print(f"absolute convergence      : {batched.absolute} "
           f"({batched.runs} runs, worst {batched.max_steps} steps, "
           f"{len(batched.distinct_fixed_points)} distinct fixed point)")
 
     # ------------------------------------------------------------------
-    # 4. The convenience wrapper takes the same engine selector.
+    # 4. The convenience entry point samples its own grid.
     # ------------------------------------------------------------------
-    report = run_absolute_convergence(net, n_starts=3, seed=1,
-                                      max_steps=2000, engine="batched")
-    print(f"\nrun_absolute_convergence(engine='batched'): "
+    with RoutingSession(net, EngineSpec("batched")) as s:
+        report = s.converges(n_starts=3, seed=1, max_steps=2000)
+    print(f"\nsession.converges(engine='batched'): "
           f"absolute={report.absolute}, runs={report.runs}, "
-          f"mean steps {report.mean_steps:.1f}")
+          f"mean steps {report.grid.mean_steps:.1f}")
 
 
 if __name__ == "__main__":

@@ -20,7 +20,8 @@ Run:  python examples/count_to_infinity.py
 """
 
 from repro.algebras import HopCountAlgebra
-from repro.core import Network, RoutingState, iterate_sigma
+from repro import RoutingSession
+from repro.core import Network, RoutingState
 from repro.protocols import ChangeScript, Simulator, fail_link
 from repro.topologies import count_to_infinity, count_to_infinity_pv
 
@@ -32,7 +33,8 @@ def main() -> None:
     net, stale = count_to_infinity()
     print("plain shortest-path DV after the (1,0) link dies,")
     print("starting from the stale pre-failure fixed point:")
-    res = iterate_sigma(net, stale, max_rounds=25, keep_trajectory=True)
+    with RoutingSession(net) as session:
+        res = session.sigma(stale, max_rounds=25, keep_trajectory=True)
     dist = [s.get(1, 0) for s in res.trajectory]
     print(f"  node 1's distance to 0 per round: {dist[:10]} ...")
     print(f"  converged after 25 rounds? {res.converged}  "
@@ -46,7 +48,8 @@ def main() -> None:
     rip.set_edge(1, 2, alg.edge(1))
     rip.set_edge(2, 1, alg.edge(1))
     rip_stale = RoutingState([[0, 16, 16], [1, 0, 1], [2, 1, 0]])
-    res = iterate_sigma(rip, rip_stale)
+    with RoutingSession(rip) as session:
+        res = session.sigma(rip_stale)
     print()
     print(f"RIP (hop count ≤ 16): converged in {res.rounds} rounds —")
     print(f"  node 1's route to 0: {res.state.get(1, 0)} (= unreachable)")
@@ -56,7 +59,8 @@ def main() -> None:
     # Cure 2: the path-vector lift (Theorem 11).
     # ------------------------------------------------------------------
     pv_net, pv_stale = count_to_infinity_pv()
-    res = iterate_sigma(pv_net, pv_stale)
+    with RoutingSession(pv_net) as session:
+        res = session.sigma(pv_stale)
     print()
     print(f"path-vector lift: converged in {res.rounds} rounds —")
     print(f"  node 1's route to 0: {res.state.get(1, 0)}")

@@ -20,7 +20,8 @@ import random
 from typing import Iterator
 
 from repro.algebras import KeyOrderedAlgebra
-from repro.analysis import dv_bounds, run_absolute_convergence
+from repro import RoutingSession
+from repro.analysis import dv_bounds
 from repro.core import EdgeFunction, Network
 from repro.verification import convergence_guarantee, verify_algebra
 
@@ -143,9 +144,10 @@ def main() -> None:
             net.set_edge(i, (i + 1) % 5, GoodLink(1, False))
         if not net.adjacency.has_edge((i + 1) % 5, i):
             net.set_edge((i + 1) % 5, i, GoodLink(1, False))
-    exp = run_absolute_convergence(net, n_starts=4, seed=2)
+    with RoutingSession(net) as session:
+        exp = session.converges(n_starts=4, seed=2)
     print(f"absolute convergence on a random mesh: {exp.absolute} "
-          f"({exp.runs} runs, worst {exp.max_steps} steps)")
+          f"({exp.runs} runs, worst {exp.grid.max_steps} steps)")
 
 
 if __name__ == "__main__":

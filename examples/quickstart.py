@@ -1,25 +1,25 @@
 #!/usr/bin/env python3
-"""Quickstart: define a network, verify its algebra, and watch it converge.
+"""Quickstart: one `RoutingSession` drives the whole pipeline.
 
 This walks the full pipeline of the library on the paper's "practical
 implication" example (Section 4.2): a RIP-like hop-count protocol with
 a policy-rich conditional route map, running over an asynchronous
 network where messages are delayed, reordered, lost and duplicated.
 
+Everything goes through the one public entry point,
+:class:`repro.session.RoutingSession`: the session negotiates which of
+the five execution engines runs each operation (and tells you why, via
+the resolution's reason chain), owns every pool and cache, and returns
+typed reports.
+
 Run:  python examples/quickstart.py
 """
 
+from repro import EngineSpec, RoutingSession
 from repro.algebras import ConditionalHopEdge, HopCountAlgebra
-from repro.analysis import run_absolute_convergence
-from repro.core import (
-    Network,
-    RandomSchedule,
-    RoutingState,
-    delta_run,
-    synchronous_fixed_point,
-)
-from repro.protocols import HOSTILE, simulate
-from repro.verification import convergence_guarantee, verify_network
+from repro.core import Network, RandomSchedule, RoutingState
+from repro.protocols import HOSTILE
+from repro.verification import convergence_guarantee
 
 
 def main() -> None:
@@ -43,54 +43,68 @@ def main() -> None:
         label="a>=2"))
 
     # ------------------------------------------------------------------
-    # 3. Verify the algebra laws *against the installed edges* and map
-    #    them onto the paper's theorems.
+    # 3. Open the session.  EngineSpec("auto") negotiates the fastest
+    #    capable engine per operation; the context manager releases any
+    #    pools or shared memory it builds.
     # ------------------------------------------------------------------
-    report = verify_network(net)
-    print()
-    print(report.table())
-    print()
-    print("guarantee:",
-          convergence_guarantee(report, finite_carrier=True,
-                                path_algebra=False))
+    with RoutingSession(net, EngineSpec("auto")) as session:
+        # --------------------------------------------------------------
+        # 4. Verify the algebra laws *against the installed edges* and
+        #    map them onto the paper's theorems.
+        # --------------------------------------------------------------
+        report = session.verify()
+        print()
+        print(report.table())
+        print()
+        print("guarantee:",
+              convergence_guarantee(report, finite_carrier=True,
+                                    path_algebra=False))
 
-    # ------------------------------------------------------------------
-    # 4. Synchronous fixed point (the σ iteration of Section 2.3).
-    # ------------------------------------------------------------------
-    fixed_point = synchronous_fixed_point(net)
-    print()
-    print("synchronous fixed point:")
-    print(fixed_point.pretty(6))
+        # --------------------------------------------------------------
+        # 5. Synchronous fixed point (the σ iteration of Section 2.3).
+        #    The report says which engine ran, and why.
+        # --------------------------------------------------------------
+        sync = session.sigma()
+        print()
+        print(f"σ engine: {sync.resolution.explain()}")
+        print("synchronous fixed point:")
+        print(sync.fixed_point.pretty(6))
 
-    # ------------------------------------------------------------------
-    # 5. The same computation under the abstract asynchronous model δ
-    #    (Section 3.1) from an arbitrary garbage starting state.
-    # ------------------------------------------------------------------
-    garbage = RoutingState.filled(7, 5)
-    result = delta_run(net, RandomSchedule(5, seed=1), garbage)
-    print(f"δ from garbage state: converged={result.converged} "
-          f"at step {result.converged_at}; "
-          f"same fixed point: "
-          f"{result.state.equals(fixed_point, alg)}")
+        # --------------------------------------------------------------
+        # 6. The same computation under the abstract asynchronous model
+        #    δ (Section 3.1) from an arbitrary garbage starting state.
+        # --------------------------------------------------------------
+        garbage = RoutingState.filled(7, 5)
+        dr = session.delta(RandomSchedule(5, seed=1), garbage)
+        print(f"δ from garbage state: converged={dr.converged} "
+              f"at step {dr.converged_at} "
+              f"(engine={dr.resolution.chosen}, "
+              f"schedule seeds v{dr.schedule_seed_version}); "
+              f"same fixed point: "
+              f"{dr.state.equals(sync.fixed_point, alg)}")
 
-    # ------------------------------------------------------------------
-    # 6. And as a real message-passing protocol over hostile channels
-    #    (20% loss, 10% duplication, heavy reordering).
-    # ------------------------------------------------------------------
-    sim = simulate(net, seed=2, link_config=HOSTILE,
-                   refresh_interval=5.0, quiet_period=25.0)
-    print(f"simulator over hostile links: converged={sim.converged}; "
-          f"stats={sim.stats.as_dict()}")
-    print(f"same fixed point: {sim.final_state.equals(fixed_point, alg)}")
+        # --------------------------------------------------------------
+        # 7. And as a real message-passing protocol over hostile
+        #    channels (20% loss, 10% duplication, heavy reordering).
+        # --------------------------------------------------------------
+        sim = session.simulate(seed=2, link_config=HOSTILE,
+                               refresh_interval=5.0, quiet_period=25.0)
+        print(f"simulator over hostile links: converged={sim.converged}; "
+              f"stats={sim.stats.as_dict()}")
+        print(f"same fixed point: "
+              f"{sim.final_state.equals(sync.fixed_point, alg)}")
 
-    # ------------------------------------------------------------------
-    # 7. The Theorem 7 experiment: many starts × many schedules must all
-    #    land on one state (absolute convergence, Definition 8).
-    # ------------------------------------------------------------------
-    exp = run_absolute_convergence(net, n_starts=5, seed=3)
-    print(f"absolute-convergence experiment: {exp.runs} runs, "
-          f"{len(exp.distinct_fixed_points)} distinct fixed point(s), "
-          f"absolute={exp.absolute}")
+        # --------------------------------------------------------------
+        # 8. The Theorem 7 experiment: many starts × many schedules must
+        #    all land on one state (absolute convergence, Definition 8).
+        #    verify=True ties the verdict back to the paper's theorems.
+        # --------------------------------------------------------------
+        exp = session.converges(n_starts=5, seed=3, verify=True)
+        print(f"absolute-convergence experiment: {exp.runs} runs, "
+              f"{len(exp.distinct_fixed_points)} distinct fixed point(s), "
+              f"absolute={exp.absolute}")
+        print(f"  grid engine: {exp.grid.resolution.chosen}; "
+              f"guarantee: {exp.guarantee}")
 
 
 if __name__ == "__main__":

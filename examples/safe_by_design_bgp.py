@@ -38,7 +38,8 @@ from repro.algebras import (
     valid,
 )
 from repro.core import synchronous_fixed_point
-from repro.protocols import HOSTILE, simulate
+from repro import RoutingSession
+from repro.protocols import HOSTILE
 from repro.topologies import bgp_policy_factory, erdos_renyi
 from repro.verification import verify_algebra, verify_network
 
@@ -83,14 +84,15 @@ def main() -> None:
           f"{net_report.is_strictly_increasing}")
     reference = synchronous_fixed_point(net)
     outcomes = set()
-    for seed in range(3):
-        sim = simulate(net, seed=seed, link_config=HOSTILE,
-                       refresh_interval=5.0, quiet_period=25.0)
-        same = sim.final_state.equals(reference, alg)
-        outcomes.add(same)
-        print(f"  run seed={seed}: converged={sim.converged}, "
-              f"lost={sim.stats.lost}, dup={sim.stats.duplicated}, "
-              f"same fixed point={same}")
+    with RoutingSession(net) as session:
+        for seed in range(3):
+            sim = session.simulate(seed=seed, link_config=HOSTILE,
+                                   refresh_interval=5.0, quiet_period=25.0)
+            same = sim.final_state.equals(reference, alg)
+            outcomes.add(same)
+            print(f"  run seed={seed}: converged={sim.converged}, "
+                  f"lost={sim.stats.lost}, dup={sim.stats.duplicated}, "
+                  f"same fixed point={same}")
     assert outcomes == {True}
 
     # ------------------------------------------------------------------

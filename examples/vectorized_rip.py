@@ -13,15 +13,12 @@ non-finite fallback.
 Run:  python examples/vectorized_rip.py
 """
 
-import time
-
+from repro import EngineSpec, RoutingSession
 from repro.algebras import ConditionalHopEdge, HopCountAlgebra, \
     ShortestPathsAlgebra
 from repro.core import (
     RandomSchedule,
     RoutingState,
-    delta_run,
-    iterate_sigma,
     supports_vectorized,
 )
 from repro.topologies import erdos_renyi, uniform_weight_factory
@@ -49,12 +46,10 @@ def main() -> None:
     start = RoutingState.identity(alg, net.n)
     results = {}
     for engine in ENGINES:
-        t0 = time.perf_counter()
-        results[engine] = iterate_sigma(net, start, engine=engine)
-        elapsed = time.perf_counter() - t0
-        res = results[engine]
+        with RoutingSession(net, EngineSpec(engine)) as session:
+            results[engine] = res = session.sigma(start)
         print(f"  σ engine={engine:<11} rounds={res.rounds:>3} "
-              f"time={elapsed * 1e3:8.2f} ms")
+              f"time={res.elapsed_s * 1e3:8.2f} ms")
     ref = results["naive"]
     agree = all(r.rounds == ref.rounds and r.state.equals(ref.state, alg)
                 for r in results.values())
@@ -65,9 +60,10 @@ def main() -> None:
     #    run keeps the same bounded-history semantics.
     # ------------------------------------------------------------------
     sched = RandomSchedule(net.n, seed=3, max_delay=5)
-    bounded = delta_run(net, sched, start, max_steps=2_000)
-    vector = delta_run(net, sched, start, max_steps=2_000,
-                       engine="vectorized")
+    with RoutingSession(net, EngineSpec("incremental")) as session:
+        bounded = session.delta(sched, start, max_steps=2_000)
+    with RoutingSession(net, EngineSpec("vectorized")) as session:
+        vector = session.delta(sched, start, max_steps=2_000)
     print(f"δ incremental: converged at {bounded.converged_at}, "
           f"history retained {bounded.history_retained}")
     print(f"δ vectorized : converged at {vector.converged_at}, "
@@ -75,16 +71,17 @@ def main() -> None:
     print(f"δ engines agree: {vector.state.equals(bounded.state, alg)}")
 
     # ------------------------------------------------------------------
-    # 4. Non-finite algebras silently fall back: requesting the
-    #    vectorized engine is always safe.
+    # 4. Non-finite algebras fall down the ladder — and the resolution
+    #    records exactly why (no more silent fallback).
     # ------------------------------------------------------------------
     sp = ShortestPathsAlgebra()
     sp_net = erdos_renyi(sp, 20, 0.2, uniform_weight_factory(sp, 1, 5),
                          seed=8)
-    res = iterate_sigma(sp_net, RoutingState.identity(sp, sp_net.n),
-                        engine="vectorized")
+    with RoutingSession(sp_net, EngineSpec("vectorized")) as session:
+        res = session.sigma(RoutingState.identity(sp, sp_net.n))
     print(f"shortest-paths (infinite carrier) vectorizable: "
-          f"{supports_vectorized(sp)}; engine='vectorized' fell back and "
+          f"{supports_vectorized(sp)}; negotiated "
+          f"{res.resolution.explain()} and "
           f"converged in {res.rounds} rounds")
 
 

@@ -2,7 +2,13 @@
 "Asynchronous Convergence of Policy-Rich Distributed Bellman-Ford Routing
 Protocols" (SIGCOMM 2018).
 
-Public API lives in the subpackages:
+The one public entry point is the session facade:
+
+* :mod:`repro.session`    — :class:`~repro.session.RoutingSession` +
+  :class:`~repro.session.EngineSpec`: capability-negotiated engine
+  resolution, managed pools/shared memory, typed run reports
+
+Machinery lives in the subpackages:
 
 * :mod:`repro.core`       — algebras, σ, schedules, δ, ultrametrics, paths
 * :mod:`repro.algebras`   — concrete algebras (Table 2, RIP, BGPLite, ...)
@@ -10,6 +16,22 @@ Public API lives in the subpackages:
 * :mod:`repro.protocols`  — event-driven message-passing simulator
 * :mod:`repro.topologies` — generators and the gadget zoo
 * :mod:`repro.analysis`   — fixed points, wedgies, convergence rates
+
+``from repro import RoutingSession, EngineSpec`` works lazily, so a bare
+``import repro`` stays import-cost-free.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: session-facade names re-exported lazily from :mod:`repro.session`
+_SESSION_EXPORTS = frozenset({
+    "RoutingSession", "EngineSpec", "SigmaReport", "DeltaReport",
+    "GridReport", "ConvergenceReport", "SimulationReport",
+})
+
+
+def __getattr__(name):
+    if name in _SESSION_EXPORTS:
+        from . import session
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

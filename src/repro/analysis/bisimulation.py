@@ -33,7 +33,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..core.algebra import Route
 from ..core.state import Network, RoutingState
-from ..core.synchronous import iterate_sigma, sigma
+from ..core.synchronous import _iterate_sigma_resolved, sigma
 
 
 def project_state(project: Callable[[Route], Route],
@@ -94,11 +94,12 @@ def check_bisimulation(concrete: Network, abstract: Network,
 
     fps_match: Optional[bool] = None
     if compare_fixed_points:
-        fa = iterate_sigma(concrete,
-                           RoutingState.identity(concrete.algebra,
-                                                 concrete.n))
-        fb = iterate_sigma(abstract,
-                           RoutingState.identity(alg_b, abstract.n))
+        fa = _iterate_sigma_resolved(
+            concrete, RoutingState.identity(concrete.algebra, concrete.n),
+            "incremental")
+        fb = _iterate_sigma_resolved(
+            abstract, RoutingState.identity(alg_b, abstract.n),
+            "incremental")
         if fa.converged and fb.converged:
             fps_match = project_state(project, fa.state).equals(
                 fb.state, alg_b)

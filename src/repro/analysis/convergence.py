@@ -1,12 +1,16 @@
 """Convergence measurement utilities used by the benches.
 
-Thin, well-documented wrappers that turn the core engines into the
+Thin, well-documented wrappers that turn the session facade into the
 experiment rows the paper's claims translate to:
 
 * synchronous rounds-to-fixed-point (the Section 8.1 quantity);
 * asynchronous steps-to-convergence per schedule;
 * full absolute-convergence experiments over sampled (state, schedule)
   grids, with negative-control support.
+
+Everything here delegates to :class:`repro.session.RoutingSession`;
+:func:`run_absolute_convergence` survives as a deprecation shim for the
+pre-session API.
 """
 
 from __future__ import annotations
@@ -15,14 +19,10 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..core.asynchronous import (
-    AbsoluteConvergenceReport,
-    absolute_convergence_experiment,
-    random_state,
-)
-from ..core.schedule import Schedule, schedule_zoo
+from ..core.asynchronous import AbsoluteConvergenceReport, random_state
+from ..core.capabilities import warn_deprecated
+from ..core.schedule import Schedule
 from ..core.state import Network, RoutingState
-from ..core.synchronous import iterate_sigma
 
 
 @dataclass
@@ -38,31 +38,17 @@ def measure_sync(network: Network, start: Optional[RoutingState] = None,
                  max_rounds: int = 10_000) -> SyncMeasurement:
     """Iterate σ and measure rounds + churn.
 
-    Finite algebras take the vectorized path: the trajectory is never
-    materialised — consecutive code matrices are diffed with numpy
-    (:func:`repro.core.vectorized.sigma_churn`), which counts exactly
-    the entry changes the object path counts (equal routes ⇔ equal
-    codes under a finite encoding) without the O(rounds · n²) Python
-    comparison loop.  Everything else keeps the object path.
+    Delegates to :meth:`repro.session.RoutingSession.sigma` with
+    ``measure_churn=True``: finite algebras take the code-diff fast
+    path (:func:`repro.core.vectorized.sigma_churn` — the trajectory is
+    never materialised), everything else diffs the object trajectory.
     """
-    alg = network.algebra
-    if start is None:
-        start = RoutingState.identity(alg, network.n)
-    from ..core.vectorized import sigma_churn, supports_vectorized
-    if supports_vectorized(alg):
-        converged, rounds, churn = sigma_churn(network, start,
-                                               max_rounds=max_rounds)
-        return SyncMeasurement(converged, rounds, churn)
-    result = iterate_sigma(network, start, max_rounds=max_rounds,
-                           keep_trajectory=True)
-    churn = 0
-    trajectory = result.trajectory or []
-    for prev, cur in zip(trajectory, trajectory[1:]):
-        for i in range(network.n):
-            for j in range(network.n):
-                if not alg.equal(prev.get(i, j), cur.get(i, j)):
-                    churn += 1
-    return SyncMeasurement(result.converged, result.rounds, churn)
+    from ..session import RoutingSession
+
+    with RoutingSession(network) as session:
+        report = session.sigma(start, max_rounds=max_rounds,
+                               measure_churn=True)
+    return SyncMeasurement(report.converged, report.rounds, report.churn)
 
 
 def sample_starts(network: Network, n_starts: int, seed: int = 0,
@@ -85,17 +71,19 @@ def run_absolute_convergence(network: Network, n_starts: int = 5,
                              ) -> AbsoluteConvergenceReport:
     """The Theorem 7/11 experiment with sensible defaults.
 
-    ``engine`` is forwarded to every δ run — finite algebras can request
-    ``"vectorized"``, ``"parallel"`` (``workers`` sizes the shared
-    worker pool, reused across all runs) or ``"batched"`` (the whole
-    (start × schedule) grid stacked into one ``(B, n, n)`` tensor
-    workload, every δ step computed for all trials per kernel
-    invocation); unsupported combinations fall back down the engine
-    ladder automatically.
+    .. deprecated::
+        Thin shim over :meth:`repro.session.RoutingSession.converges`
+        (same sampled starts, same schedule zoo, same trial order).
+        Delegates there and emits a :class:`DeprecationWarning`;
+        results are bit-identical.
     """
-    if schedules is None:
-        schedules = schedule_zoo(network.n, seeds=(seed, seed + 17))
-    starts = sample_starts(network, n_starts, seed=seed)
-    return absolute_convergence_experiment(network, starts, schedules,
-                                           max_steps=max_steps, engine=engine,
-                                           workers=workers)
+    warn_deprecated("run_absolute_convergence()",
+                    "RoutingSession.converges()")
+    from ..session import EngineSpec, RoutingSession
+
+    with RoutingSession(network, EngineSpec(engine, workers=workers)) as s:
+        grid = s.converges(n_starts=n_starts, schedules=schedules,
+                           seed=seed, max_steps=max_steps).grid
+    return AbsoluteConvergenceReport(grid.runs, grid.all_converged,
+                                     list(grid.distinct_fixed_points),
+                                     list(grid.convergence_steps))

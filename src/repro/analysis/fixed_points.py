@@ -27,11 +27,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.algebra import PathAlgebra, Route
-from ..core.asynchronous import delta_run, random_state
+from ..core.asynchronous import random_state
 from ..core.paths import enumerate_consistent_routes
 from ..core.schedule import Schedule, schedule_zoo
 from ..core.state import Network, RoutingState
-from ..core.synchronous import is_stable, iterate_sigma
 
 
 def stable_columns(network: Network, dest: int,
@@ -150,18 +149,25 @@ def multistart_fixed_points(network: Network, n_starts: int = 10,
     for _ in range(n_starts):
         starts.append(random_state(alg, network.n, rng))
 
+    from ..session import RoutingSession
+
     fixed_points: List[RoutingState] = []
     runs = converged = diverged = 0
-    for start in starts:
-        for sched in schedules:
-            runs += 1
-            result = delta_run(network, sched, start, max_steps=max_steps)
-            if not result.converged:
-                diverged += 1
-                continue
-            converged += 1
-            if not any(result.state.equals(fp, alg) for fp in fixed_points):
-                fixed_points.append(result.state)
+    # one session for the whole grid: engines (and the compiled-schedule
+    # cache) are negotiated once and reused across every trial
+    with RoutingSession(network) as session:
+        for start in starts:
+            for sched in schedules:
+                runs += 1
+                result = session.delta(sched, start,
+                                       max_steps=max_steps).result
+                if not result.converged:
+                    diverged += 1
+                    continue
+                converged += 1
+                if not any(result.state.equals(fp, alg)
+                           for fp in fixed_points):
+                    fixed_points.append(result.state)
     return MultistartReport(runs, converged, fixed_points, diverged)
 
 
@@ -175,8 +181,11 @@ def sync_oscillates(network: Network, start: Optional[RoutingState] = None,
     detected by ``iterate_sigma(...).converged == False`` without an
     early cycle stop.
     """
+    from ..session import RoutingSession
+
     if start is None:
         start = RoutingState.identity(network.algebra, network.n)
-    result = iterate_sigma(network, start, max_rounds=max_rounds,
-                           detect_cycles=True)
+    with RoutingSession(network) as session:
+        result = session.sigma(start, max_rounds=max_rounds,
+                               detect_cycles=True)
     return not result.converged and result.rounds < max_rounds

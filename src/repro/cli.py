@@ -42,11 +42,12 @@ from .algebras import (
 from .analysis import (
     enumerate_fixed_points,
     multistart_fixed_points,
-    run_absolute_convergence,
     sync_oscillates,
 )
-from .core import ENGINES, Network, synchronous_fixed_point
-from .protocols import LinkConfig, simulate
+from .core import ENGINES, Network, UnsupportedEngineError, \
+    synchronous_fixed_point
+from .protocols import LinkConfig
+from .session import EngineSpec, RoutingSession
 from .topologies import (
     bgp_policy_factory,
     complete,
@@ -172,33 +173,27 @@ def build_network(algebra_name: str, topology: str, n: int,
 # ----------------------------------------------------------------------
 
 
-def _effective_engine(net, requested: str, workers=None) -> str:
-    """The engine that will actually run (the ladder may fall back)."""
-    suffix = ""
-    if requested == "batched":
-        from .core import supports_vectorized
+def _describe_resolution(resolution) -> str:
+    """One line for the chosen rung, one indented line per skipped rung
+    (the negotiation's machine-readable reason chain, printed)."""
+    head = resolution.chosen
+    if resolution.workers:
+        head += f" ({resolution.workers} workers, shared-memory " \
+                "column sharding)"
+    if resolution.requested != resolution.chosen:
+        head += f" (requested: {resolution.requested})"
+    lines = [head]
+    for skip in resolution.skipped:
+        lines.append(f"                    - skipped {skip.rung} "
+                     f"[{skip.code}]: {skip.detail}")
+    return "\n".join(lines)
 
-        if supports_vectorized(net.algebra):
-            return "batched (grid stacked as one (B, n, n) tensor workload)"
-        requested = "parallel"
-        suffix = " (batched fell back: no finite encoding)"
-    if requested == "parallel":
-        from .core import parallel_workers
 
-        effective = parallel_workers(net, workers)
-        if effective is not None:
-            return f"parallel ({effective} workers, " \
-                   "shared-memory column sharding)" + suffix
-        requested = "vectorized"
-        suffix += " (parallel fell back: no finite encoding, workers<=1, " \
-                  "or problem too small)"
-    if requested == "vectorized":
-        from .core import supports_vectorized
-
-        if not supports_vectorized(net.algebra):
-            return "incremental (vectorized unsupported: " \
-                   f"{net.algebra.name} has no finite encoding)" + suffix
-    return requested + suffix
+def _session(net, args) -> RoutingSession:
+    """The negotiated session every engine-touching subcommand uses."""
+    return RoutingSession(net, EngineSpec(
+        args.engine, workers=args.workers,
+        strict=getattr(args, "strict_engine", False)))
 
 
 def cmd_list(_args) -> int:
@@ -222,19 +217,21 @@ def cmd_verify(args) -> int:
 def cmd_converge(args) -> int:
     net, _finite, _is_path = build_network(args.algebra, args.topology,
                                            args.n, args.seed)
-    report = run_absolute_convergence(net, n_starts=args.starts,
-                                      seed=args.seed,
-                                      max_steps=args.max_steps,
-                                      engine=args.engine,
-                                      workers=args.workers)
+    with _session(net, args) as session:
+        report = session.converges(n_starts=args.starts, seed=args.seed,
+                                   max_steps=args.max_steps)
+    grid = report.grid
     print(f"network           : {net.name} ({net.algebra.name})")
-    print(f"engine            : "
-          f"{_effective_engine(net, args.engine, args.workers)}")
-    print(f"runs              : {report.runs} (starts × schedules)")
-    print(f"all converged     : {report.all_converged}")
-    print(f"distinct fixpoints: {len(report.distinct_fixed_points)}")
-    print(f"steps             : mean {report.mean_steps:.1f}, "
-          f"worst {report.max_steps}")
+    print(f"engine            : {_describe_resolution(grid.resolution)}")
+    if grid.schedule_seed_version is not None:
+        print(f"schedule seeds    : v{grid.schedule_seed_version} "
+              "(RandomSchedule.SCHEDULE_SEED_VERSION)")
+    print(f"runs              : {grid.runs} (starts × schedules)")
+    print(f"all converged     : {grid.all_converged}")
+    print(f"distinct fixpoints: {len(grid.distinct_fixed_points)}")
+    print(f"steps             : mean {grid.mean_steps:.1f}, "
+          f"worst {grid.max_steps}")
+    print(f"elapsed           : {grid.elapsed_s:.2f}s")
     print(f"ABSOLUTE          : {report.absolute}")
     return 0 if report.absolute else 1
 
@@ -267,18 +264,17 @@ def cmd_simulate(args) -> int:
                                            args.n, args.seed)
     cfg = LinkConfig(min_delay=0.2, max_delay=3.0, loss=args.loss,
                      duplicate=args.dup)
-    res = simulate(net, seed=args.seed, link_config=cfg,
-                   refresh_interval=5.0, quiet_period=25.0,
-                   engine=args.engine, workers=args.workers)
+    with _session(net, args) as session:
+        report = session.simulate(seed=args.seed, link_config=cfg,
+                                  refresh_interval=5.0, quiet_period=25.0)
+    res = report.result
     ref = synchronous_fixed_point(net)
     print(f"network        : {net.name} ({net.algebra.name})")
     # the event simulation itself is pure-python; only the final
-    # σ-stability verdict runs on the selected engine — and a single
-    # stability check has no trial grid to batch, so the simulator
-    # drops "batched" one rung down the ladder (report what truly ran)
-    engine = "parallel" if args.engine == "batched" else args.engine
-    print(f"σ-check engine : "
-          f"{_effective_engine(net, engine, args.workers)}")
+    # σ-stability verdict runs on the negotiated engine (a single
+    # stability check has no trial grid to batch, so the batched rung
+    # declines it — the reason chain says so)
+    print(f"σ-check engine : {_describe_resolution(report.resolution)}")
     print(f"converged      : {res.converged} "
           f"(σ-stable: {res.final_state.equals(ref, net.algebra)})")
     print(f"conv. time     : {res.convergence_time:.1f}")
@@ -305,22 +301,23 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--topology", default="ring")
         p.add_argument("--n", type=int, default=6)
         p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--engine", default="incremental",
-                       choices=ENGINES,
-                       help="σ/δ engine ladder rung; 'vectorized' needs "
-                            "a finite algebra (else falls back to "
-                            "'incremental'), 'parallel' additionally "
-                            "needs shared memory and >= 2 effective "
-                            "workers (else falls back to 'vectorized'), "
-                            "'batched' runs `converge` grids as one "
-                            "(B, n, n) tensor workload (else falls back "
-                            "to 'parallel'); for `simulate` only the "
-                            "σ-stability check uses it")
+        p.add_argument("--engine", default="auto",
+                       choices=("auto",) + ENGINES,
+                       help="σ/δ engine ladder rung, resolved by "
+                            "capability negotiation ('auto', the "
+                            "default, starts at the top rung the "
+                            "operation supports); every skipped rung "
+                            "is printed with its machine-readable "
+                            "reason code")
         p.add_argument("--workers", type=int, default=None,
-                       help="worker processes for --engine parallel "
+                       help="worker processes for the parallel rung "
                             "(default: auto-size to the host CPUs; "
                             "small problems and single-CPU hosts fall "
-                            "back to the vectorized engine)")
+                            "down the ladder)")
+        p.add_argument("--strict-engine", action="store_true",
+                       help="raise instead of falling down the ladder "
+                            "when the requested --engine cannot run "
+                            "this configuration")
 
     p = sub.add_parser("verify", help="law-check a deployed network")
     common(p)
@@ -354,7 +351,10 @@ COMMANDS = {
 
 def main(argv: Optional[list] = None) -> int:
     args = make_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except UnsupportedEngineError as exc:
+        raise SystemExit(f"engine negotiation failed: {exc}")
 
 
 if __name__ == "__main__":

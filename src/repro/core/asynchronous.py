@@ -51,10 +51,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from .capabilities import warn_deprecated
 from .incremental import BoundedHistory, DeltaRowCache
 from .schedule import Schedule
 from .state import Network, RoutingState
-from .synchronous import ENGINES, is_stable, sigma
+from .synchronous import is_stable
 from .algebra import RoutingAlgebra
 
 
@@ -209,12 +210,55 @@ def delta_step(network: Network, schedule: Schedule,
     return state
 
 
-def delta_run(network: Network, schedule: Schedule, start: RoutingState,
-              max_steps: int = 2_000, stability_window: Optional[int] = None,
-              keep_history: bool = False, strict: bool = False,
-              engine: str = "incremental",
-              workers: Optional[int] = None) -> AsyncResult:
-    """Run δ from ``start`` under ``schedule`` until convergence.
+def _delta_run_resolved(network: Network, schedule: Schedule,
+                        start: RoutingState, rung: str,
+                        max_steps: int = 2_000,
+                        stability_window: Optional[int] = None,
+                        keep_history: bool = False,
+                        workers: Optional[int] = None,
+                        engine_obj=None,
+                        window: Optional[int] = None) -> AsyncResult:
+    """Run δ on one *already negotiated* ladder rung (no fallback here).
+
+    ``rung`` must come from an
+    :class:`~repro.core.capabilities.EngineResolution` — in particular
+    the parallel/batched rungs are only ever chosen for bounded
+    schedules without ``keep_history``.  ``engine_obj`` reuses a
+    prebuilt engine (a :class:`~repro.session.RoutingSession`'s managed
+    instance); ``window`` sets the parallel δ IPC window.  The
+    ``"naive"`` rung runs the strict literal paper recursion.
+    """
+    if rung == "batched":
+        from .vectorized import delta_run_batched
+        return delta_run_batched(
+            network, schedule, start, max_steps=max_steps,
+            stability_window=stability_window, engine=engine_obj)
+    if rung == "parallel":
+        from .parallel import delta_run_parallel
+        return delta_run_parallel(
+            network, schedule, start, max_steps=max_steps,
+            stability_window=stability_window, keep_history=keep_history,
+            engine=engine_obj, workers=workers, window=window)
+    if rung == "vectorized":
+        # local import: vectorized imports AsyncResult from this module
+        from .vectorized import delta_run_vectorized
+        return delta_run_vectorized(
+            network, schedule, start, max_steps=max_steps,
+            stability_window=stability_window, keep_history=keep_history,
+            engine=engine_obj)
+    return _delta_run_serial(network, schedule, start, max_steps=max_steps,
+                             stability_window=stability_window,
+                             keep_history=keep_history,
+                             strict=(rung == "naive"))
+
+
+def _delta_run_serial(network: Network, schedule: Schedule,
+                      start: RoutingState, max_steps: int = 2_000,
+                      stability_window: Optional[int] = None,
+                      keep_history: bool = False,
+                      strict: bool = False) -> AsyncResult:
+    """The object-model δ loop: incremental tracked stepper, or the
+    literal paper recursion when ``strict``.
 
     ``stability_window`` defaults to (max read-back of the schedule) + 2:
     once the state has been constant for longer than every β read-back
@@ -230,60 +274,7 @@ def delta_run(network: Network, schedule: Schedule, start: RoutingState,
     (``max_read_back() is None`` — β may reach arbitrarily far back, so
     bounding the buffer would be unsound).  Results are identical in
     every mode.
-
-    ``engine`` selects ``"incremental"`` (the default tracked stepper,
-    with a :class:`~repro.core.incremental.DeltaRowCache` making each
-    activation O(changed entries)), ``"naive"`` (alias for the strict
-    literal recursion), ``"vectorized"`` — int-encoded numpy δ for
-    finite algebras (:func:`repro.core.vectorized.delta_run_vectorized`),
-    falling back to the incremental engine when the algebra has no
-    finite encoding — ``"parallel"``: the vectorized δ sharded by
-    destination columns over ``workers`` shared-memory worker processes
-    (:func:`repro.core.parallel.delta_run_parallel`), falling back down
-    the ladder when not worthwhile or unsupported (including
-    ``keep_history`` and schedules without a declared staleness bound,
-    which a fixed shared ring cannot serve) — or ``"batched"``: the
-    multi-trial tensor engine run as a B = 1 batch
-    (:func:`repro.core.vectorized.delta_run_batched`; compiled
-    schedule, batch-axis history ring), so a single run exercises
-    exactly the kernel the grid experiments use; schedules that
-    declare no staleness bound fall down the ladder here (deriving one
-    costs a full pass over the horizon — justified across a grid, not
-    for one run).  All engines compute exactly the same δᵗ.
     """
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}")
-    if engine == "naive":
-        strict = True
-    elif engine == "batched" and not strict:
-        from .vectorized import delta_run_batched, supports_vectorized
-        # undeclared-bound schedules fall through: sizing the batch
-        # ring for one would cost a full derived-bound pass over the
-        # horizon up front — worth amortising across a grid
-        # (delta_grid supports it), never for a single run
-        if supports_vectorized(network.algebra) and not keep_history \
-                and schedule.max_read_back() is not None:
-            return delta_run_batched(
-                network, schedule, start, max_steps=max_steps,
-                stability_window=stability_window)
-        engine = "parallel"              # fall one rung down the ladder
-    if engine == "parallel" and not strict:
-        from .parallel import delta_run_parallel, parallel_workers
-        effective = parallel_workers(network, workers)
-        if effective is not None and not keep_history and \
-                schedule.max_read_back() is not None:
-            return delta_run_parallel(
-                network, schedule, start, max_steps=max_steps,
-                stability_window=stability_window, workers=effective)
-        engine = "vectorized"            # fall one rung down the ladder
-    if engine == "vectorized" and not strict:
-        # local import: vectorized imports AsyncResult from this module
-        from .vectorized import delta_run_vectorized, supports_vectorized
-        if supports_vectorized(network.algebra):
-            return delta_run_vectorized(
-                network, schedule, start, max_steps=max_steps,
-                stability_window=stability_window, keep_history=keep_history)
-        # non-finite fallback: continue with the incremental engine
     max_read_back = schedule.max_read_back()
     if stability_window is None:
         stability_window = (max_read_back or 1) + 2
@@ -311,6 +302,37 @@ def delta_run(network: Network, schedule: Schedule, start: RoutingState,
     return AsyncResult(False, max_steps, history[max_steps], None,
                        history if keep_history else None,
                        history_retained=len(history))
+
+
+def delta_run(network: Network, schedule: Schedule, start: RoutingState,
+              max_steps: int = 2_000, stability_window: Optional[int] = None,
+              keep_history: bool = False, strict: bool = False,
+              engine: str = "incremental",
+              workers: Optional[int] = None) -> AsyncResult:
+    """Run δ from ``start`` under ``schedule`` until convergence.
+
+    .. deprecated::
+        Thin shim over :meth:`repro.session.RoutingSession.delta` —
+        the session negotiates the engine rung explicitly (recorded
+        reason chain instead of silent fallback), owns pool and
+        shared-memory lifetimes, and returns a typed
+        :class:`~repro.session.DeltaReport`.  Delegates there and emits
+        a :class:`DeprecationWarning`; results are bit-identical.
+
+    ``engine`` selects a rung of the five-engine ladder with the same
+    fallback discipline as before (``"naive"`` is an alias for the
+    strict literal recursion); ``strict=True`` runs
+    :func:`delta_step_literal` with the full history; ``keep_history``
+    retains and returns every state; ``workers`` sizes the parallel
+    pool.  See :func:`_delta_run_serial` for the history/convergence
+    semantics shared by every rung.
+    """
+    warn_deprecated("delta_run()", "RoutingSession.delta()")
+    from ..session import EngineSpec, RoutingSession
+    with RoutingSession(network, EngineSpec(engine, workers=workers)) as s:
+        return s.delta(schedule, start, max_steps=max_steps,
+                       stability_window=stability_window,
+                       keep_history=keep_history, strict=strict).result
 
 
 @dataclass
@@ -372,72 +394,23 @@ def absolute_convergence_experiment(
     (:func:`repro.core.vectorized.absolute_convergence_batched`),
     with finished trials dropping out.  Non-finite algebras fall one
     rung down to ``"parallel"`` (and onward down the ladder) as usual.
+
+    .. deprecated::
+        Thin shim over :meth:`repro.session.RoutingSession.delta_grid`
+        (which reuses one negotiated engine — and for the parallel rung
+        one worker pool — across the whole grid, exactly as this
+        function did).  Delegates there and emits a
+        :class:`DeprecationWarning`; results are bit-identical.
     """
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}")
-    vec_engine = None
-    par_engine = None
-    if engine == "batched":
-        from .vectorized import absolute_convergence_batched, \
-            supports_vectorized
-
-        if supports_vectorized(network.algebra):
-            return absolute_convergence_batched(network, starts, schedules,
-                                                max_steps=max_steps)
-        engine = "parallel"              # fall one rung down the ladder
-    if engine == "parallel":
-        from .parallel import ParallelVectorizedEngine, parallel_workers
-
-        effective = parallel_workers(network, workers)
-        if effective is not None:
-            par_engine = ParallelVectorizedEngine(network, workers=effective)
-        else:
-            engine = "vectorized"        # fall one rung down the ladder
-    if engine == "vectorized":
-        from .vectorized import VectorizedEngine, supports_vectorized
-
-        if supports_vectorized(network.algebra):
-            vec_engine = VectorizedEngine(network)
-
-    def run(sched, start):
-        if par_engine is not None:
-            # delta_run_parallel reuses the pool engine even when an
-            # unbounded schedule forces its serial-vectorized fallback
-            from .parallel import delta_run_parallel
-
-            return delta_run_parallel(network, sched, start,
-                                      max_steps=max_steps,
-                                      engine=par_engine)
-        if vec_engine is not None:
-            from .vectorized import delta_run_vectorized
-
-            return delta_run_vectorized(network, sched, start,
-                                        max_steps=max_steps,
-                                        engine=vec_engine)
-        return delta_run(network, sched, start, max_steps=max_steps,
-                         engine=engine)
-
-    alg = network.algebra
-    fixed_points: List[RoutingState] = []
-    steps: List[int] = []
-    all_converged = True
-    runs = 0
-    try:
-        for start in starts:
-            for sched in schedules:
-                runs += 1
-                result = run(sched, start)
-                if not result.converged:
-                    all_converged = False
-                    continue
-                steps.append(result.converged_at or result.steps)
-                if not any(result.state.equals(fp, alg)
-                           for fp in fixed_points):
-                    fixed_points.append(result.state)
-    finally:
-        if par_engine is not None:
-            par_engine.close()
-    return AbsoluteConvergenceReport(runs, all_converged, fixed_points, steps)
+    warn_deprecated("absolute_convergence_experiment()",
+                    "RoutingSession.delta_grid()")
+    from ..session import EngineSpec, RoutingSession
+    trials = [(sched, start) for start in starts for sched in schedules]
+    with RoutingSession(network, EngineSpec(engine, workers=workers)) as s:
+        grid = s.delta_grid(trials, max_steps=max_steps)
+    return AbsoluteConvergenceReport(grid.runs, grid.all_converged,
+                                     list(grid.distinct_fixed_points),
+                                     list(grid.convergence_steps))
 
 
 def random_state(algebra: RoutingAlgebra, n: int, rng,

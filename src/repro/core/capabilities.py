@@ -1,0 +1,355 @@
+"""Engine capability negotiation: the one ladder, resolved explicitly.
+
+Five engines implement σ/δ (naive → incremental → vectorized → parallel
+→ batched), each trading generality for speed.  Before this module the
+ladder lived as ad-hoc ``if supports_…: … else fall back`` chains
+duplicated across ``iterate_sigma``, ``delta_run``,
+``absolute_convergence_experiment``, the simulator's σ-stability check
+and the CLI — and every chain fell back *silently*, so a non-finite
+algebra requested with ``engine="parallel"`` quietly degraded to the
+incremental engine with no signal anywhere.
+
+This module centralises the negotiation:
+
+* each engine class advertises a :class:`Capabilities` descriptor
+  (``requires_finite_algebra``, ``requires_shared_memory``, ``min_n``,
+  ``supports_batched_trials``, ``supports_topology_mutation``, …),
+  registered under its rung name in :data:`ENGINE_CAPABILITIES`;
+* :func:`resolve_engine` walks the ladder from the requested rung (or
+  from the top, for ``"auto"``) and returns an :class:`EngineResolution`
+  recording the chosen rung **and a machine-readable reason chain** —
+  one :class:`SkippedRung` with a stable ``code`` per rung it skipped;
+* every skipped rung is logged as one structured line on the ``repro``
+  logger (``repro.engine``), so fallback is observable without being
+  noisy (INFO level — silent by default, one ``logging.basicConfig``
+  away from visible);
+* ``strict=True`` raises :class:`UnsupportedEngineError` (carrying the
+  resolution) instead of falling back — the mode RPC sharding and
+  recorded experiments need, where a silent rung change is an
+  operational hazard.
+
+Check order inside a rung is part of the contract (tests assert reason
+chains exactly): **capability** (``no-finite-encoding``,
+``no-shared-memory``) → **policy** (``single-stability-check``,
+``keep-history``, ``unbounded-schedule``, ``literal-history``) →
+**sizing** (``auto-single-cpu``, ``below-min-n``, ``workers-lt-2``).
+The first failing check names the rung's skip reason.
+
+The resolver is consumed by :class:`repro.session.RoutingSession` (the
+public facade) and by the legacy selector shims, so every entry point
+negotiates identically.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: structured fallback log lines land here — a child of the ``repro``
+#: logger, so ``logging.getLogger("repro").setLevel(logging.INFO)``
+#: makes every skipped rung visible.
+logger = logging.getLogger("repro.engine")
+
+#: the ladder, fastest/most-specialised rung first.  Fallback walks this
+#: list downward and stops at ``incremental`` (always capable); the
+#: ``naive`` rung is only ever *chosen*, never fallen back to — except
+#: by an explicit literal-history (strict δ) request.
+LADDER = ("batched", "parallel", "vectorized", "incremental", "naive")
+
+#: where ``engine="auto"`` starts the walk, per operation: grids of
+#: trials want the batched tensor engine; single runs start at the
+#: parallel rung (whose own sizing heuristics decline small problems).
+AUTO_START = {"sigma": "parallel", "delta": "parallel", "grid": "batched",
+              "stability": "parallel"}
+
+#: valid operations a resolution can be asked for.
+OPS = ("sigma", "delta", "grid", "stability")
+
+
+class UnsupportedEngineError(RuntimeError):
+    """Raised by strict resolution when the requested rung cannot run.
+
+    Carries the full :class:`EngineResolution` (``.resolution``) so the
+    caller can inspect the machine-readable reason chain.
+    """
+
+    def __init__(self, message: str, resolution: "EngineResolution"):
+        super().__init__(message)
+        self.resolution = resolution
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What one engine rung needs and what it can do.
+
+    Advertised as a ``capabilities`` class attribute by the engine
+    classes (:class:`~repro.core.vectorized.VectorizedEngine`,
+    :class:`~repro.core.parallel.ParallelVectorizedEngine`,
+    :class:`~repro.core.vectorized.BatchedVectorizedEngine`); the
+    function-implemented rungs (``naive``, ``incremental``) register
+    descriptors directly below.
+    """
+
+    rung: str
+    #: needs an :class:`~repro.algebras.base.AlgebraEncoding` (finite
+    #: carrier, injective preference keys) plus numpy.
+    requires_finite_algebra: bool = False
+    #: needs ``multiprocessing.shared_memory`` and a process start method.
+    requires_shared_memory: bool = False
+    #: auto-mode problem-size floor (0 = none); explicit ``workers``
+    #: requests override it, capability checks never.
+    min_n: int = 0
+    #: minimum effective worker count (0 = not pool-based).
+    min_workers: int = 0
+    #: can stack many (schedule, start) trials into one workload.
+    supports_batched_trials: bool = False
+    #: safe to mutate the topology mid-run (``set_edge``/``remove_edge``
+    #: invalidate this rung's caches).  Every shipped rung supports it;
+    #: the flag exists so future remote rungs can decline.
+    supports_topology_mutation: bool = True
+    #: δ: can serve a schedule with no declared staleness bound.
+    supports_unbounded_schedules: bool = True
+    #: δ: can return the full decoded state history (``keep_history``).
+    supports_kept_history: bool = True
+    #: runs the literal paper recursion (strict mode).
+    supports_literal_history: bool = False
+    #: worth dispatching for a single σ-stability check (the simulator's
+    #: per-run verdict) — batching needs a grid to amortise over.
+    supports_single_stability_check: bool = True
+
+
+#: rung name → descriptor.  The two function-implemented rungs register
+#: here; the engine classes register on import (see resolve_engine's
+#: lazy import, which guarantees registration before any negotiation).
+ENGINE_CAPABILITIES: Dict[str, Capabilities] = {}
+
+
+def register_engine(caps: Capabilities) -> Capabilities:
+    """Register (and return) one rung's descriptor."""
+    ENGINE_CAPABILITIES[caps.rung] = caps
+    return caps
+
+
+register_engine(Capabilities(
+    rung="naive",
+    supports_literal_history=True,
+))
+register_engine(Capabilities(
+    rung="incremental",
+))
+
+
+@dataclass(frozen=True)
+class SkippedRung:
+    """One rung the resolver walked past, with a machine-readable reason.
+
+    ``code`` is stable vocabulary (asserted exactly by the test suite):
+    ``no-finite-encoding``, ``no-shared-memory``,
+    ``single-stability-check``, ``keep-history``, ``unbounded-schedule``,
+    ``literal-history``, ``auto-single-cpu``, ``below-min-n``,
+    ``workers-lt-2``.  ``detail`` is the human sentence.
+    """
+
+    rung: str
+    code: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class EngineResolution:
+    """The outcome of one capability negotiation.
+
+    ``requested`` is what the caller asked for (``"auto"`` included),
+    ``chosen`` the rung that will actually run, ``skipped`` the reason
+    chain for every rung walked past (empty = no fallback), and
+    ``workers`` the resolved pool size when the parallel rung was
+    chosen.
+    """
+
+    requested: str
+    op: str
+    chosen: str
+    skipped: Tuple[SkippedRung, ...] = ()
+    workers: Optional[int] = None
+
+    @property
+    def fell_back(self) -> bool:
+        """True when the chosen rung differs from a concrete request."""
+        return bool(self.skipped)
+
+    def reason_codes(self) -> List[Tuple[str, str]]:
+        """``[(rung, code)]`` — the chain in machine-comparable form."""
+        return [(s.rung, s.code) for s in self.skipped]
+
+    def explain(self) -> str:
+        """Human-readable negotiation summary (used by the CLI)."""
+        head = self.chosen
+        if self.workers:
+            head += f" ({self.workers} workers)"
+        if not self.skipped:
+            return head
+        chain = "; ".join(f"{s.rung} skipped [{s.code}]: {s.detail}"
+                          for s in self.skipped)
+        return f"{head} — {chain}"
+
+
+def warn_deprecated(old: str, new: str) -> None:
+    """One :class:`DeprecationWarning` pointing a legacy free function
+    at its :class:`~repro.session.RoutingSession` replacement."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} "
+        "(see repro.session.RoutingSession)",
+        DeprecationWarning, stacklevel=3)
+
+
+# ----------------------------------------------------------------------
+# Resolution
+# ----------------------------------------------------------------------
+
+
+def _skip_reason(caps: Capabilities, network, op: str, workers,
+                 keep_history: bool, bounded: Optional[bool]
+                 ) -> Tuple[Optional[SkippedRung], Optional[int]]:
+    """First failing check for ``caps``'s rung, or ``(None, pool size)``.
+
+    Check order — capability, then policy, then sizing — is part of the
+    negotiation contract (see the module docstring).
+    """
+    rung = caps.rung
+    alg = network.algebra
+
+    # -- capability -----------------------------------------------------
+    if caps.requires_finite_algebra:
+        from .vectorized import supports_vectorized
+        if not supports_vectorized(alg):
+            return SkippedRung(
+                rung, "no-finite-encoding",
+                f"{alg.name} has no finite int encoding "
+                "(or numpy is unavailable)"), None
+    if caps.requires_shared_memory:
+        from .parallel import _mp_context
+        if _mp_context() is None:
+            return SkippedRung(
+                rung, "no-shared-memory",
+                "multiprocessing shared memory is not supported on this "
+                "platform"), None
+
+    # -- policy ---------------------------------------------------------
+    if op == "stability" and not caps.supports_single_stability_check:
+        return SkippedRung(
+            rung, "single-stability-check",
+            "batching amortises over a grid of trials; a lone "
+            "σ-stability check falls one rung down"), None
+    if op in ("delta", "grid"):
+        if keep_history and not caps.supports_kept_history:
+            return SkippedRung(
+                rung, "keep-history",
+                "full decoded state histories cannot live in this "
+                "rung's bounded ring"), None
+        if bounded is False and not caps.supports_unbounded_schedules:
+            return SkippedRung(
+                rung, "unbounded-schedule",
+                "schedule declares no staleness bound "
+                "(max_read_back() is None); a fixed history ring would "
+                "be unsound"), None
+
+    # -- sizing ---------------------------------------------------------
+    if caps.min_workers:
+        n = network.n
+        if workers is None:
+            cpus = os.cpu_count() or 1
+            if cpus < 2:
+                return SkippedRung(
+                    rung, "auto-single-cpu",
+                    f"auto mode on a single-CPU host "
+                    f"(os.cpu_count()={cpus})"), None
+            if n < caps.min_n:
+                return SkippedRung(
+                    rung, "below-min-n",
+                    f"auto mode declines n={n} < min_n={caps.min_n} "
+                    "(process fan-out would not pay)"), None
+            workers = cpus
+        effective = min(int(workers), n)
+        if effective < caps.min_workers:
+            return SkippedRung(
+                rung, "workers-lt-2",
+                f"workers resolved to {effective} < "
+                f"{caps.min_workers}"), None
+        return None, effective
+    return None, None
+
+
+def resolve_engine(network, requested: str = "auto", op: str = "sigma", *,
+                   workers: Optional[int] = None, strict: bool = False,
+                   keep_history: bool = False, literal: bool = False,
+                   schedule=None) -> EngineResolution:
+    """Negotiate the engine rung for one operation on one network.
+
+    ``requested`` is a rung name or ``"auto"``; ``op`` one of
+    :data:`OPS`.  ``schedule`` (δ only) supplies the staleness bound;
+    ``keep_history`` and ``literal`` are the δ history policies
+    (``literal`` — the strict paper recursion — always resolves to the
+    naive rung, which is the only one that retains it).
+
+    Returns an :class:`EngineResolution`; with ``strict=True`` a
+    concrete request that cannot run raises
+    :class:`UnsupportedEngineError` instead of falling back (``"auto"``
+    never raises — the incremental rung is always capable).
+
+    Every skipped rung is logged as one structured line on the
+    ``repro.engine`` logger.
+    """
+    # engine classes register their Capabilities on import
+    from . import parallel as _parallel  # noqa: F401
+    from . import vectorized as _vectorized  # noqa: F401
+
+    if op not in OPS:
+        raise ValueError(f"unknown engine op {op!r}; choose from {OPS}")
+    if requested != "auto" and requested not in LADDER:
+        raise ValueError(f"unknown engine {requested!r}")
+    start = AUTO_START[op] if requested == "auto" else requested
+    bounded: Optional[bool] = None
+    if schedule is not None:
+        bounded = schedule.max_read_back() is not None
+
+    skipped: List[SkippedRung] = []
+    chosen = start
+    resolved_workers: Optional[int] = None
+    for rung in LADDER[LADDER.index(start):]:
+        caps = ENGINE_CAPABILITIES[rung]
+        if literal and not caps.supports_literal_history:
+            skip = SkippedRung(
+                rung, "literal-history",
+                "strict literal recursion requested; only the naive "
+                "rung retains the paper recursion")
+            reason_workers = None
+        else:
+            skip, reason_workers = _skip_reason(
+                caps, network, op, workers, keep_history, bounded)
+        if skip is None:
+            chosen = rung
+            resolved_workers = reason_workers
+            break
+        skipped.append(skip)
+        logger.info(
+            "engine-skip rung=%s code=%s op=%s requested=%s algebra=%s "
+            "n=%d detail=%s",
+            skip.rung, skip.code, op, requested, network.algebra.name,
+            network.n, skip.detail)
+    else:  # pragma: no cover - the incremental/naive floor always accepts
+        raise AssertionError("engine ladder exhausted")
+
+    resolution = EngineResolution(requested, op, chosen, tuple(skipped),
+                                  workers=resolved_workers)
+    if strict and requested != "auto" and chosen != requested:
+        first = skipped[0]
+        raise UnsupportedEngineError(
+            f"engine {requested!r} cannot run op {op!r} on "
+            f"{network.algebra.name} (n={network.n}): "
+            f"[{first.code}] {first.detail} "
+            f"(strict resolution; would have fallen back to {chosen!r})",
+            resolution)
+    return resolution

@@ -102,6 +102,7 @@ except ImportError:                      # pragma: no cover - stdlib
 
 from .algebra import UnsupportedAlgebraError
 from .asynchronous import AsyncResult
+from .capabilities import Capabilities, logger as _engine_log, register_engine
 from .schedule import Schedule
 from .state import Network, RoutingState
 from .synchronous import SyncResult
@@ -475,6 +476,20 @@ class ParallelVectorizedEngine(VectorizedEngine):
     context manager).  A ``weakref.finalize`` backstop releases
     everything if the engine is dropped without closing.
     """
+
+    #: advertised to the capability resolver: a finite encoding plus a
+    #: shared-memory pool of >= 2 workers; auto mode declines problems
+    #: below :data:`PARALLEL_MIN_N`; δ needs a bounded schedule and
+    #: cannot return kept histories from its fixed shared ring.
+    capabilities = register_engine(Capabilities(
+        rung="parallel",
+        requires_finite_algebra=True,
+        requires_shared_memory=True,
+        min_n=PARALLEL_MIN_N,
+        min_workers=2,
+        supports_unbounded_schedules=False,
+        supports_kept_history=False,
+    ))
 
     def __init__(self, network: Network, workers: Optional[int] = None):
         ctx = _mp_context()
@@ -884,6 +899,12 @@ def delta_run_parallel(network: Network, schedule: Schedule,
     (:data:`DELTA_WINDOW` default; 1 restores the per-step protocol).
     """
     if keep_history or schedule.max_read_back() is None:
+        _engine_log.info(
+            "engine-skip rung=parallel code=%s op=delta requested=parallel "
+            "algebra=%s n=%d detail=per-run delegation to the serial "
+            "vectorized engine (pool reused for encoding)",
+            "keep-history" if keep_history else "unbounded-schedule",
+            network.algebra.name, network.n)
         from .vectorized import delta_run_vectorized
         return delta_run_vectorized(network, schedule, start,
                                     max_steps=max_steps,

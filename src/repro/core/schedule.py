@@ -348,8 +348,20 @@ class RandomSchedule(Schedule):
     schedule each seed denotes relative to the earlier per-(t, i, j)
     blake2b draws: experiments pinned to old seeds sample a different
     (equally admissible) schedule, and `BENCH_core.json` was
-    regenerated accordingly.
+    regenerated accordingly.  :data:`SCHEDULE_SEED_VERSION` records
+    that semantic break so recorded experiments can name which mapping
+    their seeds assume.
     """
+
+    #: version of the seed → schedule mapping.  1 = the original
+    #: per-(t, i, j) blake2b draws; 2 = the PR 4 row-hashed draws (one
+    #: blake2b per (t, i) row expanded by a splitmix64 finalizer) — the
+    #: same seed denotes a *different* (equally admissible) schedule
+    #: under the two versions.  Surfaced in
+    #: :class:`~repro.session.DeltaReport` /
+    #: :class:`~repro.session.GridReport` metadata so recorded
+    #: experiments are reproducible across library versions.
+    SCHEDULE_SEED_VERSION = 2
 
     def __init__(self, n: int, seed: int = 0, activation_prob: float = 0.5,
                  max_delay: int = 5, max_silence: int = 10):

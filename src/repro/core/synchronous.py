@@ -68,6 +68,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from .capabilities import warn_deprecated
 from .incremental import sigma_propagate, sigma_with_dirty
 from .state import Network, RoutingState
 
@@ -130,65 +131,45 @@ class SyncResult:
         return self.state
 
 
-def iterate_sigma(network: Network, start: RoutingState, max_rounds: int = 10_000,
-                  keep_trajectory: bool = False,
-                  detect_cycles: bool = False,
-                  engine: str = "incremental",
-                  workers: Optional[int] = None) -> SyncResult:
-    """Iterate σ from ``start`` until a fixed point (or ``max_rounds``).
+def _iterate_sigma_resolved(network: Network, start: RoutingState,
+                            rung: str, max_rounds: int = 10_000,
+                            keep_trajectory: bool = False,
+                            detect_cycles: bool = False,
+                            workers: Optional[int] = None,
+                            engine_obj=None) -> SyncResult:
+    """Run the σ iteration on one *already negotiated* ladder rung.
 
-    With ``detect_cycles`` the iteration also stops early when a state
-    repeats (σ has entered a limit cycle — e.g. BAD GADGET oscillation),
-    reporting ``converged=False``.
-
-    ``engine`` selects one rung of the ladder: ``"incremental"``
-    (dirty-set delta propagation, the default), ``"naive"`` (full
-    recompute + equality scan per round), ``"vectorized"``
-    (int-encoded numpy engine for finite algebras, incremental fallback
-    otherwise), ``"parallel"`` (the vectorized round sharded by
-    destination columns over ``workers`` processes, vectorized fallback
-    when not worthwhile or unsupported) or ``"batched"`` (the
-    multi-trial tensor engine run as a B = 1 batch, parallel fallback
-    for non-finite algebras); see the module docstring.  All
-    produce identical iterates.  ``workers`` applies to
-    ``engine="parallel"`` only: ``None`` sizes the pool to the host's
-    CPUs (falling back entirely on small problems or single-CPU
-    hosts), an explicit count ≥ 2 forces a pool of that size.
-
-    Returns a :class:`SyncResult`; ``result.rounds`` is the number of σ
-    applications it took to *reach* the fixed point (so a stable start
-    gives ``rounds == 0``).
+    ``rung`` must be the ``chosen`` field of an
+    :class:`~repro.core.capabilities.EngineResolution` — no further
+    fallback happens here.  ``engine_obj`` optionally reuses a prebuilt
+    vectorized/parallel/batched engine (the
+    :class:`~repro.session.RoutingSession` passes its managed
+    instances); without one, pool-based rungs build and tear down their
+    own resources per call.
     """
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}")
-    if engine == "batched":
+    if rung == "batched":
         # local import: vectorized imports SyncResult from this module
-        from .vectorized import iterate_sigma_batched, supports_vectorized
-        if supports_vectorized(network.algebra):
-            return iterate_sigma_batched(
-                network, [start], max_rounds=max_rounds,
-                keep_trajectory=keep_trajectory,
-                detect_cycles=detect_cycles)[0]
-        engine = "parallel"              # documented fallback ladder
-    if engine == "parallel":
+        from .vectorized import iterate_sigma_batched
+        return iterate_sigma_batched(
+            network, [start], max_rounds=max_rounds,
+            keep_trajectory=keep_trajectory,
+            detect_cycles=detect_cycles, engine=engine_obj)[0]
+    if rung == "parallel":
         # local import: parallel imports SyncResult from this module
-        from .parallel import iterate_sigma_parallel, parallel_workers
-        effective = parallel_workers(network, workers)
-        if effective is not None:
-            return iterate_sigma_parallel(
-                network, start, max_rounds=max_rounds,
-                keep_trajectory=keep_trajectory,
-                detect_cycles=detect_cycles, workers=effective)
-        engine = "vectorized"            # documented fallback ladder
-    if engine == "vectorized":
+        from .parallel import iterate_sigma_parallel
+        return iterate_sigma_parallel(
+            network, start, max_rounds=max_rounds,
+            keep_trajectory=keep_trajectory,
+            detect_cycles=detect_cycles, engine=engine_obj,
+            workers=workers)
+    if rung == "vectorized":
         # local import: vectorized imports SyncResult from this module
-        from .vectorized import iterate_sigma_vectorized, supports_vectorized
-        if supports_vectorized(network.algebra):
-            return iterate_sigma_vectorized(
-                network, start, max_rounds=max_rounds,
-                keep_trajectory=keep_trajectory, detect_cycles=detect_cycles)
-        engine = "incremental"           # documented non-finite fallback
-    incremental = engine == "incremental"
+        from .vectorized import iterate_sigma_vectorized
+        return iterate_sigma_vectorized(
+            network, start, max_rounds=max_rounds,
+            keep_trajectory=keep_trajectory, detect_cycles=detect_cycles,
+            engine=engine_obj)
+    incremental = rung == "incremental"
     alg = network.algebra
     current = start
     trajectory = [start] if keep_trajectory else None
@@ -216,6 +197,40 @@ def iterate_sigma(network: Network, start: RoutingState, max_rounds: int = 10_00
     return SyncResult(False, max_rounds, current, trajectory)
 
 
+def iterate_sigma(network: Network, start: RoutingState, max_rounds: int = 10_000,
+                  keep_trajectory: bool = False,
+                  detect_cycles: bool = False,
+                  engine: str = "incremental",
+                  workers: Optional[int] = None) -> SyncResult:
+    """Iterate σ from ``start`` until a fixed point (or ``max_rounds``).
+
+    .. deprecated::
+        This free function is a thin shim over
+        :meth:`repro.session.RoutingSession.sigma`, which negotiates the
+        engine rung explicitly (:class:`~repro.core.capabilities.EngineResolution`
+        instead of silent fallback), manages pool/shared-memory
+        lifetimes, and returns a typed report.  It delegates there and
+        emits a :class:`DeprecationWarning`; results are bit-identical.
+
+    With ``detect_cycles`` the iteration also stops early when a state
+    repeats (σ has entered a limit cycle — e.g. BAD GADGET oscillation),
+    reporting ``converged=False``.  ``engine`` selects one rung of the
+    ladder (see the module docstring); unsupported requests fall down
+    the ladder exactly as before, now with the skipped rungs logged on
+    the ``repro.engine`` logger.  ``workers`` sizes the parallel pool.
+
+    Returns a :class:`SyncResult`; ``result.rounds`` is the number of σ
+    applications it took to *reach* the fixed point (so a stable start
+    gives ``rounds == 0``).
+    """
+    warn_deprecated("iterate_sigma()", "RoutingSession.sigma()")
+    from ..session import EngineSpec, RoutingSession
+    with RoutingSession(network, EngineSpec(engine, workers=workers)) as s:
+        return s.sigma(start, max_rounds=max_rounds,
+                       keep_trajectory=keep_trajectory,
+                       detect_cycles=detect_cycles).result
+
+
 def synchronous_fixed_point(network: Network,
                             max_rounds: int = 10_000) -> RoutingState:
     """Fixed point of σ starting from the identity matrix ``I``.
@@ -224,8 +239,9 @@ def synchronous_fixed_point(network: Network,
     found within ``max_rounds`` (which for a strictly increasing algebra
     indicates a bug, by Theorem 7 / 11).
     """
-    result = iterate_sigma(network, RoutingState.identity(network.algebra, network.n),
-                           max_rounds=max_rounds)
+    result = _iterate_sigma_resolved(
+        network, RoutingState.identity(network.algebra, network.n),
+        "incremental", max_rounds=max_rounds)
     if not result.converged:
         raise RuntimeError(
             f"σ failed to reach a fixed point within {max_rounds} rounds on "

@@ -63,6 +63,7 @@ except ImportError:                      # pragma: no cover - numpy is baked in
 
 from .algebra import RoutingAlgebra, UnsupportedAlgebraError
 from .asynchronous import AbsoluteConvergenceReport, AsyncResult
+from .capabilities import Capabilities, register_engine
 from .incremental import BoundedHistory
 from .schedule import CompiledSchedule, Schedule
 from .state import Network, RoutingState
@@ -134,6 +135,14 @@ class VectorizedEngine:
     whenever ``adjacency.version`` moves.  States cross the boundary via
     :meth:`encode_state` / :meth:`decode_state`.
     """
+
+    #: advertised to the capability resolver (see
+    #: :mod:`repro.core.capabilities`): needs a finite encoding, runs
+    #: everything else.
+    capabilities = register_engine(Capabilities(
+        rung="vectorized",
+        requires_finite_algebra=True,
+    ))
 
     def __init__(self, network: Network):
         if np is None:
@@ -367,6 +376,23 @@ class BatchedVectorizedEngine(VectorizedEngine):
     with a full O(steps · n²) history.
     """
 
+    #: batching stacks trials; single δ runs need a bounded ring
+    #: (deriving a bound for an undeclared schedule only pays across a
+    #: grid), and a lone σ-stability check falls one rung down.
+    capabilities = register_engine(Capabilities(
+        rung="batched",
+        requires_finite_algebra=True,
+        supports_batched_trials=True,
+        supports_unbounded_schedules=False,
+        supports_kept_history=False,
+        supports_single_stability_check=False,
+    ))
+
+    #: set by the session to force the stacked-tensor dtype
+    #: (:class:`~repro.session.EngineSpec` ``batch_dtype``); ``None``
+    #: keeps the narrowest-fit default of :attr:`_batch_dtype`.
+    batch_dtype_override = None
+
     # -- node-indexed snapshot arrays (degree/offset per node) -----------
 
     def _node_arrays(self):
@@ -387,8 +413,12 @@ class BatchedVectorizedEngine(VectorizedEngine):
         Finite carriers are small (hop bounds, levels); int16 halves
         the memory traffic of every gather/fold/compare in the batched
         step, which is bandwidth-bound.  The margin (``2 · size``)
-        keeps the affine fast path's ``x + w`` sum in range too.
+        keeps the affine fast path's ``x + w`` sum in range too.  A
+        session-installed :attr:`batch_dtype_override` wins (validated
+        against the carrier at install time).
         """
+        if self.batch_dtype_override is not None:
+            return self.batch_dtype_override
         return np.int16 if 2 * self.encoding.size < 32_000 else _DTYPE
 
     def _affine_tables(self):
@@ -769,15 +799,18 @@ def delta_run_vectorized(network: Network, schedule: Schedule,
 def sigma_churn(network: Network, start: RoutingState,
                 max_rounds: int = 10_000,
                 engine: Optional[VectorizedEngine] = None):
-    """``(converged, rounds, total entry changes)`` of the σ iteration.
+    """``(converged, rounds, total entry changes, final state)`` of the
+    σ iteration.
 
     The churn measurement
-    (:func:`repro.analysis.convergence.measure_sync`) on codes: instead
-    of decoding every trajectory state and comparing O(rounds · n²)
-    route pairs in Python, diff consecutive code matrices with numpy —
-    sound because a finite encoding maps equal routes to equal codes
-    and distinct routes to distinct codes.  Counts exactly what the
-    object path counts, without materialising the trajectory.
+    (:meth:`repro.session.RoutingSession.sigma` with ``measure_churn``,
+    behind :func:`repro.analysis.convergence.measure_sync`) on codes:
+    instead of decoding every trajectory state and comparing
+    O(rounds · n²) route pairs in Python, diff consecutive code
+    matrices with numpy — sound because a finite encoding maps equal
+    routes to equal codes and distinct routes to distinct codes.
+    Counts exactly what the object path counts, without materialising
+    the trajectory.
     """
     eng = engine if engine is not None else VectorizedEngine(network)
     eng.refresh()
@@ -787,10 +820,10 @@ def sigma_churn(network: Network, start: RoutingState,
     for k in range(max_rounds):
         nxt, dirty = eng._advance(C, dirty)
         if dirty.size == 0:
-            return True, k, churn
+            return True, k, churn, eng.decode_state(C)
         churn += int((nxt[:, dirty] != C[:, dirty]).sum())
         C = nxt
-    return False, max_rounds, churn
+    return False, max_rounds, churn, eng.decode_state(C)
 
 
 def iterate_sigma_batched(network: Network,

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.algebra import Route
+from ..core.capabilities import resolve_engine, warn_deprecated
 from ..core.state import Network, RoutingState
 from ..core.synchronous import ENGINES, is_stable
 from .messages import LinkConfig, RELIABLE
@@ -84,13 +85,18 @@ class Simulator:
     def __init__(self, network: Network, seed: int = 0,
                  link_config=None, default_link: LinkConfig = RELIABLE,
                  refresh_interval: float = 10.0, quiet_period: float = 30.0,
-                 engine: str = "incremental", workers: Optional[int] = None):
-        if engine not in ENGINES:
+                 engine: str = "incremental", workers: Optional[int] = None,
+                 stability_engine=None, stability_resolution=None):
+        if engine != "auto" and engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
         self.network = network
         self.engine = engine
         self.workers = workers           # pool size for engine="parallel"
         self._vec_engine = None          # built lazily, auto-refreshing
+        #: engine borrowed from a RoutingSession — used for the σ-check
+        #: but never closed here (the session owns its lifetime)
+        self._external_engine = stability_engine
+        self._resolution = stability_resolution
         self.rng = random.Random(seed)
         self.default_link = default_link
         self._links: Dict[Tuple[int, int], LinkConfig] = {}
@@ -240,38 +246,45 @@ class Simulator:
 
     # -- stability check ------------------------------------------------------------
 
+    def stability_resolution(self):
+        """The negotiated σ-check engine resolution (cached).
+
+        One :class:`~repro.core.capabilities.EngineResolution` per
+        simulator: the batched rung declines single stability checks
+        (``single-stability-check``), and every other skip — non-finite
+        algebra, pool not worthwhile — is recorded in the reason chain
+        and logged on the ``repro.engine`` logger instead of happening
+        silently.
+        """
+        if self._resolution is None:
+            self._resolution = resolve_engine(
+                self.network, self.engine, "stability",
+                workers=self.workers)
+        return self._resolution
+
     def _is_sigma_stable(self, state: RoutingState) -> bool:
-        """σ-stability of the final table (Definition 4), using the
-        selected engine: ``parallel`` runs the check on the
+        """σ-stability of the final table (Definition 4), on the
+        negotiated σ-check engine: ``parallel`` runs the check on the
         shared-memory worker pool (auto-closed when the simulator is
-        collected), ``vectorized`` runs the table-gather σ, and both
-        silently fall back down the ladder when the algebra has no
-        finite encoding or the pool is not worthwhile."""
-        engine = self.engine
-        if engine == "batched":
-            # batching is a grid-of-trials concept; a single stability
-            # check falls one rung down the ladder
-            engine = "parallel"
-        if engine == "parallel":
-            from ..core.parallel import (ParallelVectorizedEngine,
-                                         parallel_workers)
-
-            effective = parallel_workers(self.network, self.workers)
-            if effective is not None:
-                if not isinstance(self._vec_engine,
-                                  ParallelVectorizedEngine):
-                    self._vec_engine = ParallelVectorizedEngine(
-                        self.network, workers=effective)
-                return self._vec_engine.is_stable(state)
-            engine = "vectorized"        # documented fallback ladder
-        if engine == "vectorized":
-            from ..core.vectorized import VectorizedEngine, supports_vectorized
-
-            if supports_vectorized(self.network.algebra):
-                if self._vec_engine is None:
-                    self._vec_engine = VectorizedEngine(self.network)
-                return self._vec_engine.is_stable(state)
-        return is_stable(self.network, state)
+        collected), ``vectorized`` runs the table-gather σ, and the
+        object engines run the dirty-set scan.  A session-provided
+        engine (:meth:`repro.session.RoutingSession.simulate`) is used
+        directly and never closed here."""
+        resolution = self.stability_resolution()
+        rung = resolution.chosen
+        if rung in ("naive", "incremental"):
+            return is_stable(self.network, state)
+        if self._external_engine is not None:
+            return self._external_engine.is_stable(state)
+        if self._vec_engine is None:
+            if rung == "parallel":
+                from ..core.parallel import ParallelVectorizedEngine
+                self._vec_engine = ParallelVectorizedEngine(
+                    self.network, workers=resolution.workers)
+            else:
+                from ..core.vectorized import VectorizedEngine
+                self._vec_engine = VectorizedEngine(self.network)
+        return self._vec_engine.is_stable(state)
 
     def close(self) -> None:
         """Release the σ-check engine.
@@ -356,12 +369,18 @@ def simulate(network: Network, start: Optional[RoutingState] = None,
              max_time: float = 10_000.0,
              engine: str = "incremental",
              workers: Optional[int] = None) -> SimulationResult:
-    """One-shot convenience wrapper around :class:`Simulator`."""
-    sim = Simulator(network, seed=seed, link_config=link_config,
-                    refresh_interval=refresh_interval,
-                    quiet_period=quiet_period, engine=engine,
-                    workers=workers)
-    try:
-        return sim.run(start, max_time=max_time)
-    finally:
-        sim.close()
+    """One-shot convenience wrapper around :class:`Simulator`.
+
+    .. deprecated::
+        Thin shim over :meth:`repro.session.RoutingSession.simulate`,
+        which negotiates the σ-check engine explicitly and manages its
+        lifetime.  Delegates there and emits a
+        :class:`DeprecationWarning`; results are bit-identical.
+    """
+    warn_deprecated("simulate()", "RoutingSession.simulate()")
+    from ..session import EngineSpec, RoutingSession
+    with RoutingSession(network, EngineSpec(engine, workers=workers)) as s:
+        return s.simulate(start, seed=seed, link_config=link_config,
+                          refresh_interval=refresh_interval,
+                          quiet_period=quiet_period,
+                          max_time=max_time).result

@@ -1,0 +1,709 @@
+"""`RoutingSession`: the one public entry point to the σ/δ machinery.
+
+The paper's message is that a single algebraic object ``(A, ⊕, F)``
+determines both the synchronous σ-iteration and the asynchronous δ-run.
+The library grew five execution engines for that object (naive →
+incremental → vectorized → parallel → batched), and with them a sprawl
+of free functions each re-threading ``engine=``/``workers=`` strings
+and silently falling a rung down the ladder on unsupported
+configurations.  This module replaces the sprawl with one negotiated
+facade:
+
+>>> from repro.session import EngineSpec, RoutingSession
+>>> with RoutingSession(net, EngineSpec("auto")) as s:
+...     report = s.sigma()                  # SigmaReport
+...     print(report.resolution.explain())  # which rung ran, and why
+...     dr = s.delta(schedule)              # DeltaReport
+...     grid = s.delta_grid(trials)         # GridReport
+...     verdict = s.converges()             # ConvergenceReport
+
+What the session owns:
+
+* **Capability-negotiated engine resolution** — every entry point
+  resolves its rung through
+  :func:`repro.core.capabilities.resolve_engine` against the engines'
+  advertised :class:`~repro.core.capabilities.Capabilities`; the
+  resulting :class:`~repro.core.capabilities.EngineResolution` (chosen
+  rung + machine-readable reason chain for every skipped rung) rides on
+  every report.  ``EngineSpec(strict=True)`` raises
+  :class:`~repro.core.capabilities.UnsupportedEngineError` instead of
+  falling back.
+* **Managed resources** — vectorized/batched engines and the parallel
+  worker pool (processes + shared-memory segments) are built lazily,
+  reused across calls, and released by :meth:`close` / the context
+  manager / a ``weakref.finalize`` backstop.
+* **Schedule compilation caching** — compiled α/β forms
+  (:class:`~repro.core.schedule.CompiledSchedule`) are cached per
+  schedule object and reused across δ runs and grids.
+* **Structured run reports** — every entry point returns a typed
+  dataclass (:class:`SigmaReport`, :class:`DeltaReport`,
+  :class:`GridReport`, :class:`ConvergenceReport`,
+  :class:`SimulationReport`) carrying the fixed point, rounds/steps,
+  churn, IPC counters, wall-clock timing, the engine resolution, and —
+  for δ — the :class:`~repro.core.schedule.RandomSchedule` seed-mapping
+  version the run's schedules assume.
+
+The legacy free functions (``iterate_sigma``, ``delta_run``,
+``absolute_convergence_experiment``, ``run_absolute_convergence``,
+``simulate``) survive as deprecation shims that delegate here;
+``tests/core/test_session_api.py`` holds them bit-identical.
+"""
+
+from __future__ import annotations
+
+import random
+import weakref
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .core.algebra import PathAlgebra
+from .core.asynchronous import (
+    AsyncResult,
+    _delta_run_resolved,
+    random_state,
+)
+from .core.capabilities import (
+    EngineResolution,
+    LADDER,
+    resolve_engine,
+)
+from .core.schedule import (
+    CompiledSchedule,
+    RandomSchedule,
+    Schedule,
+    schedule_zoo,
+)
+from .core.state import Network, RoutingState
+from .core.synchronous import SyncResult, _iterate_sigma_resolved
+from .core.vectorized import sigma_churn, supports_vectorized
+
+
+def schedule_seed_version(schedules) -> Optional[int]:
+    """The :data:`~repro.core.schedule.RandomSchedule.SCHEDULE_SEED_VERSION`
+    a run's schedules assume, or ``None`` when no schedule derives its
+    draws from a seed (structured schedules denote the same schedule
+    under every version).  Compiled wrappers are unwrapped to their
+    source.
+    """
+    for sched in schedules:
+        if isinstance(sched, CompiledSchedule):
+            sched = sched.source
+        if isinstance(sched, RandomSchedule):
+            return RandomSchedule.SCHEDULE_SEED_VERSION
+    return None
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """How a session wants its engines resolved.
+
+    ``engine`` is a ladder rung name or ``"auto"`` (grids start the
+    negotiation at the batched rung, single runs at the parallel rung,
+    each falling down the ladder as capabilities require).
+    ``strict=True`` turns any fallback from a concrete request into an
+    :class:`~repro.core.capabilities.UnsupportedEngineError` carrying
+    the reason chain.  ``history`` is the default δ history policy:
+    ``"bounded"`` (ring buffer), ``"full"`` (retain and return every
+    state), or ``"literal"`` (the strict paper recursion — always the
+    naive rung).  ``workers`` sizes the parallel pool, ``window`` the
+    parallel δ IPC window, and ``batch_dtype`` forces the batched
+    engine's stacked-tensor dtype (e.g. ``"int32"``; default: the
+    narrowest dtype that fits the carrier).
+    """
+
+    engine: str = "auto"
+    workers: Optional[int] = None
+    window: Optional[int] = None
+    batch_dtype: Optional[str] = None
+    history: str = "bounded"
+    strict: bool = False
+
+    def __post_init__(self):
+        if self.engine != "auto" and self.engine not in LADDER:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from "
+                f"{('auto',) + LADDER}")
+        if self.history not in ("bounded", "full", "literal"):
+            raise ValueError(
+                f"unknown history policy {self.history!r}; choose from "
+                "('bounded', 'full', 'literal')")
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SigmaReport:
+    """Outcome of :meth:`RoutingSession.sigma`."""
+
+    converged: bool
+    rounds: int                       #: σ applications to reach the result
+    state: RoutingState               #: final state reached
+    resolution: EngineResolution      #: which rung ran, and why
+    elapsed_s: float                  #: wall-clock seconds
+    trajectory: Optional[List[RoutingState]] = field(default=None, repr=False)
+    churn: Optional[int] = None       #: total entry changes (measure_churn)
+    result: SyncResult = field(default=None, repr=False)
+
+    @property
+    def fixed_point(self) -> RoutingState:
+        if not self.converged:
+            raise ValueError("iteration did not converge; no fixed point")
+        return self.state
+
+
+@dataclass
+class DeltaReport:
+    """Outcome of :meth:`RoutingSession.delta`."""
+
+    converged: bool
+    steps: int                        #: total δ steps simulated
+    state: RoutingState               #: state at the final step
+    resolution: EngineResolution
+    elapsed_s: float
+    converged_at: Optional[int] = None  #: first step the state stayed fixed
+    history: Optional[List[RoutingState]] = field(default=None, repr=False)
+    history_retained: Optional[int] = None  #: states actually held in memory
+    ipc_commands: Optional[int] = None  #: parallel rung: worker commands sent
+    ipc_steps: Optional[int] = None     #: parallel rung: δ steps they carried
+    #: seed → schedule mapping version the run's schedule assumes
+    #: (:data:`~repro.core.schedule.RandomSchedule.SCHEDULE_SEED_VERSION`),
+    #: ``None`` for seed-free schedules.
+    schedule_seed_version: Optional[int] = None
+    result: AsyncResult = field(default=None, repr=False)
+
+    @property
+    def fixed_point(self) -> RoutingState:
+        if not self.converged:
+            raise ValueError("δ run did not converge; no fixed point")
+        return self.state
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        """Machine-readable run metadata for recorded experiments."""
+        return {
+            "engine": self.resolution.chosen,
+            "schedule_seed_version": self.schedule_seed_version,
+            "ipc_commands": self.ipc_commands,
+            "ipc_steps": self.ipc_steps,
+        }
+
+
+@dataclass
+class GridReport:
+    """Outcome of :meth:`RoutingSession.delta_grid` — the Definition 8
+    absolute-convergence quantity over a (schedule, start) trial grid."""
+
+    runs: int
+    all_converged: bool
+    distinct_fixed_points: List[RoutingState]
+    convergence_steps: List[int]
+    resolution: EngineResolution
+    elapsed_s: float
+    schedule_seed_version: Optional[int] = None
+    results: Optional[List[AsyncResult]] = field(default=None, repr=False)
+
+    @property
+    def absolute(self) -> bool:
+        """True when every run converged to one common fixed point."""
+        return self.all_converged and len(self.distinct_fixed_points) == 1
+
+    @property
+    def max_steps(self) -> int:
+        return max(self.convergence_steps) if self.convergence_steps else 0
+
+    @property
+    def mean_steps(self) -> float:
+        if not self.convergence_steps:
+            return 0.0
+        return sum(self.convergence_steps) / len(self.convergence_steps)
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        """Machine-readable grid metadata for recorded experiments."""
+        return {
+            "engine": self.resolution.chosen,
+            "schedule_seed_version": self.schedule_seed_version,
+            "runs": self.runs,
+        }
+
+
+@dataclass
+class ConvergenceReport:
+    """Outcome of :meth:`RoutingSession.converges`: the sampled
+    Theorem 7/11 experiment, optionally tied back to the paper's
+    sufficient conditions."""
+
+    absolute: bool                    #: one fixed point across the grid
+    grid: GridReport                  #: the underlying experiment
+    #: which theorem (if any) the verified laws deliver — only when the
+    #: session ran the law suite (``verify=True``)
+    guarantee: Optional[str] = None
+    law_report: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def runs(self) -> int:
+        return self.grid.runs
+
+    @property
+    def distinct_fixed_points(self) -> List[RoutingState]:
+        return self.grid.distinct_fixed_points
+
+    @property
+    def resolution(self) -> EngineResolution:
+        return self.grid.resolution
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of :meth:`RoutingSession.simulate`: the event-driven
+    protocol run plus the negotiated σ-stability check."""
+
+    result: object                    #: the protocol SimulationResult
+    resolution: EngineResolution      #: rung used for the σ-check
+    elapsed_s: float
+
+    @property
+    def converged(self) -> bool:
+        return self.result.converged
+
+    @property
+    def final_state(self) -> RoutingState:
+        return self.result.final_state
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+    @property
+    def trace(self):
+        return self.result.trace
+
+    @property
+    def convergence_time(self) -> float:
+        return self.result.convergence_time
+
+
+# ----------------------------------------------------------------------
+# The session
+# ----------------------------------------------------------------------
+
+
+class RoutingSession:
+    """One managed computation context over ``(algebra, adjacency)``.
+
+    Construct from a :class:`~repro.core.state.Network` (which *is* the
+    paper's pair) or from the parts::
+
+        s = RoutingSession(net, EngineSpec("auto"))
+        s = RoutingSession.from_parts(algebra, adjacency)
+
+    The session is a context manager; leaving it (or calling
+    :meth:`close`) releases every engine it built — in particular the
+    parallel rung's worker processes and shared-memory segments.  A
+    ``weakref.finalize`` backstop covers sessions that are simply
+    dropped.  Topology mutation through the shared adjacency matrix is
+    safe mid-session: the engines re-snapshot via ``adjacency.version``.
+    """
+
+    def __init__(self, network: Network, spec: Optional[EngineSpec] = None):
+        if isinstance(spec, str):
+            spec = EngineSpec(spec)
+        self.network = network
+        self.spec = spec or EngineSpec()
+        self._engines: Dict[str, object] = {}
+        self._compiled: Dict[int, Tuple[Schedule, CompiledSchedule]] = {}
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _close_engines,
+                                           self._engines)
+
+    @classmethod
+    def from_parts(cls, algebra, adjacency, spec: Optional[EngineSpec] = None,
+                   name: str = "session") -> "RoutingSession":
+        """Build a session over an existing adjacency matrix (shared
+        live — mutations are seen by the session's engines)."""
+        network = Network(algebra, adjacency.n, name=name)
+        network.adjacency = adjacency
+        return cls(network, spec)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every engine the session built (idempotent)."""
+        self._closed = True
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "RoutingSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed; build a new one")
+
+    # -- negotiation ----------------------------------------------------
+
+    def resolve(self, op: str = "sigma", schedule: Optional[Schedule] = None,
+                keep_history: bool = False,
+                literal: bool = False) -> EngineResolution:
+        """Negotiate the rung this session would use for ``op``.
+
+        Public so callers (and the CLI) can inspect the reason chain
+        without running anything; ``spec.strict`` applies here too.
+        """
+        return resolve_engine(self.network, self.spec.engine, op,
+                              workers=self.spec.workers,
+                              strict=self.spec.strict,
+                              keep_history=keep_history, literal=literal,
+                              schedule=schedule)
+
+    # -- managed engines ------------------------------------------------
+
+    def _engine_obj(self, resolution: EngineResolution):
+        """The managed engine instance for a resolution's rung (``None``
+        for the object-model rungs)."""
+        rung = resolution.chosen
+        if rung in ("naive", "incremental"):
+            return None
+        eng = self._engines.get(rung)
+        if eng is None:
+            if rung == "vectorized":
+                from .core.vectorized import VectorizedEngine
+                eng = VectorizedEngine(self.network)
+            elif rung == "batched":
+                from .core.vectorized import BatchedVectorizedEngine
+                eng = BatchedVectorizedEngine(self.network)
+                if self.spec.batch_dtype is not None:
+                    eng.batch_dtype_override = _validated_dtype(
+                        self.spec.batch_dtype, eng.encoding.size)
+            else:
+                from .core.parallel import ParallelVectorizedEngine
+                eng = ParallelVectorizedEngine(self.network,
+                                               workers=resolution.workers)
+            self._engines[rung] = eng
+        return eng
+
+    def compile_schedule(self, schedule: Schedule,
+                         horizon: int) -> CompiledSchedule:
+        """The session-cached compiled form of ``schedule`` (recompiled
+        only when a longer horizon is requested)."""
+        key = id(schedule)
+        entry = self._compiled.get(key)
+        if entry is not None and entry[1].horizon >= horizon:
+            return entry[1]
+        comp = CompiledSchedule.ensure(schedule, horizon)
+        # the schedule object is retained alongside so the id() key can
+        # never be recycled by the allocator while the cache is alive
+        self._compiled[key] = (schedule, comp)
+        return comp
+
+    # -- σ ---------------------------------------------------------------
+
+    def sigma(self, start: Optional[RoutingState] = None, *,
+              max_rounds: int = 10_000, keep_trajectory: bool = False,
+              detect_cycles: bool = False,
+              measure_churn: bool = False) -> SigmaReport:
+        """Iterate σ to a fixed point; returns a :class:`SigmaReport`.
+
+        ``start`` defaults to the identity matrix (the clean start).
+        ``detect_cycles`` stops early on a repeated state (limit
+        cycle), reporting ``converged=False``.  ``measure_churn``
+        additionally counts total entry changes over the run — on
+        finite algebras via the code-diff fast path (the trajectory is
+        never materialised), otherwise from the object trajectory.
+        """
+        self._check_open()
+        net = self.network
+        if start is None:
+            start = RoutingState.identity(net.algebra, net.n)
+        resolution = self.resolve("sigma")
+        t0 = perf_counter()
+        churn: Optional[int] = None
+        # the code-diff churn fast path is only taken when the session
+        # negotiated a codes-based rung anyway — a spec pinned to
+        # "naive"/"incremental" keeps the object path, so the report's
+        # resolution never misstates which engine family ran.  (For the
+        # parallel/batched rungs the measurement runs on the serial
+        # vectorized kernel of the same encoding — identical counts.)
+        if measure_churn and not keep_trajectory and not detect_cycles \
+                and resolution.chosen in ("vectorized", "parallel",
+                                          "batched") \
+                and supports_vectorized(net.algebra):
+            from .core.vectorized import VectorizedEngine
+            eng = self._engines.get("vectorized")
+            if eng is None:
+                eng = self._engines["vectorized"] = VectorizedEngine(net)
+            converged, rounds, churn, state = sigma_churn(
+                net, start, max_rounds=max_rounds, engine=eng)
+            result = SyncResult(converged, rounds, state, None)
+        else:
+            result = _iterate_sigma_resolved(
+                net, start, resolution.chosen, max_rounds=max_rounds,
+                keep_trajectory=keep_trajectory or measure_churn,
+                detect_cycles=detect_cycles,
+                workers=resolution.workers,
+                engine_obj=self._engine_obj(resolution))
+            if measure_churn:
+                alg = net.algebra
+                churn = 0
+                trajectory = result.trajectory or []
+                for prev, cur in zip(trajectory, trajectory[1:]):
+                    for i in range(net.n):
+                        for j in range(net.n):
+                            if not alg.equal(prev.get(i, j), cur.get(i, j)):
+                                churn += 1
+        return SigmaReport(
+            converged=result.converged, rounds=result.rounds,
+            state=result.state, resolution=resolution,
+            elapsed_s=perf_counter() - t0,
+            trajectory=result.trajectory if keep_trajectory else None,
+            churn=churn, result=result)
+
+    # -- δ ---------------------------------------------------------------
+
+    def delta(self, schedule: Schedule,
+              start: Optional[RoutingState] = None, *,
+              max_steps: int = 2_000, stability_window: Optional[int] = None,
+              keep_history: Optional[bool] = None,
+              strict: Optional[bool] = None,
+              window: Optional[int] = None) -> DeltaReport:
+        """Run δ under ``schedule``; returns a :class:`DeltaReport`.
+
+        ``keep_history`` / ``strict`` default from the spec's history
+        policy (``"full"`` / ``"literal"``); ``window`` overrides the
+        parallel rung's IPC window for this run.
+        """
+        self._check_open()
+        net = self.network
+        if start is None:
+            start = RoutingState.identity(net.algebra, net.n)
+        if keep_history is None:
+            keep_history = self.spec.history == "full"
+        if strict is None:
+            strict = self.spec.history == "literal"
+        resolution = self.resolve("delta", schedule=schedule,
+                                  keep_history=keep_history, literal=strict)
+        t0 = perf_counter()
+        sched = schedule
+        if resolution.chosen == "batched":
+            sched = self.compile_schedule(schedule, max_steps)
+        result = _delta_run_resolved(
+            net, sched, start, resolution.chosen, max_steps=max_steps,
+            stability_window=stability_window, keep_history=keep_history,
+            workers=resolution.workers,
+            engine_obj=self._engine_obj(resolution),
+            window=window if window is not None else self.spec.window)
+        ipc_commands = ipc_steps = None
+        if resolution.chosen == "parallel":
+            pool = self._engines.get("parallel")
+            if pool is not None:
+                ipc_commands = pool.delta_ipc_commands
+                ipc_steps = pool.delta_ipc_steps
+        return DeltaReport(
+            converged=result.converged, steps=result.steps,
+            state=result.state, resolution=resolution,
+            elapsed_s=perf_counter() - t0,
+            converged_at=result.converged_at, history=result.history,
+            history_retained=result.history_retained,
+            ipc_commands=ipc_commands, ipc_steps=ipc_steps,
+            schedule_seed_version=schedule_seed_version([schedule]),
+            result=result)
+
+    def delta_grid(self, trials: Sequence[Tuple[Schedule, RoutingState]], *,
+                   max_steps: int = 2_000,
+                   stability_window: Optional[int] = None,
+                   batch_size: Optional[int] = 64,
+                   keep_results: bool = False) -> GridReport:
+        """Run δ for every ``(schedule, start)`` trial as one negotiated
+        workload; returns a :class:`GridReport`.
+
+        On the batched rung the whole grid is stacked into one
+        ``(B, n, n)`` tensor (``batch_size`` chunks the batch axis);
+        lower rungs loop trials against one shared engine — the
+        parallel rung reuses a single worker pool across the grid.
+        The spec's ``history`` policy applies to every trial
+        (``"literal"`` runs the strict paper recursion per trial,
+        ``"full"`` retains each trial's history — visible with
+        ``keep_results``).  ``keep_results`` retains the per-trial
+        :class:`~repro.core.asynchronous.AsyncResult` list on the
+        report.
+
+        On the parallel rung, a trial whose schedule declares no
+        staleness bound delegates to the serial vectorized engine
+        (logged on ``repro.engine``) — unless the spec is ``strict``,
+        in which case the trial raises
+        :class:`~repro.core.capabilities.UnsupportedEngineError`
+        exactly as :meth:`delta` would.
+        """
+        self._check_open()
+        net = self.network
+        trials = list(trials)
+        keep_history = self.spec.history == "full"
+        literal = self.spec.history == "literal"
+        resolution = self.resolve("grid", keep_history=keep_history,
+                                  literal=literal)
+        t0 = perf_counter()
+        results: List[AsyncResult] = []
+        if resolution.chosen == "batched" and trials:
+            eng = self._engine_obj(resolution)
+            compiled = [(self.compile_schedule(sched, max_steps), start)
+                        for (sched, start) in trials]
+            chunk = len(compiled) if not batch_size else max(1,
+                                                             int(batch_size))
+            for lo in range(0, len(compiled), chunk):
+                results.extend(eng.delta_grid(
+                    compiled[lo:lo + chunk], max_steps=max_steps,
+                    stability_window=stability_window))
+        else:
+            eng = self._engine_obj(resolution)
+            for sched, start in trials:
+                if resolution.chosen == "parallel" and self.spec.strict:
+                    # strict means no silent per-trial delegation either:
+                    # re-negotiate the trial as a single δ run, which
+                    # raises with the exact unbounded-schedule chain
+                    self.resolve("delta", schedule=sched)
+                results.append(_delta_run_resolved(
+                    net, sched, start, resolution.chosen,
+                    max_steps=max_steps, stability_window=stability_window,
+                    keep_history=keep_history,
+                    workers=resolution.workers, engine_obj=eng,
+                    window=self.spec.window))
+        alg = net.algebra
+        fixed_points: List[RoutingState] = []
+        steps: List[int] = []
+        all_converged = True
+        for res in results:
+            if not res.converged:
+                all_converged = False
+                continue
+            steps.append(res.converged_at or res.steps)
+            if not any(res.state.equals(fp, alg) for fp in fixed_points):
+                fixed_points.append(res.state)
+        return GridReport(
+            runs=len(trials), all_converged=all_converged,
+            distinct_fixed_points=fixed_points, convergence_steps=steps,
+            resolution=resolution, elapsed_s=perf_counter() - t0,
+            schedule_seed_version=schedule_seed_version(
+                [sched for (sched, _start) in trials]),
+            results=results if keep_results else None)
+
+    # -- experiments -----------------------------------------------------
+
+    def converges(self, n_starts: int = 5,
+                  schedules: Optional[Sequence[Schedule]] = None,
+                  seed: int = 0, max_steps: int = 2_000, *,
+                  verify: bool = False,
+                  samples: int = 40) -> ConvergenceReport:
+        """The Theorem 7/11 absolute-convergence experiment with
+        sensible defaults; returns a :class:`ConvergenceReport`.
+
+        Samples ``n_starts`` arbitrary states (plus the clean start)
+        against the schedule zoo and runs the full grid.  With
+        ``verify=True`` the algebra laws are additionally checked
+        against the installed edges and mapped onto the paper's
+        theorems (``report.guarantee``).
+        """
+        self._check_open()
+        net = self.network
+        if schedules is None:
+            schedules = schedule_zoo(net.n, seeds=(seed, seed + 17))
+        rng = random.Random(seed)
+        starts: List[RoutingState] = [
+            RoutingState.identity(net.algebra, net.n)]
+        for _ in range(n_starts):
+            starts.append(random_state(net.algebra, net.n, rng))
+        grid = self.delta_grid(
+            [(sched, start) for start in starts for sched in schedules],
+            max_steps=max_steps)
+        guarantee = law_report = None
+        if verify:
+            from .verification import convergence_guarantee, verify_network
+            law_report = verify_network(net, samples=samples)
+            guarantee = convergence_guarantee(
+                law_report,
+                finite_carrier=bool(getattr(net.algebra, "is_finite",
+                                            False)),
+                path_algebra=isinstance(net.algebra, PathAlgebra))
+        return ConvergenceReport(absolute=grid.absolute, grid=grid,
+                                 guarantee=guarantee, law_report=law_report)
+
+    def verify(self, samples: int = 40, rng=None):
+        """Law-check the algebra against the installed edges (the
+        Table 1 / P1–P3 suite); returns the
+        :class:`~repro.verification.properties.AlgebraReport`."""
+        self._check_open()
+        from .verification import verify_network
+        return verify_network(self.network, rng=rng, samples=samples)
+
+    # -- protocol simulation --------------------------------------------
+
+    def simulate(self, start: Optional[RoutingState] = None, *,
+                 seed: int = 0, link_config=None,
+                 refresh_interval: float = 10.0, quiet_period: float = 30.0,
+                 max_time: float = 10_000.0) -> SimulationReport:
+        """One event-driven protocol run
+        (:class:`~repro.protocols.simulator.Simulator`); returns a
+        :class:`SimulationReport`.
+
+        The final σ-stability verdict runs on the session's negotiated
+        stability engine (a lone check has no trial grid, so the
+        batched rung falls one rung down); the simulator borrows the
+        session's managed engine instance and never closes it.
+        """
+        self._check_open()
+        from .protocols.simulator import Simulator
+        resolution = self.resolve("stability")
+        t0 = perf_counter()
+        sim = Simulator(self.network, seed=seed, link_config=link_config,
+                        refresh_interval=refresh_interval,
+                        quiet_period=quiet_period,
+                        engine=self.spec.engine, workers=self.spec.workers,
+                        stability_engine=self._engine_obj(resolution),
+                        stability_resolution=resolution)
+        try:
+            result = sim.run(start, max_time=max_time)
+        finally:
+            sim.close()
+        return SimulationReport(result=result, resolution=resolution,
+                                elapsed_s=perf_counter() - t0)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"RoutingSession({self.network!r}, "
+                f"engine={self.spec.engine!r}, {state})")
+
+
+def _close_engines(engines: Dict[str, object]) -> None:
+    """Finalizer target: release every engine holding OS resources.
+
+    Module-level (not a bound method) so the ``weakref.finalize`` hook
+    never keeps the session alive.
+    """
+    for eng in engines.values():
+        close = getattr(eng, "close", None)
+        if close is not None:
+            close()
+    engines.clear()
+
+
+def _validated_dtype(name: str, carrier_size: int):
+    """Parse a spec's ``batch_dtype`` and check the carrier fits (with
+    the affine fast path's ``2 ×`` headroom)."""
+    import numpy as np
+    dtype = np.dtype(name)
+    if dtype.kind not in "iu":
+        raise ValueError(f"batch_dtype must be an integer dtype, got {name!r}")
+    if np.iinfo(dtype).max < 2 * carrier_size:
+        raise ValueError(
+            f"batch_dtype {name!r} cannot hold a {carrier_size}-route "
+            "carrier (needs 2× headroom for the affine fast path)")
+    return dtype

@@ -24,7 +24,13 @@ from .properties import AlgebraReport, verify_algebra, verify_path_algebra
 
 def verify_network(network: Network, rng: Optional[random.Random] = None,
                    samples: int = 40) -> AlgebraReport:
-    """Verify the algebra laws against the network's installed edges."""
+    """Verify the algebra laws against the network's installed edges.
+
+    Accepts a :class:`~repro.core.state.Network` or anything carrying
+    one as ``.network`` (a :class:`~repro.session.RoutingSession`), so
+    ``verify_network(session)`` and ``session.verify()`` coincide.
+    """
+    network = getattr(network, "network", network)
     rng = rng or random.Random(0)
     located = [(i, j, network.edge(i, j)) for (i, j) in network.present_edges()]
     algebra = network.algebra

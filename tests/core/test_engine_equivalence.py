@@ -55,15 +55,14 @@ from repro.core import (
     RoutingState,
     SynchronousSchedule,
     VectorizedEngine,
-    delta_run,
     delta_run_parallel,
-    iterate_sigma,
     sigma,
     sigma_propagate,
     sigma_with_dirty,
     supports_parallel,
     supports_vectorized,
 )
+from repro.session import EngineSpec, RoutingSession
 from repro.topologies import erdos_renyi, line, uniform_weight_factory
 
 pytestmark = pytest.mark.engine_matrix
@@ -151,21 +150,32 @@ def _schedules(n, seed=0):
 # ----------------------------------------------------------------------
 
 
-#: extra driver kwargs per engine: the parallel engine gets an explicit
+#: extra spec kwargs per engine: the parallel engine gets an explicit
 #: 2-worker pool, because auto mode would (correctly) decline the
 #: oracle's small nets and any single-CPU CI host.
 ENGINE_KWARGS = {"parallel": {"workers": 2}}
+
+
+def engine_session(net, engine) -> RoutingSession:
+    """A session pinned to one ladder rung (oracle pool sizing applied)."""
+    return RoutingSession(net, EngineSpec(engine,
+                                          **ENGINE_KWARGS.get(engine, {})))
 
 
 def assert_engines_agree(net, schedules=(), lockstep_rounds=10,
                          max_rounds=500, max_steps=500):
     """Assert all engines are observationally identical on ``net``.
 
+    Driven through :class:`repro.session.RoutingSession` — one session
+    per ladder rung, so the dispatch path under test is exactly the
+    public facade (and its capability negotiation), not the deprecated
+    free functions:
+
     * per-round lockstep: naive σ vs incremental dirty-set propagation
       vs the vectorized single-round ``VectorizedEngine.sigma`` vs the
       pool-computed ``ParallelVectorizedEngine.sigma`` vs the batched
       tensor kernel applied to a stacked copy of the state;
-    * σ fixed points: ``iterate_sigma`` under every engine selector
+    * σ fixed points: ``session.sigma()`` under every engine spec
       agrees on convergence, round count and final state;
     * δ oracle: for every schedule, ``strict`` (literal recursion) vs
       incremental vs vectorized vs parallel (windowed, plus a
@@ -176,8 +186,8 @@ def assert_engines_agree(net, schedules=(), lockstep_rounds=10,
       schedules at once — every trial must match its strict reference.
 
     Non-finite algebras exercise the documented fallback ladder: the
-    vectorized, parallel and batched selectors must behave exactly like
-    the incremental one.
+    vectorized, parallel and batched sessions must behave exactly like
+    the incremental one (their resolutions record the skipped rungs).
     """
     alg = net.algebra
     start = RoutingState.identity(alg, net.n)
@@ -185,6 +195,7 @@ def assert_engines_agree(net, schedules=(), lockstep_rounds=10,
     bat = BatchedVectorizedEngine(net) if supports_vectorized(alg) else None
     par = (ParallelVectorizedEngine(net, workers=2)
            if supports_parallel(alg) else None)
+    sessions = {e: engine_session(net, e) for e in ENGINES}
     try:
         # -- per-round lockstep --------------------------------------------
         naive = start
@@ -213,27 +224,30 @@ def assert_engines_agree(net, schedules=(), lockstep_rounds=10,
             naive = nxt
 
         # -- σ fixed points ------------------------------------------------
-        results = {e: iterate_sigma(net, start, max_rounds=max_rounds,
-                                    detect_cycles=True, engine=e,
-                                    **ENGINE_KWARGS.get(e, {}))
+        results = {e: sessions[e].sigma(start, max_rounds=max_rounds,
+                                        detect_cycles=True)
                    for e in ENGINES}
         ref = results["naive"]
         for name, res in results.items():
             assert res.converged == ref.converged, name
             assert res.rounds == ref.rounds, name
             assert res.state.equals(ref.state, alg), name
+            expected = name if name in ("naive", "incremental") else None
+            if expected is not None:
+                assert res.resolution.chosen == expected, name
 
         # -- δ oracle ------------------------------------------------------
         stricts = []
         for pos, sched in enumerate(schedules):
-            strict = delta_run(net, sched, start, max_steps=max_steps,
-                               strict=True)
+            strict = sessions["incremental"].delta(
+                sched, start, max_steps=max_steps, strict=True).result
             stricts.append(strict)
-            inc = delta_run(net, sched, start, max_steps=max_steps)
-            vecr = delta_run(net, sched, start, max_steps=max_steps,
-                             engine="vectorized")
-            batr = delta_run(net, sched, start, max_steps=max_steps,
-                             engine="batched")
+            inc = sessions["incremental"].delta(
+                sched, start, max_steps=max_steps).result
+            vecr = sessions["vectorized"].delta(
+                sched, start, max_steps=max_steps).result
+            batr = sessions["batched"].delta(
+                sched, start, max_steps=max_steps).result
             runs = [("incremental", inc), ("vectorized", vecr),
                     ("batched", batr)]
             if par is not None and sched.max_read_back() is not None:
@@ -263,6 +277,8 @@ def assert_engines_agree(net, schedules=(), lockstep_rounds=10,
                 assert res.state.equals(strict.state, alg), repr(sched)
         return ref
     finally:
+        for session in sessions.values():
+            session.close()
         if par is not None:
             par.close()
 
@@ -307,14 +323,16 @@ class TestOracleMatrix:
 
 
 class TestPerEngine:
-    """Tests parametrised by the ``--engine`` fixture (CI sharding)."""
+    """Tests parametrised by the ``--engine`` fixture (CI sharding),
+    driven through :class:`repro.session.RoutingSession`."""
 
     def test_reaches_reference_fixed_point(self, engine):
         net = _hop(10, seed=2)
         start = RoutingState.identity(net.algebra, net.n)
-        res = iterate_sigma(net, start, engine=engine,
-                            **ENGINE_KWARGS.get(engine, {}))
-        ref = iterate_sigma(net, start, engine="naive")
+        with engine_session(net, engine) as s, \
+                engine_session(net, "naive") as ref_s:
+            res = s.sigma(start)
+            ref = ref_s.sigma(start)
         assert res.converged and res.rounds == ref.rounds
         assert res.state.equals(ref.state, net.algebra)
 
@@ -322,24 +340,25 @@ class TestPerEngine:
         net = _finite_chain_alg(8, seed=6)
         start = RoutingState.identity(net.algebra, net.n)
         sched = RandomSchedule(net.n, seed=4, max_delay=4)
-        res = delta_run(net, sched, start, max_steps=400, engine=engine,
-                        **ENGINE_KWARGS.get(engine, {}))
-        ref = delta_run(net, sched, start, max_steps=400, strict=True)
+        with engine_session(net, engine) as s:
+            res = s.delta(sched, start, max_steps=400)
+            ref = s.delta(sched, start, max_steps=400, strict=True)
         assert res.converged == ref.converged
         assert res.converged_at == ref.converged_at
         assert res.state.equals(ref.state, net.algebra)
 
     def test_mid_run_topology_change(self, engine):
         """Engine-agnostic mirror of the PR 1 cache-invalidation tests:
-        reconverging after set_edge must see the new topology."""
+        reconverging after set_edge must see the new topology — through
+        one session whose managed engines must re-snapshot."""
         net = _hop(10, seed=3)
         alg = net.algebra
-        fp = iterate_sigma(net, RoutingState.identity(alg, net.n),
-                           engine=engine).state
-        net.set_edge(0, net.n - 1, alg.edge(1))
-        net.set_edge(net.n - 1, 0, alg.edge(1))
-        res = iterate_sigma(net, fp, engine=engine,
-                            **ENGINE_KWARGS.get(engine, {}))
-        ref = iterate_sigma(net, fp, engine="naive")
+        with engine_session(net, engine) as s:
+            fp = s.sigma(RoutingState.identity(alg, net.n)).state
+            net.set_edge(0, net.n - 1, alg.edge(1))
+            net.set_edge(net.n - 1, 0, alg.edge(1))
+            res = s.sigma(fp)
+        with engine_session(net, "naive") as ref_s:
+            ref = ref_s.sigma(fp)
         assert res.converged and res.rounds == ref.rounds
         assert res.state.equals(ref.state, alg)

@@ -1,0 +1,584 @@
+"""The session facade contract: negotiation, reports, shims, resources.
+
+Four obligations pinned here:
+
+1. **Deprecation shims are bit-identical** — every legacy free function
+   (``iterate_sigma``, ``delta_run``, ``absolute_convergence_experiment``,
+   ``run_absolute_convergence``, ``simulate``) must produce exactly the
+   result of the session API it delegates to, and must warn exactly
+   once per call.
+2. **Reason chains are exact** — for every (algebra × engine) pair of
+   the oracle matrix the :class:`~repro.core.capabilities.EngineResolution`
+   skip chain is asserted code-for-code, and ``strict=True`` raises
+   :class:`~repro.core.capabilities.UnsupportedEngineError` where
+   fallback used to be silent.
+3. **Resources are managed** — the parallel pool a session builds is
+   closed by the context manager; schedule compilation is cached.
+4. **Metadata is recorded** — the
+   :data:`~repro.core.schedule.RandomSchedule.SCHEDULE_SEED_VERSION`
+   rides on δ/grid reports.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.algebras import (
+    BGPLiteAlgebra,
+    BoundedStratifiedAlgebra,
+    FiniteLevelAlgebra,
+    HopCountAlgebra,
+    ShortestPathsAlgebra,
+    good_gadget,
+    increasing_disagree,
+)
+from repro.algebras.bgplite import random_policy
+from repro.core import (
+    ENGINES,
+    RandomSchedule,
+    RoutingState,
+    Schedule,
+    SynchronousSchedule,
+    UnsupportedEngineError,
+    absolute_convergence_experiment,
+    delta_run,
+    iterate_sigma,
+    resolve_engine,
+    supports_parallel,
+    supports_vectorized,
+)
+from repro.analysis import run_absolute_convergence
+from repro.protocols import LinkConfig, simulate
+from repro.session import (
+    EngineSpec,
+    RoutingSession,
+    schedule_seed_version,
+)
+from repro.topologies import erdos_renyi, line, uniform_weight_factory
+
+
+# ----------------------------------------------------------------------
+# The oracle matrix families (mirrors tests/core/test_engine_equivalence)
+# ----------------------------------------------------------------------
+
+
+def _hop(n=9, seed=1):
+    alg = HopCountAlgebra(16)
+    return erdos_renyi(alg, n, 0.3, uniform_weight_factory(alg, 1, 3),
+                       seed=seed)
+
+
+def _hop_chain(n=9, seed=1):
+    alg = HopCountAlgebra(32)
+    return line(alg, n, uniform_weight_factory(alg, 1, 2), seed=seed)
+
+
+def _finite_chain(n=9, seed=2):
+    alg = FiniteLevelAlgebra(7)
+    return erdos_renyi(alg, n, 0.3,
+                       lambda rng, _i, _j: alg.random_strict_edge(rng),
+                       seed=seed)
+
+
+def _stratified(n=9, seed=3):
+    alg = BoundedStratifiedAlgebra(max_level=3, max_distance=10)
+    return erdos_renyi(alg, n, 0.3,
+                       lambda rng, _i, _j: alg.sample_edge_function(rng),
+                       seed=seed)
+
+
+def _shortest(n=9, seed=4):
+    alg = ShortestPathsAlgebra()
+    return erdos_renyi(alg, n, 0.3, uniform_weight_factory(alg, 1, 9),
+                       seed=seed)
+
+
+def _bgplite(n=9, seed=5):
+    alg = BGPLiteAlgebra(n_nodes=n)
+
+    def factory(rng, i, j):
+        pol = random_policy(rng, alg.community_universe, n,
+                            allow_reject=False)
+        return alg.edge(i, j, pol)
+
+    return erdos_renyi(alg, n, 0.3, factory, seed=seed)
+
+
+FAMILIES = {
+    "gnp/hop-count": _hop,
+    "chain/hop-count": _hop_chain,
+    "gnp/finite-chain": _finite_chain,
+    "gnp/stratified-bounded": _stratified,
+    "gnp/shortest-paths": _shortest,
+    "gnp/bgplite": _bgplite,
+    "gadget/spp-good": lambda: good_gadget(),
+    "gadget/spp-increasing-disagree": lambda: increasing_disagree(),
+}
+
+
+class _UnboundedSchedule(Schedule):
+    """Synchronous-looking schedule that declares no staleness bound."""
+
+    def alpha(self, t):
+        return frozenset(range(self.n))
+
+    def beta(self, t, i, j):
+        return t - 1
+
+
+def assert_one_warning(record):
+    dep = [w for w in record if issubclass(w.category, DeprecationWarning)]
+    assert len(dep) == 1, \
+        f"expected exactly one DeprecationWarning, saw {len(dep)}"
+
+
+def shim_call(fn, *args, **kwargs):
+    """Call a legacy shim asserting it warns exactly once."""
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        result = fn(*args, **kwargs)
+    assert_one_warning(record)
+    return result
+
+
+# ----------------------------------------------------------------------
+# 1. Shim equivalence (bit-identical + warns exactly once)
+# ----------------------------------------------------------------------
+
+
+class TestShimEquivalence:
+    @pytest.mark.parametrize("build", [_hop, _shortest],
+                             ids=["finite", "non-finite"])
+    @pytest.mark.parametrize("rung", ENGINES)
+    def test_iterate_sigma(self, build, rung):
+        net = build()
+        start = RoutingState.identity(net.algebra, net.n)
+        workers = 2 if rung == "parallel" else None
+        legacy = shim_call(iterate_sigma, net, start, engine=rung,
+                           workers=workers, keep_trajectory=True)
+        with RoutingSession(net, EngineSpec(rung, workers=workers)) as s:
+            report = s.sigma(start, keep_trajectory=True)
+        assert legacy.converged == report.converged
+        assert legacy.rounds == report.rounds
+        assert legacy.state.equals(report.state, net.algebra)
+        assert len(legacy.trajectory) == len(report.trajectory)
+        for a, b in zip(legacy.trajectory, report.trajectory):
+            assert a.equals(b, net.algebra)
+
+    @pytest.mark.parametrize("build", [_finite_chain, _bgplite],
+                             ids=["finite", "non-finite"])
+    @pytest.mark.parametrize("mode", ["default", "strict", "keep_history"])
+    def test_delta_run(self, build, mode):
+        net = build()
+        start = RoutingState.identity(net.algebra, net.n)
+        sched = RandomSchedule(net.n, seed=7, max_delay=4)
+        kwargs = {"strict": mode == "strict",
+                  "keep_history": mode == "keep_history"}
+        legacy = shim_call(delta_run, net, sched, start, max_steps=300,
+                           **kwargs)
+        with RoutingSession(net) as s:
+            report = s.delta(sched, start, max_steps=300, **kwargs)
+        assert legacy.converged == report.converged
+        assert legacy.converged_at == report.converged_at
+        assert legacy.steps == report.steps
+        assert legacy.state.equals(report.state, net.algebra)
+        assert legacy.history_retained == report.history_retained
+        if mode == "keep_history":
+            assert len(legacy.history) == len(report.history)
+
+    @pytest.mark.parametrize("rung", ENGINES)
+    def test_absolute_convergence_experiment(self, rung):
+        net = _hop(8, seed=3)
+        rng = random.Random(0)
+        from repro.core import random_state
+        starts = [RoutingState.identity(net.algebra, net.n),
+                  random_state(net.algebra, net.n, rng)]
+        schedules = [SynchronousSchedule(net.n),
+                     RandomSchedule(net.n, seed=2, max_delay=3)]
+        workers = 2 if rung == "parallel" else None
+        legacy = shim_call(absolute_convergence_experiment, net, starts,
+                           schedules, max_steps=400, engine=rung,
+                           workers=workers)
+        with RoutingSession(net, EngineSpec(rung, workers=workers)) as s:
+            grid = s.delta_grid(
+                [(sched, start) for start in starts for sched in schedules],
+                max_steps=400)
+        assert legacy.runs == grid.runs
+        assert legacy.all_converged == grid.all_converged
+        assert legacy.convergence_steps == grid.convergence_steps
+        assert len(legacy.distinct_fixed_points) == \
+            len(grid.distinct_fixed_points)
+        for a, b in zip(legacy.distinct_fixed_points,
+                        grid.distinct_fixed_points):
+            assert a.equals(b, net.algebra)
+
+    def test_run_absolute_convergence(self):
+        net = _hop(7, seed=5)
+        legacy = shim_call(run_absolute_convergence, net, n_starts=2,
+                           seed=1, max_steps=400)
+        with RoutingSession(net) as s:
+            report = s.converges(n_starts=2, seed=1, max_steps=400)
+        assert legacy.runs == report.grid.runs
+        assert legacy.all_converged == report.grid.all_converged
+        assert legacy.convergence_steps == report.grid.convergence_steps
+        assert legacy.absolute == report.absolute
+
+    def test_simulate(self):
+        net = _hop(6, seed=8)
+        cfg = LinkConfig(min_delay=0.2, max_delay=2.0, loss=0.1,
+                         duplicate=0.05)
+        legacy = shim_call(simulate, net, seed=4, link_config=cfg,
+                           refresh_interval=5.0, quiet_period=20.0)
+        with RoutingSession(net) as s:
+            report = s.simulate(seed=4, link_config=cfg,
+                                refresh_interval=5.0, quiet_period=20.0)
+        assert legacy.converged == report.converged
+        assert legacy.final_state.equals(report.final_state, net.algebra)
+        assert legacy.stats.as_dict() == report.stats.as_dict()
+        assert legacy.convergence_time == report.convergence_time
+
+
+# ----------------------------------------------------------------------
+# 2. Exact reason chains across the oracle matrix
+# ----------------------------------------------------------------------
+
+
+def expected_sigma_chain(net, engine):
+    """The exact (rung, code) skip chain the resolver must produce for
+    a σ request with an explicit 2-worker pool."""
+    finite = supports_vectorized(net.algebra)
+    shm = supports_parallel(net.algebra) if finite else None
+    if engine in ("naive", "incremental"):
+        return [], engine
+    if finite:
+        if engine == "parallel" and not shm:
+            return [("parallel", "no-shared-memory")], "vectorized"
+        if engine == "batched" and not shm:
+            return [], "batched"
+        return [], engine
+    ladder = {"vectorized": ["vectorized"],
+              "parallel": ["parallel", "vectorized"],
+              "batched": ["batched", "parallel", "vectorized"]}[engine]
+    return [(rung, "no-finite-encoding") for rung in ladder], "incremental"
+
+
+class TestReasonChains:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("rung", ENGINES)
+    def test_sigma_chain_exact(self, family, rung):
+        net = FAMILIES[family]()
+        skips, chosen = expected_sigma_chain(net, rung)
+        res = resolve_engine(net, rung, "sigma", workers=2)
+        assert res.reason_codes() == skips, (family, rung)
+        assert res.chosen == chosen, (family, rung)
+        assert res.requested == rung
+        assert res.fell_back == bool(skips)
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("rung", ENGINES)
+    def test_strict_raises_exactly_where_fallback_was_silent(self, family,
+                                                             rung):
+        net = FAMILIES[family]()
+        skips, chosen = expected_sigma_chain(net, rung)
+        if chosen == rung:
+            res = resolve_engine(net, rung, "sigma", workers=2,
+                                 strict=True)
+            assert res.chosen == rung
+        else:
+            with pytest.raises(UnsupportedEngineError) as exc:
+                resolve_engine(net, rung, "sigma", workers=2, strict=True)
+            assert exc.value.resolution.reason_codes() == skips
+
+    def test_auto_never_raises(self):
+        for family in FAMILIES:
+            net = FAMILIES[family]()
+            res = resolve_engine(net, "auto", "sigma", strict=True)
+            assert res.chosen in ENGINES
+            # oracle nets are far below PARALLEL_MIN_N, so for finite
+            # algebras auto always skips the parallel rung for one of
+            # the two sizing reasons; non-finite ones fail the
+            # capability check first
+            par = [s for s in res.skipped if s.rung == "parallel"]
+            if par and supports_vectorized(net.algebra):
+                assert par[0].code in ("auto-single-cpu", "below-min-n")
+            elif par:
+                assert par[0].code in ("no-finite-encoding",
+                                       "no-shared-memory")
+
+    def test_delta_policy_chains(self):
+        net = _hop()
+        sched = _UnboundedSchedule(net.n)
+        assert sched.max_read_back() is None
+        res = resolve_engine(net, "batched", "delta", workers=2,
+                             schedule=sched)
+        assert res.reason_codes() == [("batched", "unbounded-schedule"),
+                                      ("parallel", "unbounded-schedule")]
+        assert res.chosen == "vectorized"
+
+        bounded = SynchronousSchedule(net.n)
+        res = resolve_engine(net, "parallel", "delta", workers=2,
+                             schedule=bounded, keep_history=True)
+        assert res.reason_codes() == [("parallel", "keep-history")]
+        assert res.chosen == "vectorized"
+
+        res = resolve_engine(net, "batched", "delta", workers=2,
+                             schedule=bounded, literal=True)
+        assert res.reason_codes() == [
+            ("batched", "literal-history"), ("parallel", "literal-history"),
+            ("vectorized", "literal-history"),
+            ("incremental", "literal-history")]
+        assert res.chosen == "naive"
+
+    def test_worker_sizing_chain(self):
+        net = _hop()
+        res = resolve_engine(net, "parallel", "sigma", workers=1)
+        assert res.reason_codes()[0] == ("parallel", "workers-lt-2")
+        with pytest.raises(UnsupportedEngineError):
+            resolve_engine(net, "parallel", "sigma", workers=1, strict=True)
+
+    def test_stability_chain(self):
+        net = _hop()
+        res = resolve_engine(net, "batched", "stability", workers=2)
+        assert res.reason_codes()[0] == ("batched", "single-stability-check")
+
+    def test_unknown_engine_rejected(self):
+        net = _hop()
+        with pytest.raises(ValueError):
+            resolve_engine(net, "quantum", "sigma")
+        with pytest.raises(ValueError):
+            EngineSpec("quantum")
+        with pytest.raises(ValueError):
+            EngineSpec(history="ring-of-power")
+
+    def test_resolution_rides_on_reports(self):
+        net = _shortest()
+        with RoutingSession(net, EngineSpec("batched")) as s:
+            report = s.sigma()
+        assert report.resolution.chosen == "incremental"
+        assert report.resolution.reason_codes() == [
+            ("batched", "no-finite-encoding"),
+            ("parallel", "no-finite-encoding"),
+            ("vectorized", "no-finite-encoding")]
+
+    def test_strict_session_raises_on_entry(self):
+        net = _shortest()
+        with RoutingSession(net, EngineSpec("vectorized",
+                                            strict=True)) as s:
+            with pytest.raises(UnsupportedEngineError):
+                s.sigma()
+
+    def test_capabilities_advertised_on_classes(self):
+        from repro.core import (BatchedVectorizedEngine,
+                                ParallelVectorizedEngine, VectorizedEngine)
+        assert VectorizedEngine.capabilities.requires_finite_algebra
+        assert ParallelVectorizedEngine.capabilities.requires_shared_memory
+        assert ParallelVectorizedEngine.capabilities.min_n > 0
+        assert BatchedVectorizedEngine.capabilities.supports_batched_trials
+        assert not BatchedVectorizedEngine.capabilities.\
+            supports_single_stability_check
+
+
+# ----------------------------------------------------------------------
+# 3. Managed resources
+# ----------------------------------------------------------------------
+
+
+class TestManagedResources:
+    @pytest.mark.parallel
+    def test_pool_closed_on_exit(self):
+        net = _hop(8)
+        with RoutingSession(net, EngineSpec("parallel", workers=2)) as s:
+            report = s.sigma()
+            assert report.resolution.chosen == "parallel"
+            pool = s._engines["parallel"]
+            assert not pool.closed
+            # a second call reuses the same pool
+            s.sigma()
+            assert s._engines["parallel"] is pool
+        assert pool.closed
+
+    @pytest.mark.parallel
+    def test_pool_reused_across_delta_grid(self):
+        net = _hop(8)
+        sched = SynchronousSchedule(net.n)
+        start = RoutingState.identity(net.algebra, net.n)
+        with RoutingSession(net, EngineSpec("parallel", workers=2)) as s:
+            s.delta_grid([(sched, start)] * 3, max_steps=120)
+            pool = s._engines["parallel"]
+            report = s.delta(sched, start, max_steps=120)
+            assert s._engines["parallel"] is pool
+            assert report.ipc_commands >= 1
+            assert report.ipc_steps >= report.ipc_commands
+        assert pool.closed
+
+    def test_closed_session_refuses(self):
+        net = _hop()
+        s = RoutingSession(net)
+        s.close()
+        with pytest.raises(RuntimeError):
+            s.sigma()
+
+    def test_schedule_compile_cache(self):
+        net = _hop()
+        sched = RandomSchedule(net.n, seed=3, max_delay=3)
+        with RoutingSession(net, EngineSpec("batched")) as s:
+            comp1 = s.compile_schedule(sched, 200)
+            comp2 = s.compile_schedule(sched, 150)
+            assert comp1 is comp2          # horizon already covered
+            comp3 = s.compile_schedule(sched, 500)
+            assert comp3 is not comp1 and comp3.horizon >= 500
+
+    def test_from_parts_shares_live_adjacency(self):
+        net = _hop(6)
+        with RoutingSession.from_parts(net.algebra, net.adjacency) as s:
+            fp1 = s.sigma().state
+            net.set_edge(0, 3, net.algebra.edge(1))
+            net.set_edge(3, 0, net.algebra.edge(1))
+            fp2 = s.sigma().state
+        with RoutingSession(net) as ref:
+            assert fp2.equals(ref.sigma().state, net.algebra)
+        assert not fp1.equals(fp2, net.algebra)
+
+    def test_batch_dtype_override(self):
+        import numpy as np
+        net = _hop(6)
+        sched = RandomSchedule(net.n, seed=1, max_delay=3)
+        start = RoutingState.identity(net.algebra, net.n)
+        with RoutingSession(net, EngineSpec("batched")) as plain, \
+                RoutingSession(net, EngineSpec(
+                    "batched", batch_dtype="int32")) as wide:
+            a = plain.delta(sched, start, max_steps=200)
+            b = wide.delta(sched, start, max_steps=200)
+            assert wide._engines["batched"]._batch_dtype == np.dtype("int32")
+        assert a.converged == b.converged
+        assert a.converged_at == b.converged_at
+        assert a.state.equals(b.state, net.algebra)
+
+    def test_batch_dtype_too_narrow_rejected(self):
+        alg = HopCountAlgebra(300)       # carrier too big for int8
+        net = line(alg, 4, uniform_weight_factory(alg, 1, 2), seed=0)
+        with RoutingSession(net, EngineSpec("batched",
+                                            batch_dtype="int8")) as s:
+            with pytest.raises(ValueError):
+                s.delta(SynchronousSchedule(net.n),
+                        RoutingState.identity(alg, net.n), max_steps=50)
+
+
+# ----------------------------------------------------------------------
+# 4. Run-report metadata
+# ----------------------------------------------------------------------
+
+
+class TestReportMetadata:
+    def test_schedule_seed_version_constant(self):
+        assert RandomSchedule.SCHEDULE_SEED_VERSION == 2
+
+    def test_delta_report_records_seed_version(self):
+        net = _hop(6)
+        with RoutingSession(net) as s:
+            seeded = s.delta(RandomSchedule(net.n, seed=1, max_delay=3),
+                             max_steps=200)
+            structured = s.delta(SynchronousSchedule(net.n), max_steps=120)
+        assert seeded.schedule_seed_version == 2
+        assert seeded.metadata["schedule_seed_version"] == 2
+        assert structured.schedule_seed_version is None
+
+    def test_grid_report_records_seed_version(self):
+        net = _hop(6)
+        start = RoutingState.identity(net.algebra, net.n)
+        with RoutingSession(net) as s:
+            grid = s.delta_grid(
+                [(RandomSchedule(net.n, seed=2, max_delay=3), start)],
+                max_steps=200)
+            plain = s.delta_grid([(SynchronousSchedule(net.n), start)],
+                                 max_steps=120)
+        assert grid.schedule_seed_version == 2
+        assert grid.metadata["schedule_seed_version"] == 2
+        assert plain.schedule_seed_version is None
+
+    def test_seed_version_unwraps_compiled(self):
+        from repro.core import CompiledSchedule
+        sched = CompiledSchedule(RandomSchedule(5, seed=0, max_delay=2), 50)
+        assert schedule_seed_version([sched]) == 2
+        assert schedule_seed_version([SynchronousSchedule(5)]) is None
+
+    def test_sigma_report_measures_churn(self):
+        from repro.analysis import measure_sync
+        finite, obj = _hop(7), _shortest(7)
+        for net in (finite, obj):
+            with RoutingSession(net) as s:
+                report = s.sigma(measure_churn=True)
+            measured = measure_sync(net)
+            assert report.churn == measured.changed_entries
+            assert report.rounds == measured.rounds
+
+    def test_reports_carry_timing(self):
+        net = _hop(6)
+        with RoutingSession(net) as s:
+            assert s.sigma().elapsed_s >= 0.0
+            assert s.delta(SynchronousSchedule(net.n),
+                           max_steps=60).elapsed_s >= 0.0
+
+    def test_grid_strict_parallel_rejects_unbounded_trials(self):
+        """Strict resolution covers per-trial delegation too: a grid on
+        the parallel rung must not silently run an unbounded-schedule
+        trial on the serial vectorized engine."""
+        net = _hop(8)
+        start = RoutingState.identity(net.algebra, net.n)
+        sched = _UnboundedSchedule(net.n)
+        with RoutingSession(net, EngineSpec("parallel", workers=2,
+                                            strict=True)) as s:
+            with pytest.raises(UnsupportedEngineError) as exc:
+                s.delta_grid([(sched, start)], max_steps=100)
+            assert ("parallel", "unbounded-schedule") in \
+                exc.value.resolution.reason_codes()
+            # bounded trials still run on the pool
+            grid = s.delta_grid(
+                [(SynchronousSchedule(net.n), start)], max_steps=120)
+            assert grid.resolution.chosen == "parallel"
+
+    def test_churn_respects_pinned_object_engine(self):
+        """measure_churn must not override a spec pinned to an object
+        rung with the vectorized fast path (the resolution would lie)."""
+        net = _hop(7)
+        with RoutingSession(net, EngineSpec("naive")) as s:
+            report = s.sigma(measure_churn=True)
+            assert report.resolution.chosen == "naive"
+            assert "vectorized" not in s._engines
+        with RoutingSession(net) as auto:
+            fast = auto.sigma(measure_churn=True)
+        assert fast.churn == report.churn   # both paths count the same
+
+    def test_grid_honours_history_policy(self):
+        """The spec's δ history policy applies to grids (and so to
+        converges()), not just to single delta runs."""
+        net = _hop(7)
+        start = RoutingState.identity(net.algebra, net.n)
+        sched = RandomSchedule(net.n, seed=2, max_delay=3)
+        with RoutingSession(net, EngineSpec("auto",
+                                            history="literal")) as s:
+            grid = s.delta_grid([(sched, start)], max_steps=200)
+        assert grid.resolution.chosen == "naive"
+        assert all(code == "literal-history"
+                   for _rung, code in grid.resolution.reason_codes())
+        with RoutingSession(net, EngineSpec("batched",
+                                            history="full")) as s:
+            grid = s.delta_grid([(sched, start)], max_steps=200,
+                                keep_results=True)
+        assert grid.resolution.chosen == "vectorized"
+        assert grid.resolution.reason_codes() == [
+            ("batched", "keep-history"), ("parallel", "keep-history")]
+        assert grid.results[0].history is not None
+
+    def test_simulator_stability_resolution(self):
+        from repro.protocols import Simulator
+        net = _hop(6)
+        sim = Simulator(net, engine="batched", workers=2)
+        try:
+            res = sim.stability_resolution()
+            assert res.reason_codes()[0] == ("batched",
+                                             "single-stability-check")
+            assert res.chosen in ("parallel", "vectorized")
+        finally:
+            sim.close()

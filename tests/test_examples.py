@@ -56,7 +56,7 @@ class TestExamples:
         assert "vectorizable: True" in out
         assert "engines agree: True" in out
         assert "δ engines agree: True" in out
-        assert "fell back" in out
+        assert "vectorized skipped [no-finite-encoding]" in out
 
     def test_custom_algebra(self):
         out = run_example("custom_algebra.py")

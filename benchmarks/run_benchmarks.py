@@ -17,7 +17,14 @@ grid (≥ 16 trials) run as one ``(B, n, n)`` tensor workload
 (:class:`repro.core.vectorized.BatchedVectorizedEngine`) vs the
 per-trial vectorized loop, every trial cross-checked — and a
 **windowed-IPC** column recording how many δ schedule steps one
-parallel worker command carries at the default window.  Every
+parallel worker command carries at the default window.  PR 6 adds a
+**remote** column: the TCP-sharded coordinator of
+:mod:`repro.core.remote` run against 2 loopback worker subprocesses,
+cross-checked bit-for-bit against the vectorized engine and audited
+for wire efficiency — bytes/round, commands/round, and the
+compression ratio of the delta-encoded quantized column updates vs a
+naive full-column transfer (the committed gnp-400 headline must stay
+≥ :data:`REMOTE_COMPRESSION_FLOOR`).  Every
 comparison also verifies that all engines reach fixed points that are
 ``equal`` under the algebra — a benchmark row that disagrees is
 reported and fails the harness.
@@ -76,8 +83,10 @@ from repro.core import (
     random_state,
     schedule_zoo,
     supports_parallel,
+    supports_remote,
     supports_vectorized,
 )
+from repro.core.remote import RemoteVectorizedEngine
 from repro.topologies import (
     bgp_policy_factory,
     erdos_renyi,
@@ -316,6 +325,135 @@ def _parallel_cases(scale: str) -> List[Dict]:
         dict(label="gnp-200/hop-count", workers=(2, 4),
              net=erdos_renyi(hop, 200, 0.15, w(hop), seed=23)),
     ]
+
+
+def _remote_cases(scale: str) -> List[Dict]:
+    """Remote column: TCP loopback worker shards vs the vectorized
+    engine, plus the wire-efficiency audit (bytes/round, compression).
+
+    No speedup floor is attached — two loopback subprocesses on one
+    host measure protocol overhead, not distribution; the claims this
+    column carries are bit-identity and wire efficiency.  The headline
+    gnp-400 case must keep the delta-encoded format at least
+    :data:`REMOTE_COMPRESSION_FLOOR` times smaller than a naive
+    full-column transfer.
+    """
+    hop = HopCountAlgebra(64)
+
+    def w(alg, hi=4):
+        return uniform_weight_factory(alg, 1, hi)
+
+    if scale == "smoke":
+        return []                        # tier-1 smoke stays socket-free
+    if scale == "quick":
+        return [
+            dict(label="gnp-120/hop-count", workers=2,
+                 net=erdos_renyi(hop, 120, 0.12, w(hop), seed=21),
+                 delta_steps=400),
+        ]
+    return [
+        # the PR 6 headline acceptance case: same topology as the
+        # parallel headline, shipped over TCP
+        dict(label="gnp-400/hop-count", headline_remote=True, workers=2,
+             net=erdos_renyi(hop, 400, 0.08, w(hop), seed=22),
+             delta_steps=800),
+        dict(label="gnp-200/hop-count", workers=2,
+             net=erdos_renyi(hop, 200, 0.15, w(hop), seed=23),
+             delta_steps=600),
+    ]
+
+
+def bench_remote_case(case: Dict, repeats: int) -> Dict:
+    """Loopback remote run for one finite case: bit-identity vs the
+    vectorized engine plus the wire audit.
+
+    Warm-vs-warm as everywhere else: the worker pool is spawned and the
+    tables shipped before the timed region, so ``remote_s`` measures
+    steady-state rounds (framing + delta-encoded updates over loopback
+    TCP), not process spawn or the one-time topology load.  The wire
+    stats recorded are from a single representative run (they are
+    deterministic per run, unlike the timings).
+    """
+    import random as _random
+
+    net = case["net"]
+    alg = net.algebra
+    start = RoutingState.identity(alg, net.n)
+    arcs = sum(1 for _ in net.present_edges())
+
+    vec_eng = VectorizedEngine(net)
+    iterate_sigma_vectorized(net, start, engine=vec_eng)
+    vec_s, vec_res = _time(
+        lambda: iterate_sigma_vectorized(net, start, engine=vec_eng),
+        repeats)
+
+    row = dict(
+        case=case["label"],
+        headline_remote=bool(case.get("headline_remote")),
+        n=net.n,
+        arcs=arcs,
+        workers=case["workers"],
+        algebra=alg.name,
+        rounds=vec_res.rounds,
+        vectorized_s=round(vec_s, 6),
+    )
+    if not supports_remote(alg):         # pragma: no cover - finite cases
+        row["skipped"] = "remote engine unsupported for this algebra"
+        row["fixed_points_equal"] = True
+        return row
+    try:
+        eng = RemoteVectorizedEngine(net, workers=case["workers"])
+    except Exception as exc:             # pragma: no cover - no loopback
+        row["skipped"] = f"loopback workers unavailable: {exc}"
+        row["fixed_points_equal"] = True
+        return row
+    try:
+        eng.iterate(start)               # spawn pool + ship tables (warm)
+        rem_s, rem_res = _time(lambda: eng.iterate(start), repeats)
+        sigma_wire = eng.wire_stats.copy()
+
+        sched = RandomSchedule(net.n, seed=17, activation_prob=0.3,
+                               max_delay=5)
+        dstart = random_state(alg, net.n, _random.Random(1))
+        rem_delta = eng.delta(sched, dstart,
+                              max_steps=case["delta_steps"])
+        delta_wire = eng.wire_stats.copy()
+        ipc_commands, ipc_steps = eng.delta_ipc_commands, eng.delta_ipc_steps
+    finally:
+        eng.close()
+    ref_delta = delta_run_vectorized(net, sched, dstart,
+                                     max_steps=case["delta_steps"],
+                                     engine=vec_eng)
+
+    equal = (rem_res.converged == vec_res.converged and
+             rem_res.rounds == vec_res.rounds and
+             rem_res.state.equals(vec_res.state, alg) and
+             rem_delta.converged == ref_delta.converged and
+             rem_delta.converged_at == ref_delta.converged_at and
+             rem_delta.state.equals(ref_delta.state, alg))
+
+    # the ceiling the CI smoke gate holds future runs of this exact
+    # case to: the delta-encoded updates must stay well under a naive
+    # full-column transfer — the full acceptance floor on the headline,
+    # the generous quick floor on small cases where sparse-change
+    # encoding has less to work with
+    floor = (REMOTE_COMPRESSION_FLOOR if case.get("headline_remote")
+             else QUICK_REMOTE_COMPRESSION_FLOOR)
+    naive_per_round = (sigma_wire.naive_bytes / sigma_wire.rounds
+                       if sigma_wire.rounds else 0.0)
+    row.update(
+        remote_s=round(rem_s, 6),
+        vs_vectorized=round(vec_s / rem_s, 2) if rem_s > 0 else None,
+        sigma_wire=sigma_wire.as_dict(),
+        delta_wire=delta_wire.as_dict(),
+        delta_ipc_commands=ipc_commands,
+        delta_ipc_steps=ipc_steps,
+        compression_ratio=round(sigma_wire.compression_ratio, 2),
+        bytes_per_round=round(sigma_wire.bytes_per_round, 1),
+        bytes_per_round_ceiling=round(naive_per_round / floor, 1),
+        fixed_points_equal=equal,
+    )
+    return row
 
 
 def _dense_schedules(n: int):
@@ -722,7 +860,8 @@ def run_suite(scale: str = "full", repeats: Optional[int] = None) -> Dict:
                 if parallel_cases and usable_cpus() >= 2 else None),
             "engine": "incremental (PR 1) + vectorized finite-algebra "
                       "(PR 2) + shared-memory parallel (PR 3) + batched "
-                      "multi-trial grid (PR 4)",
+                      "multi-trial grid (PR 4) + TCP-sharded remote "
+                      "(PR 6)",
             "baseline": "frozen seed engine (benchmarks/naive_engine.py)",
         },
         "sigma": [bench_sigma_case(c, repeats) for c in _sigma_cases(scale)],
@@ -731,11 +870,13 @@ def run_suite(scale: str = "full", repeats: Optional[int] = None) -> Dict:
                      for c in parallel_cases],
         "batched": [bench_batched_case(c, repeats)
                     for c in _batched_cases(scale)],
+        "remote": [bench_remote_case(c, repeats)
+                   for c in _remote_cases(scale)],
     }
     ipc = bench_windowed_ipc(scale)
     report["windowed_ipc"] = [ipc] if ipc else []
     rows = (report["sigma"] + report["delta"] + report["parallel"] +
-            report["batched"] + report["windowed_ipc"])
+            report["batched"] + report["remote"] + report["windowed_ipc"])
     report["meta"]["all_fixed_points_equal"] = all(
         r["fixed_points_equal"] for r in rows)
     return report
@@ -790,6 +931,19 @@ def _print_report(report: Dict) -> None:
               f"{_fmt_seconds(r['loop_s'])} (loop) "
               f"{_fmt_seconds(r['batched_s'])} (batched) "
               f"{_fmt_speedup(r['batched_vs_loop'])}  {mark}")
+    for r in report.get("remote", []):
+        mark = "✓" if r["fixed_points_equal"] else "✗ MISMATCH"
+        star = "¶" if r.get("headline_remote") else " "
+        if r.get("skipped"):
+            print(f"{r['case']:<39}{star} remote column skipped: "
+                  f"{r['skipped']} (agreement {mark})")
+            continue
+        print(f"{r['case']:<39}{star} {r['rounds']:>6} "
+              f"{_fmt_seconds(r['vectorized_s'])} (vec) "
+              f"{_fmt_seconds(r['remote_s'])} ({r['workers']}w tcp)  "
+              f"{r['bytes_per_round']:.0f} B/round "
+              f"(ceiling {r['bytes_per_round_ceiling']:.0f}), "
+              f"compression {r['compression_ratio']}x  {mark}")
     for r in report.get("windowed_ipc", []):
         mark = "✓" if r["fixed_points_equal"] else "✗ MISMATCH"
         print(f"{r['case']:<40} {r['delta_steps']:>4} δ steps in "
@@ -799,7 +953,8 @@ def _print_report(report: Dict) -> None:
     print("  * = PR 1 headline (n=100 sparse random)   "
           "† = PR 2 finite headline (vectorized vs incremental)   "
           "‡ = PR 3 parallel headline (n≥400, workers vs vectorized)   "
-          "§ = PR 4 batched-grid headline (tensor grid vs per-trial loop)")
+          "§ = PR 4 batched-grid headline (tensor grid vs per-trial loop)   "
+          "¶ = PR 6 remote headline (wire compression vs naive transfer)")
 
 
 # ----------------------------------------------------------------------
@@ -833,6 +988,14 @@ QUICK_BATCHED_FLOOR = 0.5
 #: windowed parallel δ must amortise at least this many schedule steps
 #: per IPC command at the default window (16) on an amortisable run.
 WINDOWED_IPC_FLOOR = 8.0
+#: acceptance floor for the committed remote headline (gnp-400
+#: hop-count): the delta-encoded quantized σ updates must be at least
+#: this many times smaller than a naive full-column transfer.
+REMOTE_COMPRESSION_FLOOR = 4.0
+#: generous floor for small quick-scale remote cases, where a single
+#: round touches most columns and sparse-change encoding has less to
+#: exploit; catches only a broken codec, not small-n geometry.
+QUICK_REMOTE_COMPRESSION_FLOOR = 2.0
 
 
 def regress_against_baseline(report: Dict, baseline_path: Path) -> List[str]:
@@ -921,8 +1084,26 @@ def regress_against_baseline(report: Dict, baseline_path: Path) -> List[str]:
                 f"baseline {r['case']}: windowed δ amortises only "
                 f"{ratio} steps/command (< {WINDOWED_IPC_FLOOR})")
 
+    # -- remote column (PR 6) -------------------------------------------
+    base_remote = baseline.get("remote", [])
+    if not base_remote:
+        problems.append("baseline has no remote column; "
+                        "re-run the full suite")
+    for r in base_remote:
+        if not r.get("fixed_points_equal", True):
+            problems.append(
+                f"baseline {r['case']}: remote engine disagreement")
+        if r.get("headline_remote") and not r.get("skipped"):
+            ratio = r.get("compression_ratio") or 0.0
+            if ratio < REMOTE_COMPRESSION_FLOOR:
+                problems.append(
+                    f"baseline {r['case']}: remote updates only {ratio}x "
+                    f"smaller than naive full-column transfer "
+                    f"(< {REMOTE_COMPRESSION_FLOOR}x acceptance floor)")
+
     for r in (report["sigma"] + report["delta"] + report["parallel"] +
-              report.get("batched", []) + report.get("windowed_ipc", [])):
+              report.get("batched", []) + report.get("remote", []) +
+              report.get("windowed_ipc", [])):
         if not r["fixed_points_equal"]:
             problems.append(f"current run: engines disagree on {r['case']}")
     for r in report.get("batched", []):
@@ -939,6 +1120,16 @@ def regress_against_baseline(report: Dict, baseline_path: Path) -> List[str]:
             problems.append(
                 f"current run: windowed δ amortises only {ratio} "
                 f"steps/command on {r['case']} (< {WINDOWED_IPC_FLOOR})")
+    for r in report.get("remote", []):
+        if r.get("skipped"):
+            continue
+        bpr = r.get("bytes_per_round")
+        ceiling = r.get("bytes_per_round_ceiling")
+        if bpr is not None and ceiling and bpr > ceiling:
+            problems.append(
+                f"current run: remote σ traffic on {r['case']} is "
+                f"{bpr} B/round, over the {ceiling} B/round ceiling "
+                "(delta-encoded updates no longer compress)")
     for r in report["parallel"]:
         if r.get("skipped"):
             continue

@@ -7,6 +7,8 @@ Usage (also via ``python -m repro.cli``):
     python -m repro.cli converge --algebra hop-count --topology ring --n 6
     python -m repro.cli census --gadget disagree
     python -m repro.cli simulate --algebra bgplite --n 8 --loss 0.2 --dup 0.1
+    python -m repro.cli worker --host 127.0.0.1 --port 5700
+    python -m repro.cli converge --engine remote --remote-workers 2
 
 Each subcommand maps one-to-one onto a library workflow; the CLI is a
 thin, dependency-free wrapper intended for quick demos and for
@@ -178,8 +180,12 @@ def _describe_resolution(resolution) -> str:
     (the negotiation's machine-readable reason chain, printed)."""
     head = resolution.chosen
     if resolution.workers:
-        head += f" ({resolution.workers} workers, shared-memory " \
-                "column sharding)"
+        if resolution.chosen == "remote":
+            head += f" ({resolution.workers} TCP worker shards, " \
+                    "delta-encoded column updates)"
+        else:
+            head += f" ({resolution.workers} workers, shared-memory " \
+                    "column sharding)"
     if resolution.requested != resolution.chosen:
         head += f" (requested: {resolution.requested})"
     lines = [head]
@@ -191,9 +197,13 @@ def _describe_resolution(resolution) -> str:
 
 def _session(net, args) -> RoutingSession:
     """The negotiated session every engine-touching subcommand uses."""
+    endpoints = getattr(args, "endpoint", None) or None
     return RoutingSession(net, EngineSpec(
         args.engine, workers=args.workers,
-        strict=getattr(args, "strict_engine", False)))
+        strict=getattr(args, "strict_engine", False),
+        remote_workers=getattr(args, "remote_workers", None),
+        endpoints=endpoints,
+        socket_timeout=getattr(args, "socket_timeout", None)))
 
 
 def cmd_list(_args) -> int:
@@ -231,6 +241,12 @@ def cmd_converge(args) -> int:
     print(f"distinct fixpoints: {len(grid.distinct_fixed_points)}")
     print(f"steps             : mean {grid.mean_steps:.1f}, "
           f"worst {grid.max_steps}")
+    if grid.wire is not None:
+        w = grid.wire
+        print(f"wire              : {w.total_bytes} B over {w.rounds} "
+              f"rounds ({w.bytes_per_round:.0f} B/round, "
+              f"compression {w.compression_ratio:.1f}x vs naive "
+              "full-column transfer)")
     print(f"elapsed           : {grid.elapsed_s:.2f}s")
     print(f"ABSOLUTE          : {report.absolute}")
     return 0 if report.absolute else 1
@@ -256,6 +272,16 @@ def cmd_census(args) -> int:
         print("VERDICT: no stable state — permanent oscillation")
     else:
         print("VERDICT: unique stable state")
+    return 0
+
+
+def cmd_worker(args) -> int:
+    from .core.remote import serve_worker
+    try:
+        serve_worker(host=args.host, port=args.port, once=args.once,
+                     announce=True)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -318,6 +344,20 @@ def make_parser() -> argparse.ArgumentParser:
                        help="raise instead of falling down the ladder "
                             "when the requested --engine cannot run "
                             "this configuration")
+        p.add_argument("--remote-workers", type=int, default=None,
+                       help="remote rung: spawn this many loopback TCP "
+                            "worker subprocesses (single-host testing "
+                            "transport; ignored by other rungs)")
+        p.add_argument("--endpoint", action="append", default=None,
+                       metavar="HOST:PORT",
+                       help="remote rung: connect to a worker started "
+                            "with the 'worker' subcommand (repeat for "
+                            "one shard per worker; wins over "
+                            "--remote-workers)")
+        p.add_argument("--socket-timeout", type=float, default=None,
+                       help="remote rung: seconds before a silent "
+                            "worker socket raises RemoteWorkerError "
+                            "(default 120)")
 
     p = sub.add_parser("verify", help="law-check a deployed network")
     common(p)
@@ -337,6 +377,18 @@ def make_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--loss", type=float, default=0.0)
     p.add_argument("--dup", type=float, default=0.0)
+
+    p = sub.add_parser(
+        "worker",
+        help="serve one remote-rung worker shard over TCP (prints "
+             "'listening on host:port' once bound; Ctrl-C to stop)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port to bind (default 0: an ephemeral "
+                        "port, reported on stdout)")
+    p.add_argument("--once", action="store_true",
+                   help="exit after serving a single coordinator "
+                        "connection instead of accepting forever")
     return parser
 
 
@@ -346,6 +398,7 @@ COMMANDS = {
     "converge": cmd_converge,
     "census": cmd_census,
     "simulate": cmd_simulate,
+    "worker": cmd_worker,
 }
 
 

@@ -228,6 +228,12 @@ def _delta_run_resolved(network: Network, schedule: Schedule,
     instance); ``window`` sets the parallel δ IPC window.  The
     ``"naive"`` rung runs the strict literal paper recursion.
     """
+    if rung == "remote":
+        from .remote import delta_run_remote
+        return delta_run_remote(
+            network, schedule, start, max_steps=max_steps,
+            stability_window=stability_window, keep_history=keep_history,
+            engine=engine_obj, workers=workers, window=window)
     if rung == "batched":
         from .vectorized import delta_run_batched
         return delta_run_batched(

@@ -1,7 +1,10 @@
 """Engine capability negotiation: the one ladder, resolved explicitly.
 
-Five engines implement σ/δ (naive → incremental → vectorized → parallel
-→ batched), each trading generality for speed.  Before this module the
+Six engines implement σ/δ (naive → incremental → vectorized → parallel
+→ batched → remote), each trading generality for speed — the remote
+rung additionally trading locality: it shards destination columns over
+TCP workers and is only eligible when the caller configured a
+transport.  Before this module the
 ladder lived as ad-hoc ``if supports_…: … else fall back`` chains
 duplicated across ``iterate_sigma``, ``delta_run``,
 ``absolute_convergence_experiment``, the simulator's σ-stability check
@@ -30,10 +33,11 @@ This module centralises the negotiation:
 
 Check order inside a rung is part of the contract (tests assert reason
 chains exactly): **capability** (``no-finite-encoding``,
-``no-shared-memory``) → **policy** (``single-stability-check``,
-``keep-history``, ``unbounded-schedule``, ``literal-history``) →
-**sizing** (``auto-single-cpu``, ``below-min-n``, ``workers-lt-2``).
-The first failing check names the rung's skip reason.
+``no-shared-memory``, ``no-remote-endpoints``) → **policy**
+(``single-stability-check``, ``keep-history``, ``unbounded-schedule``,
+``literal-history``) → **sizing** (``auto-single-cpu``, ``below-min-n``,
+``workers-lt-2``).  The first failing check names the rung's skip
+reason.
 
 The resolver is consumed by :class:`repro.session.RoutingSession` (the
 public facade) and by the legacy selector shims, so every entry point
@@ -56,8 +60,12 @@ logger = logging.getLogger("repro.engine")
 #: the ladder, fastest/most-specialised rung first.  Fallback walks this
 #: list downward and stops at ``incremental`` (always capable); the
 #: ``naive`` rung is only ever *chosen*, never fallen back to — except
-#: by an explicit literal-history (strict δ) request.
-LADDER = ("batched", "parallel", "vectorized", "incremental", "naive")
+#: by an explicit literal-history (strict δ) request.  The ``remote``
+#: rung sits above the walk's auto starting points, so it is only ever
+#: reached by an explicit request (a network dependency must be opted
+#: into, never inferred).
+LADDER = ("remote", "batched", "parallel", "vectorized", "incremental",
+          "naive")
 
 #: where ``engine="auto"`` starts the walk, per operation: grids of
 #: trials want the batched tensor engine; single runs start at the
@@ -99,6 +107,10 @@ class Capabilities:
     requires_finite_algebra: bool = False
     #: needs ``multiprocessing.shared_memory`` and a process start method.
     requires_shared_memory: bool = False
+    #: needs an explicitly configured remote transport (worker
+    #: endpoints, or a loopback subprocess count); without one the rung
+    #: is skipped with ``no-remote-endpoints``.
+    requires_remote_endpoints: bool = False
     #: auto-mode problem-size floor (0 = none); explicit ``workers``
     #: requests override it, capability checks never.
     min_n: int = 0
@@ -107,8 +119,9 @@ class Capabilities:
     #: can stack many (schedule, start) trials into one workload.
     supports_batched_trials: bool = False
     #: safe to mutate the topology mid-run (``set_edge``/``remove_edge``
-    #: invalidate this rung's caches).  Every shipped rung supports it;
-    #: the flag exists so future remote rungs can decline.
+    #: invalidate this rung's caches).  Every in-process rung supports
+    #: it; the remote rung declines — its snapshot is shipped to the
+    #: workers once, and the session rebuilds the engine instead.
     supports_topology_mutation: bool = True
     #: δ: can serve a schedule with no declared staleness bound.
     supports_unbounded_schedules: bool = True
@@ -148,9 +161,10 @@ class SkippedRung:
 
     ``code`` is stable vocabulary (asserted exactly by the test suite):
     ``no-finite-encoding``, ``no-shared-memory``,
-    ``single-stability-check``, ``keep-history``, ``unbounded-schedule``,
-    ``literal-history``, ``auto-single-cpu``, ``below-min-n``,
-    ``workers-lt-2``.  ``detail`` is the human sentence.
+    ``no-remote-endpoints``, ``single-stability-check``,
+    ``keep-history``, ``unbounded-schedule``, ``literal-history``,
+    ``auto-single-cpu``, ``below-min-n``, ``workers-lt-2``.  ``detail``
+    is the human sentence.
     """
 
     rung: str
@@ -165,8 +179,8 @@ class EngineResolution:
     ``requested`` is what the caller asked for (``"auto"`` included),
     ``chosen`` the rung that will actually run, ``skipped`` the reason
     chain for every rung walked past (empty = no fallback), and
-    ``workers`` the resolved pool size when the parallel rung was
-    chosen.
+    ``workers`` the resolved pool/shard size when the parallel or
+    remote rung was chosen.
     """
 
     requested: str
@@ -211,7 +225,8 @@ def warn_deprecated(old: str, new: str) -> None:
 
 
 def _skip_reason(caps: Capabilities, network, op: str, workers,
-                 keep_history: bool, bounded: Optional[bool]
+                 keep_history: bool, bounded: Optional[bool],
+                 remote=None
                  ) -> Tuple[Optional[SkippedRung], Optional[int]]:
     """First failing check for ``caps``'s rung, or ``(None, pool size)``.
 
@@ -236,6 +251,12 @@ def _skip_reason(caps: Capabilities, network, op: str, workers,
                 rung, "no-shared-memory",
                 "multiprocessing shared memory is not supported on this "
                 "platform"), None
+    if caps.requires_remote_endpoints and not remote:
+        return SkippedRung(
+            rung, "no-remote-endpoints",
+            "no remote transport configured: pass worker endpoints or a "
+            "loopback worker count (EngineSpec.endpoints / "
+            "EngineSpec.remote_workers)"), None
 
     # -- policy ---------------------------------------------------------
     if op == "stability" and not caps.supports_single_stability_check:
@@ -257,6 +278,24 @@ def _skip_reason(caps: Capabilities, network, op: str, workers,
                 "be unsound"), None
 
     # -- sizing ---------------------------------------------------------
+    if caps.requires_remote_endpoints:
+        n = network.n
+        if n < caps.min_n:
+            return SkippedRung(
+                rung, "below-min-n",
+                f"n={n} < min_n={caps.min_n}: wire fan-out cannot pay at "
+                "this size (gate applies even to explicit requests)"), None
+        try:
+            count = len(remote)
+        except TypeError:
+            count = int(remote)
+        effective = min(count, n)
+        if effective < caps.min_workers:
+            return SkippedRung(
+                rung, "workers-lt-2",
+                f"remote transport resolved to {effective} shard(s) < "
+                f"{caps.min_workers}"), None
+        return None, effective
     if caps.min_workers:
         n = network.n
         if workers is None:
@@ -285,14 +324,17 @@ def _skip_reason(caps: Capabilities, network, op: str, workers,
 def resolve_engine(network, requested: str = "auto", op: str = "sigma", *,
                    workers: Optional[int] = None, strict: bool = False,
                    keep_history: bool = False, literal: bool = False,
-                   schedule=None) -> EngineResolution:
+                   schedule=None, remote=None) -> EngineResolution:
     """Negotiate the engine rung for one operation on one network.
 
     ``requested`` is a rung name or ``"auto"``; ``op`` one of
     :data:`OPS`.  ``schedule`` (δ only) supplies the staleness bound;
     ``keep_history`` and ``literal`` are the δ history policies
     (``literal`` — the strict paper recursion — always resolves to the
-    naive rung, which is the only one that retains it).
+    naive rung, which is the only one that retains it).  ``remote`` is
+    the remote rung's transport: a sequence of worker endpoints or a
+    loopback subprocess count; without one the remote rung is skipped
+    with ``no-remote-endpoints``.
 
     Returns an :class:`EngineResolution`; with ``strict=True`` a
     concrete request that cannot run raises
@@ -304,6 +346,7 @@ def resolve_engine(network, requested: str = "auto", op: str = "sigma", *,
     """
     # engine classes register their Capabilities on import
     from . import parallel as _parallel  # noqa: F401
+    from . import remote as _remote  # noqa: F401
     from . import vectorized as _vectorized  # noqa: F401
 
     if op not in OPS:
@@ -328,7 +371,8 @@ def resolve_engine(network, requested: str = "auto", op: str = "sigma", *,
             reason_workers = None
         else:
             skip, reason_workers = _skip_reason(
-                caps, network, op, workers, keep_history, bounded)
+                caps, network, op, workers, keep_history, bounded,
+                remote=remote)
         if skip is None:
             chosen = rung
             resolved_workers = reason_workers

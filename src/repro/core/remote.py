@@ -1,0 +1,1042 @@
+"""Remote σ/δ engine: destination-column sharding over TCP.
+
+The sixth ladder rung takes the parallel engine's column-sharding
+protocol across an address-space boundary: a coordinator (the engine)
+connects to TCP *workers*, ships each one a topology snapshot plus a
+contiguous block of destination columns, and drives the same two
+protocols the shared-memory pool runs —
+
+* **σ**: per round the coordinator broadcasts one command; each worker
+  gather-reduces its dirty columns locally (dirty tracking is
+  block-local, so rounds need zero cross-worker synchronisation) and
+  replies with a delta-encoded summary of the columns that changed,
+  which the coordinator applies to a local mirror of the full matrix.
+  An empty union of changed columns is σ-stability, as everywhere else.
+* **δ**: the coordinator computes windowed activation commands exactly
+  like :meth:`ParallelVectorizedEngine.delta` (same
+  :data:`~repro.core.parallel.DELTA_WINDOW`, same ring sizing, same
+  staleness guard), the workers execute them against local history
+  rings and reply per-step changed flags; when the convergence counter
+  fills, the coordinator *fetches* the candidate state (delta-encoded
+  against the last fetch) and probes σ-stability on its local snapshot
+  — so convergence decisions, round counts, and final states are
+  bit-identical to the serial engines.
+
+Everything on the socket uses :mod:`repro.core.wire`: framed, versioned
+messages whose state payloads are delta-encoded and quantized (narrowest
+carrier dtype).  The engine's :attr:`~RemoteVectorizedEngine.wire_stats`
+records bytes/round, commands/round and the compression ratio against
+naive full-block transfer; the session surfaces them on reports and the
+benchmark harness regression-gates them.
+
+Workers are plain functions over TCP (:func:`serve_worker`), launchable
+as ``python -m repro.cli worker`` on any host, or spawned as local
+subprocesses for single-host testing (``workers=k``).  Failure handling
+is deterministic: a dropped, dead, or silent worker surfaces as a typed
+:class:`RemoteWorkerError` carrying the shard id and the last fully
+acknowledged protocol round — never a hang (every coordinator socket
+has a configurable timeout) — while malformed or version-skewed peers
+raise :class:`~repro.core.wire.WireFormatError` /
+:class:`~repro.core.wire.WireVersionError`.
+
+The engine advertises ``supports_topology_mutation=False``: the snapshot
+shipped at load time is never republished, and :meth:`refresh` raises
+:class:`RemoteError` if the network mutated underneath it.
+:class:`~repro.session.RoutingSession` turns that into a managed
+lifecycle by rebuilding the engine (fresh connections, fresh snapshot)
+when the topology version moves.
+"""
+
+from __future__ import annotations
+
+import socket
+import weakref
+from typing import List, Optional, Sequence, Tuple
+
+try:
+    import numpy as np
+except ImportError:                      # pragma: no cover - numpy is baked in
+    np = None
+
+from .algebra import UnsupportedAlgebraError
+from .asynchronous import AsyncResult
+from .capabilities import Capabilities, logger as _engine_log, register_engine
+from .parallel import DELTA_WINDOW, _mp_context
+from .schedule import Schedule
+from .state import Network, RoutingState
+from .synchronous import SyncResult
+from .vectorized import (
+    _DTYPE,
+    VectorizedEngine,
+    fold_edge_tables,
+    gather_min_reduce,
+    supports_vectorized,
+)
+from .wire import (
+    MSG_ACK,
+    MSG_DELTA_INIT,
+    MSG_DELTA_STEPS,
+    MSG_ERROR,
+    MSG_FETCH,
+    MSG_FLAGS,
+    MSG_LOAD,
+    MSG_SIGMA_INIT,
+    MSG_SIGMA_ROUND,
+    MSG_STOP,
+    MSG_UPDATE,
+    FrameConnection,
+    WireClosedError,
+    WireError,
+    WireFormatError,
+    WireStats,
+    WireVersionError,
+    decode_update,
+    encode_update,
+    naive_update_bytes,
+    pack_payload,
+    unpack_payload,
+)
+
+__all__ = [
+    "REMOTE_MIN_N",
+    "REMOTE_TIMEOUT",
+    "RemoteError",
+    "RemoteWorkerError",
+    "RemoteVectorizedEngine",
+    "serve_worker",
+    "spawn_loopback_workers",
+    "supports_remote",
+    "iterate_sigma_remote",
+    "delta_run_remote",
+]
+
+#: below this many destinations the wire fan-out cannot pay; unlike the
+#: parallel engine's auto-mode floor this gate applies even to explicit
+#: requests (remote is never chosen by auto mode at all), because a
+#: 2-column shard per round-trip is pure overhead at any batch size.
+REMOTE_MIN_N = 4
+
+#: default coordinator socket timeout (seconds): a worker that neither
+#: replies nor closes within this window is declared dead.
+REMOTE_TIMEOUT = 120.0
+
+
+class RemoteError(RuntimeError):
+    """Remote-engine failure that is not attributable to one worker."""
+
+
+class RemoteWorkerError(RemoteError):
+    """A specific shard failed: died, hung past the timeout, or relayed
+    a worker-side exception.
+
+    Carries the shard id, its endpoint, and the last protocol round the
+    coordinator had fully acknowledged before the failure, so callers
+    know exactly how far the run provably progressed.
+    """
+
+    def __init__(self, message: str, shard_id: Optional[int] = None,
+                 endpoint: Optional[Tuple[str, int]] = None,
+                 last_acked_round: Optional[int] = None):
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.endpoint = endpoint
+        self.last_acked_round = last_acked_round
+
+
+def supports_remote(algebra) -> bool:
+    """Capability check: the remote rung needs a finite encoding (codes
+    must travel as small integers) and working sockets (always true on
+    the supported platforms)."""
+    return supports_vectorized(algebra)
+
+
+def _split_columns(n: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous column blocks, one per worker — identical layout to
+    :meth:`ParallelVectorizedEngine._split_columns`."""
+    base, extra = divmod(n, workers)
+    blocks = []
+    lo = 0
+    for w in range(workers):
+        hi = lo + base + (1 if w < extra else 0)
+        blocks.append((lo, hi))
+        lo = hi
+    return blocks
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class _ShardState:
+    """Everything one TCP worker holds for its column block ``[lo, hi)``.
+
+    Unlike the shared-memory pool, nothing here aliases coordinator
+    state: the block, the δ ring and the edge tables are private
+    arrays, synchronised purely through delta-encoded wire updates.
+    ``baseline`` is the block as the coordinator last acknowledged it —
+    the reference every outgoing update is encoded against.
+    """
+
+    def __init__(self):
+        self.n = 0
+        self.lo = 0
+        self.hi = 0
+        self.trivial = 0
+        self.invalid = 0
+        self.carrier = 0
+        self.tables = None
+        self.src = None
+        self.erange = None
+        self.importers = None
+        self.starts = None
+        self.offsets = {}
+        self.degrees = {}
+        self.C = None                    # (n, width) σ block
+        self.dirty = None                # (width,) bool, block-local
+        self.baseline = None             # (n, width) last acked block
+        self.ring: List = []             # δ history ring of (n, width)
+        self.window = 0
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo
+
+
+def _shard_load(state: _ShardState, meta: dict, tail: bytes) -> None:
+    """Install the topology snapshot: JSON meta + raw int32 tables."""
+    state.n = int(meta["n"])
+    state.lo, state.hi = (int(v) for v in meta["block"])
+    state.trivial = int(meta["trivial"])
+    state.invalid = int(meta["invalid"])
+    state.carrier = int(meta["carrier"])
+    n_edges, size = (int(v) for v in meta["tables_shape"])
+    if len(tail) != n_edges * size * 4:
+        raise WireFormatError(
+            f"table blob is {len(tail)} bytes, expected "
+            f"{n_edges * size * 4} for shape ({n_edges}, {size})")
+    state.tables = np.frombuffer(tail, dtype="<i4").reshape(
+        n_edges, size).astype(_DTYPE)
+    state.src = np.asarray(meta["src"], dtype=np.intp)
+    state.importers = np.asarray(meta["importers"], dtype=np.intp)
+    state.starts = np.asarray(meta["starts"], dtype=np.intp)
+    state.erange = np.arange(n_edges)[:, None]
+    # JSON turns int keys into strings; undo it
+    state.offsets = {int(k): int(v) for k, v in meta["offsets"].items()}
+    state.degrees = {int(k): int(v) for k, v in meta["degrees"].items()}
+
+
+def _invalid_block(state: _ShardState) -> "np.ndarray":
+    """The all-invalid block every state install is delta-encoded
+    against (identity starts diff only on the diagonal, so installs are
+    nearly free on the wire)."""
+    return np.full((state.n, state.width), state.invalid, dtype=_DTYPE)
+
+
+def _shard_sigma_init(state: _ShardState, blob: bytes) -> None:
+    state.C = _invalid_block(state)
+    decode_update(blob, state.C)
+    state.baseline = state.C.copy()
+    state.dirty = np.zeros(state.width, dtype=bool)
+
+
+def _shard_sigma_round(state: _ShardState, full: bool) -> Tuple[int, bytes]:
+    """One σ round over the block's dirty columns.
+
+    Same kernel and dirty discipline as the shared-memory pool's
+    ``_worker_sigma``, but the dirty set lives here (column ownership is
+    exclusive, so no other process ever needs it) and the changed
+    columns travel back as a delta-encoded update instead of being
+    written in place.
+    """
+    if state.C is None:
+        raise RemoteError("sigma round before sigma init")
+    width = state.width
+    if full:
+        cols = np.arange(width)
+    else:
+        cols = np.nonzero(state.dirty)[0]
+    state.dirty = np.zeros(width, dtype=bool)
+    changed_count = 0
+    if cols.size:
+        sub = state.C[:, cols]           # copy: the round's frozen input
+        new = gather_min_reduce(sub, state.tables, state.src, state.erange,
+                                state.importers, state.starts, state.invalid)
+        new[state.lo + cols, np.arange(cols.size)] = state.trivial
+        changed = (new != sub).any(axis=0)
+        if changed.any():
+            changed_cols = cols[changed]
+            state.C[:, changed_cols] = new[:, changed]
+            state.dirty[changed_cols] = True
+            changed_count = int(changed_cols.size)
+    blob = encode_update(state.baseline, state.C, state.carrier)
+    state.baseline[:] = state.C
+    return changed_count, blob
+
+
+def _shard_delta_init(state: _ShardState, window: int, blob: bytes) -> None:
+    state.window = int(window)
+    state.ring = [
+        _invalid_block(state) for _ in range(state.window)]
+    decode_update(blob, state.ring[0])
+    state.baseline = state.ring[0].copy()
+
+
+def _shard_delta_steps(state: _ShardState, steps: Sequence) -> List[bool]:
+    """One window of δ steps on the local ring — the pool's
+    ``_worker_delta`` re-expressed over private (n, width) blocks."""
+    if not state.ring:
+        raise RemoteError("delta steps before delta init")
+    W = state.window
+    lo, hi = state.lo, state.hi
+    width = state.width
+    flags: List[bool] = []
+    for t, acts in steps:
+        t = int(t)
+        prev = state.ring[(t - 1) % W]
+        nxt = state.ring[t % W]
+        nxt[:] = prev
+        changed = False
+        for i, times in acts:
+            i = int(i)
+            degree = state.degrees.get(i, 0)
+            if degree:
+                offset = state.offsets[i]
+                gathered = np.empty((degree, width), dtype=_DTYPE)
+                for idx in range(degree):
+                    k = int(state.src[offset + idx])
+                    gathered[idx] = state.ring[int(times[idx]) % W][k]
+                row = fold_edge_tables(state.tables[offset:offset + degree],
+                                       gathered)
+            else:
+                row = np.full(width, state.invalid, dtype=_DTYPE)
+            if lo <= i < hi:
+                row[i - lo] = state.trivial
+            if not changed and not np.array_equal(row, prev[i]):
+                changed = True
+            nxt[i] = row
+        flags.append(changed)
+    return flags
+
+
+def _shard_fetch(state: _ShardState, t: int) -> bytes:
+    """Ship ring slot ``t`` as a delta against the last acked state."""
+    if not state.ring:
+        raise RemoteError("fetch before delta init")
+    slot = state.ring[int(t) % state.window]
+    blob = encode_update(state.baseline, slot, state.carrier)
+    state.baseline[:] = slot
+    return blob
+
+
+def _dispatch(state: _ShardState, msg_type: int,
+              payload: bytes) -> Tuple[int, bytes]:
+    """Handle one coordinator command; returns the reply frame."""
+    if msg_type == MSG_LOAD:
+        meta, tail = unpack_payload(payload)
+        _shard_load(state, meta, tail)
+        return MSG_ACK, b""
+    if msg_type == MSG_SIGMA_INIT:
+        _obj, blob = unpack_payload(payload)
+        _shard_sigma_init(state, blob)
+        return MSG_ACK, b""
+    if msg_type == MSG_SIGMA_ROUND:
+        obj, _tail = unpack_payload(payload)
+        changed, blob = _shard_sigma_round(state, bool(obj["full"]))
+        return MSG_UPDATE, pack_payload({"changed": changed}, blob)
+    if msg_type == MSG_DELTA_INIT:
+        obj, blob = unpack_payload(payload)
+        _shard_delta_init(state, obj["window"], blob)
+        return MSG_ACK, b""
+    if msg_type == MSG_DELTA_STEPS:
+        obj, _tail = unpack_payload(payload)
+        flags = _shard_delta_steps(state, obj["steps"])
+        return MSG_FLAGS, pack_payload({"flags": flags})
+    if msg_type == MSG_FETCH:
+        obj, _tail = unpack_payload(payload)
+        blob = _shard_fetch(state, obj["t"])
+        return MSG_UPDATE, pack_payload({"t": obj["t"]}, blob)
+    raise WireFormatError(f"unknown command frame type {msg_type}")
+
+
+def _try_send(fc: FrameConnection, msg_type: int, payload: bytes) -> None:
+    try:
+        fc.send(msg_type, payload)
+    except (WireError, OSError):         # peer already gone
+        pass
+
+
+def _serve_connection(sock) -> None:
+    """Serve one coordinator session on an accepted socket.
+
+    Handler exceptions are relayed as :data:`MSG_ERROR` frames (the
+    worker stays usable), a version-skewed peer gets one error frame
+    before the connection drops, and anything malformed ends the
+    session — the server loop then goes back to ``accept``.
+    """
+    fc = FrameConnection(sock)
+    state = _ShardState()
+    try:
+        while True:
+            try:
+                msg_type, payload = fc.recv()
+            except WireVersionError as exc:
+                _try_send(fc, MSG_ERROR,
+                          pack_payload({"message": str(exc)}))
+                return
+            except WireError:
+                return                   # peer closed or stream is garbage
+            if msg_type == MSG_STOP:
+                _try_send(fc, MSG_ACK, b"")
+                return
+            try:
+                reply_type, reply_payload = _dispatch(state, msg_type,
+                                                      payload)
+            except Exception as exc:     # relay instead of dying
+                _try_send(fc, MSG_ERROR, pack_payload(
+                    {"message": f"{type(exc).__name__}: {exc}"}))
+                continue
+            fc.send(reply_type, reply_payload)
+    finally:
+        fc.close()
+
+
+def serve_worker(host: str = "127.0.0.1", port: int = 0, *,
+                 once: bool = False, ready_callback=None,
+                 announce: bool = False) -> None:
+    """Run a remote σ/δ worker: accept coordinators, one at a time.
+
+    ``port=0`` binds an ephemeral port; ``ready_callback(host, port)``
+    fires once the socket is listening (subprocess spawners use it to
+    learn the port), and ``announce`` prints a parseable
+    ``listening on host:port`` line for the CLI path.  ``once`` exits
+    after the first coordinator session — the spawned loopback workers
+    use it so a closed engine cannot leak server processes.
+    """
+    srv = socket.create_server((host, port))
+    bound = srv.getsockname()[1]
+    if ready_callback is not None:
+        ready_callback(host, bound)
+    if announce:
+        print(f"repro remote worker listening on {host}:{bound}", flush=True)
+    try:
+        while True:
+            conn, _addr = srv.accept()
+            _serve_connection(conn)
+            if once:
+                return
+    finally:
+        srv.close()
+
+
+def _spawned_worker_main(pipe, host: str) -> None:
+    """Subprocess entry point for loopback workers."""
+    try:
+        def ready(h, p):
+            pipe.send((h, p))
+            pipe.close()
+        serve_worker(host, 0, once=True, ready_callback=ready)
+    except Exception:                    # pragma: no cover - spawn failure
+        try:
+            pipe.send(None)
+        except Exception:
+            pass
+
+
+def spawn_loopback_workers(count: int, host: str = "127.0.0.1",
+                           timeout: float = 30.0):
+    """Spawn ``count`` single-session worker subprocesses on ``host``.
+
+    Returns ``(procs, endpoints)``.  Used by the engine's
+    ``workers=k`` mode, tests and CI: real TCP, one machine.
+    """
+    ctx = _mp_context()
+    if ctx is None:
+        raise UnsupportedAlgebraError(
+            "remote engine cannot spawn loopback workers: no "
+            "multiprocessing start method on this platform; pass "
+            "explicit endpoints instead")
+    procs = []
+    endpoints = []
+    try:
+        for _ in range(count):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_spawned_worker_main,
+                               args=(child, host), daemon=True,
+                               name="repro-remote-worker")
+            proc.start()
+            child.close()
+            procs.append(proc)
+            if not parent.poll(timeout):
+                parent.close()
+                raise RemoteError(
+                    "loopback worker did not report its port within "
+                    f"{timeout}s")
+            reported = parent.recv()
+            parent.close()
+            if reported is None:
+                raise RemoteError("loopback worker failed to start")
+            endpoints.append((reported[0], reported[1]))
+    except Exception:
+        for proc in procs:
+            proc.terminate()
+        raise
+    return procs, endpoints
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class _RemoteResources:
+    """Sockets and spawned worker processes, detached from the engine
+    so a ``weakref.finalize`` can release them (idempotently, also on
+    interpreter shutdown)."""
+
+    def __init__(self):
+        self.conns: List[FrameConnection] = []
+        self.procs: List = []
+
+    def close(self) -> None:
+        for fc in self.conns:
+            try:
+                fc.send(MSG_STOP)
+            except (WireError, OSError):
+                pass
+            fc.close()
+        for proc in self.procs:
+            proc.join(timeout=2.0)
+        for proc in self.procs:
+            if proc.is_alive():          # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+        self.conns = []
+        self.procs = []
+
+
+def _parse_endpoint(spec) -> Tuple[str, int]:
+    """``"host:port"`` strings or ``(host, port)`` pairs."""
+    if isinstance(spec, str):
+        host, sep, port = spec.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"endpoint {spec!r} is not of the form 'host:port'")
+        return host, int(port)
+    host, port = spec
+    return str(host), int(port)
+
+
+class RemoteVectorizedEngine(VectorizedEngine):
+    """Column-sharded σ/δ over TCP workers (coordinator side).
+
+    Extends :class:`~repro.core.vectorized.VectorizedEngine`: the
+    encoding, codecs, and the coordinator's local edge snapshot (used
+    for δ σ-stability probes on fetched candidates) are inherited; this
+    class adds the wire protocol, a full-matrix mirror kept in sync via
+    delta-encoded updates, and per-run :class:`~repro.core.wire.WireStats`.
+
+    Connect with explicit ``endpoints`` (``"host:port"`` strings or
+    ``(host, port)`` pairs, one shard each) or ``workers=k`` to spawn
+    ``k`` loopback subprocess workers.  Connections open lazily on the
+    first σ/δ entry and close via :meth:`close` (idempotent, context
+    manager, ``weakref.finalize`` backstop).
+    """
+
+    #: honest advertisement for the resolver: finite algebras only, an
+    #: explicitly configured transport (no endpoints → machine-readable
+    #: skip, never an implicit network dependency), a minimum problem
+    #: size, and *no* topology mutation — the snapshot is shipped once;
+    #: RoutingSession rebuilds the engine when the version moves.
+    capabilities = register_engine(Capabilities(
+        rung="remote",
+        requires_finite_algebra=True,
+        requires_remote_endpoints=True,
+        min_n=REMOTE_MIN_N,
+        min_workers=2,
+        supports_topology_mutation=False,
+        supports_unbounded_schedules=False,
+        supports_kept_history=False,
+    ))
+
+    def __init__(self, network: Network,
+                 endpoints: Optional[Sequence] = None,
+                 workers: Optional[int] = None,
+                 socket_timeout: Optional[float] = None):
+        self._res = _RemoteResources()
+        self._finalizer = weakref.finalize(self, self._res.close)
+        super().__init__(network)        # raises for non-finite algebras
+        if endpoints:
+            self._endpoints = [_parse_endpoint(e) for e in endpoints]
+            self._spawn = 0
+            shards = min(len(self._endpoints), network.n)
+            self._endpoints = self._endpoints[:shards]
+        elif workers:
+            self._spawn = min(int(workers), network.n)
+            self._endpoints = []
+            shards = self._spawn
+        else:
+            raise ValueError(
+                "remote engine needs a transport: pass endpoints=[...] "
+                "or workers=<count> for loopback subprocesses")
+        if shards < 2:
+            raise UnsupportedAlgebraError(
+                f"remote engine needs >= 2 shards (resolved {shards}); "
+                "use the vectorized engine instead")
+        self._timeout = REMOTE_TIMEOUT if socket_timeout is None \
+            else float(socket_timeout)
+        self._blocks = _split_columns(network.n, shards)
+        self.workers = shards
+        #: wire volume of the most recent run / since construction
+        self.wire_stats = WireStats()
+        self.wire_totals = WireStats()
+        #: IPC amortisation achieved by the most recent δ run
+        self.delta_ipc_commands = 0
+        self.delta_ipc_steps = 0
+        self._acked = 0                  # fully collected barriers (run)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and drop every connection (idempotent)."""
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "RemoteVectorizedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def refresh(self) -> None:
+        """Raise on topology mutation: the shipped snapshot is final.
+
+        ``supports_topology_mutation=False`` is advertised to the
+        resolver; direct users must build a new engine, and
+        :class:`~repro.session.RoutingSession` does exactly that when
+        ``adjacency.version`` moves.
+        """
+        if self._version is not None and \
+                self._version != self.network.adjacency.version:
+            self.close()
+            raise RemoteError(
+                "remote engine does not support topology mutation: the "
+                "network changed after its snapshot was shipped to the "
+                "workers; build a new engine (RoutingSession rebuilds "
+                "one automatically)")
+        super().refresh()
+
+    def stale_topology(self) -> bool:
+        """True when the network mutated after the snapshot was taken
+        (the session's cue to rebuild rather than reuse)."""
+        return self._version is not None and \
+            self._version != self.network.adjacency.version
+
+    # -- wire plumbing ---------------------------------------------------
+
+    def _bump(self, commands: int = 0, rounds: int = 0,
+              update: int = 0, naive: int = 0) -> None:
+        for stats in (self.wire_stats, self.wire_totals):
+            stats.commands += commands
+            stats.rounds += rounds
+            stats.update_bytes += update
+            stats.naive_bytes += naive
+
+    def _sync_bytes(self) -> None:
+        """Fold the per-connection byte counters into the stats."""
+        sent = sum(fc.bytes_sent for fc in self._res.conns)
+        received = sum(fc.bytes_received for fc in self._res.conns)
+        delta_sent = sent - self._bytes_base[0]
+        delta_received = received - self._bytes_base[1]
+        self._bytes_base = (sent, received)
+        for stats in (self.wire_stats, self.wire_totals):
+            stats.bytes_sent += delta_sent
+            stats.bytes_received += delta_received
+
+    def _begin_run(self) -> None:
+        self._ensure_pool()
+        self.wire_stats = WireStats()
+        self._acked = 0
+
+    def _ensure_pool(self) -> None:
+        if self.closed:
+            raise RuntimeError("engine is closed; build a new one")
+        if self._res.conns:
+            return
+        endpoints = self._endpoints
+        if self._spawn:
+            procs, endpoints = spawn_loopback_workers(self._spawn)
+            self._res.procs = procs
+        self._shard_endpoints = list(endpoints)
+        for host, port in endpoints:
+            try:
+                sock = socket.create_connection((host, port),
+                                                timeout=self._timeout)
+            except OSError as exc:
+                self.close()
+                raise RemoteError(
+                    f"cannot connect to remote worker {host}:{port}: "
+                    f"{exc}") from exc
+            sock.settimeout(self._timeout)
+            self._res.conns.append(FrameConnection(sock))
+        self._bytes_base = (0, 0)
+        tables_blob = np.ascontiguousarray(
+            self._tables, dtype="<i4").tobytes()
+        base = dict(
+            n=self._n, trivial=self.trivial_code, invalid=self.invalid_code,
+            carrier=self.encoding.size,
+            tables_shape=list(self._tables.shape),
+            src=self._src.tolist(),
+            importers=self._importers.tolist(),
+            starts=self._starts.tolist(),
+            offsets=self._offsets,
+            degrees=self._degrees,
+        )
+        for idx, (lo, hi) in enumerate(self._blocks):
+            self._send(idx, MSG_LOAD,
+                       pack_payload(dict(base, block=[lo, hi]), tables_blob))
+        self._collect_acks()
+
+    def _send(self, idx: int, msg_type: int, payload: bytes = b"") -> None:
+        fc = self._res.conns[idx]
+        try:
+            fc.send(msg_type, payload)
+        except (WireClosedError, OSError) as exc:
+            self._worker_failed(idx, exc)
+        self._bump(commands=1)
+        self._sync_bytes()
+
+    def _worker_failed(self, idx: int, exc: Exception) -> None:
+        endpoint = self._shard_endpoints[idx] \
+            if idx < len(self._shard_endpoints) else None
+        acked = self._acked
+        self.close()
+        if isinstance(exc, TimeoutError):
+            detail = (f"did not reply within {self._timeout}s "
+                      "(socket timeout)")
+        else:
+            detail = f"connection failed: {exc}"
+        raise RemoteWorkerError(
+            f"remote worker {idx} ({endpoint and f'{endpoint[0]}:{endpoint[1]}'}) "
+            f"{detail}; last fully acked protocol round: {acked}",
+            shard_id=idx, endpoint=endpoint,
+            last_acked_round=acked) from exc
+
+    def _recv(self, idx: int) -> Tuple[int, bytes]:
+        fc = self._res.conns[idx]
+        try:
+            msg_type, payload = fc.recv()
+        except (WireVersionError, WireFormatError):
+            self.close()
+            raise
+        except (WireClosedError, OSError) as exc:
+            self._worker_failed(idx, exc)
+        self._sync_bytes()
+        if msg_type == MSG_ERROR:
+            try:
+                obj, _ = unpack_payload(payload)
+                message = obj.get("message", "unknown worker error")
+            except WireError:
+                message = "undecodable worker error"
+            endpoint = self._shard_endpoints[idx]
+            acked = self._acked
+            self.close()
+            raise RemoteWorkerError(
+                f"remote worker {idx} ({endpoint[0]}:{endpoint[1]}) "
+                f"failed: {message}; last fully acked protocol round: "
+                f"{acked}", shard_id=idx, endpoint=endpoint,
+                last_acked_round=acked)
+        return msg_type, payload
+
+    def _expect(self, idx: int, expected: int):
+        msg_type, payload = self._recv(idx)
+        if msg_type != expected:
+            self.close()
+            raise WireFormatError(
+                f"remote worker {idx} replied frame type {msg_type}, "
+                f"expected {expected}")
+        return unpack_payload(payload) if payload else ({}, b"")
+
+    def _collect_acks(self) -> None:
+        for idx in range(len(self._res.conns)):
+            self._expect(idx, MSG_ACK)
+        self._bump(rounds=1)
+        self._acked += 1
+
+    # -- σ ---------------------------------------------------------------
+
+    def _load_state(self, M: "np.ndarray") -> None:
+        """Install ``M`` on the shards, delta-encoded vs. all-invalid."""
+        n = self._n
+        for idx, (lo, hi) in enumerate(self._blocks):
+            base = np.full((n, hi - lo), self.invalid_code, dtype=_DTYPE)
+            blob = encode_update(base, M[:, lo:hi], self.encoding.size)
+            self._bump(update=len(blob),
+                       naive=naive_update_bytes(n, hi - lo))
+            self._send(idx, MSG_SIGMA_INIT, pack_payload({}, blob))
+        self._collect_acks()
+
+    def _round(self, M: "np.ndarray", full: bool) -> int:
+        """One σ round across the shards; applies the delta-encoded
+        summaries to the mirror and returns the changed-column count."""
+        head = pack_payload({"full": bool(full)})
+        for idx in range(len(self._blocks)):
+            self._send(idx, MSG_SIGMA_ROUND, head)
+        total = 0
+        for idx, (lo, hi) in enumerate(self._blocks):
+            obj, blob = self._expect(idx, MSG_UPDATE)
+            decode_update(blob, M[:, lo:hi])
+            total += int(obj["changed"])
+            self._bump(update=len(blob),
+                       naive=naive_update_bytes(self._n, hi - lo))
+        self._bump(rounds=1)
+        self._acked += 1
+        return total
+
+    def sigma(self, state: RoutingState) -> RoutingState:
+        """One full σ round, computed by the workers (lockstep oracle)."""
+        self.refresh()
+        self._begin_run()
+        M = self.encode_state(state)
+        self._load_state(M)
+        self._round(M, full=True)
+        return self.decode_state(M)
+
+    def is_stable(self, state: RoutingState) -> bool:
+        """Definition 4 over the wire: a full round, no changed column."""
+        self.refresh()
+        self._begin_run()
+        M = self.encode_state(state)
+        self._load_state(M)
+        return self._round(M, full=True) == 0
+
+    def iterate(self, start: RoutingState, max_rounds: int = 10_000,
+                keep_trajectory: bool = False,
+                detect_cycles: bool = False) -> SyncResult:
+        """σ fixed-point iteration with the standard ladder contract:
+        first round full, later rounds dirty-only, empty union of
+        changed columns is convergence — trajectories, round counts and
+        fixed points are bit-identical to every other engine."""
+        self.refresh()
+        self._begin_run()
+        M = self.encode_state(start)
+        self._load_state(M)
+        trajectory: Optional[List[RoutingState]] = \
+            [start] if keep_trajectory else None
+        seen = {M.tobytes(): 0} if detect_cycles else None
+        for k in range(max_rounds):
+            changed = self._round(M, full=(k == 0))
+            if keep_trajectory:
+                trajectory.append(self.decode_state(M))
+            if changed == 0:
+                return SyncResult(True, k, self.decode_state(M), trajectory)
+            if detect_cycles:
+                key = M.tobytes()
+                if key in seen:
+                    return SyncResult(False, k + 1, self.decode_state(M),
+                                      trajectory)
+                seen[key] = k + 1
+        return SyncResult(False, max_rounds, self.decode_state(M), trajectory)
+
+    # -- δ ---------------------------------------------------------------
+
+    def _fetch(self, M: "np.ndarray", t: int) -> None:
+        """Pull ring slot ``t`` into the mirror (delta vs. last fetch)."""
+        head = pack_payload({"t": int(t)})
+        for idx in range(len(self._blocks)):
+            self._send(idx, MSG_FETCH, head)
+        for idx, (lo, hi) in enumerate(self._blocks):
+            _obj, blob = self._expect(idx, MSG_UPDATE)
+            decode_update(blob, M[:, lo:hi])
+            self._bump(update=len(blob),
+                       naive=naive_update_bytes(self._n, hi - lo))
+        self._bump(rounds=1)
+        self._acked += 1
+
+    def delta(self, schedule: Schedule, start: RoutingState,
+              max_steps: int = 2_000,
+              stability_window: Optional[int] = None,
+              window: Optional[int] = None) -> AsyncResult:
+        """δ over the wire, windowed exactly like the shared-memory pool.
+
+        The coordinator computes the same windowed activation commands
+        (and the same staleness guard) as
+        :meth:`ParallelVectorizedEngine.delta`; workers execute them on
+        local rings and reply per-step changed flags.  Candidate states
+        are *fetched* (delta-encoded against the previous fetch) and
+        σ-probed on the coordinator's local snapshot, so convergence
+        steps, final states and ``history_retained`` match the serial
+        engines bit for bit.
+        """
+        max_read_back = schedule.max_read_back()
+        if max_read_back is None:
+            raise UnsupportedAlgebraError(
+                "remote δ needs a bounded-staleness schedule "
+                "(max_read_back() returned None); use "
+                "delta_run(..., engine='vectorized') or strict=True")
+        if stability_window is None:
+            stability_window = (max_read_back or 1) + 2
+        read_window = max_read_back + 2  # the BoundedHistory window
+        w = DELTA_WINDOW if window is None else max(1, int(window))
+        self.refresh()
+        self._begin_run()
+        W = w + read_window
+        M = self.encode_state(start)
+        n = self._n
+        for idx, (lo, hi) in enumerate(self._blocks):
+            base = np.full((n, hi - lo), self.invalid_code, dtype=_DTYPE)
+            blob = encode_update(base, M[:, lo:hi], self.encoding.size)
+            self._bump(update=len(blob),
+                       naive=naive_update_bytes(n, hi - lo))
+            self._send(idx, MSG_DELTA_INIT,
+                       pack_payload({"window": W}, blob))
+        self._collect_acks()
+        beta, alpha = schedule.beta, schedule.alpha
+        in_neighbours = {
+            i: [int(self._src[self._offsets[i] + d])
+                for d in range(self._degrees[i])]
+            for i in self._degrees}
+        self.delta_ipc_commands = 0
+        self.delta_ipc_steps = 0
+        unchanged = 0
+        t0 = 1
+        while t0 <= max_steps:
+            w_eff = min(w, max_steps - t0 + 1)
+            steps = []
+            stale_error: Optional[LookupError] = None
+            for t in range(t0, t0 + w_eff):
+                acts = []
+                for i in sorted(alpha(t)):
+                    times = []
+                    for k in in_neighbours.get(i, ()):
+                        s = beta(t, i, k)
+                        # identical guard to the pool: s < 0 violates S2,
+                        # s < t - read_window is a read BoundedHistory
+                        # would refuse as evicted
+                        if s < 0 or s >= t or t - s > read_window:
+                            stale_error = LookupError(
+                                f"δ history for time {s} is outside the "
+                                f"worker ring (window={read_window}, t={t}); "
+                                "the schedule reads further back than its "
+                                "declared max_read_back — run "
+                                "delta_run(..., strict=True) to keep the "
+                                "full history")
+                            break
+                        times.append(int(s))
+                    if stale_error is not None:
+                        break
+                    acts.append((int(i), times))
+                if stale_error is not None:
+                    # truncate at the offending step: the per-step
+                    # protocol may converge before ever evaluating it
+                    break
+                steps.append((t, acts))
+            if steps:
+                head = pack_payload({"steps": steps})
+                for idx in range(len(self._blocks)):
+                    self._send(idx, MSG_DELTA_STEPS, head)
+                self.delta_ipc_commands += 1
+                self.delta_ipc_steps += len(steps)
+                flags = []
+                for idx in range(len(self._blocks)):
+                    obj, _tail = self._expect(idx, MSG_FLAGS)
+                    flags.append(obj["flags"])
+                self._bump(rounds=1)
+                self._acked += 1
+                for off in range(len(steps)):
+                    t = t0 + off
+                    unchanged = 0 if any(f[off] for f in flags) \
+                        else unchanged + 1
+                    if unchanged >= stability_window:
+                        self._fetch(M, t)
+                        if np.array_equal(self._sigma_codes(M), M):
+                            return AsyncResult(
+                                True, t, self.decode_state(M),
+                                t - unchanged, None,
+                                history_retained=min(t + 1, read_window))
+            if stale_error is not None:
+                raise stale_error
+            t0 += len(steps)
+        self._fetch(M, max_steps)
+        return AsyncResult(False, max_steps, self.decode_state(M), None,
+                           None,
+                           history_retained=min(max_steps + 1, read_window))
+
+
+# ----------------------------------------------------------------------
+# Drivers (SyncResult / AsyncResult compatible)
+# ----------------------------------------------------------------------
+
+
+def iterate_sigma_remote(network: Network, start: RoutingState,
+                         max_rounds: int = 10_000,
+                         keep_trajectory: bool = False,
+                         detect_cycles: bool = False,
+                         engine: Optional[RemoteVectorizedEngine] = None,
+                         workers: Optional[int] = None,
+                         endpoints: Optional[Sequence] = None,
+                         socket_timeout: Optional[float] = None) -> SyncResult:
+    """Remote drop-in for :func:`repro.core.synchronous.iterate_sigma`.
+
+    Pass ``engine`` to reuse live worker connections across calls;
+    without one, loopback workers (``workers``, default 2) or the given
+    ``endpoints`` serve this call and are torn down in a ``finally``.
+    """
+    eng = engine if engine is not None \
+        else RemoteVectorizedEngine(network, endpoints=endpoints,
+                                    workers=workers or (0 if endpoints
+                                                        else 2),
+                                    socket_timeout=socket_timeout)
+    try:
+        return eng.iterate(start, max_rounds=max_rounds,
+                           keep_trajectory=keep_trajectory,
+                           detect_cycles=detect_cycles)
+    finally:
+        if engine is None:
+            eng.close()
+
+
+def delta_run_remote(network: Network, schedule: Schedule,
+                     start: RoutingState, max_steps: int = 2_000,
+                     stability_window: Optional[int] = None,
+                     keep_history: bool = False,
+                     engine: Optional[RemoteVectorizedEngine] = None,
+                     workers: Optional[int] = None,
+                     endpoints: Optional[Sequence] = None,
+                     socket_timeout: Optional[float] = None,
+                     window: Optional[int] = None) -> AsyncResult:
+    """Remote drop-in for :func:`repro.core.asynchronous.delta_run`.
+
+    ``keep_history`` and unbounded schedules delegate to the serial
+    vectorized engine (full decoded histories cannot live in the
+    workers' fixed rings) — a caller-supplied ``engine`` is reused even
+    then, since a :class:`RemoteVectorizedEngine` *is* a
+    :class:`~repro.core.vectorized.VectorizedEngine`.
+    """
+    if keep_history or schedule.max_read_back() is None:
+        _engine_log.info(
+            "engine-skip rung=remote code=%s op=delta requested=remote "
+            "algebra=%s n=%d detail=per-run delegation to the serial "
+            "vectorized engine (snapshot reused for encoding)",
+            "keep-history" if keep_history else "unbounded-schedule",
+            network.algebra.name, network.n)
+        from .vectorized import delta_run_vectorized
+        return delta_run_vectorized(network, schedule, start,
+                                    max_steps=max_steps,
+                                    stability_window=stability_window,
+                                    keep_history=keep_history,
+                                    engine=engine)
+    eng = engine if engine is not None \
+        else RemoteVectorizedEngine(network, endpoints=endpoints,
+                                    workers=workers or (0 if endpoints
+                                                        else 2),
+                                    socket_timeout=socket_timeout)
+    try:
+        return eng.delta(schedule, start, max_steps=max_steps,
+                         stability_window=stability_window, window=window)
+    finally:
+        if engine is None:
+            eng.close()

@@ -51,8 +51,9 @@ Two engines implement the iteration:
   a single run through this selector is the degenerate B = 1 batch,
   and non-finite algebras fall down the ladder as usual.
 
-The five-engine ladder (naive → incremental → vectorized → parallel →
-batched) trades generality for speed rung by rung, but every rung
+The six-engine ladder (naive → incremental → vectorized → parallel →
+batched → remote, the last sharding destination columns over TCP
+workers) trades generality for speed rung by rung, but every rung
 computes exactly σ each round, so trajectories and fixed points are
 identical — ``tests/core/test_engine_equivalence.py`` is the
 differential oracle holding them to it.
@@ -74,7 +75,8 @@ from .state import Network, RoutingState
 
 #: The engine selector vocabulary, shared by every σ/δ driver, the
 #: simulator, the CLI and the test matrix — ordered as the ladder.
-ENGINES = ("naive", "incremental", "vectorized", "parallel", "batched")
+ENGINES = ("naive", "incremental", "vectorized", "parallel", "batched",
+           "remote")
 
 
 def sigma(network: Network, state: RoutingState) -> RoutingState:
@@ -147,6 +149,14 @@ def _iterate_sigma_resolved(network: Network, start: RoutingState,
     instances); without one, pool-based rungs build and tear down their
     own resources per call.
     """
+    if rung == "remote":
+        # local import: remote imports SyncResult from this module
+        from .remote import iterate_sigma_remote
+        return iterate_sigma_remote(
+            network, start, max_rounds=max_rounds,
+            keep_trajectory=keep_trajectory,
+            detect_cycles=detect_cycles, engine=engine_obj,
+            workers=workers)
     if rung == "batched":
         # local import: vectorized imports SyncResult from this module
         from .vectorized import iterate_sigma_batched

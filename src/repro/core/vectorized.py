@@ -502,7 +502,8 @@ class BatchedVectorizedEngine(VectorizedEngine):
 
     def _delta_step_batch(self, ring, W: int, t: int, scheds, live,
                           windows, prev, nxt, copy, last_change,
-                          prev_read_min) -> "np.ndarray":
+                          prev_read_min, sigma_ok=None,
+                          const_ok=None) -> "np.ndarray":
         """One δ step for every live trial; returns ``(B,)`` changed flags.
 
         ``prev``/``nxt`` are the ring slots for ``t - 1`` and ``t``;
@@ -529,6 +530,19 @@ class BatchedVectorizedEngine(VectorizedEngine):
         inputs), so the pair is *skipped* — no gather, no fold, no
         compare — which is what turns high-activation-rate schedules'
         long quiet phases from O(E · n) into O(E) per step.
+
+        ``sigma_ok``/``const_ok`` fuse the σ-stability probe into the
+        step (the *σ-residual certificate*): an activation whose every
+        source row's **post-step** last change is at or before the
+        activation's earliest read computed its row against the
+        *current* source rows, i.e. the row already equals its σ-row —
+        ``sigma_ok[b, i]`` records that.  Any change in trial ``b``
+        invalidates all its certificates (a source may have moved);
+        rows with no in-edges always produce the same constant σ-row,
+        so one activation certifies them permanently (``const_ok``).
+        The candidate probe in :meth:`delta_grid` then σ-checks only
+        the uncertified rows — usually none after a full quiet window —
+        instead of recomputing σ over the whole ``(n, n)`` state.
         """
         n = self._n
         B = ring.shape[1]
@@ -547,6 +561,7 @@ class BatchedVectorizedEngine(VectorizedEngine):
         eb, ei, ed = pairs_b[has_edges], pairs_i[has_edges], d[has_edges]
         zb, zi = pairs_b[~has_edges], pairs_i[~has_edges]
 
+        cert = None
         if eb.size:
             src = self._src
             starts = np.zeros(ed.size, dtype=np.intp)
@@ -578,6 +593,9 @@ class BatchedVectorizedEngine(VectorizedEngine):
             read_min = np.minimum.reduceat(slot, starts)
             lc_max = np.maximum.reduceat(last_change[rep_b, src_flat],
                                          starts)
+            # pre-skip views for the σ-residual certificate, evaluated
+            # at the end of the step against the post-update last_change
+            cert = (eb, ei, rep_b, src_flat, starts, read_min)
             skip = lc_max <= np.minimum(read_min, prev_read_min[eb, ei])
             prev_read_min[eb, ei] = read_min
             if skip.any():
@@ -613,7 +631,46 @@ class BatchedVectorizedEngine(VectorizedEngine):
             hit = row_changed
             changed[zb[hit]] = True
             last_change[zb[hit], zi[hit]] = t
+        if sigma_ok is not None:
+            # any change invalidates the trial's certificates (a source
+            # may have moved under a certified row) — reset BEFORE
+            # recording this step's, which already account for every
+            # change up to and including t
+            sigma_ok[changed] = False
+            if cert is not None:
+                ceb, cei, crep_b, csrc, cstarts, cread_min = cert
+                lc_post = np.maximum.reduceat(last_change[crep_b, csrc],
+                                              cstarts)
+                ok = lc_post <= cread_min
+                sigma_ok[ceb[ok], cei[ok]] = True
+            if const_ok is not None and zb.size:
+                const_ok[zb, zi] = True
         return changed
+
+    def _sigma_rows(self, C: "np.ndarray", rows: "np.ndarray"
+                    ) -> "np.ndarray":
+        """σ(C) restricted to ``rows`` of a single ``(n, n)`` state —
+        exactly the values :meth:`_sigma_codes` would put there.
+
+        The row-restricted fallback probe for trials whose σ-residual
+        certificate (see :meth:`_delta_step_batch`) doesn't yet cover
+        every row at candidate time."""
+        n = self._n
+        deg_arr, off_arr = self._node_arrays()
+        out = np.full((rows.size, n), self.invalid_code, dtype=_DTYPE)
+        d = deg_arr[rows]
+        has = d > 0
+        er, ed = rows[has], d[has]
+        if er.size:
+            starts = np.zeros(ed.size, dtype=np.intp)
+            starts[1:] = np.cumsum(ed[:-1])
+            edge_flat = np.repeat(off_arr[er], ed) + _concat_ranges(ed)
+            src_flat = self._src[edge_flat]
+            ext = self._tables[edge_flat[:, None],
+                               C[src_flat].astype(np.intp)]
+            out[has] = np.minimum.reduceat(ext, starts, axis=0)
+        out[np.arange(rows.size), rows] = self.trivial_code
+        return out
 
     def delta_grid(self, trials, max_steps: int = 2_000,
                    stability_window: Optional[int] = None
@@ -665,6 +722,11 @@ class BatchedVectorizedEngine(VectorizedEngine):
         # previous activation (-1 = never activated, never skippable)
         last_change = np.zeros((B, n), dtype=np.int64)
         prev_read_min = np.full((B, n), -1, dtype=np.int64)
+        # σ-residual certificates (see _delta_step_batch): rows already
+        # provably equal to their σ-row, so the candidate probe below
+        # only touches the (usually empty) uncertified remainder
+        sigma_ok = np.zeros((B, n), dtype=bool)
+        const_ok = np.zeros((B, n), dtype=bool)
 
         for t in range(1, max_steps + 1):
             live = np.nonzero(~done)[0]
@@ -679,18 +741,26 @@ class BatchedVectorizedEngine(VectorizedEngine):
             copy = live[unchanged[live] < W]
             changed = self._delta_step_batch(ring, W, t, scheds, live,
                                              windows, prev, nxt, copy,
-                                             last_change, prev_read_min)
+                                             last_change, prev_read_min,
+                                             sigma_ok, const_ok)
             unchanged[live] = np.where(changed[live], 0, unchanged[live] + 1)
             cand = live[unchanged[live] >= sws[live]]
-            if cand.size:
-                sub = nxt[cand]
-                stable = (self._sigma_codes_batch(sub) == sub).all(axis=(1, 2))
-                for b in cand[stable].tolist():
-                    done[b] = True
-                    converged[b] = True
-                    steps_res[b] = t
-                    conv_at[b] = t - int(unchanged[b])
-                    final[b] = nxt[b].copy()
+            for b in cand.tolist():
+                # certified rows are already known σ-consistent; probe
+                # only the remainder — the decision is identical to the
+                # full σ(C) == C check, it just skips proven rows
+                uncovered = np.nonzero(~(sigma_ok[b] | const_ok[b]))[0]
+                if uncovered.size:
+                    sub = nxt[b]
+                    if not (self._sigma_rows(sub, uncovered)
+                            == sub[uncovered]).all():
+                        continue
+                    sigma_ok[b, uncovered] = True
+                done[b] = True
+                converged[b] = True
+                steps_res[b] = t
+                conv_at[b] = t - int(unchanged[b])
+                final[b] = nxt[b].copy()
         for b in np.nonzero(~done)[0].tolist():
             final[b] = ring[max_steps % W][b].copy()
 

@@ -2,8 +2,8 @@
 
 The paper's message is that a single algebraic object ``(A, ⊕, F)``
 determines both the synchronous σ-iteration and the asynchronous δ-run.
-The library grew five execution engines for that object (naive →
-incremental → vectorized → parallel → batched), and with them a sprawl
+The library grew six execution engines for that object (naive →
+incremental → vectorized → parallel → batched → remote), and with them a sprawl
 of free functions each re-threading ``engine=``/``workers=`` strings
 and silently falling a rung down the ladder on unsupported
 configurations.  This module replaces the sprawl with one negotiated
@@ -28,10 +28,14 @@ What the session owns:
   every report.  ``EngineSpec(strict=True)`` raises
   :class:`~repro.core.capabilities.UnsupportedEngineError` instead of
   falling back.
-* **Managed resources** — vectorized/batched engines and the parallel
-  worker pool (processes + shared-memory segments) are built lazily,
-  reused across calls, and released by :meth:`close` / the context
-  manager / a ``weakref.finalize`` backstop.
+* **Managed resources** — vectorized/batched engines, the parallel
+  worker pool (processes + shared-memory segments) and the remote
+  rung's TCP connections (plus any loopback worker subprocesses) are
+  built lazily, reused across calls, and released by :meth:`close` /
+  the context manager / a ``weakref.finalize`` backstop.  The remote
+  engine's snapshot cannot follow topology mutations, so the session
+  rebuilds it (fresh connections, fresh snapshot) when
+  ``adjacency.version`` moves.
 * **Schedule compilation caching** — compiled α/β forms
   (:class:`~repro.core.schedule.CompiledSchedule`) are cached per
   schedule object and reused across δ runs and grids.
@@ -77,6 +81,7 @@ from .core.schedule import (
 from .core.state import Network, RoutingState
 from .core.synchronous import SyncResult, _iterate_sigma_resolved
 from .core.vectorized import sigma_churn, supports_vectorized
+from .core.wire import WireStats
 
 
 def schedule_seed_version(schedules) -> Optional[int]:
@@ -110,6 +115,15 @@ class EngineSpec:
     parallel δ IPC window, and ``batch_dtype`` forces the batched
     engine's stacked-tensor dtype (e.g. ``"int32"``; default: the
     narrowest dtype that fits the carrier).
+
+    The remote rung needs a transport: ``endpoints`` (``"host:port"``
+    strings or ``(host, port)`` pairs, one shard each) or
+    ``remote_workers`` (spawn that many loopback subprocess workers —
+    the single-host testing mode).  Without either, ``engine="remote"``
+    resolves with the ``no-remote-endpoints`` skip (or raises under
+    ``strict``).  ``socket_timeout`` bounds every coordinator socket
+    operation so a dead worker surfaces as a typed
+    :class:`~repro.core.remote.RemoteWorkerError`, never a hang.
     """
 
     engine: str = "auto"
@@ -118,6 +132,9 @@ class EngineSpec:
     batch_dtype: Optional[str] = None
     history: str = "bounded"
     strict: bool = False
+    remote_workers: Optional[int] = None
+    endpoints: Optional[Tuple] = None
+    socket_timeout: Optional[float] = None
 
     def __post_init__(self):
         if self.engine != "auto" and self.engine not in LADDER:
@@ -128,6 +145,17 @@ class EngineSpec:
             raise ValueError(
                 f"unknown history policy {self.history!r}; choose from "
                 "('bounded', 'full', 'literal')")
+        if self.endpoints is not None:
+            object.__setattr__(self, "endpoints", tuple(self.endpoints))
+        if self.socket_timeout is not None and self.socket_timeout <= 0:
+            raise ValueError("socket_timeout must be positive")
+
+    @property
+    def remote_transport(self):
+        """What :func:`~repro.core.capabilities.resolve_engine` receives
+        as the remote rung's transport (endpoints win over a loopback
+        worker count); ``None`` when no transport is configured."""
+        return self.endpoints or self.remote_workers
 
 
 # ----------------------------------------------------------------------
@@ -146,6 +174,8 @@ class SigmaReport:
     elapsed_s: float                  #: wall-clock seconds
     trajectory: Optional[List[RoutingState]] = field(default=None, repr=False)
     churn: Optional[int] = None       #: total entry changes (measure_churn)
+    #: remote rung: per-run wire traffic (bytes/round, compression ratio)
+    wire: Optional[WireStats] = field(default=None, repr=False)
     result: SyncResult = field(default=None, repr=False)
 
     @property
@@ -167,8 +197,10 @@ class DeltaReport:
     converged_at: Optional[int] = None  #: first step the state stayed fixed
     history: Optional[List[RoutingState]] = field(default=None, repr=False)
     history_retained: Optional[int] = None  #: states actually held in memory
-    ipc_commands: Optional[int] = None  #: parallel rung: worker commands sent
-    ipc_steps: Optional[int] = None     #: parallel rung: δ steps they carried
+    ipc_commands: Optional[int] = None  #: parallel/remote: worker commands sent
+    ipc_steps: Optional[int] = None     #: parallel/remote: δ steps they carried
+    #: remote rung: per-run wire traffic (bytes/round, compression ratio)
+    wire: Optional[WireStats] = field(default=None, repr=False)
     #: seed → schedule mapping version the run's schedule assumes
     #: (:data:`~repro.core.schedule.RandomSchedule.SCHEDULE_SEED_VERSION`),
     #: ``None`` for seed-free schedules.
@@ -184,12 +216,15 @@ class DeltaReport:
     @property
     def metadata(self) -> Dict[str, Any]:
         """Machine-readable run metadata for recorded experiments."""
-        return {
+        meta = {
             "engine": self.resolution.chosen,
             "schedule_seed_version": self.schedule_seed_version,
             "ipc_commands": self.ipc_commands,
             "ipc_steps": self.ipc_steps,
         }
+        if self.wire is not None:
+            meta["wire"] = self.wire.as_dict()
+        return meta
 
 
 @dataclass
@@ -204,6 +239,8 @@ class GridReport:
     resolution: EngineResolution
     elapsed_s: float
     schedule_seed_version: Optional[int] = None
+    #: remote rung: wire traffic summed over the whole grid
+    wire: Optional[WireStats] = field(default=None, repr=False)
     results: Optional[List[AsyncResult]] = field(default=None, repr=False)
 
     @property
@@ -224,11 +261,14 @@ class GridReport:
     @property
     def metadata(self) -> Dict[str, Any]:
         """Machine-readable grid metadata for recorded experiments."""
-        return {
+        meta = {
             "engine": self.resolution.chosen,
             "schedule_seed_version": self.schedule_seed_version,
             "runs": self.runs,
         }
+        if self.wire is not None:
+            meta["wire"] = self.wire.as_dict()
+        return meta
 
 
 @dataclass
@@ -364,7 +404,8 @@ class RoutingSession:
                               workers=self.spec.workers,
                               strict=self.spec.strict,
                               keep_history=keep_history, literal=literal,
-                              schedule=schedule)
+                              schedule=schedule,
+                              remote=self.spec.remote_transport)
 
     # -- managed engines ------------------------------------------------
 
@@ -375,6 +416,13 @@ class RoutingSession:
         if rung in ("naive", "incremental"):
             return None
         eng = self._engines.get(rung)
+        if rung == "remote" and eng is not None and eng.stale_topology():
+            # the remote snapshot cannot follow topology mutations
+            # (supports_topology_mutation=False): rebuild the engine —
+            # fresh connections, fresh worker-side snapshot
+            eng.close()
+            del self._engines[rung]
+            eng = None
         if eng is None:
             if rung == "vectorized":
                 from .core.vectorized import VectorizedEngine
@@ -385,12 +433,26 @@ class RoutingSession:
                 if self.spec.batch_dtype is not None:
                     eng.batch_dtype_override = _validated_dtype(
                         self.spec.batch_dtype, eng.encoding.size)
+            elif rung == "remote":
+                from .core.remote import RemoteVectorizedEngine
+                eng = RemoteVectorizedEngine(
+                    self.network, endpoints=self.spec.endpoints,
+                    workers=self.spec.remote_workers,
+                    socket_timeout=self.spec.socket_timeout)
             else:
                 from .core.parallel import ParallelVectorizedEngine
                 eng = ParallelVectorizedEngine(self.network,
                                                workers=resolution.workers)
             self._engines[rung] = eng
         return eng
+
+    def _wire_snapshot(self, resolution: EngineResolution):
+        """Per-run :class:`~repro.core.wire.WireStats` copy when the
+        remote rung ran; ``None`` for every local rung."""
+        if resolution.chosen != "remote":
+            return None
+        eng = self._engines.get("remote")
+        return eng.wire_stats.copy() if eng is not None else None
 
     def compile_schedule(self, schedule: Schedule,
                          horizon: int) -> CompiledSchedule:
@@ -428,6 +490,7 @@ class RoutingSession:
         resolution = self.resolve("sigma")
         t0 = perf_counter()
         churn: Optional[int] = None
+        wire: Optional[WireStats] = None
         # the code-diff churn fast path is only taken when the session
         # negotiated a codes-based rung anyway — a spec pinned to
         # "naive"/"incremental" keeps the object path, so the report's
@@ -436,7 +499,7 @@ class RoutingSession:
         # vectorized kernel of the same encoding — identical counts.)
         if measure_churn and not keep_trajectory and not detect_cycles \
                 and resolution.chosen in ("vectorized", "parallel",
-                                          "batched") \
+                                          "batched", "remote") \
                 and supports_vectorized(net.algebra):
             from .core.vectorized import VectorizedEngine
             eng = self._engines.get("vectorized")
@@ -452,6 +515,7 @@ class RoutingSession:
                 detect_cycles=detect_cycles,
                 workers=resolution.workers,
                 engine_obj=self._engine_obj(resolution))
+            wire = self._wire_snapshot(resolution)
             if measure_churn:
                 alg = net.algebra
                 churn = 0
@@ -466,7 +530,7 @@ class RoutingSession:
             state=result.state, resolution=resolution,
             elapsed_s=perf_counter() - t0,
             trajectory=result.trajectory if keep_trajectory else None,
-            churn=churn, result=result)
+            churn=churn, wire=wire, result=result)
 
     # -- δ ---------------------------------------------------------------
 
@@ -480,7 +544,7 @@ class RoutingSession:
 
         ``keep_history`` / ``strict`` default from the spec's history
         policy (``"full"`` / ``"literal"``); ``window`` overrides the
-        parallel rung's IPC window for this run.
+        parallel/remote rung's IPC window for this run.
         """
         self._check_open()
         net = self.network
@@ -503,8 +567,8 @@ class RoutingSession:
             engine_obj=self._engine_obj(resolution),
             window=window if window is not None else self.spec.window)
         ipc_commands = ipc_steps = None
-        if resolution.chosen == "parallel":
-            pool = self._engines.get("parallel")
+        if resolution.chosen in ("parallel", "remote"):
+            pool = self._engines.get(resolution.chosen)
             if pool is not None:
                 ipc_commands = pool.delta_ipc_commands
                 ipc_steps = pool.delta_ipc_steps
@@ -516,7 +580,7 @@ class RoutingSession:
             history_retained=result.history_retained,
             ipc_commands=ipc_commands, ipc_steps=ipc_steps,
             schedule_seed_version=schedule_seed_version([schedule]),
-            result=result)
+            wire=self._wire_snapshot(resolution), result=result)
 
     def delta_grid(self, trials: Sequence[Tuple[Schedule, RoutingState]], *,
                    max_steps: int = 2_000,
@@ -553,6 +617,12 @@ class RoutingSession:
                                   literal=literal)
         t0 = perf_counter()
         results: List[AsyncResult] = []
+        wire_base = None
+        if resolution.chosen == "remote" and trials:
+            # snapshot the engine's monotonic totals so the report can
+            # carry exactly this grid's traffic (per-run wire_stats
+            # resets on every trial)
+            wire_base = self._engine_obj(resolution).wire_totals.copy()
         if resolution.chosen == "batched" and trials:
             eng = self._engine_obj(resolution)
             compiled = [(self.compile_schedule(sched, max_steps), start)
@@ -566,7 +636,8 @@ class RoutingSession:
         else:
             eng = self._engine_obj(resolution)
             for sched, start in trials:
-                if resolution.chosen == "parallel" and self.spec.strict:
+                if resolution.chosen in ("parallel", "remote") \
+                        and self.spec.strict:
                     # strict means no silent per-trial delegation either:
                     # re-negotiate the trial as a single δ run, which
                     # raises with the exact unbounded-schedule chain
@@ -588,13 +659,18 @@ class RoutingSession:
             steps.append(res.converged_at or res.steps)
             if not any(res.state.equals(fp, alg) for fp in fixed_points):
                 fixed_points.append(res.state)
+        wire = None
+        if wire_base is not None:
+            eng = self._engines.get("remote")
+            if eng is not None:
+                wire = eng.wire_totals - wire_base
         return GridReport(
             runs=len(trials), all_converged=all_converged,
             distinct_fixed_points=fixed_points, convergence_steps=steps,
             resolution=resolution, elapsed_s=perf_counter() - t0,
             schedule_seed_version=schedule_seed_version(
                 [sched for (sched, _start) in trials]),
-            results=results if keep_results else None)
+            wire=wire, results=results if keep_results else None)
 
     # -- experiments -----------------------------------------------------
 

@@ -26,6 +26,7 @@ class TestSmokeSuite:
         # smoke stays pool-free, but the columns must exist in the schema
         assert "parallel" in report
         assert "batched" in report
+        assert "remote" in report
         assert "windowed_ipc" in report
         assert report["meta"]["cpu_count"] >= 1
         for row in report["sigma"]:
@@ -109,6 +110,31 @@ class TestCommittedBatchedColumn:
             assert row["trials"] >= 16
             assert row["batched_vs_loop"] >= \
                 run_benchmarks.BATCHED_HEADLINE_FLOOR, row
+
+    def test_committed_remote_headline(self):
+        """The PR 6 column: the gnp-400 remote headline must carry
+        bit-identity evidence and keep the delta-encoded σ updates at
+        least ``REMOTE_COMPRESSION_FLOOR`` times smaller than a naive
+        full-column transfer."""
+        path = BENCH_DIR.parent / "BENCH_core.json"
+        report = json.loads(path.read_text())
+        rows = report.get("remote", [])
+        headline = [r for r in rows if r.get("headline_remote")]
+        assert headline, "remote headline (gnp-400) case missing"
+        for row in rows:
+            assert row["fixed_points_equal"], row["case"]
+        for row in headline:
+            assert row["n"] >= 400
+            if row.get("skipped"):
+                continue
+            assert row["workers"] >= 2
+            assert row["compression_ratio"] >= \
+                run_benchmarks.REMOTE_COMPRESSION_FLOOR, row
+            assert row["bytes_per_round"] <= \
+                row["bytes_per_round_ceiling"], row
+            # protocol barriers include the init/fetch cycles, so the
+            # wire round count can only exceed the σ round count
+            assert row["sigma_wire"]["rounds"] >= row["rounds"]
 
     def test_committed_windowed_ipc(self):
         path = BENCH_DIR.parent / "BENCH_core.json"

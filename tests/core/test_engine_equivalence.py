@@ -152,8 +152,10 @@ def _schedules(n, seed=0):
 
 #: extra spec kwargs per engine: the parallel engine gets an explicit
 #: 2-worker pool, because auto mode would (correctly) decline the
-#: oracle's small nets and any single-CPU CI host.
-ENGINE_KWARGS = {"parallel": {"workers": 2}}
+#: oracle's small nets and any single-CPU CI host; the remote engine
+#: gets a 2-shard loopback TCP transport for the same reason.
+ENGINE_KWARGS = {"parallel": {"workers": 2},
+                 "remote": {"remote_workers": 2}}
 
 
 def engine_session(net, engine) -> RoutingSession:
@@ -248,8 +250,10 @@ def assert_engines_agree(net, schedules=(), lockstep_rounds=10,
                 sched, start, max_steps=max_steps).result
             batr = sessions["batched"].delta(
                 sched, start, max_steps=max_steps).result
+            remr = sessions["remote"].delta(
+                sched, start, max_steps=max_steps).result
             runs = [("incremental", inc), ("vectorized", vecr),
-                    ("batched", batr)]
+                    ("batched", batr), ("remote", remr)]
             if par is not None and sched.max_read_back() is not None:
                 runs.append(("parallel-windowed",
                              delta_run_parallel(net, sched, start,

@@ -252,6 +252,11 @@ def expected_sigma_chain(net, engine):
     if engine in ("naive", "incremental"):
         return [], engine
     if finite:
+        if engine == "remote":
+            # this matrix configures no remote transport, so the remote
+            # rung always skips with its machine-readable code and the
+            # ladder continues at batched
+            return [("remote", "no-remote-endpoints")], "batched"
         if engine == "parallel" and not shm:
             return [("parallel", "no-shared-memory")], "vectorized"
         if engine == "batched" and not shm:
@@ -259,7 +264,9 @@ def expected_sigma_chain(net, engine):
         return [], engine
     ladder = {"vectorized": ["vectorized"],
               "parallel": ["parallel", "vectorized"],
-              "batched": ["batched", "parallel", "vectorized"]}[engine]
+              "batched": ["batched", "parallel", "vectorized"],
+              "remote": ["remote", "batched", "parallel",
+                         "vectorized"]}[engine]
     return [(rung, "no-finite-encoding") for rung in ladder], "incremental"
 
 

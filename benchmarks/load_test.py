@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Concurrent load test for the routing service daemon.
+
+Fans hundreds of :class:`~repro.service.client.AsyncServiceClient`
+connections at one daemon and measures what the service tentpole
+claims:
+
+* **cold phase** — every request is a distinct query (unique start
+  seed), so each one pays a full fixed-point compute: the cache-miss
+  latency distribution;
+* **warm phase** — every client repeats one identical query, so after
+  a single compute the whole fleet is served from the fixed-point
+  cache: the cache-hit latency distribution.
+
+Reported: p50/p99 per phase (client-observed round-trip), the
+warm-over-cold speedup (acceptance: ≥ 5× on the committed full-run
+headline), and the server's own cache hit ratio from the ``stats``
+verb.  ``run_load_test()`` is importable — ``run_benchmarks.py``
+records its output as the ``service`` column of ``BENCH_core.json``
+and the ``--quick`` gate regresses against it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/load_test.py            # in-process
+    PYTHONPATH=src python benchmarks/load_test.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/load_test.py \
+        --connect 127.0.0.1:7432 --shutdown    # against a live daemon
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+if __name__ == "__main__":   # allow running without installing the package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import AsyncServiceClient, RoutingServiceDaemon
+from repro.service.protocol import percentile
+
+#: per-scale sizing: (clients, queries per client per phase, n)
+SCALES = {
+    "smoke": (8, 3, 24),
+    "quick": (24, 4, 64),
+    "full": (200, 4, 96),
+}
+
+
+async def _phase(clients: List[AsyncServiceClient], sid: str,
+                 queries: int, *, distinct: bool) -> Tuple[list, list]:
+    """One load phase; returns (latencies_ms, digests).
+
+    ``distinct=True`` gives every request its own start seed (all
+    cache misses); ``distinct=False`` has the whole fleet repeat one
+    identical query (cache hits after the first compute).
+    """
+    async def worker(idx: int, client: AsyncServiceClient):
+        lat, digs = [], []
+        for q in range(queries):
+            seed = (1 + idx * queries + q) if distinct else 0
+            t0 = perf_counter()
+            reply = await client.sigma(sid, start_seed=seed)
+            lat.append((perf_counter() - t0) * 1e3)
+            digs.append(reply["digest"])
+        return lat, digs
+
+    results = await asyncio.gather(*[
+        worker(i, c) for i, c in enumerate(clients)])
+    latencies = [ms for lat, _ in results for ms in lat]
+    digests = [d for _, digs in results for d in digs]
+    return latencies, digests
+
+
+async def _run(clients_n: int, queries: int, n: int, *,
+               algebra: str, topology: str, seed: int,
+               host: Optional[str], port: Optional[int],
+               shutdown: bool) -> Dict:
+    daemon = None
+    if host is None:
+        daemon = RoutingServiceDaemon(host="127.0.0.1", port=0,
+                                      cache_entries=8192)
+        await daemon.start()
+        host, port = daemon.host, daemon.port
+
+    clients = await asyncio.gather(*[
+        AsyncServiceClient.connect(host, port) for _ in range(clients_n)])
+    try:
+        loads = await asyncio.gather(*[
+            c.load(algebra, n=n, topology=topology, seed=seed)
+            for c in clients])
+        sid = loads[0]["session"]
+        assert all(r["session"] == sid for r in loads), \
+            "identical loads must share one warm session"
+
+        cold_ms, _ = await _phase(clients, sid, queries, distinct=True)
+        warm_ms, warm_digests = await _phase(clients, sid, queries,
+                                             distinct=False)
+        assert len(set(warm_digests)) == 1, \
+            "warm phase produced inconsistent fixed points"
+
+        stats = await clients[0].stats()
+        if shutdown:
+            await clients[0].shutdown()
+    finally:
+        await asyncio.gather(*[c.close() for c in clients])
+        if daemon is not None:
+            await daemon.stop()
+
+    cold_p50 = percentile(cold_ms, 50.0)
+    warm_p50 = percentile(warm_ms, 50.0)
+    cache = stats["cache"]
+    return {
+        "clients": clients_n,
+        "queries_per_phase": len(cold_ms),
+        "algebra": algebra,
+        "topology": topology,
+        "n": n,
+        "warm_digest": warm_digests[0],
+        "cold_ms": {"p50": round(cold_p50, 3),
+                    "p99": round(percentile(cold_ms, 99.0), 3),
+                    "count": len(cold_ms)},
+        "warm_ms": {"p50": round(warm_p50, 3),
+                    "p99": round(percentile(warm_ms, 99.0), 3),
+                    "count": len(warm_ms)},
+        "cache_hit_speedup": (round(cold_p50 / warm_p50, 2)
+                              if warm_p50 > 0 else None),
+        "cache_hit_ratio": round(cache["hit_ratio"], 4),
+        "server_requests": stats["requests"],
+        "server_errors": stats["errors"],
+        "server_p99_ms": round(stats["latency_ms"]["p99"], 3),
+    }
+
+
+def run_load_test(scale: str = "quick", *, algebra: str = "hop-count",
+                  topology: str = "random", seed: int = 5,
+                  host: Optional[str] = None, port: Optional[int] = None,
+                  clients: Optional[int] = None,
+                  queries: Optional[int] = None, n: Optional[int] = None,
+                  shutdown: bool = False) -> Dict:
+    """Run the cold/warm load experiment; returns the result row.
+
+    Without ``host`` the daemon runs in-process on an ephemeral port
+    (hermetic — what the benchmark harness records); with ``host`` the
+    fleet targets a live daemon (the CI smoke job's mode).
+    """
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}")
+    d_clients, d_queries, d_n = SCALES[scale]
+    return asyncio.run(_run(
+        clients or d_clients, queries or d_queries, n or d_n,
+        algebra=algebra, topology=topology, seed=seed,
+        host=host, port=port, shutdown=shutdown))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (few clients, small topology)")
+    parser.add_argument("--full", action="store_true",
+                        help="the committed headline size (200 clients)")
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None,
+                        help="queries per client per phase")
+    parser.add_argument("--n", type=int, default=None,
+                        help="topology size")
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="target a live daemon instead of an "
+                             "in-process one")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="send the shutdown verb when done (used by "
+                             "the CI smoke job to assert clean exit)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw result row as JSON")
+    args = parser.parse_args(argv)
+
+    host = port = None
+    if args.connect:
+        host, _, port_s = args.connect.rpartition(":")
+        port = int(port_s)
+    scale = "smoke" if args.smoke else "full" if args.full else "quick"
+    row = run_load_test(scale, host=host, port=port,
+                        clients=args.clients, queries=args.queries,
+                        n=args.n, shutdown=args.shutdown)
+    if args.json:
+        print(json.dumps(row, indent=2))
+    else:
+        print(f"service load test — {row['clients']} clients, "
+              f"n={row['n']} {row['algebra']}/{row['topology']}")
+        print(f"  cold (all misses): p50 {row['cold_ms']['p50']} ms, "
+              f"p99 {row['cold_ms']['p99']} ms "
+              f"({row['cold_ms']['count']} requests)")
+        print(f"  warm (cache hits): p50 {row['warm_ms']['p50']} ms, "
+              f"p99 {row['warm_ms']['p99']} ms "
+              f"({row['warm_ms']['count']} requests)")
+        print(f"  cache-hit speedup: {row['cache_hit_speedup']}x, "
+              f"server hit ratio {row['cache_hit_ratio']}, "
+              f"{row['server_errors']} errors")
+    return 0 if row["server_errors"] == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

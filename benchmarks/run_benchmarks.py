@@ -456,6 +456,62 @@ def bench_remote_case(case: Dict, repeats: int) -> Dict:
     return row
 
 
+def _service_cases(scale: str) -> List[Dict]:
+    """Service column (PR 7): the routing daemon under concurrent
+    asyncio clients, cold (all cache misses) vs warm (fixed-point
+    cache hits).
+
+    The claim this column carries is the tentpole acceptance: repeated
+    queries against a warm session must be served from the fixed-point
+    cache ≥ :data:`SERVICE_CACHE_FLOOR` times faster (client-observed
+    p50) than cold computes, at a reported cache hit ratio, with zero
+    server-side errors — plus bit-identity of the served fixed point
+    against a direct :class:`~repro.session.RoutingSession` run.
+    """
+    if scale == "smoke":
+        return []                        # tier-1 smoke stays socket-free
+    if scale == "quick":
+        return [
+            dict(label="service-24c/gnp-64/hop-count", scale="quick",
+                 algebra="hop-count", topology="random", n=64, seed=5),
+        ]
+    return [
+        # the PR 7 headline acceptance case: hundreds of concurrent
+        # asyncio clients against one warm session
+        dict(label="service-200c/gnp-96/hop-count", headline_service=True,
+             scale="full", algebra="hop-count", topology="random", n=96,
+             seed=5),
+    ]
+
+
+def bench_service_case(case: Dict) -> Dict:
+    """One cold/warm load-test run (see ``benchmarks/load_test.py``)
+    plus the bit-identity cross-check of the served fixed point."""
+    try:
+        import load_test as _load_test
+    except ImportError:                  # imported as a module, not __main__
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import load_test as _load_test
+    from repro.service.daemon import _build_network
+    from repro.service.protocol import start_state, state_digest
+
+    result = _load_test.run_load_test(
+        case["scale"], algebra=case["algebra"], topology=case["topology"],
+        seed=case["seed"], n=case["n"])
+    # the warm phase queries start_seed=0; a direct session run on an
+    # identically-built network must reproduce the served digest
+    network, _factory = _build_network(
+        case["algebra"], case["topology"], case["n"], case["seed"])
+    with RoutingSession(network) as session:
+        direct = session.sigma(start_state(network, 0))
+    row = dict(case=case["label"],
+               headline_service=bool(case.get("headline_service")))
+    row.update(result)
+    row["fixed_points_equal"] = (
+        result["warm_digest"] == state_digest(direct.state))
+    return row
+
+
 def _dense_schedules(n: int):
     """High-activation-rate schedule panel for the batched-grid column.
 
@@ -861,7 +917,7 @@ def run_suite(scale: str = "full", repeats: Optional[int] = None) -> Dict:
             "engine": "incremental (PR 1) + vectorized finite-algebra "
                       "(PR 2) + shared-memory parallel (PR 3) + batched "
                       "multi-trial grid (PR 4) + TCP-sharded remote "
-                      "(PR 6)",
+                      "(PR 6) + routing service daemon (PR 7)",
             "baseline": "frozen seed engine (benchmarks/naive_engine.py)",
         },
         "sigma": [bench_sigma_case(c, repeats) for c in _sigma_cases(scale)],
@@ -872,11 +928,13 @@ def run_suite(scale: str = "full", repeats: Optional[int] = None) -> Dict:
                     for c in _batched_cases(scale)],
         "remote": [bench_remote_case(c, repeats)
                    for c in _remote_cases(scale)],
+        "service": [bench_service_case(c) for c in _service_cases(scale)],
     }
     ipc = bench_windowed_ipc(scale)
     report["windowed_ipc"] = [ipc] if ipc else []
     rows = (report["sigma"] + report["delta"] + report["parallel"] +
-            report["batched"] + report["remote"] + report["windowed_ipc"])
+            report["batched"] + report["remote"] + report["service"] +
+            report["windowed_ipc"])
     report["meta"]["all_fixed_points_equal"] = all(
         r["fixed_points_equal"] for r in rows)
     return report
@@ -944,6 +1002,15 @@ def _print_report(report: Dict) -> None:
               f"{r['bytes_per_round']:.0f} B/round "
               f"(ceiling {r['bytes_per_round_ceiling']:.0f}), "
               f"compression {r['compression_ratio']}x  {mark}")
+    for r in report.get("service", []):
+        mark = "✓" if r["fixed_points_equal"] else "✗ MISMATCH"
+        star = "∥" if r.get("headline_service") else " "
+        print(f"{r['case']:<39}{star} {r['clients']:>4} clients  "
+              f"cold p50 {r['cold_ms']['p50']:>8.2f} ms  "
+              f"warm p50 {r['warm_ms']['p50']:>7.3f} ms  "
+              f"{_fmt_speedup(r['cache_hit_speedup'])} "
+              f"(hit ratio {r['cache_hit_ratio']}, "
+              f"{r['server_errors']} errors)  {mark}")
     for r in report.get("windowed_ipc", []):
         mark = "✓" if r["fixed_points_equal"] else "✗ MISMATCH"
         print(f"{r['case']:<40} {r['delta_steps']:>4} δ steps in "
@@ -954,7 +1021,8 @@ def _print_report(report: Dict) -> None:
           "† = PR 2 finite headline (vectorized vs incremental)   "
           "‡ = PR 3 parallel headline (n≥400, workers vs vectorized)   "
           "§ = PR 4 batched-grid headline (tensor grid vs per-trial loop)   "
-          "¶ = PR 6 remote headline (wire compression vs naive transfer)")
+          "¶ = PR 6 remote headline (wire compression vs naive transfer)   "
+          "∥ = PR 7 service headline (warm-cache hits vs cold computes)")
 
 
 # ----------------------------------------------------------------------
@@ -996,6 +1064,16 @@ REMOTE_COMPRESSION_FLOOR = 4.0
 #: round touches most columns and sparse-change encoding has less to
 #: exploit; catches only a broken codec, not small-n geometry.
 QUICK_REMOTE_COMPRESSION_FLOOR = 2.0
+
+#: acceptance floor for the committed full run: the 200-client service
+#: headline must serve repeated queries from the warm fixed-point
+#: cache at least 5x faster (client-observed p50) than cold computes.
+SERVICE_CACHE_FLOOR = 5.0
+
+#: catastrophic floor for the current quick run's smaller fleet — a
+#: cache hit that is not clearly cheaper than a fixed-point compute
+#: means the cache (or the event loop) is broken, not merely noisy.
+QUICK_SERVICE_CACHE_FLOOR = 2.0
 
 
 def regress_against_baseline(report: Dict, baseline_path: Path) -> List[str]:
@@ -1101,9 +1179,35 @@ def regress_against_baseline(report: Dict, baseline_path: Path) -> List[str]:
                     f"smaller than naive full-column transfer "
                     f"(< {REMOTE_COMPRESSION_FLOOR}x acceptance floor)")
 
+    # -- service column (PR 7) ------------------------------------------
+    base_service = baseline.get("service", [])
+    if not base_service:
+        problems.append("baseline has no service column; "
+                        "re-run the full suite")
+    for r in base_service:
+        if not r.get("fixed_points_equal", True):
+            problems.append(
+                f"baseline {r['case']}: served fixed point disagrees "
+                "with a direct session run")
+        if r.get("server_errors"):
+            problems.append(
+                f"baseline {r['case']}: daemon reported "
+                f"{r['server_errors']} request errors under load")
+        if r.get("headline_service"):
+            ratio = r.get("cache_hit_speedup") or 0.0
+            if ratio < SERVICE_CACHE_FLOOR:
+                problems.append(
+                    f"baseline {r['case']}: warm-cache queries only "
+                    f"{ratio}x faster than cold computes "
+                    f"(< {SERVICE_CACHE_FLOOR}x acceptance floor)")
+            if r.get("clients", 0) < 100:
+                problems.append(
+                    f"baseline {r['case']}: service headline ran only "
+                    f"{r.get('clients')} concurrent clients (< 100)")
+
     for r in (report["sigma"] + report["delta"] + report["parallel"] +
               report.get("batched", []) + report.get("remote", []) +
-              report.get("windowed_ipc", [])):
+              report.get("service", []) + report.get("windowed_ipc", [])):
         if not r["fixed_points_equal"]:
             problems.append(f"current run: engines disagree on {r['case']}")
     for r in report.get("batched", []):
@@ -1130,6 +1234,17 @@ def regress_against_baseline(report: Dict, baseline_path: Path) -> List[str]:
                 f"current run: remote σ traffic on {r['case']} is "
                 f"{bpr} B/round, over the {ceiling} B/round ceiling "
                 "(delta-encoded updates no longer compress)")
+    for r in report.get("service", []):
+        ratio = r.get("cache_hit_speedup")
+        if ratio is not None and ratio < QUICK_SERVICE_CACHE_FLOOR:
+            problems.append(
+                f"current run: service warm-cache hits collapsed to "
+                f"{ratio}x over cold computes on {r['case']} "
+                f"(< {QUICK_SERVICE_CACHE_FLOOR}x)")
+        if r.get("server_errors"):
+            problems.append(
+                f"current run: daemon reported {r['server_errors']} "
+                f"request errors on {r['case']}")
     for r in report["parallel"]:
         if r.get("skipped"):
             continue

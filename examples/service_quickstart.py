@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart for the routing service daemon.
+
+Batch sessions (:class:`repro.session.RoutingSession`) recompute per
+process; the service daemon is the serving shape: a long-lived
+process owns *warm* sessions and clients stream small requests at it.
+This example starts a daemon in-process, then walks the whole verb
+vocabulary through :class:`repro.service.ServiceClient`:
+
+1. ``load`` a topology (identical loads share one warm session);
+2. query ``sigma`` twice — the second is an O(1) fixed-point cache hit;
+3. stream a ``set_edge`` mutation — the topology version moves and the
+   stale cache entries are invalidated, precisely;
+4. re-query (a recompute against the new version), run a ``delta``
+   under a seeded random schedule, and read the daemon's ``stats``;
+5. ``shutdown`` cleanly.
+
+Protocol reference: ``docs/service.md``.
+
+Run:  python examples/service_quickstart.py
+"""
+
+import threading
+
+from repro.service import RoutingServiceDaemon, ServiceClient
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A daemon on an ephemeral port (in production: repro.cli serve)
+    # ------------------------------------------------------------------
+    daemon = RoutingServiceDaemon(host="127.0.0.1", port=0)
+    thread = threading.Thread(target=daemon.run, daemon=True)
+    thread.start()
+    assert daemon.wait_ready(10)
+    print(f"daemon up on 127.0.0.1:{daemon.port}")
+
+    with ServiceClient("127.0.0.1", daemon.port) as client:
+        # --------------------------------------------------------------
+        # 2. Load a topology: one warm session, engines negotiated once
+        # --------------------------------------------------------------
+        load = client.load("hop-count", n=48, topology="random", seed=5)
+        sid = load["session"]
+        print(f"session {sid}: n={load['n']} {load['algebra']}/"
+              f"{load['topology']}, {load['edges']} edges, "
+              f"topology version {load['version']}")
+
+        # --------------------------------------------------------------
+        # 3. Query σ twice: compute once, then an O(1) cache hit
+        # --------------------------------------------------------------
+        first = client.sigma(sid)
+        again = client.sigma(sid)
+        print(f"sigma: converged={first['converged']} in "
+              f"{first['rounds']} rounds on the {first['engine']} "
+              f"engine ({first['compute_ms']:.1f} ms)")
+        print(f"  repeated query cached={again['cached']} "
+              f"(digest match: {again['digest'] == first['digest']})")
+
+        # --------------------------------------------------------------
+        # 4. Stream a mutation: version bumps, stale entries invalidated
+        # --------------------------------------------------------------
+        mutation = client.set_edge(sid, 0, 7, edge_seed=9)
+        print(f"set_edge(0, 7): version {load['version']} -> "
+              f"{mutation['version']}, "
+              f"{mutation['invalidated']} cache entries invalidated")
+        fresh = client.sigma(sid)
+        print(f"  re-query: cached={fresh['cached']}, new digest "
+              f"{'differs' if fresh['digest'] != first['digest'] else 'matches'}")
+
+        # --------------------------------------------------------------
+        # 5. δ under a seeded schedule, then the daemon's own stats
+        # --------------------------------------------------------------
+        delta = client.delta(
+            sid, schedule={"kind": "random", "seed": 7, "max_delay": 4})
+        print(f"delta: converged={delta['converged']} at step "
+              f"{delta['converged_at']} (schedule seed semantics "
+              f"v{delta['schedule_seed_version']})")
+
+        stats = client.stats()
+        print(f"stats: {stats['requests']} requests, cache hit ratio "
+              f"{stats['cache']['hit_ratio']:.2f}, p50 "
+              f"{stats['latency_ms']['p50']:.2f} ms, p99 "
+              f"{stats['latency_ms']['p99']:.2f} ms")
+
+        # --------------------------------------------------------------
+        # 6. Clean shutdown (the daemon closes its warm sessions)
+        # --------------------------------------------------------------
+        client.shutdown()
+    thread.join(10)
+    print(f"daemon stopped cleanly: {not thread.is_alive()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,7 @@ it properly.
 from __future__ import annotations
 
 import argparse
+import logging
 import random
 import sys
 from typing import Callable, Dict, Optional, Tuple
@@ -285,6 +286,21 @@ def cmd_worker(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .service import serve
+    if args.log:
+        logging.basicConfig(
+            level=logging.INFO,
+            format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    try:
+        serve(host=args.host, port=args.port, engine=args.engine,
+              max_sessions=args.max_sessions,
+              cache_entries=args.cache_entries, announce=True)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_simulate(args) -> int:
     net, _finite, _is_path = build_network(args.algebra, args.topology,
                                            args.n, args.seed)
@@ -389,6 +405,26 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--once", action="store_true",
                    help="exit after serving a single coordinator "
                         "connection instead of accepting forever")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the routing service daemon (JSON-over-TCP, warm "
+             "sessions, fixed-point cache; prints 'listening on "
+             "host:port' once bound; Ctrl-C to stop)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port to bind (default 0: an ephemeral "
+                        "port, reported on stdout)")
+    p.add_argument("--engine", default="auto",
+                   choices=("auto",) + ENGINES,
+                   help="default engine for sessions whose 'load' "
+                        "does not name one")
+    p.add_argument("--max-sessions", type=int, default=8,
+                   help="warm-session registry bound (LRU eviction)")
+    p.add_argument("--cache-entries", type=int, default=512,
+                   help="per-session fixed-point cache bound (LRU)")
+    p.add_argument("--log", action="store_true",
+                   help="emit per-request structured logs on stderr")
     return parser
 
 
@@ -399,6 +435,7 @@ COMMANDS = {
     "census": cmd_census,
     "simulate": cmd_simulate,
     "worker": cmd_worker,
+    "serve": cmd_serve,
 }
 
 

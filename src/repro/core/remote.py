@@ -392,10 +392,26 @@ def _serve_connection(sock) -> None:
             try:
                 reply_type, reply_payload = _dispatch(state, msg_type,
                                                       payload)
-            except Exception as exc:     # relay instead of dying
+            except (WireError, RemoteError, OSError, ValueError,
+                    LookupError, TypeError, ArithmeticError) as exc:
+                # expected handler failures (bad payloads, protocol
+                # discipline, compute errors): relay as a typed error
+                # frame instead of dying — the worker stays usable.
+                _engine_log.warning(
+                    "worker relaying %s to coordinator: %s",
+                    type(exc).__name__, exc)
                 _try_send(fc, MSG_ERROR, pack_payload(
                     {"message": f"{type(exc).__name__}: {exc}"}))
                 continue
+            except Exception as exc:
+                # genuinely unexpected: tell the coordinator, then let
+                # it propagate — a silent catch-all here masked bugs.
+                _engine_log.warning(
+                    "worker hit unexpected %s handling msg_type=%d: %s",
+                    type(exc).__name__, msg_type, exc)
+                _try_send(fc, MSG_ERROR, pack_payload(
+                    {"message": f"{type(exc).__name__}: {exc}"}))
+                raise
             fc.send(reply_type, reply_payload)
     finally:
         fc.close()
@@ -436,11 +452,24 @@ def _spawned_worker_main(pipe, host: str) -> None:
             pipe.send((h, p))
             pipe.close()
         serve_worker(host, 0, once=True, ready_callback=ready)
-    except Exception:                    # pragma: no cover - spawn failure
+    except (OSError, WireError) as exc:  # pragma: no cover - spawn failure
+        # expected startup/session failures (bind refused, peer sent
+        # garbage): report failure on the pipe and exit quietly.
+        _engine_log.warning("loopback worker exiting on %s: %s",
+                            type(exc).__name__, exc)
         try:
             pipe.send(None)
-        except Exception:
+        except (OSError, ValueError):    # parent already gone
             pass
+    except Exception:                    # pragma: no cover - worker bug
+        # unexpected: still unblock the parent's port wait, but let the
+        # error propagate so the subprocess dies loudly (non-zero exit)
+        # instead of being silently eaten.
+        try:
+            pipe.send(None)
+        except (OSError, ValueError):
+            pass
+        raise
 
 
 def spawn_loopback_workers(count: int, host: str = "127.0.0.1",
@@ -472,16 +501,52 @@ def spawn_loopback_workers(count: int, host: str = "127.0.0.1",
                 raise RemoteError(
                     "loopback worker did not report its port within "
                     f"{timeout}s")
-            reported = parent.recv()
-            parent.close()
+            try:
+                reported = parent.recv()
+            except EOFError:
+                raise RemoteError(
+                    "loopback worker died before reporting its port")
+            finally:
+                parent.close()
             if reported is None:
                 raise RemoteError("loopback worker failed to start")
             endpoints.append((reported[0], reported[1]))
-    except Exception:
+    except Exception as exc:
+        # reap every already-spawned worker deterministically before
+        # re-raising — a failed spawn must not leak subprocesses.
+        _engine_log.warning(
+            "loopback spawn failed (%s: %s); reaping %d spawned workers",
+            type(exc).__name__, exc, len(procs))
         for proc in procs:
             proc.terminate()
+        _reap_workers(procs)
         raise
     return procs, endpoints
+
+
+def _reap_workers(procs) -> None:
+    """Join worker subprocesses, escalating terminate → kill so the
+    caller always returns with every child reaped (no zombies, no
+    leaked sentinels) — never a hang on a stuck worker."""
+    for proc in procs:
+        proc.join(timeout=2.0)
+    for proc in procs:
+        if proc.is_alive():              # pragma: no cover - stuck worker
+            _engine_log.warning(
+                "worker %s (pid=%s) ignored stop; terminating",
+                proc.name, proc.pid)
+            proc.terminate()
+            proc.join(timeout=2.0)
+        if proc.is_alive():              # pragma: no cover - unkillable
+            _engine_log.warning(
+                "worker %s (pid=%s) survived terminate; killing",
+                proc.name, proc.pid)
+            proc.kill()
+            proc.join(timeout=2.0)
+        try:
+            proc.close()                 # release the sentinel now
+        except ValueError:               # pragma: no cover - still alive
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -505,12 +570,7 @@ class _RemoteResources:
             except (WireError, OSError):
                 pass
             fc.close()
-        for proc in self.procs:
-            proc.join(timeout=2.0)
-        for proc in self.procs:
-            if proc.is_alive():          # pragma: no cover - stuck worker
-                proc.terminate()
-                proc.join(timeout=2.0)
+        _reap_workers(self.procs)
         self.conns = []
         self.procs = []
 

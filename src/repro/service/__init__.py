@@ -1,0 +1,63 @@
+"""Routing-as-a-service: a long-lived asyncio daemon over warm sessions.
+
+The batch entry points (:class:`~repro.session.RoutingSession`, the CLI
+subcommands) recompute from scratch on every invocation.  Production
+serving is the opposite shape: a long-lived process owns *warm*
+sessions — engines built, tables encoded, schedules compiled — and
+clients stream small requests at it.  This package provides
+
+* :class:`~repro.service.daemon.RoutingServiceDaemon` — a stdlib
+  ``asyncio`` JSON-over-TCP server (newline-delimited frames, versioned
+  hello, typed error replies — the :doc:`docs/wire.md <wire>` failure
+  discipline re-applied at the request layer) owning a registry of warm
+  :class:`~repro.session.RoutingSession` objects keyed by
+  ``(algebra, adjacency.version)``;
+* a **fixed-point / report cache** keyed by ``(topology version,
+  algebra, start, schedule seed, SCHEDULE_SEED_VERSION)`` so repeated
+  queries are O(1) cache hits, invalidated precisely when a mutation
+  bumps the topology version;
+* :class:`~repro.service.client.ServiceClient` /
+  :class:`~repro.service.client.AsyncServiceClient` — thin request
+  helpers (the async one drives ``benchmarks/load_test.py``);
+* ``python -m repro.cli serve`` — the operator entry point.
+
+Protocol reference: :doc:`docs/service.md <service>`.
+"""
+
+from .protocol import (
+    ERR_BAD_REQUEST,
+    ERR_ENGINE,
+    ERR_HELLO_REQUIRED,
+    ERR_MALFORMED,
+    ERR_NO_SESSION,
+    ERR_SERVER,
+    ERR_UNKNOWN_VERB,
+    ERR_VERSION_SKEW,
+    SERVICE_VERSION,
+    ServiceError,
+    schedule_from_spec,
+    state_digest,
+    state_matrix,
+)
+from .daemon import RoutingServiceDaemon, serve
+from .client import AsyncServiceClient, ServiceClient
+
+__all__ = [
+    "SERVICE_VERSION",
+    "ServiceError",
+    "ERR_BAD_REQUEST",
+    "ERR_ENGINE",
+    "ERR_HELLO_REQUIRED",
+    "ERR_MALFORMED",
+    "ERR_NO_SESSION",
+    "ERR_SERVER",
+    "ERR_UNKNOWN_VERB",
+    "ERR_VERSION_SKEW",
+    "RoutingServiceDaemon",
+    "serve",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "schedule_from_spec",
+    "state_digest",
+    "state_matrix",
+]

@@ -1,0 +1,259 @@
+"""Client helpers for the routing service daemon.
+
+:class:`ServiceClient` is the blocking helper (scripts, tests, the
+quickstart example); :class:`AsyncServiceClient` is the ``asyncio``
+variant that ``benchmarks/load_test.py`` fans out by the hundred.  Both
+perform the versioned hello on connect, raise
+:class:`~repro.service.protocol.ServiceError` carrying the server's
+typed code on any error reply, and expose one method per verb.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from .protocol import (
+    ERR_MALFORMED,
+    MAX_LINE,
+    SERVICE_VERSION,
+    ServiceError,
+    encode_frame,
+)
+
+__all__ = ["ServiceClient", "AsyncServiceClient"]
+
+
+def _check(reply: Dict[str, Any]) -> Dict[str, Any]:
+    """Raise the server's typed error, else pass the reply through."""
+    if not isinstance(reply, dict):
+        raise ServiceError(ERR_MALFORMED,
+                           f"server sent a non-object reply: {reply!r}")
+    if not reply.get("ok"):
+        err = reply.get("error") or {}
+        raise ServiceError(err.get("code", "server-error"),
+                           err.get("message", "unspecified server error"))
+    return reply
+
+
+class _VerbMixin:
+    """Shared verb-to-request plumbing; subclasses provide ``request``."""
+
+    @staticmethod
+    def _load_req(algebra: str, n: int, topology: str, seed: int,
+                  engine: Optional[str]) -> Dict[str, Any]:
+        req = {"verb": "load", "algebra": algebra, "n": n,
+               "topology": topology, "seed": seed}
+        if engine is not None:
+            req["engine"] = engine
+        return req
+
+    @staticmethod
+    def _sigma_req(session: str, start_seed: Optional[int],
+                   max_rounds: int, include_state: bool) -> Dict[str, Any]:
+        req: Dict[str, Any] = {"verb": "sigma", "session": session,
+                               "max_rounds": max_rounds}
+        if start_seed is not None:
+            req["start_seed"] = start_seed
+        if include_state:
+            req["include_state"] = True
+        return req
+
+    @staticmethod
+    def _delta_req(session: str, schedule: Optional[Dict[str, Any]],
+                   start_seed: Optional[int], max_steps: int,
+                   include_state: bool) -> Dict[str, Any]:
+        req: Dict[str, Any] = {"verb": "delta", "session": session,
+                               "max_steps": max_steps}
+        if schedule is not None:
+            req["schedule"] = schedule
+        if start_seed is not None:
+            req["start_seed"] = start_seed
+        if include_state:
+            req["include_state"] = True
+        return req
+
+
+class ServiceClient(_VerbMixin):
+    """Blocking JSON-over-TCP client (one socket, hello on connect).
+
+    Usage::
+
+        with ServiceClient("127.0.0.1", 7432) as client:
+            sid = client.load("hop-count", n=32)["session"]
+            report = client.sigma(sid)
+            client.set_edge(sid, 0, 1, edge_seed=7)   # invalidates cache
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self.server_hello = self.request(
+            {"verb": "hello", "v": SERVICE_VERSION})
+
+    # -- plumbing --------------------------------------------------------
+
+    def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/reply round trip; raises ``ServiceError`` on an
+        error reply or a dropped connection."""
+        self._sock.sendall(encode_frame(req))
+        line = self._file.readline(MAX_LINE)
+        if not line:
+            raise ServiceError(
+                ERR_MALFORMED,
+                "server closed the connection without replying")
+        return _check(json.loads(line.decode("utf-8")))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- verbs -----------------------------------------------------------
+
+    def load(self, algebra: str, n: int, *, topology: str = "random",
+             seed: int = 0, engine: Optional[str] = None) -> Dict[str, Any]:
+        return self.request(self._load_req(algebra, n, topology, seed,
+                                           engine))
+
+    def sigma(self, session: str, *, start_seed: Optional[int] = None,
+              max_rounds: int = 10_000,
+              include_state: bool = False) -> Dict[str, Any]:
+        return self.request(self._sigma_req(session, start_seed,
+                                            max_rounds, include_state))
+
+    def delta(self, session: str, *,
+              schedule: Optional[Dict[str, Any]] = None,
+              start_seed: Optional[int] = None, max_steps: int = 2_000,
+              include_state: bool = False) -> Dict[str, Any]:
+        return self.request(self._delta_req(session, schedule, start_seed,
+                                            max_steps, include_state))
+
+    def convergence(self, session: str, *, n_starts: int = 3,
+                    seed: int = 0,
+                    max_steps: int = 2_000) -> Dict[str, Any]:
+        return self.request({"verb": "convergence", "session": session,
+                             "n_starts": n_starts, "seed": seed,
+                             "max_steps": max_steps})
+
+    def set_edge(self, session: str, i: int, k: int, *,
+                 edge_seed: int = 0) -> Dict[str, Any]:
+        return self.request({"verb": "set_edge", "session": session,
+                             "i": i, "k": k, "edge_seed": edge_seed})
+
+    def remove_edge(self, session: str, i: int, k: int) -> Dict[str, Any]:
+        return self.request({"verb": "remove_edge", "session": session,
+                             "i": i, "k": k})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"verb": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"verb": "shutdown"})
+
+
+class AsyncServiceClient(_VerbMixin):
+    """``asyncio`` client — what the load generator fans out.
+
+    Usage::
+
+        client = await AsyncServiceClient.connect(host, port)
+        try:
+            sid = (await client.load("hop-count", n=64))["session"]
+            report = await client.sigma(sid)
+        finally:
+            await client.close()
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self.server_hello: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1",
+                      port: int = 0) -> "AsyncServiceClient":
+        reader, writer = await asyncio.open_connection(host, port,
+                                                       limit=MAX_LINE)
+        client = cls(reader, writer)
+        client.server_hello = await client.request(
+            {"verb": "hello", "v": SERVICE_VERSION})
+        return client
+
+    async def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        self._writer.write(encode_frame(req))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError(
+                ERR_MALFORMED,
+                "server closed the connection without replying")
+        return _check(json.loads(line.decode("utf-8")))
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- verbs -----------------------------------------------------------
+
+    async def load(self, algebra: str, n: int, *, topology: str = "random",
+                   seed: int = 0,
+                   engine: Optional[str] = None) -> Dict[str, Any]:
+        return await self.request(self._load_req(algebra, n, topology,
+                                                 seed, engine))
+
+    async def sigma(self, session: str, *,
+                    start_seed: Optional[int] = None,
+                    max_rounds: int = 10_000,
+                    include_state: bool = False) -> Dict[str, Any]:
+        return await self.request(self._sigma_req(
+            session, start_seed, max_rounds, include_state))
+
+    async def delta(self, session: str, *,
+                    schedule: Optional[Dict[str, Any]] = None,
+                    start_seed: Optional[int] = None,
+                    max_steps: int = 2_000,
+                    include_state: bool = False) -> Dict[str, Any]:
+        return await self.request(self._delta_req(
+            session, schedule, start_seed, max_steps, include_state))
+
+    async def convergence(self, session: str, *, n_starts: int = 3,
+                          seed: int = 0,
+                          max_steps: int = 2_000) -> Dict[str, Any]:
+        return await self.request({"verb": "convergence",
+                                   "session": session,
+                                   "n_starts": n_starts, "seed": seed,
+                                   "max_steps": max_steps})
+
+    async def set_edge(self, session: str, i: int, k: int, *,
+                       edge_seed: int = 0) -> Dict[str, Any]:
+        return await self.request({"verb": "set_edge", "session": session,
+                                   "i": i, "k": k,
+                                   "edge_seed": edge_seed})
+
+    async def remove_edge(self, session: str, i: int,
+                          k: int) -> Dict[str, Any]:
+        return await self.request({"verb": "remove_edge",
+                                   "session": session, "i": i, "k": k})
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.request({"verb": "stats"})
+
+    async def shutdown(self) -> Dict[str, Any]:
+        return await self.request({"verb": "shutdown"})

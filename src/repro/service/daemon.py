@@ -1,0 +1,623 @@
+"""The routing-as-a-service daemon: warm sessions behind a TCP socket.
+
+:class:`RoutingServiceDaemon` is a stdlib-``asyncio`` JSON-over-TCP
+server.  It owns a registry of warm :class:`~repro.session.RoutingSession`
+objects — engine negotiated once, adjacency shared with the incremental
+engine's dirty-set tracking — so a client streams ``set_edge`` /
+``remove_edge`` mutations and re-queries without ever paying a rebuild.
+Each session carries a fixed-point/report cache keyed by
+
+    (verb, adjacency.version, algebra, start seed,
+     canonical schedule spec, SCHEDULE_SEED_VERSION, request knobs)
+
+so a repeated query is an O(1) cache hit and a mutation — which bumps
+``adjacency.version`` — invalidates exactly the entries computed
+against the old topology (stale keys can never be looked up again; the
+whole per-session cache is dropped eagerly so memory tracks the live
+topology).
+
+Concurrency model: the event loop only parses frames and consults
+caches; fixed-point computes run in the default thread-pool executor
+under a per-session :class:`asyncio.Lock`, so concurrent clients on one
+warm session serialize safely (first one computes, the rest hit the
+cache) while other sessions and connections stay responsive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import logging
+import random
+import threading
+from collections import OrderedDict, deque
+from time import perf_counter
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.schedule import RandomSchedule
+from ..session import EngineSpec, RoutingSession
+from .protocol import (
+    ERR_BAD_REQUEST,
+    ERR_ENGINE,
+    ERR_HELLO_REQUIRED,
+    ERR_MALFORMED,
+    ERR_NO_SESSION,
+    ERR_SERVER,
+    ERR_UNKNOWN_VERB,
+    ERR_VERSION_SKEW,
+    FATAL_CODES,
+    MAX_LINE,
+    SERVICE_VERSION,
+    ServiceError,
+    encode_frame,
+    error_reply,
+    percentile,
+    schedule_cache_key,
+    schedule_from_spec,
+    start_state,
+    state_digest,
+    state_matrix,
+)
+
+__all__ = ["RoutingServiceDaemon", "serve"]
+
+logger = logging.getLogger("repro.service")
+
+_QUERY_VERBS = ("sigma", "delta", "convergence")
+
+
+class _SessionEntry:
+    """One warm session: network + RoutingSession + its report cache."""
+
+    __slots__ = ("sid", "network", "session", "factory", "lock", "cache",
+                 "hits", "misses", "invalidated", "mutations", "params")
+
+    def __init__(self, sid: str, network, session: RoutingSession,
+                 factory, params: Dict[str, Any]):
+        self.sid = sid
+        self.network = network
+        self.session = session
+        self.factory = factory
+        self.params = params          # load parameters, echoed by stats
+        self.lock = asyncio.Lock()    # serializes computes + mutations
+        self.cache: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = 0
+        self.mutations = 0
+
+    @property
+    def version(self) -> int:
+        return self.network.adjacency.version
+
+    def invalidate(self) -> int:
+        """Drop every cached report (they were computed against the
+        pre-mutation topology version); returns how many were dropped."""
+        dropped = len(self.cache)
+        self.cache.clear()
+        self.invalidated += dropped
+        return dropped
+
+
+class RoutingServiceDaemon:
+    """A long-lived JSON-over-TCP routing service (see module docs and
+    ``docs/service.md`` for the protocol).
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    engine:
+        Default :class:`~repro.session.EngineSpec` engine for sessions
+        whose ``load`` does not name one (ladder rung or ``"auto"``).
+    max_sessions:
+        Warm-session registry bound; loading past it evicts (and
+        closes) the least-recently-used session.
+    cache_entries:
+        Per-session report-cache bound (LRU).
+    announce:
+        Print the ``listening on host:port`` line on start — what the
+        CLI and the CI smoke job parse.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 engine: str = "auto", max_sessions: int = 8,
+                 cache_entries: int = 512, announce: bool = False):
+        EngineSpec(engine=engine)  # fail fast on a bad rung name
+        self.host = host
+        self.port = port
+        self.default_engine = engine
+        self.max_sessions = max_sessions
+        self.cache_entries = cache_entries
+        self.announce = announce
+        self._sessions: "OrderedDict[str, _SessionEntry]" = OrderedDict()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._latencies: "deque[float]" = deque(maxlen=8192)
+        self._requests = 0
+        self._errors = 0
+        self._evictions = 0
+        self._started_at: Optional[float] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (non-blocking)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = perf_counter()
+        self._ready.set()
+        logger.info("service listening on %s:%d (engine=%s, "
+                    "max_sessions=%d)", self.host, self.port,
+                    self.default_engine, self.max_sessions)
+        if self.announce:
+            print(f"repro routing service listening on "
+                  f"{self.host}:{self.port}", flush=True)
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`request_shutdown` (or the ``shutdown``
+        verb) fires."""
+        assert self._stop_event is not None, "start() first"
+        await self._stop_event.wait()
+
+    async def stop(self) -> None:
+        """Stop accepting, close every warm session, release the port."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        for entry in list(self._sessions.values()):
+            await loop.run_in_executor(None, entry.session.close)
+        self._sessions.clear()
+        self._ready.clear()
+        logger.info("service stopped (%d requests served)", self._requests)
+
+    def request_shutdown(self) -> None:
+        """Thread-safe shutdown trigger (used by signal handlers, the
+        ``shutdown`` verb, and tests driving the daemon from a thread)."""
+        loop, stop = self._loop, self._stop_event
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    def wait_ready(self, timeout: float = 10.0) -> bool:
+        """Block a *foreign* thread until the daemon is accepting."""
+        return self._ready.wait(timeout)
+
+    def run(self) -> None:
+        """Synchronous entry point: start, serve until shutdown, stop."""
+        asyncio.run(self._run())
+
+    async def _run(self) -> None:
+        await self.start()
+        try:
+            await self.serve_forever()
+        finally:
+            await self.stop()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        hello_done = False
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # over-long line: the peer is not framing requests
+                    await self._send(writer, error_reply(
+                        ERR_MALFORMED,
+                        f"request line exceeds {MAX_LINE} bytes"))
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break  # orderly EOF
+                line = line.strip()
+                if not line:
+                    continue
+                t0 = perf_counter()
+                reply = await self._handle_frame(line, hello_done)
+                verb = reply.get("verb")
+                if reply.get("ok") and verb == "hello":
+                    hello_done = True
+                self._requests += 1
+                elapsed = perf_counter() - t0
+                self._latencies.append(elapsed)
+                err = reply.get("error")
+                if err:
+                    self._errors += 1
+                logger.info(
+                    "peer=%s verb=%s ok=%s cached=%s err=%s ms=%.3f",
+                    peer, verb, reply.get("ok"),
+                    reply.get("cached", False),
+                    err["code"] if err else None, elapsed * 1e3)
+                await self._send(writer, reply)
+                if err and err["code"] in FATAL_CODES:
+                    break  # desynced or version-skewed peer: drop it
+                if reply.get("ok") and verb == "shutdown":
+                    self.request_shutdown()
+                    break
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    reply: Dict[str, Any]) -> None:
+        try:
+            writer.write(encode_frame(reply))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # peer vanished mid-reply; nothing left to tell it
+
+    async def _handle_frame(self, line: bytes,
+                            hello_done: bool) -> Dict[str, Any]:
+        """Parse and dispatch one frame; always returns a reply dict."""
+        try:
+            req = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return error_reply(ERR_MALFORMED, f"frame is not JSON: {exc}")
+        if not isinstance(req, dict):
+            return error_reply(
+                ERR_MALFORMED,
+                f"frame must be a JSON object, got {type(req).__name__}")
+        verb = req.get("verb")
+        req_id = req.get("id")
+        if not hello_done:
+            if verb != "hello":
+                return error_reply(
+                    ERR_HELLO_REQUIRED,
+                    "first frame must be a versioned hello "
+                    '({"verb": "hello", "v": %d})' % SERVICE_VERSION,
+                    verb=verb, req_id=req_id)
+            client_v = req.get("v")
+            if client_v != SERVICE_VERSION:
+                return error_reply(
+                    ERR_VERSION_SKEW,
+                    f"client speaks service protocol v{client_v!r}, "
+                    f"server speaks v{SERVICE_VERSION}",
+                    verb=verb, req_id=req_id,
+                    server_version=SERVICE_VERSION)
+            return {"ok": True, "verb": "hello", "id": req_id,
+                    "v": SERVICE_VERSION,
+                    "schedule_seed_version":
+                        RandomSchedule.SCHEDULE_SEED_VERSION}
+        try:
+            if verb == "hello":
+                # idempotent re-hello on an established connection
+                return {"ok": True, "verb": "hello", "id": req_id,
+                        "v": SERVICE_VERSION,
+                        "schedule_seed_version":
+                            RandomSchedule.SCHEDULE_SEED_VERSION}
+            if verb == "load":
+                return await self._handle_load(req)
+            if verb in ("set_edge", "remove_edge"):
+                return await self._handle_mutation(req, verb)
+            if verb in _QUERY_VERBS:
+                return await self._handle_query(req, verb)
+            if verb == "stats":
+                return self._handle_stats(req)
+            if verb == "shutdown":
+                return {"ok": True, "verb": "shutdown", "id": req_id}
+            return error_reply(
+                ERR_UNKNOWN_VERB,
+                f"unknown verb {verb!r}; the vocabulary is "
+                "('hello', 'load', 'set_edge', 'remove_edge', 'sigma', "
+                "'delta', 'convergence', 'stats', 'shutdown')",
+                verb=verb, req_id=req_id)
+        except ServiceError as exc:
+            return error_reply(exc.code, exc.message, verb=verb,
+                               req_id=req_id)
+        except Exception as exc:  # a bug must not kill the server
+            logger.exception("unexpected failure handling verb=%r", verb)
+            return error_reply(
+                ERR_SERVER, f"{type(exc).__name__}: {exc}",
+                verb=verb, req_id=req_id)
+
+    # -- verb: load ------------------------------------------------------
+
+    async def _handle_load(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        algebra = req.get("algebra")
+        topology = req.get("topology", "random")
+        try:
+            n = int(req["n"])
+            seed = int(req.get("seed", 0))
+        except (KeyError, TypeError, ValueError):
+            raise ServiceError(
+                ERR_BAD_REQUEST,
+                "load requires integer 'n' (and optional integer 'seed')")
+        engine = req.get("engine", self.default_engine)
+        if not isinstance(algebra, str):
+            raise ServiceError(ERR_BAD_REQUEST,
+                              "load requires an 'algebra' name")
+        if not 2 <= n <= 4096:
+            raise ServiceError(ERR_BAD_REQUEST,
+                              f"n={n} outside the served range [2, 4096]")
+        sid = hashlib.sha256(
+            f"{algebra}|{topology}|{n}|{seed}|{engine}".encode()
+        ).hexdigest()[:12]
+        entry = self._sessions.get(sid)
+        if entry is not None:
+            self._sessions.move_to_end(sid)
+            return self._load_reply(entry, req.get("id"), reused=True)
+        loop = asyncio.get_running_loop()
+        network, factory = await loop.run_in_executor(
+            None, _build_network, algebra, topology, n, seed)
+        entry = self._sessions.get(sid)
+        if entry is not None:  # a concurrent identical load won the race
+            self._sessions.move_to_end(sid)
+            return self._load_reply(entry, req.get("id"), reused=True)
+        try:
+            spec = EngineSpec(engine=engine)
+        except ValueError as exc:
+            raise ServiceError(ERR_BAD_REQUEST, str(exc)) from None
+        try:
+            session = RoutingSession(network, spec)
+        except Exception as exc:
+            raise ServiceError(
+                ERR_ENGINE,
+                f"session construction failed: {exc}") from None
+        entry = _SessionEntry(sid, network, session, factory, {
+            "algebra": algebra, "topology": topology, "n": n,
+            "seed": seed, "engine": engine})
+        while len(self._sessions) >= self.max_sessions:
+            victim_sid, victim = self._sessions.popitem(last=False)
+            self._evictions += 1
+            logger.warning("evicting LRU session %s (%s) to admit %s",
+                           victim_sid, victim.params, sid)
+            await loop.run_in_executor(None, victim.session.close)
+        self._sessions[sid] = entry
+        logger.info("loaded session %s: %s", sid, entry.params)
+        return self._load_reply(entry, req.get("id"), reused=False)
+
+    @staticmethod
+    def _load_reply(entry: _SessionEntry, req_id: Any,
+                    reused: bool) -> Dict[str, Any]:
+        return {"ok": True, "verb": "load", "id": req_id,
+                "session": entry.sid, "reused": reused,
+                "n": entry.network.n,
+                "algebra": entry.params["algebra"],
+                "topology": entry.params["topology"],
+                "engine": entry.params["engine"],
+                "version": entry.version,
+                "edges": sum(1 for _ in entry.network.present_edges())}
+
+    # -- verbs: set_edge / remove_edge -----------------------------------
+
+    def _entry(self, req: Dict[str, Any]) -> _SessionEntry:
+        sid = req.get("session")
+        entry = self._sessions.get(sid)
+        if entry is None:
+            raise ServiceError(
+                ERR_NO_SESSION,
+                f"no warm session {sid!r} (expired, evicted, or never "
+                "loaded); issue a 'load' first")
+        self._sessions.move_to_end(sid)
+        return entry
+
+    async def _handle_mutation(self, req: Dict[str, Any],
+                               verb: str) -> Dict[str, Any]:
+        entry = self._entry(req)
+        n = entry.network.n
+        try:
+            i, k = int(req["i"]), int(req["k"])
+        except (KeyError, TypeError, ValueError):
+            raise ServiceError(ERR_BAD_REQUEST,
+                              f"{verb} requires integer 'i' and 'k'")
+        if not (0 <= i < n and 0 <= k < n):
+            raise ServiceError(
+                ERR_BAD_REQUEST,
+                f"edge ({i}, {k}) outside the 0..{n - 1} node range")
+        async with entry.lock:
+            if verb == "set_edge":
+                edge_seed = int(req.get("edge_seed", 0))
+                fn = entry.factory(random.Random(edge_seed), i, k)
+                entry.network.set_edge(i, k, fn)
+            else:
+                entry.network.remove_edge(i, k)
+            dropped = entry.invalidate()
+            entry.mutations += 1
+            version = entry.version
+        logger.info("session %s %s(%d, %d) -> version=%d, "
+                    "%d cache entries invalidated",
+                    entry.sid, verb, i, k, version, dropped)
+        return {"ok": True, "verb": verb, "id": req.get("id"),
+                "session": entry.sid, "i": i, "k": k,
+                "version": version, "invalidated": dropped}
+
+    # -- verbs: sigma / delta / convergence ------------------------------
+
+    async def _handle_query(self, req: Dict[str, Any],
+                            verb: str) -> Dict[str, Any]:
+        entry = self._entry(req)
+        req_id = req.get("id")
+        start_seed = req.get("start_seed")
+        if start_seed is not None:
+            start_seed = int(start_seed)
+        include_state = bool(req.get("include_state", False))
+        sched_spec: Optional[Dict[str, Any]] = None
+        if verb == "sigma":
+            max_rounds = int(req.get("max_rounds", 10_000))
+            knobs: Tuple = (max_rounds,)
+        elif verb == "delta":
+            sched_spec = req.get("schedule", {"kind": "round-robin"})
+            schedule_from_spec(sched_spec, entry.network.n)  # validate now
+            max_steps = int(req.get("max_steps", 2_000))
+            knobs = (max_steps,)
+        else:  # convergence
+            n_starts = int(req.get("n_starts", 3))
+            start_seed = int(req.get("seed", 0))  # grid's sampling seed
+            max_steps = int(req.get("max_steps", 2_000))
+            knobs = (n_starts, max_steps)
+        # the fixed-point cache key from the module docs: topology
+        # version + algebra + start + schedule (canonical) + the seed
+        # semantics version, plus the verb's own knobs.
+        key = (verb, entry.version, entry.params["algebra"], start_seed,
+               schedule_cache_key(sched_spec) if sched_spec else None,
+               RandomSchedule.SCHEDULE_SEED_VERSION, include_state, knobs)
+        async with entry.lock:
+            cached = entry.cache.get(key)
+            if cached is not None:
+                entry.hits += 1
+                entry.cache.move_to_end(key)
+                return dict(cached, id=req_id, cached=True)
+            entry.misses += 1
+            loop = asyncio.get_running_loop()
+            if verb == "sigma":
+                body = await loop.run_in_executor(
+                    None, self._compute_sigma, entry, start_seed,
+                    max_rounds, include_state)
+            elif verb == "delta":
+                body = await loop.run_in_executor(
+                    None, self._compute_delta, entry, sched_spec,
+                    start_seed, max_steps, include_state)
+            else:
+                body = await loop.run_in_executor(
+                    None, self._compute_convergence, entry, start_seed,
+                    n_starts, max_steps)
+            entry.cache[key] = body
+            while len(entry.cache) > self.cache_entries:
+                entry.cache.popitem(last=False)
+        return dict(body, id=req_id, cached=False)
+
+    def _compute_sigma(self, entry: _SessionEntry,
+                       start_seed: Optional[int], max_rounds: int,
+                       include_state: bool) -> Dict[str, Any]:
+        start = start_state(entry.network, start_seed)
+        try:
+            report = entry.session.sigma(start, max_rounds=max_rounds)
+        except Exception as exc:
+            raise ServiceError(ERR_ENGINE,
+                               f"sigma failed: {exc}") from None
+        body = {"ok": True, "verb": "sigma", "session": entry.sid,
+                "version": entry.version,
+                "converged": report.converged, "rounds": report.rounds,
+                "engine": report.resolution.chosen,
+                "compute_ms": report.elapsed_s * 1e3,
+                "digest": state_digest(report.state)}
+        if include_state:
+            body["state"] = state_matrix(report.state)
+        return body
+
+    def _compute_delta(self, entry: _SessionEntry,
+                       sched_spec: Dict[str, Any],
+                       start_seed: Optional[int], max_steps: int,
+                       include_state: bool) -> Dict[str, Any]:
+        schedule = schedule_from_spec(sched_spec, entry.network.n)
+        start = start_state(entry.network, start_seed)
+        try:
+            report = entry.session.delta(schedule, start,
+                                         max_steps=max_steps)
+        except Exception as exc:
+            raise ServiceError(ERR_ENGINE,
+                               f"delta failed: {exc}") from None
+        body = {"ok": True, "verb": "delta", "session": entry.sid,
+                "version": entry.version,
+                "converged": report.converged, "steps": report.steps,
+                "converged_at": report.converged_at,
+                "engine": report.resolution.chosen,
+                "compute_ms": report.elapsed_s * 1e3,
+                "schedule_seed_version":
+                    RandomSchedule.SCHEDULE_SEED_VERSION,
+                "digest": state_digest(report.state)}
+        if include_state:
+            body["state"] = state_matrix(report.state)
+        return body
+
+    def _compute_convergence(self, entry: _SessionEntry, seed: int,
+                             n_starts: int,
+                             max_steps: int) -> Dict[str, Any]:
+        try:
+            report = entry.session.converges(
+                n_starts=n_starts, seed=seed, max_steps=max_steps)
+        except Exception as exc:
+            raise ServiceError(ERR_ENGINE,
+                               f"convergence failed: {exc}") from None
+        grid = report.grid
+        return {"ok": True, "verb": "convergence", "session": entry.sid,
+                "version": entry.version, "absolute": report.absolute,
+                "runs": report.runs,
+                "distinct_fixed_points": len(report.distinct_fixed_points),
+                "max_steps": grid.max_steps,
+                "mean_steps": grid.mean_steps,
+                "engine": grid.resolution.chosen,
+                "compute_ms": grid.elapsed_s * 1e3}
+
+    # -- verb: stats -----------------------------------------------------
+
+    def _handle_stats(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        lat = [s * 1e3 for s in self._latencies]
+        hits = sum(e.hits for e in self._sessions.values())
+        misses = sum(e.misses for e in self._sessions.values())
+        total = hits + misses
+        return {
+            "ok": True, "verb": "stats", "id": req.get("id"),
+            "v": SERVICE_VERSION,
+            "uptime_s": (perf_counter() - self._started_at
+                         if self._started_at else 0.0),
+            "requests": self._requests,
+            "errors": self._errors,
+            "evictions": self._evictions,
+            "sessions": [
+                {"session": e.sid, "version": e.version,
+                 "cache_entries": len(e.cache), "hits": e.hits,
+                 "misses": e.misses, "mutations": e.mutations,
+                 "invalidated": e.invalidated, **e.params}
+                for e in self._sessions.values()],
+            "cache": {"hits": hits, "misses": misses,
+                      "hit_ratio": (hits / total) if total else 0.0},
+            "latency_ms": {"count": len(lat),
+                           "p50": percentile(lat, 50.0),
+                           "p99": percentile(lat, 99.0)},
+        }
+
+
+def _build_network(algebra_name: str, topology: str, n: int, seed: int):
+    """Build (network, edge_factory) from the CLI registries.
+
+    Imported lazily: the CLI's ``serve`` subcommand imports this
+    package, so a module-level import would be circular.  Unlike
+    :func:`repro.cli.build_network` this keeps the edge factory — the
+    daemon needs it to materialise ``set_edge`` mutations from a seed.
+    """
+    from ..cli import ALGEBRAS, TOPOLOGIES
+    from ..topologies.generators import erdos_renyi
+
+    if algebra_name not in ALGEBRAS:
+        raise ServiceError(
+            ERR_BAD_REQUEST,
+            f"unknown algebra {algebra_name!r}; choose from "
+            f"{sorted(ALGEBRAS)}")
+    alg, factory, _finite, _is_path = ALGEBRAS[algebra_name]()
+    if topology == "random":
+        network = erdos_renyi(alg, n, 0.4, factory, seed=seed)
+    elif topology in TOPOLOGIES:
+        network = TOPOLOGIES[topology](alg, n, factory, seed=seed)
+    else:
+        raise ServiceError(
+            ERR_BAD_REQUEST,
+            f"unknown topology {topology!r}; choose from "
+            f"{sorted(TOPOLOGIES) + ['random']}")
+    return network, factory
+
+
+def serve(host: str = "127.0.0.1", port: int = 0, *, engine: str = "auto",
+          max_sessions: int = 8, cache_entries: int = 512,
+          announce: bool = True) -> None:
+    """Run a daemon until shutdown (the ``repro.cli serve`` backend)."""
+    daemon = RoutingServiceDaemon(
+        host, port, engine=engine, max_sessions=max_sessions,
+        cache_entries=cache_entries, announce=announce)
+    daemon.run()

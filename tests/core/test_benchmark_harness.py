@@ -27,6 +27,7 @@ class TestSmokeSuite:
         assert "parallel" in report
         assert "batched" in report
         assert "remote" in report
+        assert "service" in report
         assert "windowed_ipc" in report
         assert report["meta"]["cpu_count"] >= 1
         for row in report["sigma"]:
@@ -135,6 +136,26 @@ class TestCommittedBatchedColumn:
             # protocol barriers include the init/fetch cycles, so the
             # wire round count can only exceed the σ round count
             assert row["sigma_wire"]["rounds"] >= row["rounds"]
+
+    def test_committed_service_headline(self):
+        """The PR 7 column: the 200-client service headline must serve
+        warm-cache repeated queries ≥ ``SERVICE_CACHE_FLOOR`` times
+        faster than cold computes, error-free, with the served fixed
+        point bit-identical to a direct session run."""
+        path = BENCH_DIR.parent / "BENCH_core.json"
+        report = json.loads(path.read_text())
+        rows = report.get("service", [])
+        headline = [r for r in rows if r.get("headline_service")]
+        assert headline, "service headline (200 clients) case missing"
+        for row in rows:
+            assert row["fixed_points_equal"], row["case"]
+            assert row["server_errors"] == 0, row["case"]
+        for row in headline:
+            assert row["clients"] >= 100
+            assert row["cache_hit_speedup"] >= \
+                run_benchmarks.SERVICE_CACHE_FLOOR, row
+            assert 0.0 < row["cache_hit_ratio"] <= 1.0
+            assert row["warm_ms"]["p99"] >= row["warm_ms"]["p50"]
 
     def test_committed_windowed_ipc(self):
         path = BENCH_DIR.parent / "BENCH_core.json"

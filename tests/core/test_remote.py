@@ -25,6 +25,7 @@ column).  This module covers what is unique to computing σ/δ over TCP:
 * the CLI ``worker`` subcommand announces a parseable endpoint.
 """
 
+import multiprocessing
 import random
 import re
 import socket
@@ -587,7 +588,45 @@ class TestSessionRemote:
 
 
 # ----------------------------------------------------------------------
-# 8. The CLI worker subcommand
+# 8. Deterministic worker release across the session's rebuild path
+# ----------------------------------------------------------------------
+
+
+class TestWorkerRelease:
+    """A topology mutation on an ``engine="remote"`` session makes the
+    engine stale; the session rebuilds it and resends a full MSG_LOAD.
+    The rebuild must *reap* the old loopback worker subprocesses
+    deterministically — counted before/after, no leaked children."""
+
+    @staticmethod
+    def _workers():
+        return [p for p in multiprocessing.active_children()
+                if p.name == "repro-remote-worker"]
+
+    def test_rebuild_after_mutation_releases_workers(self):
+        baseline = len(self._workers())
+        net = _net(9)
+        factory = uniform_weight_factory(net.algebra, 1, 3)
+        with RoutingSession(net,
+                            EngineSpec("remote", remote_workers=2)) as s:
+            first = s.sigma()
+            assert first.resolution.chosen == "remote"
+            assert len(self._workers()) == baseline + 2
+            net.set_edge(0, 1, factory(random.Random(5), 0, 1))
+            second = s.sigma()     # stale engine → close + rebuild
+            assert second.resolution.chosen == "remote"
+            # fresh pair spawned, stale pair reaped: never 4 children
+            assert len(self._workers()) == baseline + 2
+            net.remove_edge(0, 1)
+            third = s.sigma()      # a second rebuild behaves the same
+            assert third.resolution.chosen == "remote"
+            assert len(self._workers()) == baseline + 2
+        # session close reaps the last pair too
+        assert len(self._workers()) == baseline
+
+
+# ----------------------------------------------------------------------
+# 9. The CLI worker subcommand
 # ----------------------------------------------------------------------
 
 

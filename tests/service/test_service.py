@@ -1,0 +1,394 @@
+"""Routing-service daemon coverage (the PR's tentpole contract).
+
+What must hold, per ``docs/service.md``:
+
+* **cache discipline** — identical queries hit (O(1)); a mutation bumps
+  the topology version and invalidates exactly the affected session's
+  entries (hit → mutate → miss → hit), flowing into the incremental
+  engine's dirty sets rather than rebuilding the network;
+* **serialization** — concurrent clients on one warm session serialize
+  safely: one compute, everyone else a cache hit, no torn state;
+* **failure semantics** — malformed frames, version-skewed hellos and
+  unknown verbs earn *typed* error replies (stable code vocabulary) and
+  never kill the server;
+* **bit identity** — a sigma report served over TCP equals a direct
+  :class:`~repro.session.RoutingSession` run on an identically-built
+  network, route for route;
+* the ``serve`` CLI announces a parseable endpoint and exits 0 on the
+  ``shutdown`` verb.
+"""
+
+import asyncio
+import json
+import re
+import socket
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.service import (
+    ERR_BAD_REQUEST,
+    ERR_HELLO_REQUIRED,
+    ERR_MALFORMED,
+    ERR_NO_SESSION,
+    ERR_UNKNOWN_VERB,
+    ERR_VERSION_SKEW,
+    SERVICE_VERSION,
+    AsyncServiceClient,
+    RoutingServiceDaemon,
+    ServiceClient,
+    ServiceError,
+    state_digest,
+)
+from repro.service.protocol import percentile, schedule_from_spec
+from repro.session import RoutingSession
+
+
+@pytest.fixture()
+def daemon():
+    """One daemon on an ephemeral port, driven from a background
+    thread, torn down via the thread-safe shutdown trigger."""
+    d = RoutingServiceDaemon(host="127.0.0.1", port=0, max_sessions=4)
+    t = threading.Thread(target=d.run, daemon=True)
+    t.start()
+    assert d.wait_ready(15), "daemon did not come up"
+    yield d
+    d.request_shutdown()
+    t.join(15)
+    assert not t.is_alive(), "daemon did not shut down"
+
+
+def _raw_roundtrip(port, frames):
+    """Send pre-encoded lines on a fresh socket; return decoded replies
+    (stops when the server closes the connection)."""
+    replies = []
+    with socket.create_connection(("127.0.0.1", port), timeout=15) as sock:
+        f = sock.makefile("rb")
+        for frame in frames:
+            sock.sendall(frame)
+            line = f.readline()
+            if not line:
+                break
+            replies.append(json.loads(line))
+    return replies
+
+
+def _hello():
+    return (json.dumps({"verb": "hello", "v": SERVICE_VERSION}) +
+            "\n").encode()
+
+
+# ----------------------------------------------------------------------
+# 1. Cache discipline: hit → mutate → miss → hit
+# ----------------------------------------------------------------------
+
+
+class TestCacheInvalidation:
+    def test_hit_mutate_miss_hit(self, daemon):
+        with ServiceClient(port=daemon.port) as c:
+            load = c.load("hop-count", n=16, topology="ring", seed=2)
+            sid = load["session"]
+            v0 = load["version"]
+
+            first = c.sigma(sid)
+            assert first["cached"] is False
+            again = c.sigma(sid)
+            assert again["cached"] is True
+            assert again["digest"] == first["digest"]
+
+            mut = c.set_edge(sid, 0, 5, edge_seed=9)
+            assert mut["version"] > v0          # version moved
+            assert mut["invalidated"] >= 1      # old entry dropped
+
+            after = c.sigma(sid)
+            assert after["cached"] is False     # precise miss
+            assert after["version"] == mut["version"]
+            assert after["digest"] != first["digest"]
+            warm = c.sigma(sid)
+            assert warm["cached"] is True
+            assert warm["digest"] == after["digest"]
+
+    def test_mutation_only_touches_its_session(self, daemon):
+        with ServiceClient(port=daemon.port) as c:
+            a = c.load("hop-count", n=12, topology="ring")["session"]
+            b = c.load("shortest", n=12, topology="star")["session"]
+            c.sigma(a), c.sigma(b)
+            c.remove_edge(a, 0, 1)
+            assert c.sigma(a)["cached"] is False   # invalidated
+            assert c.sigma(b)["cached"] is True    # untouched
+
+    def test_distinct_params_are_distinct_entries(self, daemon):
+        with ServiceClient(port=daemon.port) as c:
+            sid = c.load("hop-count", n=12, topology="ring")["session"]
+            ident = c.sigma(sid)
+            seeded = c.sigma(sid, start_seed=3)
+            assert seeded["cached"] is False
+            assert c.sigma(sid, start_seed=3)["cached"] is True
+            # both converge to the same σ fixed point (Theorem 7 on
+            # this strictly-increasing algebra), from different starts
+            assert seeded["digest"] == ident["digest"]
+
+    def test_delta_cache_keys_include_schedule(self, daemon):
+        with ServiceClient(port=daemon.port) as c:
+            sid = c.load("hop-count", n=12, topology="ring")["session"]
+            r1 = c.delta(sid, schedule={"kind": "random", "seed": 1})
+            assert c.delta(sid,
+                           schedule={"kind": "random",
+                                     "seed": 1})["cached"] is True
+            r2 = c.delta(sid, schedule={"kind": "random", "seed": 2})
+            assert r2["cached"] is False
+            assert r1["converged"] and r2["converged"]
+
+
+# ----------------------------------------------------------------------
+# 2. Concurrent clients on one warm session serialize safely
+# ----------------------------------------------------------------------
+
+
+class TestConcurrency:
+    def test_concurrent_identical_queries_one_compute(self, daemon):
+        clients = 12
+
+        async def drive():
+            conns = await asyncio.gather(*[
+                AsyncServiceClient.connect("127.0.0.1", daemon.port)
+                for _ in range(clients)])
+            try:
+                sids = await asyncio.gather(*[
+                    c.load("hop-count", n=24, topology="random", seed=4)
+                    for c in conns])
+                sid = sids[0]["session"]
+                assert all(r["session"] == sid for r in sids)
+                reports = await asyncio.gather(*[
+                    c.sigma(sid) for c in conns])
+                return reports
+            finally:
+                await asyncio.gather(*[c.close() for c in conns])
+
+        reports = asyncio.run(drive())
+        digests = {r["digest"] for r in reports}
+        assert len(digests) == 1                     # no torn state
+        misses = [r for r in reports if not r["cached"]]
+        assert len(misses) == 1                      # exactly one compute
+        with ServiceClient(port=daemon.port) as c:
+            stats = c.stats()
+            assert stats["cache"]["hits"] >= clients - 1
+            assert stats["cache"]["hit_ratio"] > 0.5
+            assert stats["latency_ms"]["p99"] >= stats["latency_ms"]["p50"]
+
+    def test_interleaved_mutations_stay_consistent(self, daemon):
+        async def drive():
+            reader = await AsyncServiceClient.connect(
+                "127.0.0.1", daemon.port)
+            writer = await AsyncServiceClient.connect(
+                "127.0.0.1", daemon.port)
+            try:
+                sid = (await reader.load("hop-count", n=16,
+                                         topology="ring"))["session"]
+
+                async def mutate():
+                    for k in range(4):
+                        await writer.set_edge(sid, 0, 4 + k, edge_seed=k)
+
+                async def query():
+                    out = []
+                    for _ in range(6):
+                        out.append(await reader.sigma(sid))
+                    return out
+
+                results, _ = await asyncio.gather(query(), mutate())
+                return sid, results
+            finally:
+                await reader.close()
+                await writer.close()
+
+        sid, results = asyncio.run(drive())
+        # queries serialize with mutations on the session lock: each
+        # reply carries the topology version it was computed against,
+        # and one connection sees those versions monotonically
+        versions = [r["version"] for r in results]
+        assert versions == sorted(versions)
+        # ...and the final topology's answer is stable and cacheable
+        with ServiceClient(port=daemon.port) as c:
+            final = c.sigma(sid)
+            again = c.sigma(sid)
+            assert again["cached"] is True
+            assert again["digest"] == final["digest"]
+
+
+# ----------------------------------------------------------------------
+# 3. Failure semantics: typed errors, server survives
+# ----------------------------------------------------------------------
+
+
+class TestFailureSemantics:
+    def test_version_skew_typed_error_then_close(self, daemon):
+        bad_hello = (json.dumps({"verb": "hello", "v": 999}) +
+                     "\n").encode()
+        replies = _raw_roundtrip(daemon.port, [bad_hello, _hello()])
+        assert len(replies) == 1                  # connection dropped
+        err = replies[0]["error"]
+        assert err["code"] == ERR_VERSION_SKEW
+        assert err["server_version"] == SERVICE_VERSION
+
+    def test_hello_required_first(self, daemon):
+        frames = [(json.dumps({"verb": "stats"}) + "\n").encode()]
+        replies = _raw_roundtrip(daemon.port, frames)
+        assert replies[0]["error"]["code"] == ERR_HELLO_REQUIRED
+
+    def test_malformed_frame_is_rejected_loudly(self, daemon):
+        replies = _raw_roundtrip(
+            daemon.port, [_hello(), b"this is not json\n"])
+        assert replies[0]["ok"] is True
+        assert replies[1]["error"]["code"] == ERR_MALFORMED
+        replies = _raw_roundtrip(daemon.port, [_hello(), b"[1, 2, 3]\n"])
+        assert replies[1]["error"]["code"] == ERR_MALFORMED
+
+    def test_typed_request_errors_keep_connection_open(self, daemon):
+        with ServiceClient(port=daemon.port) as c:
+            with pytest.raises(ServiceError) as exc:
+                c.request({"verb": "warp"})
+            assert exc.value.code == ERR_UNKNOWN_VERB
+            with pytest.raises(ServiceError) as exc:
+                c.sigma("no-such-session")
+            assert exc.value.code == ERR_NO_SESSION
+            with pytest.raises(ServiceError) as exc:
+                c.load("no-such-algebra", n=8)
+            assert exc.value.code == ERR_BAD_REQUEST
+            with pytest.raises(ServiceError) as exc:
+                c.request({"verb": "load", "algebra": "hop-count",
+                           "n": "many"})
+            assert exc.value.code == ERR_BAD_REQUEST
+            sid = c.load("hop-count", n=8, topology="ring")["session"]
+            with pytest.raises(ServiceError) as exc:
+                c.set_edge(sid, 0, 99)
+            assert exc.value.code == ERR_BAD_REQUEST
+            with pytest.raises(ServiceError) as exc:
+                c.delta(sid, schedule={"kind": "lunar"})
+            assert exc.value.code == ERR_BAD_REQUEST
+            # ...and the very same connection still serves queries
+            assert c.sigma(sid)["converged"] is True
+
+    def test_bad_clients_do_not_kill_the_server(self, daemon):
+        for frames in ([b"\x00\xff garbage\n"],
+                       [(json.dumps({"verb": "hello", "v": 0}) +
+                         "\n").encode()],
+                       [b'"just a string"\n']):
+            _raw_roundtrip(daemon.port, frames)
+        with ServiceClient(port=daemon.port) as c:   # still alive
+            sid = c.load("hop-count", n=8, topology="line")["session"]
+            assert c.sigma(sid)["converged"] is True
+
+
+# ----------------------------------------------------------------------
+# 4. Bit identity across the service boundary
+# ----------------------------------------------------------------------
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("algebra,topology", [
+        ("hop-count", "random"),
+        ("shortest", "ring"),
+        ("bgplite", "random"),
+    ])
+    def test_sigma_report_equals_direct_session(self, daemon, algebra,
+                                                topology):
+        n, seed = 14, 6
+        with ServiceClient(port=daemon.port) as c:
+            sid = c.load(algebra, n=n, topology=topology,
+                         seed=seed)["session"]
+            served = c.sigma(sid, start_seed=11, include_state=True)
+        from repro.service.daemon import _build_network
+        from repro.service.protocol import start_state, state_matrix
+        network, _factory = _build_network(algebra, topology, n, seed)
+        with RoutingSession(network) as session:
+            direct = session.sigma(start_state(network, 11))
+        assert served["converged"] == direct.converged
+        assert served["rounds"] == direct.rounds
+        assert served["digest"] == state_digest(direct.state)
+        assert served["state"] == state_matrix(direct.state)
+
+    def test_delta_digest_matches_direct_session(self, daemon):
+        n, seed = 12, 3
+        spec = {"kind": "random", "seed": 7, "max_delay": 4}
+        with ServiceClient(port=daemon.port) as c:
+            sid = c.load("hop-count", n=n, topology="random",
+                         seed=seed)["session"]
+            served = c.delta(sid, schedule=spec, max_steps=600)
+        from repro.service.daemon import _build_network
+        network, _factory = _build_network("hop-count", "random", n, seed)
+        with RoutingSession(network) as session:
+            direct = session.delta(schedule_from_spec(spec, n),
+                                   max_steps=600)
+        assert served["converged"] == direct.converged
+        assert served["steps"] == direct.steps
+        assert served["digest"] == state_digest(direct.state)
+        assert (served["schedule_seed_version"] ==
+                direct.schedule_seed_version)
+
+
+# ----------------------------------------------------------------------
+# 5. Registry, stats and the serve CLI
+# ----------------------------------------------------------------------
+
+
+class TestRegistryAndCLI:
+    def test_identical_loads_share_a_warm_session(self, daemon):
+        with ServiceClient(port=daemon.port) as c:
+            first = c.load("hop-count", n=10, topology="ring", seed=1)
+            second = c.load("hop-count", n=10, topology="ring", seed=1)
+            assert first["session"] == second["session"]
+            assert first["reused"] is False and second["reused"] is True
+
+    def test_lru_eviction_closes_oldest(self, daemon):
+        with ServiceClient(port=daemon.port) as c:
+            sids = [c.load("hop-count", n=8, topology="ring",
+                           seed=s)["session"] for s in range(5)]
+            assert len(set(sids)) == 5
+            stats = c.stats()
+            assert len(stats["sessions"]) == 4      # max_sessions=4
+            assert stats["evictions"] == 1
+            with pytest.raises(ServiceError) as exc:
+                c.sigma(sids[0])                    # the evicted one
+            assert exc.value.code == ERR_NO_SESSION
+
+    def test_stats_shape(self, daemon):
+        with ServiceClient(port=daemon.port) as c:
+            sid = c.load("hop-count", n=8, topology="ring")["session"]
+            c.sigma(sid), c.sigma(sid)
+            stats = c.stats()
+        assert stats["v"] == SERVICE_VERSION
+        assert stats["requests"] >= 4
+        session_row = next(s for s in stats["sessions"]
+                           if s["session"] == sid)
+        assert session_row["hits"] == 1 and session_row["misses"] == 1
+        assert 0.0 < stats["cache"]["hit_ratio"] <= 1.0
+        assert stats["latency_ms"]["count"] >= 4
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([5.0], 99) == 5.0
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+    def test_serve_cli_announces_and_shuts_down_cleanly(self):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, text=True)
+        try:
+            line = proc.stdout.readline()
+            m = re.search(r"listening on (\S+):(\d+)", line)
+            assert m, f"unparseable announce line: {line!r}"
+            with ServiceClient(m.group(1), int(m.group(2))) as c:
+                sid = c.load("hop-count", n=8, topology="star")["session"]
+                assert c.sigma(sid)["converged"] is True
+                c.shutdown()
+            assert proc.wait(timeout=15) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=15)

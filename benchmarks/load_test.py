@@ -40,7 +40,11 @@ from typing import Dict, List, Optional, Tuple
 if __name__ == "__main__":   # allow running without installing the package
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.service import AsyncServiceClient, RoutingServiceDaemon
+from repro.service import (
+    AsyncServiceClient,
+    RoutingServiceDaemon,
+    ServiceError,
+)
 from repro.service.protocol import percentile
 
 #: per-scale sizing: (clients, queries per client per phase, n)
@@ -52,34 +56,43 @@ SCALES = {
 
 
 async def _phase(clients: List[AsyncServiceClient], sid: str,
-                 queries: int, *, distinct: bool) -> Tuple[list, list]:
-    """One load phase; returns (latencies_ms, digests).
+                 queries: int, *, distinct: bool) -> Tuple[list, list, int]:
+    """One load phase; returns (latencies_ms, digests, failures).
 
     ``distinct=True`` gives every request its own start seed (all
     cache misses); ``distinct=False`` has the whole fleet repeat one
-    identical query (cache hits after the first compute).
+    identical query (cache hits after the first compute).  A request
+    that still fails after the client's own retry budget counts as one
+    *client failure* — the chaos soak's acceptance is zero of them.
     """
     async def worker(idx: int, client: AsyncServiceClient):
-        lat, digs = [], []
+        lat, digs, failed = [], [], 0
         for q in range(queries):
             seed = (1 + idx * queries + q) if distinct else 0
             t0 = perf_counter()
-            reply = await client.sigma(sid, start_seed=seed)
+            try:
+                reply = await client.sigma(sid, start_seed=seed)
+            except (ServiceError, asyncio.TimeoutError,
+                    ConnectionError, OSError):
+                failed += 1
+                continue
             lat.append((perf_counter() - t0) * 1e3)
             digs.append(reply["digest"])
-        return lat, digs
+        return lat, digs, failed
 
     results = await asyncio.gather(*[
         worker(i, c) for i, c in enumerate(clients)])
-    latencies = [ms for lat, _ in results for ms in lat]
-    digests = [d for _, digs in results for d in digs]
-    return latencies, digests
+    latencies = [ms for lat, _, _ in results for ms in lat]
+    digests = [d for _, digs, _ in results for d in digs]
+    failures = sum(f for _, _, f in results)
+    return latencies, digests, failures
 
 
 async def _run(clients_n: int, queries: int, n: int, *,
                algebra: str, topology: str, seed: int,
                host: Optional[str], port: Optional[int],
-               shutdown: bool) -> Dict:
+               shutdown: bool, retries: int = 0,
+               request_timeout: Optional[float] = None) -> Dict:
     daemon = None
     if host is None:
         daemon = RoutingServiceDaemon(host="127.0.0.1", port=0,
@@ -88,7 +101,9 @@ async def _run(clients_n: int, queries: int, n: int, *,
         host, port = daemon.host, daemon.port
 
     clients = await asyncio.gather(*[
-        AsyncServiceClient.connect(host, port) for _ in range(clients_n)])
+        AsyncServiceClient.connect(host, port, retries=retries,
+                                   request_timeout=request_timeout)
+        for _ in range(clients_n)])
     try:
         loads = await asyncio.gather(*[
             c.load(algebra, n=n, topology=topology, seed=seed)
@@ -97,9 +112,10 @@ async def _run(clients_n: int, queries: int, n: int, *,
         assert all(r["session"] == sid for r in loads), \
             "identical loads must share one warm session"
 
-        cold_ms, _ = await _phase(clients, sid, queries, distinct=True)
-        warm_ms, warm_digests = await _phase(clients, sid, queries,
-                                             distinct=False)
+        cold_ms, _, cold_failed = await _phase(clients, sid, queries,
+                                               distinct=True)
+        warm_ms, warm_digests, warm_failed = await _phase(
+            clients, sid, queries, distinct=False)
         assert len(set(warm_digests)) == 1, \
             "warm phase produced inconsistent fixed points"
 
@@ -132,7 +148,10 @@ async def _run(clients_n: int, queries: int, n: int, *,
         "cache_hit_ratio": round(cache["hit_ratio"], 4),
         "server_requests": stats["requests"],
         "server_errors": stats["errors"],
+        "server_shed": stats.get("shed", 0),
         "server_p99_ms": round(stats["latency_ms"]["p99"], 3),
+        "retries": retries,
+        "client_failures": cold_failed + warm_failed,
     }
 
 
@@ -141,20 +160,27 @@ def run_load_test(scale: str = "quick", *, algebra: str = "hop-count",
                   host: Optional[str] = None, port: Optional[int] = None,
                   clients: Optional[int] = None,
                   queries: Optional[int] = None, n: Optional[int] = None,
-                  shutdown: bool = False) -> Dict:
+                  shutdown: bool = False, retries: int = 0,
+                  request_timeout: Optional[float] = None) -> Dict:
     """Run the cold/warm load experiment; returns the result row.
 
     Without ``host`` the daemon runs in-process on an ephemeral port
     (hermetic — what the benchmark harness records); with ``host`` the
     fleet targets a live daemon (the CI smoke job's mode).
+    ``retries > 0`` arms each client's jittered-backoff retry (plus a
+    per-request read timeout) so the fleet rides out ``busy`` sheds
+    and injected frame drops — the chaos soak's mode.
     """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}")
     d_clients, d_queries, d_n = SCALES[scale]
+    if retries > 0 and request_timeout is None:
+        request_timeout = 10.0
     return asyncio.run(_run(
         clients or d_clients, queries or d_queries, n or d_n,
         algebra=algebra, topology=topology, seed=seed,
-        host=host, port=port, shutdown=shutdown))
+        host=host, port=port, shutdown=shutdown, retries=retries,
+        request_timeout=request_timeout))
 
 
 def main(argv=None) -> int:
@@ -174,6 +200,13 @@ def main(argv=None) -> int:
     parser.add_argument("--shutdown", action="store_true",
                         help="send the shutdown verb when done (used by "
                              "the CI smoke job to assert clean exit)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="per-client retry budget for busy sheds and "
+                             "lost frames (0 = fail fast); arms a "
+                             "per-request read timeout too")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        help="per-request read timeout in seconds "
+                             "(default 10 when --retries > 0)")
     parser.add_argument("--json", action="store_true",
                         help="print the raw result row as JSON")
     args = parser.parse_args(argv)
@@ -185,7 +218,9 @@ def main(argv=None) -> int:
     scale = "smoke" if args.smoke else "full" if args.full else "quick"
     row = run_load_test(scale, host=host, port=port,
                         clients=args.clients, queries=args.queries,
-                        n=args.n, shutdown=args.shutdown)
+                        n=args.n, shutdown=args.shutdown,
+                        retries=args.retries,
+                        request_timeout=args.request_timeout)
     if args.json:
         print(json.dumps(row, indent=2))
     else:
@@ -199,8 +234,15 @@ def main(argv=None) -> int:
               f"({row['warm_ms']['count']} requests)")
         print(f"  cache-hit speedup: {row['cache_hit_speedup']}x, "
               f"server hit ratio {row['cache_hit_ratio']}, "
-              f"{row['server_errors']} errors")
-    return 0 if row["server_errors"] == 0 else 1
+              f"{row['server_errors']} errors, "
+              f"{row['server_shed']} shed, "
+              f"{row['client_failures']} client failures")
+    # with retries armed, sheds/drops are expected server-side events;
+    # the acceptance is that no client request *ultimately* failed
+    if args.retries > 0:
+        return 0 if row["client_failures"] == 0 else 1
+    return 0 if row["server_errors"] == 0 and \
+        row["client_failures"] == 0 else 1
 
 
 if __name__ == "__main__":

@@ -512,6 +512,89 @@ def bench_service_case(case: Dict) -> Dict:
     return row
 
 
+def _fault_cases(scale: str) -> List[Dict]:
+    """Faults column (PR 8): time-to-heal after a worker kill.
+
+    The claim this column carries is the self-healing tentpole: a
+    killed loopback worker mid-run is respawned, the interrupted run
+    resumes, and the fixed point stays bit-identical to the fault-free
+    run — with the heal fast (tens of ms, recorded as p50/p99 over
+    repeated kill cycles from ``DegradedEvent.heal_ms``).
+    """
+    hop = HopCountAlgebra(64)
+
+    def w(alg, hi=4):
+        return uniform_weight_factory(alg, 1, hi)
+
+    if scale == "smoke":
+        return []                        # tier-1 smoke stays socket-free
+    if scale == "quick":
+        return [
+            dict(label="heal-kill/gnp-120/hop-count", workers=2, kills=3,
+                 net=erdos_renyi(hop, 120, 0.12, w(hop), seed=21)),
+        ]
+    return [
+        dict(label="heal-kill/gnp-200/hop-count", headline_faults=True,
+             workers=2, kills=8,
+             net=erdos_renyi(hop, 200, 0.15, w(hop), seed=23)),
+    ]
+
+
+def bench_fault_case(case: Dict) -> Dict:
+    """Repeated kill → heal → re-run cycles against one loopback pool.
+
+    Each cycle kills one worker process, re-runs the σ fixed point
+    (the supervisor detects the dead shard, respawns the pool, resumes
+    from its barrier snapshot) and asserts bit-identity against the
+    vectorized reference.  ``heal_ms`` aggregates the supervisor's own
+    per-event heal timings.
+    """
+    net = case["net"]
+    alg = net.algebra
+    start = RoutingState.identity(alg, net.n)
+    ref = iterate_sigma_vectorized(net, start)
+    row = dict(case=case["label"],
+               headline_faults=bool(case.get("headline_faults")),
+               n=net.n, workers=case["workers"], kills=case["kills"])
+    try:
+        eng = RemoteVectorizedEngine(net, workers=case["workers"],
+                                     socket_timeout=10.0)
+    except Exception as exc:             # pragma: no cover - no loopback
+        row["skipped"] = f"loopback workers unavailable: {exc}"
+        row["fixed_points_equal"] = True
+        return row
+    heal_ms: List[float] = []
+    codes: List[str] = []
+    equal = True
+    try:
+        eng.iterate(start)               # spawn pool + ship tables (warm)
+        for k in range(case["kills"]):
+            victim = eng._res.procs[k % len(eng._res.procs)]
+            victim.kill()
+            victim.join(timeout=30)
+            res = eng.iterate(start)
+            equal = equal and (res.converged == ref.converged and
+                               res.rounds == ref.rounds and
+                               res.state.equals(ref.state, alg))
+            heal_ms.extend(ev.heal_ms for ev in eng.degraded
+                           if ev.heal_ms is not None)
+            codes.extend(ev.code for ev in eng.degraded)
+    finally:
+        eng.close()
+    from repro.service.protocol import percentile
+    row.update(
+        heals=len(heal_ms),
+        degraded_codes=sorted(set(codes)),
+        heal_ms={"p50": round(percentile(heal_ms, 50.0), 3),
+                 "p99": round(percentile(heal_ms, 99.0), 3),
+                 "count": len(heal_ms)},
+        healed_every_kill=(len(heal_ms) >= case["kills"] and
+                           set(codes) == {"worker-respawned"}),
+        fixed_points_equal=equal,
+    )
+    return row
+
+
 def _dense_schedules(n: int):
     """High-activation-rate schedule panel for the batched-grid column.
 
@@ -929,12 +1012,13 @@ def run_suite(scale: str = "full", repeats: Optional[int] = None) -> Dict:
         "remote": [bench_remote_case(c, repeats)
                    for c in _remote_cases(scale)],
         "service": [bench_service_case(c) for c in _service_cases(scale)],
+        "faults": [bench_fault_case(c) for c in _fault_cases(scale)],
     }
     ipc = bench_windowed_ipc(scale)
     report["windowed_ipc"] = [ipc] if ipc else []
     rows = (report["sigma"] + report["delta"] + report["parallel"] +
             report["batched"] + report["remote"] + report["service"] +
-            report["windowed_ipc"])
+            report["faults"] + report["windowed_ipc"])
     report["meta"]["all_fixed_points_equal"] = all(
         r["fixed_points_equal"] for r in rows)
     return report
@@ -1011,6 +1095,18 @@ def _print_report(report: Dict) -> None:
               f"{_fmt_speedup(r['cache_hit_speedup'])} "
               f"(hit ratio {r['cache_hit_ratio']}, "
               f"{r['server_errors']} errors)  {mark}")
+    for r in report.get("faults", []):
+        mark = ("✓" if r["fixed_points_equal"] and
+                r.get("healed_every_kill") else "✗ MISMATCH")
+        star = "☠" if r.get("headline_faults") else " "
+        if r.get("skipped"):
+            print(f"{r['case']:<39}{star} faults column skipped: "
+                  f"{r['skipped']} (agreement {mark})")
+            continue
+        print(f"{r['case']:<39}{star} {r['kills']:>3} kills  "
+              f"{r['heals']:>3} heals  "
+              f"time-to-heal p50 {r['heal_ms']['p50']:>7.1f} ms  "
+              f"p99 {r['heal_ms']['p99']:>7.1f} ms  {mark}")
     for r in report.get("windowed_ipc", []):
         mark = "✓" if r["fixed_points_equal"] else "✗ MISMATCH"
         print(f"{r['case']:<40} {r['delta_steps']:>4} δ steps in "
@@ -1022,7 +1118,8 @@ def _print_report(report: Dict) -> None:
           "‡ = PR 3 parallel headline (n≥400, workers vs vectorized)   "
           "§ = PR 4 batched-grid headline (tensor grid vs per-trial loop)   "
           "¶ = PR 6 remote headline (wire compression vs naive transfer)   "
-          "∥ = PR 7 service headline (warm-cache hits vs cold computes)")
+          "∥ = PR 7 service headline (warm-cache hits vs cold computes)   "
+          "☠ = PR 8 faults headline (time-to-heal after a worker kill)")
 
 
 # ----------------------------------------------------------------------
@@ -1074,6 +1171,12 @@ SERVICE_CACHE_FLOOR = 5.0
 #: cache hit that is not clearly cheaper than a fixed-point compute
 #: means the cache (or the event loop) is broken, not merely noisy.
 QUICK_SERVICE_CACHE_FLOOR = 2.0
+
+#: ceiling on the committed faults headline's p99 time-to-heal after a
+#: worker kill: respawning two loopback workers and re-shipping the
+#: tables is tens of ms; a heal slower than this means the supervisor
+#: is thrashing (retry storms, leaked pools), not recovering.
+FAULT_HEAL_P99_CEILING_MS = 5000.0
 
 
 def regress_against_baseline(report: Dict, baseline_path: Path) -> List[str]:
@@ -1205,11 +1308,40 @@ def regress_against_baseline(report: Dict, baseline_path: Path) -> List[str]:
                     f"baseline {r['case']}: service headline ran only "
                     f"{r.get('clients')} concurrent clients (< 100)")
 
+    # -- faults column (PR 8) -------------------------------------------
+    base_faults = baseline.get("faults", [])
+    if not base_faults:
+        problems.append("baseline has no faults column; "
+                        "re-run the full suite")
+    for r in base_faults:
+        if r.get("skipped"):
+            continue
+        if not r.get("fixed_points_equal", True):
+            problems.append(
+                f"baseline {r['case']}: healed runs disagree with the "
+                "fault-free fixed point")
+        if not r.get("healed_every_kill", True):
+            problems.append(
+                f"baseline {r['case']}: only {r.get('heals')} heals for "
+                f"{r.get('kills')} worker kills")
+        if r.get("headline_faults"):
+            p99 = (r.get("heal_ms") or {}).get("p99", 0.0)
+            if p99 > FAULT_HEAL_P99_CEILING_MS:
+                problems.append(
+                    f"baseline {r['case']}: p99 time-to-heal {p99} ms "
+                    f"(> {FAULT_HEAL_P99_CEILING_MS} ms ceiling)")
+
     for r in (report["sigma"] + report["delta"] + report["parallel"] +
               report.get("batched", []) + report.get("remote", []) +
-              report.get("service", []) + report.get("windowed_ipc", [])):
+              report.get("service", []) + report.get("faults", []) +
+              report.get("windowed_ipc", [])):
         if not r["fixed_points_equal"]:
             problems.append(f"current run: engines disagree on {r['case']}")
+    for r in report.get("faults", []):
+        if not r.get("skipped") and not r.get("healed_every_kill", True):
+            problems.append(
+                f"current run: {r['case']} recorded only "
+                f"{r.get('heals')} heals for {r.get('kills')} kills")
     for r in report.get("batched", []):
         ratio = r.get("batched_vs_loop")
         if ratio is not None and ratio < QUICK_BATCHED_FLOOR:

@@ -276,11 +276,23 @@ def cmd_census(args) -> int:
     return 0
 
 
+def _parse_fault_plan(spec):
+    """``--fault-plan`` value: inline JSON, or ``@path`` to a JSON file."""
+    if spec is None:
+        return None
+    from .core.faults import FaultPlan
+    if spec.startswith("@"):
+        with open(spec[1:], "r", encoding="utf-8") as fh:
+            spec = fh.read()
+    return FaultPlan.parse(spec)
+
+
 def cmd_worker(args) -> int:
     from .core.remote import serve_worker
     try:
         serve_worker(host=args.host, port=args.port, once=args.once,
-                     announce=True)
+                     announce=True,
+                     fault_plan=_parse_fault_plan(args.fault_plan))
     except KeyboardInterrupt:
         pass
     return 0
@@ -295,7 +307,10 @@ def cmd_serve(args) -> int:
     try:
         serve(host=args.host, port=args.port, engine=args.engine,
               max_sessions=args.max_sessions,
-              cache_entries=args.cache_entries, announce=True)
+              cache_entries=args.cache_entries,
+              max_inflight=args.max_inflight,
+              fault_plan=_parse_fault_plan(args.fault_plan),
+              announce=True)
     except KeyboardInterrupt:
         pass
     return 0
@@ -405,6 +420,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--once", action="store_true",
                    help="exit after serving a single coordinator "
                         "connection instead of accepting forever")
+    p.add_argument("--fault-plan", default=None, metavar="JSON|@FILE",
+                   help="seeded chaos: a FaultPlan as inline JSON (or "
+                        "@path to a JSON file) injected into this "
+                        "worker's frame stream")
 
     p = sub.add_parser(
         "serve",
@@ -423,6 +442,14 @@ def make_parser() -> argparse.ArgumentParser:
                    help="warm-session registry bound (LRU eviction)")
     p.add_argument("--cache-entries", type=int, default=512,
                    help="per-session fixed-point cache bound (LRU)")
+    p.add_argument("--max-inflight", type=int, default=32,
+                   help="backpressure bound: concurrent query computes "
+                        "admitted before the daemon sheds with a typed "
+                        "'busy' error carrying a retry_after_ms hint")
+    p.add_argument("--fault-plan", default=None, metavar="JSON|@FILE",
+                   help="seeded chaos: a FaultPlan as inline JSON (or "
+                        "@path to a JSON file) injected into the "
+                        "daemon's request/reply stream")
     p.add_argument("--log", action="store_true",
                    help="emit per-request structured logs on stderr")
     return parser

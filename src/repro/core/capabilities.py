@@ -155,6 +155,41 @@ register_engine(Capabilities(
 ))
 
 
+#: stable vocabulary for degraded-mode recovery events (asserted by the
+#: chaos suite, surfaced on session reports next to the wire stats):
+#: ``worker-respawned`` — a dead loopback worker subprocess was replaced
+#: and the shard reloaded; ``worker-reconnected`` — a flaky endpoint was
+#: reconnected without losing it; ``reshard-after-loss`` — an endpoint
+#: stayed unreachable and its columns were re-sharded onto survivors.
+DEGRADED_CODES = ("worker-respawned", "worker-reconnected",
+                  "reshard-after-loss")
+
+
+@dataclass(frozen=True)
+class DegradedEvent:
+    """One recovery the remote supervisor performed instead of raising.
+
+    The machine-readable cousin of :class:`SkippedRung`, for runtime
+    faults rather than negotiation: ``code`` is from
+    :data:`DEGRADED_CODES`, ``shard`` the failed shard index, ``detail``
+    the human sentence, and ``heal_ms`` the wall-clock cost of the
+    recovery (pool rebuild + state reload) — the benchmark harness's
+    time-to-heal metric.
+    """
+
+    code: str
+    shard: Optional[int] = None
+    detail: str = ""
+    heal_ms: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        out = {"code": self.code, "shard": self.shard,
+               "detail": self.detail}
+        if self.heal_ms is not None:
+            out["heal_ms"] = round(self.heal_ms, 2)
+        return out
+
+
 @dataclass(frozen=True)
 class SkippedRung:
     """One rung the resolver walked past, with a machine-readable reason.

@@ -49,8 +49,11 @@ when the topology version moves.
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 import weakref
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 try:
@@ -60,7 +63,13 @@ except ImportError:                      # pragma: no cover - numpy is baked in
 
 from .algebra import UnsupportedAlgebraError
 from .asynchronous import AsyncResult
-from .capabilities import Capabilities, logger as _engine_log, register_engine
+from .capabilities import (
+    Capabilities,
+    DegradedEvent,
+    logger as _engine_log,
+    register_engine,
+)
+from .faults import FaultPlan
 from .parallel import DELTA_WINDOW, _mp_context
 from .schedule import Schedule
 from .state import Network, RoutingState
@@ -100,6 +109,7 @@ from .wire import (
 __all__ = [
     "REMOTE_MIN_N",
     "REMOTE_TIMEOUT",
+    "REMOTE_MAX_RETRIES",
     "RemoteError",
     "RemoteWorkerError",
     "RemoteVectorizedEngine",
@@ -119,6 +129,16 @@ REMOTE_MIN_N = 4
 #: default coordinator socket timeout (seconds): a worker that neither
 #: replies nor closes within this window is declared dead.
 REMOTE_TIMEOUT = 120.0
+
+#: how many recoveries the supervisor attempts per run before the
+#: original typed error surfaces (``strict=True`` attempts zero).
+REMOTE_MAX_RETRIES = 3
+
+#: exponential-backoff schedule for recovery attempts: the k-th retry
+#: sleeps ``min(BASE * 2**(k-1), CAP)`` seconds, jittered into
+#: ``[0.5x, 1.0x]`` so respawned fleets never thunder in lockstep.
+RETRY_BACKOFF_BASE = 0.05
+RETRY_BACKOFF_CAP = 1.0
 
 
 class RemoteError(RuntimeError):
@@ -141,6 +161,33 @@ class RemoteWorkerError(RemoteError):
         self.shard_id = shard_id
         self.endpoint = endpoint
         self.last_acked_round = last_acked_round
+
+
+class _ShardFault(Exception):
+    """Internal signal: one shard failed mid-protocol.
+
+    Raised by the coordinator's wire plumbing instead of a terminal
+    error so the supervisor loop can decide — heal (rebuild the pool,
+    resume from the last barrier-consistent state) or surface the same
+    typed error the pre-supervision engine raised (``strict=True``, or
+    retries exhausted).  Never escapes the engine's public API.
+
+    ``kind`` classifies the failure for terminal re-raising:
+    ``conn`` (closed/refused/timed out), ``format`` (corrupt or torn
+    frames/payloads), ``protocol`` (well-formed but out-of-discipline
+    reply), ``worker-error`` (a relayed :data:`MSG_ERROR`).
+    """
+
+    def __init__(self, idx: Optional[int], exc: BaseException,
+                 kind: str = "conn", message: Optional[str] = None):
+        super().__init__(str(exc))
+        self.idx = idx
+        self.exc = exc
+        self.kind = kind
+        self.message = message
+
+    def describe(self) -> str:
+        return f"{self.kind} fault ({type(self.exc).__name__}: {self.exc})"
 
 
 def supports_remote(algebra) -> bool:
@@ -366,15 +413,17 @@ def _try_send(fc: FrameConnection, msg_type: int, payload: bytes) -> None:
         pass
 
 
-def _serve_connection(sock) -> None:
+def _serve_connection(sock, injector=None) -> None:
     """Serve one coordinator session on an accepted socket.
 
     Handler exceptions are relayed as :data:`MSG_ERROR` frames (the
     worker stays usable), a version-skewed peer gets one error frame
     before the connection drops, and anything malformed ends the
     session — the server loop then goes back to ``accept``.
+    ``injector`` is the worker-side chaos hook (every frame in either
+    direction passes through it).
     """
-    fc = FrameConnection(sock)
+    fc = FrameConnection(sock, injector=injector)
     state = _ShardState()
     try:
         while True:
@@ -419,7 +468,7 @@ def _serve_connection(sock) -> None:
 
 def serve_worker(host: str = "127.0.0.1", port: int = 0, *,
                  once: bool = False, ready_callback=None,
-                 announce: bool = False) -> None:
+                 announce: bool = False, fault_plan=None) -> None:
     """Run a remote σ/δ worker: accept coordinators, one at a time.
 
     ``port=0`` binds an ephemeral port; ``ready_callback(host, port)``
@@ -428,7 +477,11 @@ def serve_worker(host: str = "127.0.0.1", port: int = 0, *,
     ``listening on host:port`` line for the CLI path.  ``once`` exits
     after the first coordinator session — the spawned loopback workers
     use it so a closed engine cannot leak server processes.
+    ``fault_plan`` (a :class:`~repro.core.faults.FaultPlan`, dict or
+    JSON string — the CLI's ``--fault-plan``) injects seeded faults
+    into every frame this worker sends or receives.
     """
+    plan = FaultPlan.parse(fault_plan) if fault_plan is not None else None
     srv = socket.create_server((host, port))
     bound = srv.getsockname()[1]
     if ready_callback is not None:
@@ -438,20 +491,22 @@ def serve_worker(host: str = "127.0.0.1", port: int = 0, *,
     try:
         while True:
             conn, _addr = srv.accept()
-            _serve_connection(conn)
+            injector = plan.injector("worker") if plan is not None else None
+            _serve_connection(conn, injector=injector)
             if once:
                 return
     finally:
         srv.close()
 
 
-def _spawned_worker_main(pipe, host: str) -> None:
+def _spawned_worker_main(pipe, host: str, fault_plan=None) -> None:
     """Subprocess entry point for loopback workers."""
     try:
         def ready(h, p):
             pipe.send((h, p))
             pipe.close()
-        serve_worker(host, 0, once=True, ready_callback=ready)
+        serve_worker(host, 0, once=True, ready_callback=ready,
+                     fault_plan=fault_plan)
     except (OSError, WireError) as exc:  # pragma: no cover - spawn failure
         # expected startup/session failures (bind refused, peer sent
         # garbage): report failure on the pipe and exit quietly.
@@ -472,12 +527,50 @@ def _spawned_worker_main(pipe, host: str) -> None:
         raise
 
 
+def _spawn_one_worker(ctx, host: str, timeout: float, fault_plan=None):
+    """Spawn a single loopback worker; returns ``(proc, endpoint)``.
+
+    On failure the dead subprocess is reaped here and a
+    :class:`RemoteError` raised — the caller decides whether to retry.
+    """
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_spawned_worker_main,
+                       args=(child, host, fault_plan), daemon=True,
+                       name="repro-remote-worker")
+    proc.start()
+    child.close()
+    try:
+        if not parent.poll(timeout):
+            raise RemoteError(
+                "loopback worker did not report its port within "
+                f"{timeout}s")
+        try:
+            reported = parent.recv()
+        except EOFError:
+            raise RemoteError(
+                "loopback worker died before reporting its port")
+        if reported is None:
+            raise RemoteError("loopback worker failed to start")
+    except RemoteError:
+        proc.terminate()
+        _reap_workers([proc])
+        raise
+    finally:
+        parent.close()
+    return proc, (reported[0], reported[1])
+
+
 def spawn_loopback_workers(count: int, host: str = "127.0.0.1",
-                           timeout: float = 30.0):
+                           timeout: float = 30.0, fault_plan=None):
     """Spawn ``count`` single-session worker subprocesses on ``host``.
 
     Returns ``(procs, endpoints)``.  Used by the engine's
     ``workers=k`` mode, tests and CI: real TCP, one machine.
+
+    A worker that fails to come up (a transient bind race on the
+    ephemeral port, a slow fork under load) is retried **once** with a
+    fresh process before the whole build is declared failed — one flaky
+    ephemeral port must not cost an engine build.
     """
     ctx = _mp_context()
     if ctx is None:
@@ -489,28 +582,17 @@ def spawn_loopback_workers(count: int, host: str = "127.0.0.1",
     endpoints = []
     try:
         for _ in range(count):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(target=_spawned_worker_main,
-                               args=(child, host), daemon=True,
-                               name="repro-remote-worker")
-            proc.start()
-            child.close()
-            procs.append(proc)
-            if not parent.poll(timeout):
-                parent.close()
-                raise RemoteError(
-                    "loopback worker did not report its port within "
-                    f"{timeout}s")
             try:
-                reported = parent.recv()
-            except EOFError:
-                raise RemoteError(
-                    "loopback worker died before reporting its port")
-            finally:
-                parent.close()
-            if reported is None:
-                raise RemoteError("loopback worker failed to start")
-            endpoints.append((reported[0], reported[1]))
+                proc, endpoint = _spawn_one_worker(ctx, host, timeout,
+                                                   fault_plan)
+            except RemoteError as exc:
+                _engine_log.warning(
+                    "loopback worker spawn failed (%s); retrying once "
+                    "with a fresh ephemeral port", exc)
+                proc, endpoint = _spawn_one_worker(ctx, host, timeout,
+                                                   fault_plan)
+            procs.append(proc)
+            endpoints.append(endpoint)
     except Exception as exc:
         # reap every already-spawned worker deterministically before
         # re-raising — a failed spawn must not leak subprocesses.
@@ -622,7 +704,10 @@ class RemoteVectorizedEngine(VectorizedEngine):
     def __init__(self, network: Network,
                  endpoints: Optional[Sequence] = None,
                  workers: Optional[int] = None,
-                 socket_timeout: Optional[float] = None):
+                 socket_timeout: Optional[float] = None,
+                 strict: bool = False,
+                 max_retries: int = REMOTE_MAX_RETRIES,
+                 fault_plan=None):
         self._res = _RemoteResources()
         self._finalizer = weakref.finalize(self, self._res.close)
         super().__init__(network)        # raises for non-finite algebras
@@ -647,6 +732,22 @@ class RemoteVectorizedEngine(VectorizedEngine):
             else float(socket_timeout)
         self._blocks = _split_columns(network.n, shards)
         self.workers = shards
+        #: supervision: ``strict=True`` surfaces every worker fault as
+        #: the typed error immediately (no healing); otherwise up to
+        #: ``max_retries`` recoveries per run, recorded in ``degraded``.
+        self._strict = bool(strict)
+        self._max_retries = 0 if strict else max(0, int(max_retries))
+        self._retries_left = self._max_retries
+        self._fresh_stats = False
+        self._plan = FaultPlan.parse(fault_plan) \
+            if fault_plan is not None else None
+        #: the endpoint working set (shrinks when healing re-shards)
+        self._active_endpoints = list(self._endpoints)
+        self._shard_endpoints: List[Tuple[str, int]] = []
+        #: machine-readable recovery chain of the most recent run /
+        #: since construction (:class:`~repro.core.capabilities.DegradedEvent`)
+        self.degraded: List[DegradedEvent] = []
+        self.degraded_total: List[DegradedEvent] = []
         #: wire volume of the most recent run / since construction
         self.wire_stats = WireStats()
         self.wire_totals = WireStats()
@@ -716,32 +817,66 @@ class RemoteVectorizedEngine(VectorizedEngine):
             stats.bytes_sent += delta_sent
             stats.bytes_received += delta_received
 
-    def _begin_run(self) -> None:
-        self._ensure_pool()
-        self.wire_stats = WireStats()
-        self._acked = 0
+    def _run_reset(self) -> None:
+        """Arm a run: fresh retry budget, empty recovery chain, and a
+        deferred wire-stats reset (the *initial* pool build stays out of
+        per-run stats, exactly as before supervision; heal rebuilds land
+        in them — retry traffic is real traffic)."""
+        self._retries_left = self._max_retries
+        self.degraded = []
+        self._fresh_stats = True
 
-    def _ensure_pool(self) -> None:
+    def _attempt_pool(self) -> None:
+        """(Re)establish the pool inside the supervised retry loop."""
+        self._ensure_pool()
+        if self._fresh_stats:
+            self.wire_stats = WireStats()
+            self._acked = 0
+            self._fresh_stats = False
+
+    def _ensure_pool(self, allow_partial: bool = False) -> None:
         if self.closed:
             raise RuntimeError("engine is closed; build a new one")
         if self._res.conns:
             return
-        endpoints = self._endpoints
         if self._spawn:
             procs, endpoints = spawn_loopback_workers(self._spawn)
             self._res.procs = procs
-        self._shard_endpoints = list(endpoints)
+            allow_partial = False
+        else:
+            endpoints = list(self._active_endpoints)
+        conns: List[FrameConnection] = []
+        reachable: List[Tuple[str, int]] = []
         for host, port in endpoints:
             try:
                 sock = socket.create_connection((host, port),
                                                 timeout=self._timeout)
             except OSError as exc:
+                if allow_partial:
+                    _engine_log.warning(
+                        "healing drops unreachable worker %s:%s (%s: %s)",
+                        host, port, type(exc).__name__, exc)
+                    continue
                 self.close()
                 raise RemoteError(
                     f"cannot connect to remote worker {host}:{port}: "
                     f"{exc}") from exc
             sock.settimeout(self._timeout)
-            self._res.conns.append(FrameConnection(sock))
+            injector = self._plan.injector("coordinator", len(conns)) \
+                if self._plan is not None else None
+            conns.append(FrameConnection(sock, injector=injector))
+            reachable.append((host, port))
+        if not conns:
+            self.close()
+            raise RemoteError(
+                "no remote workers reachable after loss: every endpoint "
+                f"in {endpoints} refused the reconnect")
+        self._res.conns = conns
+        self._shard_endpoints = reachable
+        if not self._spawn:
+            self._active_endpoints = reachable
+        self._blocks = _split_columns(self._n, len(conns))
+        self.workers = len(conns)
         self._bytes_base = (0, 0)
         tables_blob = np.ascontiguousarray(
             self._tables, dtype="<i4").tobytes()
@@ -765,35 +900,23 @@ class RemoteVectorizedEngine(VectorizedEngine):
         try:
             fc.send(msg_type, payload)
         except (WireClosedError, OSError) as exc:
-            self._worker_failed(idx, exc)
+            raise _ShardFault(idx, exc) from exc
         self._bump(commands=1)
         self._sync_bytes()
-
-    def _worker_failed(self, idx: int, exc: Exception) -> None:
-        endpoint = self._shard_endpoints[idx] \
-            if idx < len(self._shard_endpoints) else None
-        acked = self._acked
-        self.close()
-        if isinstance(exc, TimeoutError):
-            detail = (f"did not reply within {self._timeout}s "
-                      "(socket timeout)")
-        else:
-            detail = f"connection failed: {exc}"
-        raise RemoteWorkerError(
-            f"remote worker {idx} ({endpoint and f'{endpoint[0]}:{endpoint[1]}'}) "
-            f"{detail}; last fully acked protocol round: {acked}",
-            shard_id=idx, endpoint=endpoint,
-            last_acked_round=acked) from exc
 
     def _recv(self, idx: int) -> Tuple[int, bytes]:
         fc = self._res.conns[idx]
         try:
             msg_type, payload = fc.recv()
-        except (WireVersionError, WireFormatError):
+        except WireVersionError:
+            # version skew is never a transient fault: healing would
+            # reconnect to the same skewed peer forever
             self.close()
             raise
+        except WireFormatError as exc:
+            raise _ShardFault(idx, exc, kind="format") from exc
         except (WireClosedError, OSError) as exc:
-            self._worker_failed(idx, exc)
+            raise _ShardFault(idx, exc) from exc
         self._sync_bytes()
         if msg_type == MSG_ERROR:
             try:
@@ -801,30 +924,136 @@ class RemoteVectorizedEngine(VectorizedEngine):
                 message = obj.get("message", "unknown worker error")
             except WireError:
                 message = "undecodable worker error"
-            endpoint = self._shard_endpoints[idx]
-            acked = self._acked
-            self.close()
-            raise RemoteWorkerError(
-                f"remote worker {idx} ({endpoint[0]}:{endpoint[1]}) "
-                f"failed: {message}; last fully acked protocol round: "
-                f"{acked}", shard_id=idx, endpoint=endpoint,
-                last_acked_round=acked)
+            raise _ShardFault(idx, RemoteError(message),
+                              kind="worker-error", message=message)
         return msg_type, payload
 
     def _expect(self, idx: int, expected: int):
         msg_type, payload = self._recv(idx)
         if msg_type != expected:
-            self.close()
-            raise WireFormatError(
+            exc = WireFormatError(
                 f"remote worker {idx} replied frame type {msg_type}, "
                 f"expected {expected}")
-        return unpack_payload(payload) if payload else ({}, b"")
+            raise _ShardFault(idx, exc, kind="protocol")
+        try:
+            return unpack_payload(payload) if payload else ({}, b"")
+        except WireError as exc:
+            raise _ShardFault(idx, exc, kind="format") from exc
+
+    def _barrier(self) -> None:
+        """One fully collected broadcast/collect cycle: bump the round
+        counters and tell the fault injectors (rules key on rounds)."""
+        self._bump(rounds=1)
+        self._acked += 1
+        if self._plan is not None:
+            for fc in self._res.conns:
+                if fc.injector is not None:
+                    fc.injector.round = self._acked
 
     def _collect_acks(self) -> None:
         for idx in range(len(self._res.conns)):
             self._expect(idx, MSG_ACK)
-        self._bump(rounds=1)
-        self._acked += 1
+        self._barrier()
+
+    # -- supervision -----------------------------------------------------
+
+    def _degraded_event(self, code: str, shard: Optional[int],
+                        detail: str, heal_ms: float) -> None:
+        event = DegradedEvent(code=code, shard=shard, detail=detail,
+                              heal_ms=heal_ms)
+        self.degraded.append(event)
+        self.degraded_total.append(event)
+        _engine_log.warning("remote degraded [%s] shard=%s: %s "
+                            "(healed in %.1fms)", code, shard, detail,
+                            heal_ms)
+
+    def _heal(self, fault: _ShardFault) -> None:
+        """Recover from a shard fault or surface the typed error.
+
+        Strict engines and exhausted retry budgets raise exactly what
+        the pre-supervision engine raised.  Otherwise: tear the pool
+        down, back off (exponential + jitter), rebuild — respawning
+        loopback workers or re-sharding onto surviving endpoints — and
+        return so the caller resumes from its last barrier-consistent
+        state.  Faults *during* the rebuild consume further retries, so
+        a permanently sick fleet still terminates in bounded time.
+        """
+        while True:
+            if self._strict or self._retries_left <= 0:
+                self._raise_terminal(fault)
+            self._retries_left -= 1
+            attempt = self._max_retries - self._retries_left
+            _engine_log.warning(
+                "remote shard %s %s; recovery attempt %d/%d",
+                fault.idx, fault.describe(), attempt, self._max_retries)
+            self._res.close()            # sever all conns, reap dead procs
+            delay = min(RETRY_BACKOFF_BASE * (2 ** (attempt - 1)),
+                        RETRY_BACKOFF_CAP)
+            time.sleep(delay * (0.5 + random.random() * 0.5))
+            t0 = perf_counter()
+            try:
+                self._rebuild_pool(fault, t0)
+                return
+            except _ShardFault as again:
+                fault = again
+            except RemoteError:
+                # the fleet is gone (respawn failed / nothing reachable):
+                # surface the ORIGINAL fault — it names the root cause
+                self._raise_terminal(fault)
+
+    def _rebuild_pool(self, fault: _ShardFault, t0: float) -> None:
+        if self._spawn:
+            self._ensure_pool()
+            self._degraded_event(
+                "worker-respawned", fault.idx,
+                f"loopback worker pool respawned after {fault.describe()}; "
+                "resumed from the last acked round",
+                heal_ms=(perf_counter() - t0) * 1000)
+            return
+        before = len(self._active_endpoints)
+        self._ensure_pool(allow_partial=True)
+        after = len(self._active_endpoints)
+        if after < before:
+            self._degraded_event(
+                "reshard-after-loss", fault.idx,
+                f"{before - after} endpoint(s) unreachable after "
+                f"{fault.describe()}; {self._n} columns re-sharded onto "
+                f"{after} surviving worker(s)",
+                heal_ms=(perf_counter() - t0) * 1000)
+        else:
+            self._degraded_event(
+                "worker-reconnected", fault.idx,
+                f"endpoint reconnected after {fault.describe()}; "
+                "resumed from the last acked round",
+                heal_ms=(perf_counter() - t0) * 1000)
+
+    def _raise_terminal(self, fault: _ShardFault) -> None:
+        """Surface a fault as the pre-supervision typed error."""
+        idx, exc = fault.idx, fault.exc
+        endpoint = self._shard_endpoints[idx] \
+            if idx is not None and idx < len(self._shard_endpoints) else None
+        acked = self._acked
+        self.close()
+        if fault.kind in ("format", "protocol"):
+            # corrupt streams and protocol-discipline violations keep
+            # their typed wire errors
+            raise exc
+        where = endpoint and f"{endpoint[0]}:{endpoint[1]}"
+        if fault.kind == "worker-error":
+            raise RemoteWorkerError(
+                f"remote worker {idx} ({where}) failed: {fault.message}; "
+                f"last fully acked protocol round: {acked}",
+                shard_id=idx, endpoint=endpoint, last_acked_round=acked)
+        if isinstance(exc, TimeoutError):
+            detail = (f"did not reply within {self._timeout}s "
+                      "(socket timeout)")
+        else:
+            detail = f"connection failed: {exc}"
+        raise RemoteWorkerError(
+            f"remote worker {idx} ({where}) "
+            f"{detail}; last fully acked protocol round: {acked}",
+            shard_id=idx, endpoint=endpoint,
+            last_acked_round=acked) from exc
 
     # -- σ ---------------------------------------------------------------
 
@@ -848,30 +1077,47 @@ class RemoteVectorizedEngine(VectorizedEngine):
         total = 0
         for idx, (lo, hi) in enumerate(self._blocks):
             obj, blob = self._expect(idx, MSG_UPDATE)
-            decode_update(blob, M[:, lo:hi])
-            total += int(obj["changed"])
+            try:
+                decode_update(blob, M[:, lo:hi])
+                total += int(obj["changed"])
+            except (WireError, LookupError, TypeError, ValueError) as exc:
+                # a corrupt reply may half-apply before detection; the
+                # supervisor restores the mirror from its barrier
+                # snapshot, so flagging the shard is enough here
+                raise _ShardFault(idx, exc, kind="format") from exc
             self._bump(update=len(blob),
                        naive=naive_update_bytes(self._n, hi - lo))
-        self._bump(rounds=1)
-        self._acked += 1
+        self._barrier()
         return total
 
     def sigma(self, state: RoutingState) -> RoutingState:
         """One full σ round, computed by the workers (lockstep oracle)."""
         self.refresh()
-        self._begin_run()
-        M = self.encode_state(state)
-        self._load_state(M)
-        self._round(M, full=True)
-        return self.decode_state(M)
+        self._run_reset()
+        M0 = self.encode_state(state)
+        while True:
+            try:
+                self._attempt_pool()
+                M = M0.copy()
+                self._load_state(M)
+                self._round(M, full=True)
+                return self.decode_state(M)
+            except _ShardFault as fault:
+                self._heal(fault)
 
     def is_stable(self, state: RoutingState) -> bool:
         """Definition 4 over the wire: a full round, no changed column."""
         self.refresh()
-        self._begin_run()
-        M = self.encode_state(state)
-        self._load_state(M)
-        return self._round(M, full=True) == 0
+        self._run_reset()
+        M0 = self.encode_state(state)
+        while True:
+            try:
+                self._attempt_pool()
+                M = M0.copy()
+                self._load_state(M)
+                return self._round(M, full=True) == 0
+            except _ShardFault as fault:
+                self._heal(fault)
 
     def iterate(self, start: RoutingState, max_rounds: int = 10_000,
                 keep_trajectory: bool = False,
@@ -879,16 +1125,42 @@ class RemoteVectorizedEngine(VectorizedEngine):
         """σ fixed-point iteration with the standard ladder contract:
         first round full, later rounds dirty-only, empty union of
         changed columns is convergence — trajectories, round counts and
-        fixed points are bit-identical to every other engine."""
+        fixed points are bit-identical to every other engine.
+
+        Supervised: a shard fault mid-run rolls the mirror back to the
+        last barrier-consistent round, heals the pool (respawn /
+        reconnect / re-shard) and resumes from that round — sound
+        because σ is column-independent and the mirror `M` holds exactly
+        the fault-free round-k state at every barrier.  The resumed
+        round runs full (worker dirty sets died with the pool), which
+        recomputes clean columns to the same values — bit-identical.
+        """
         self.refresh()
-        self._begin_run()
+        self._run_reset()
         M = self.encode_state(start)
-        self._load_state(M)
+        snap = M.copy()                  # last barrier-consistent state
         trajectory: Optional[List[RoutingState]] = \
             [start] if keep_trajectory else None
         seen = {M.tobytes(): 0} if detect_cycles else None
-        for k in range(max_rounds):
-            changed = self._round(M, full=(k == 0))
+        k = 0
+        fresh = True
+        full = True
+        while k < max_rounds:
+            try:
+                self._attempt_pool()
+                if fresh:
+                    self._load_state(M)
+                    snap[:] = M
+                    fresh = False
+                    full = True
+                changed = self._round(M, full=full)
+                full = False
+                snap[:] = M
+            except _ShardFault as fault:
+                self._heal(fault)
+                M[:] = snap
+                fresh = True
+                continue
             if keep_trajectory:
                 trajectory.append(self.decode_state(M))
             if changed == 0:
@@ -899,6 +1171,7 @@ class RemoteVectorizedEngine(VectorizedEngine):
                     return SyncResult(False, k + 1, self.decode_state(M),
                                       trajectory)
                 seen[key] = k + 1
+            k += 1
         return SyncResult(False, max_rounds, self.decode_state(M), trajectory)
 
     # -- δ ---------------------------------------------------------------
@@ -910,11 +1183,13 @@ class RemoteVectorizedEngine(VectorizedEngine):
             self._send(idx, MSG_FETCH, head)
         for idx, (lo, hi) in enumerate(self._blocks):
             _obj, blob = self._expect(idx, MSG_UPDATE)
-            decode_update(blob, M[:, lo:hi])
+            try:
+                decode_update(blob, M[:, lo:hi])
+            except (WireError, LookupError, TypeError, ValueError) as exc:
+                raise _ShardFault(idx, exc, kind="format") from exc
             self._bump(update=len(blob),
                        naive=naive_update_bytes(self._n, hi - lo))
-        self._bump(rounds=1)
-        self._acked += 1
+        self._barrier()
 
     def delta(self, schedule: Schedule, start: RoutingState,
               max_steps: int = 2_000,
@@ -930,6 +1205,12 @@ class RemoteVectorizedEngine(VectorizedEngine):
         σ-probed on the coordinator's local snapshot, so convergence
         steps, final states and ``history_retained`` match the serial
         engines bit for bit.
+
+        Supervised: a shard fault mid-run heals the pool and *replays
+        the whole δ protocol from step 1* on the rebuilt shards — the
+        worker history rings died with the pool, and schedules are pure
+        deterministic functions, so the replay reproduces the fault-free
+        run bit for bit (steps, convergence point, final state).
         """
         max_read_back = schedule.max_read_back()
         if max_read_back is None:
@@ -942,7 +1223,18 @@ class RemoteVectorizedEngine(VectorizedEngine):
         read_window = max_read_back + 2  # the BoundedHistory window
         w = DELTA_WINDOW if window is None else max(1, int(window))
         self.refresh()
-        self._begin_run()
+        self._run_reset()
+        while True:
+            try:
+                self._attempt_pool()
+                return self._delta_once(schedule, start, max_steps,
+                                        stability_window, w, read_window)
+            except _ShardFault as fault:
+                self._heal(fault)
+
+    def _delta_once(self, schedule: Schedule, start: RoutingState,
+                    max_steps: int, stability_window: int, w: int,
+                    read_window: int) -> AsyncResult:
         W = w + read_window
         M = self.encode_state(start)
         n = self._n

@@ -180,24 +180,53 @@ class FrameConnection:
     Owns byte counters (``bytes_sent`` / ``bytes_received``) so the
     coordinator can report wire volume per run without instrumenting
     call sites.
+
+    ``injector`` (a :class:`repro.core.faults.FaultInjector`) is the
+    chaos hook: every frame passes through it at the boundary, in both
+    directions, so seeded fault plans can drop, delay, corrupt,
+    truncate or sever exactly one deterministic frame.  ``None`` (the
+    default) is a zero-overhead straight-through path.
     """
 
-    def __init__(self, sock):
+    def __init__(self, sock, injector=None):
         self.sock = sock
+        self.injector = injector
         self.bytes_sent = 0
         self.bytes_received = 0
 
     def send(self, msg_type: int, payload: bytes = b"") -> None:
         frame = encode_frame(msg_type, payload)
+        if self.injector is not None:
+            frame, close_after = self.injector.send_frame(msg_type, frame)
+            if frame is not None:
+                self.sock.sendall(frame)
+                self.bytes_sent += len(frame)
+            if close_after:
+                self.close()
+                raise WireClosedError(
+                    "fault injection severed the connection at a send "
+                    "boundary")
+            return
         self.sock.sendall(frame)
         self.bytes_sent += len(frame)
 
     def recv(self) -> tuple[int, bytes]:
-        header = _recv_exact(self.sock, _HEADER.size)
-        msg_type, length = _parse_header(header)
-        payload = _recv_exact(self.sock, length) if length else b""
-        self.bytes_received += _HEADER.size + length
-        return msg_type, payload
+        while True:
+            header = _recv_exact(self.sock, _HEADER.size)
+            msg_type, length = _parse_header(header)
+            payload = _recv_exact(self.sock, length) if length else b""
+            self.bytes_received += _HEADER.size + length
+            if self.injector is None:
+                return msg_type, payload
+            verdict, payload = self.injector.recv_frame(msg_type, payload)
+            if verdict == "pass":
+                return msg_type, payload
+            if verdict == "close":
+                self.close()
+                raise WireClosedError(
+                    "fault injection severed the connection at a recv "
+                    "boundary")
+            # "drop": discard this frame, wait for the next one
 
     def close(self) -> None:
         try:

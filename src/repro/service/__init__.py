@@ -26,8 +26,10 @@ Protocol reference: :doc:`docs/service.md <service>`.
 
 from .protocol import (
     ERR_BAD_REQUEST,
+    ERR_BUSY,
     ERR_ENGINE,
     ERR_HELLO_REQUIRED,
+    ERR_INTERNAL,
     ERR_MALFORMED,
     ERR_NO_SESSION,
     ERR_SERVER,
@@ -46,7 +48,9 @@ __all__ = [
     "SERVICE_VERSION",
     "ServiceError",
     "ERR_BAD_REQUEST",
+    "ERR_BUSY",
     "ERR_ENGINE",
+    "ERR_INTERNAL",
     "ERR_HELLO_REQUIRED",
     "ERR_MALFORMED",
     "ERR_NO_SESSION",

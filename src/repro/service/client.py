@@ -6,16 +6,28 @@ variant that ``benchmarks/load_test.py`` fans out by the hundred.  Both
 perform the versioned hello on connect, raise
 :class:`~repro.service.protocol.ServiceError` carrying the server's
 typed code on any error reply, and expose one method per verb.
+
+Both clients support *opt-in* retry (``retries=N``): a ``busy`` shed is
+retried after a jittered exponential backoff honoring the server's
+``retry_after_ms`` hint, and a read timeout (a request or reply frame
+lost to chaos/fault injection) is retried by *resending* the request.
+Retry mode stamps every request with a client-chosen ``id`` and skips
+stale replies whose echoed id does not match, so a late duplicate reply
+can never desynchronise the stream.  Resends assume the daemon's verbs
+are idempotent (they are: queries are cached, mutations are absolute).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
+import time
 from typing import Any, Dict, Optional
 
 from .protocol import (
+    ERR_BUSY,
     ERR_MALFORMED,
     MAX_LINE,
     SERVICE_VERSION,
@@ -33,9 +45,49 @@ def _check(reply: Dict[str, Any]) -> Dict[str, Any]:
                            f"server sent a non-object reply: {reply!r}")
     if not reply.get("ok"):
         err = reply.get("error") or {}
+        extra = {k: v for k, v in err.items()
+                 if k not in ("code", "message")}
         raise ServiceError(err.get("code", "server-error"),
-                           err.get("message", "unspecified server error"))
+                           err.get("message", "unspecified server error"),
+                           **extra)
     return reply
+
+
+def _stale(reply: Any, want: Any) -> bool:
+    """True when ``reply`` is a leftover from a timed-out earlier
+    attempt (its echoed id exists and differs from ``want``)."""
+    if want is None or not isinstance(reply, dict):
+        return False
+    echoed = reply.get("id")
+    return echoed is not None and echoed != want
+
+
+class _RetryMixin:
+    """Shared retry policy: jittered exponential backoff, honoring the
+    server's ``retry_after_ms`` hint when one rode on the error."""
+
+    def _init_retry(self, retries: int, backoff_base: float,
+                    backoff_cap: float) -> None:
+        self._retries = max(0, int(retries))
+        self._backoff_base = float(backoff_base)
+        self._backoff_cap = float(backoff_cap)
+        self._req_seq = 0
+
+    def _backoff_s(self, attempt: int,
+                   retry_after_ms: Optional[float]) -> float:
+        base = self._backoff_base * (2 ** attempt)
+        if retry_after_ms:
+            base = max(base, retry_after_ms / 1000.0)
+        return min(base, self._backoff_cap) * (0.5 + random.random() * 0.5)
+
+    def _stamp(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Retry mode: give the request a client id so a resend can
+        recognise (and discard) the stale reply of a lost attempt."""
+        req = dict(req)
+        if req.get("id") is None:
+            self._req_seq += 1
+            req["id"] = f"rt-{self._req_seq}"
+        return req
 
 
 class _VerbMixin:
@@ -76,8 +128,12 @@ class _VerbMixin:
         return req
 
 
-class ServiceClient(_VerbMixin):
+class ServiceClient(_VerbMixin, _RetryMixin):
     """Blocking JSON-over-TCP client (one socket, hello on connect).
+
+    ``retries=N`` opts into retry: ``busy`` sheds back off (honoring
+    the server's ``retry_after_ms``) and a read timeout (the socket
+    ``timeout``) resends the request instead of failing.
 
     Usage::
 
@@ -88,9 +144,11 @@ class ServiceClient(_VerbMixin):
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0, retries: int = 0,
+                 backoff_base: float = 0.05, backoff_cap: float = 2.0):
         self.host = host
         self.port = port
+        self._init_retry(retries, backoff_base, backoff_cap)
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rb")
         self.server_hello = self.request(
@@ -100,14 +158,37 @@ class ServiceClient(_VerbMixin):
 
     def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
         """One request/reply round trip; raises ``ServiceError`` on an
-        error reply or a dropped connection."""
+        error reply or a dropped connection.  With ``retries`` set,
+        ``busy`` sheds and read timeouts are retried first."""
+        if self._retries <= 0:
+            return self._roundtrip(req)
+        req = self._stamp(req)
+        for attempt in range(self._retries + 1):
+            try:
+                return self._roundtrip(req)
+            except ServiceError as exc:
+                if exc.code != ERR_BUSY or attempt >= self._retries:
+                    raise
+                time.sleep(self._backoff_s(attempt, exc.retry_after_ms))
+            except socket.timeout:
+                if attempt >= self._retries:
+                    raise
+                time.sleep(self._backoff_s(attempt, None))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _roundtrip(self, req: Dict[str, Any]) -> Dict[str, Any]:
         self._sock.sendall(encode_frame(req))
-        line = self._file.readline(MAX_LINE)
-        if not line:
-            raise ServiceError(
-                ERR_MALFORMED,
-                "server closed the connection without replying")
-        return _check(json.loads(line.decode("utf-8")))
+        want = req.get("id")
+        while True:
+            line = self._file.readline(MAX_LINE)
+            if not line:
+                raise ServiceError(
+                    ERR_MALFORMED,
+                    "server closed the connection without replying")
+            reply = json.loads(line.decode("utf-8"))
+            if _stale(reply, want):
+                continue  # late reply from a timed-out earlier attempt
+            return _check(reply)
 
     def close(self) -> None:
         try:
@@ -164,8 +245,12 @@ class ServiceClient(_VerbMixin):
         return self.request({"verb": "shutdown"})
 
 
-class AsyncServiceClient(_VerbMixin):
+class AsyncServiceClient(_VerbMixin, _RetryMixin):
     """``asyncio`` client — what the load generator fans out.
+
+    ``retries=N`` opts into retry: ``busy`` sheds back off (honoring
+    the server's ``retry_after_ms``) and — when ``request_timeout`` is
+    set — a reply that never arrives resends the request.
 
     Usage::
 
@@ -178,30 +263,66 @@ class AsyncServiceClient(_VerbMixin):
     """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter):
+                 writer: asyncio.StreamWriter, *, retries: int = 0,
+                 backoff_base: float = 0.05, backoff_cap: float = 2.0,
+                 request_timeout: Optional[float] = None):
         self._reader = reader
         self._writer = writer
+        self._init_retry(retries, backoff_base, backoff_cap)
+        self._request_timeout = request_timeout
         self.server_hello: Optional[Dict[str, Any]] = None
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1",
-                      port: int = 0) -> "AsyncServiceClient":
+    async def connect(cls, host: str = "127.0.0.1", port: int = 0, *,
+                      retries: int = 0, backoff_base: float = 0.05,
+                      backoff_cap: float = 2.0,
+                      request_timeout: Optional[float] = None,
+                      ) -> "AsyncServiceClient":
         reader, writer = await asyncio.open_connection(host, port,
                                                        limit=MAX_LINE)
-        client = cls(reader, writer)
+        client = cls(reader, writer, retries=retries,
+                     backoff_base=backoff_base, backoff_cap=backoff_cap,
+                     request_timeout=request_timeout)
         client.server_hello = await client.request(
             {"verb": "hello", "v": SERVICE_VERSION})
         return client
 
     async def request(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        if self._retries <= 0:
+            return await self._roundtrip(req)
+        req = self._stamp(req)
+        for attempt in range(self._retries + 1):
+            try:
+                return await self._roundtrip(req)
+            except ServiceError as exc:
+                if exc.code != ERR_BUSY or attempt >= self._retries:
+                    raise
+                await asyncio.sleep(
+                    self._backoff_s(attempt, exc.retry_after_ms))
+            except asyncio.TimeoutError:
+                if attempt >= self._retries:
+                    raise
+                await asyncio.sleep(self._backoff_s(attempt, None))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _roundtrip(self, req: Dict[str, Any]) -> Dict[str, Any]:
         self._writer.write(encode_frame(req))
         await self._writer.drain()
-        line = await self._reader.readline()
-        if not line:
-            raise ServiceError(
-                ERR_MALFORMED,
-                "server closed the connection without replying")
-        return _check(json.loads(line.decode("utf-8")))
+        want = req.get("id")
+        while True:
+            read = self._reader.readline()
+            if self._request_timeout is not None:
+                line = await asyncio.wait_for(read, self._request_timeout)
+            else:
+                line = await read
+            if not line:
+                raise ServiceError(
+                    ERR_MALFORMED,
+                    "server closed the connection without replying")
+            reply = json.loads(line.decode("utf-8"))
+            if _stale(reply, want):
+                continue  # late reply from a timed-out earlier attempt
+            return _check(reply)
 
     async def close(self) -> None:
         try:

@@ -31,19 +31,22 @@ import json
 import logging
 import random
 import threading
+import uuid
 from collections import OrderedDict, deque
 from time import perf_counter
 from typing import Any, Dict, Optional, Tuple
 
+from ..core.faults import FaultPlan, RECV_CLOSE, RECV_DROP
 from ..core.schedule import RandomSchedule
 from ..session import EngineSpec, RoutingSession
 from .protocol import (
     ERR_BAD_REQUEST,
+    ERR_BUSY,
     ERR_ENGINE,
     ERR_HELLO_REQUIRED,
+    ERR_INTERNAL,
     ERR_MALFORMED,
     ERR_NO_SESSION,
-    ERR_SERVER,
     ERR_UNKNOWN_VERB,
     ERR_VERSION_SKEW,
     FATAL_CODES,
@@ -117,6 +120,16 @@ class RoutingServiceDaemon:
         closes) the least-recently-used session.
     cache_entries:
         Per-session report-cache bound (LRU).
+    max_inflight:
+        Backpressure bound: how many query computes may be admitted
+        (waiting on a session lock or running in the executor) at once.
+        Past it the daemon *sheds* with a typed ``busy`` error carrying
+        a ``retry_after_ms`` hint instead of buffering unbounded work.
+    fault_plan:
+        Optional seeded :class:`~repro.core.faults.FaultPlan` (object,
+        dict, or JSON string) injected into the connection stream for
+        chaos testing: ``role="daemon"`` rules drop/delay/corrupt
+        request lines and reply frames deterministically.
     announce:
         Print the ``listening on host:port`` line on start — what the
         CLI and the CI smoke job parse.
@@ -124,13 +137,17 @@ class RoutingServiceDaemon:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  engine: str = "auto", max_sessions: int = 8,
-                 cache_entries: int = 512, announce: bool = False):
+                 cache_entries: int = 512, max_inflight: int = 32,
+                 fault_plan=None, announce: bool = False):
         EngineSpec(engine=engine)  # fail fast on a bad rung name
         self.host = host
         self.port = port
         self.default_engine = engine
         self.max_sessions = max_sessions
         self.cache_entries = cache_entries
+        self.max_inflight = max(1, int(max_inflight))
+        self._plan = (FaultPlan.parse(fault_plan)
+                      if fault_plan is not None else None)
         self.announce = announce
         self._sessions: "OrderedDict[str, _SessionEntry]" = OrderedDict()
         self._server: Optional[asyncio.base_events.Server] = None
@@ -141,6 +158,8 @@ class RoutingServiceDaemon:
         self._requests = 0
         self._errors = 0
         self._evictions = 0
+        self._inflight = 0
+        self._shed = 0
         self._started_at: Optional[float] = None
 
     # -- lifecycle -------------------------------------------------------
@@ -208,6 +227,8 @@ class RoutingServiceDaemon:
                                  writer: asyncio.StreamWriter) -> None:
         peer = writer.get_extra_info("peername")
         hello_done = False
+        injector = (self._plan.injector("daemon")
+                    if self._plan is not None else None)
         try:
             while True:
                 try:
@@ -225,6 +246,16 @@ class RoutingServiceDaemon:
                 line = line.strip()
                 if not line:
                     continue
+                if injector is not None:
+                    verdict, line = injector.recv_frame(0, line)
+                    if verdict == RECV_DROP:
+                        logger.warning("fault injection dropped a request "
+                                       "line from peer=%s", peer)
+                        continue
+                    if verdict == RECV_CLOSE:
+                        logger.warning("fault injection severed the "
+                                       "connection from peer=%s", peer)
+                        break
                 t0 = perf_counter()
                 reply = await self._handle_frame(line, hello_done)
                 verb = reply.get("verb")
@@ -241,7 +272,11 @@ class RoutingServiceDaemon:
                     peer, verb, reply.get("ok"),
                     reply.get("cached", False),
                     err["code"] if err else None, elapsed * 1e3)
-                await self._send(writer, reply)
+                severed = await self._send(writer, reply, injector)
+                if severed:
+                    logger.warning("fault injection severed the reply "
+                                   "stream to peer=%s", peer)
+                    break
                 if err and err["code"] in FATAL_CODES:
                     break  # desynced or version-skewed peer: drop it
                 if reply.get("ok") and verb == "shutdown":
@@ -255,12 +290,21 @@ class RoutingServiceDaemon:
                 pass
 
     async def _send(self, writer: asyncio.StreamWriter,
-                    reply: Dict[str, Any]) -> None:
+                    reply: Dict[str, Any], injector=None) -> bool:
+        """Write one reply frame; True when a fault severed the stream
+        (a ``drop`` fault suppresses the frame but keeps the connection:
+        the client's read timeout is the recovery path)."""
+        frame = encode_frame(reply)
+        close_after = False
+        if injector is not None:
+            frame, close_after = injector.send_frame(0, frame)
         try:
-            writer.write(encode_frame(reply))
-            await writer.drain()
+            if frame is not None:
+                writer.write(frame)
+                await writer.drain()
         except (ConnectionError, OSError):
             pass  # peer vanished mid-reply; nothing left to tell it
+        return close_after
 
     async def _handle_frame(self, line: bytes,
                             hello_done: bool) -> Dict[str, Any]:
@@ -319,12 +363,17 @@ class RoutingServiceDaemon:
                 verb=verb, req_id=req_id)
         except ServiceError as exc:
             return error_reply(exc.code, exc.message, verb=verb,
-                               req_id=req_id)
-        except Exception as exc:  # a bug must not kill the server
-            logger.exception("unexpected failure handling verb=%r", verb)
+                               req_id=req_id, **exc.extra)
+        except Exception:  # a bug must not kill the server — or leak
+            cid = uuid.uuid4().hex[:12]
+            logger.exception(
+                "unexpected failure handling verb=%r (correlation id %s)",
+                verb, cid)
             return error_reply(
-                ERR_SERVER, f"{type(exc).__name__}: {exc}",
-                verb=verb, req_id=req_id)
+                ERR_INTERNAL,
+                f"internal server error (correlation id {cid}); "
+                "details are in the server log",
+                verb=verb, req_id=req_id, correlation_id=cid)
 
     # -- verb: load ------------------------------------------------------
 
@@ -467,30 +516,52 @@ class RoutingServiceDaemon:
         key = (verb, entry.version, entry.params["algebra"], start_seed,
                schedule_cache_key(sched_spec) if sched_spec else None,
                RandomSchedule.SCHEDULE_SEED_VERSION, include_state, knobs)
-        async with entry.lock:
-            cached = entry.cache.get(key)
-            if cached is not None:
-                entry.hits += 1
-                entry.cache.move_to_end(key)
-                return dict(cached, id=req_id, cached=True)
-            entry.misses += 1
-            loop = asyncio.get_running_loop()
-            if verb == "sigma":
-                body = await loop.run_in_executor(
-                    None, self._compute_sigma, entry, start_seed,
-                    max_rounds, include_state)
-            elif verb == "delta":
-                body = await loop.run_in_executor(
-                    None, self._compute_delta, entry, sched_spec,
-                    start_seed, max_steps, include_state)
-            else:
-                body = await loop.run_in_executor(
-                    None, self._compute_convergence, entry, start_seed,
-                    n_starts, max_steps)
-            entry.cache[key] = body
-            while len(entry.cache) > self.cache_entries:
-                entry.cache.popitem(last=False)
+        # backpressure: a query is "in flight" from admission (it may
+        # queue on the session lock) until its reply is built; past the
+        # bound the daemon sheds with a typed busy + retry hint instead
+        # of buffering unbounded work behind a slow compute.
+        if self._inflight >= self.max_inflight:
+            self._shed += 1
+            raise ServiceError(
+                ERR_BUSY,
+                f"daemon is at its max_inflight={self.max_inflight} "
+                "query bound; retry after the hint",
+                retry_after_ms=self._retry_hint_ms())
+        self._inflight += 1
+        try:
+            async with entry.lock:
+                cached = entry.cache.get(key)
+                if cached is not None:
+                    entry.hits += 1
+                    entry.cache.move_to_end(key)
+                    return dict(cached, id=req_id, cached=True)
+                entry.misses += 1
+                loop = asyncio.get_running_loop()
+                if verb == "sigma":
+                    body = await loop.run_in_executor(
+                        None, self._compute_sigma, entry, start_seed,
+                        max_rounds, include_state)
+                elif verb == "delta":
+                    body = await loop.run_in_executor(
+                        None, self._compute_delta, entry, sched_spec,
+                        start_seed, max_steps, include_state)
+                else:
+                    body = await loop.run_in_executor(
+                        None, self._compute_convergence, entry, start_seed,
+                        n_starts, max_steps)
+                entry.cache[key] = body
+                while len(entry.cache) > self.cache_entries:
+                    entry.cache.popitem(last=False)
+        finally:
+            self._inflight -= 1
         return dict(body, id=req_id, cached=False)
+
+    def _retry_hint_ms(self) -> float:
+        """The ``busy`` reply's backoff hint: the recent median request
+        latency, clamped to a sane band."""
+        lat = [s * 1e3 for s in self._latencies]
+        hint = percentile(lat, 50.0) if lat else 50.0
+        return round(min(max(hint, 25.0), 2000.0), 3)
 
     def _compute_sigma(self, entry: _SessionEntry,
                        start_seed: Optional[int], max_rounds: int,
@@ -570,6 +641,9 @@ class RoutingServiceDaemon:
             "requests": self._requests,
             "errors": self._errors,
             "evictions": self._evictions,
+            "shed": self._shed,
+            "inflight": self._inflight,
+            "max_inflight": self.max_inflight,
             "sessions": [
                 {"session": e.sid, "version": e.version,
                  "cache_entries": len(e.cache), "hits": e.hits,
@@ -615,9 +689,11 @@ def _build_network(algebra_name: str, topology: str, n: int, seed: int):
 
 def serve(host: str = "127.0.0.1", port: int = 0, *, engine: str = "auto",
           max_sessions: int = 8, cache_entries: int = 512,
+          max_inflight: int = 32, fault_plan=None,
           announce: bool = True) -> None:
     """Run a daemon until shutdown (the ``repro.cli serve`` backend)."""
     daemon = RoutingServiceDaemon(
         host, port, engine=engine, max_sessions=max_sessions,
-        cache_entries=cache_entries, announce=announce)
+        cache_entries=cache_entries, max_inflight=max_inflight,
+        fault_plan=fault_plan, announce=announce)
     daemon.run()

@@ -56,6 +56,8 @@ __all__ = [
     "ERR_NO_SESSION",
     "ERR_ENGINE",
     "ERR_SERVER",
+    "ERR_BUSY",
+    "ERR_INTERNAL",
     "FATAL_CODES",
     "encode_frame",
     "error_reply",
@@ -86,6 +88,8 @@ ERR_BAD_REQUEST = "bad-request"        # missing/invalid parameters
 ERR_NO_SESSION = "no-session"          # unknown (or evicted) session id
 ERR_ENGINE = "engine-error"            # engine negotiation/run failure
 ERR_SERVER = "server-error"            # unexpected server-side failure
+ERR_BUSY = "busy"                      # load shed: retry after the hint
+ERR_INTERNAL = "internal"              # server bug; carries correlation id
 
 #: codes after which the server closes the connection (the peer is
 #: either desynced or speaking another protocol version; continuing
@@ -97,12 +101,21 @@ FATAL_CODES = frozenset(
 class ServiceError(RuntimeError):
     """A typed error reply, raised client-side (and used server-side to
     carry a code to the reply encoder).  ``code`` is from the stable
-    vocabulary above."""
+    vocabulary above.  Extra error-envelope fields (``retry_after_ms``
+    on :data:`ERR_BUSY`, ``correlation_id`` on :data:`ERR_INTERNAL`)
+    ride on :attr:`extra`."""
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str, **extra: Any):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+        self.extra = extra
+
+    @property
+    def retry_after_ms(self) -> Optional[float]:
+        """The server's backoff hint on a ``busy`` shed, else ``None``."""
+        value = self.extra.get("retry_after_ms")
+        return float(value) if value is not None else None
 
 
 def encode_frame(obj: Dict[str, Any]) -> bytes:

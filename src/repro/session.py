@@ -124,6 +124,15 @@ class EngineSpec:
     ``strict``).  ``socket_timeout`` bounds every coordinator socket
     operation so a dead worker surfaces as a typed
     :class:`~repro.core.remote.RemoteWorkerError`, never a hang.
+
+    A non-strict remote session *supervises* its workers: shard faults
+    are healed (respawn / reconnect / re-shard, bounded retries) and
+    reported as :class:`~repro.core.capabilities.DegradedEvent` entries
+    on the run report's ``degraded`` field; ``strict=True`` disables
+    healing and surfaces the original typed error immediately.
+    ``fault_plan`` (a :class:`~repro.core.faults.FaultPlan`, its dict
+    form, or a JSON string) deterministically injects frame-level
+    faults into the coordinator's connections for chaos testing.
     """
 
     engine: str = "auto"
@@ -135,6 +144,10 @@ class EngineSpec:
     remote_workers: Optional[int] = None
     endpoints: Optional[Tuple] = None
     socket_timeout: Optional[float] = None
+    #: seeded :class:`~repro.core.faults.FaultPlan` (or its JSON/dict
+    #: form) injected into the remote rung's coordinator-side
+    #: connections — chaos testing; ``None`` (default) injects nothing
+    fault_plan: Optional[object] = None
 
     def __post_init__(self):
         if self.engine != "auto" and self.engine not in LADDER:
@@ -176,6 +189,8 @@ class SigmaReport:
     churn: Optional[int] = None       #: total entry changes (measure_churn)
     #: remote rung: per-run wire traffic (bytes/round, compression ratio)
     wire: Optional[WireStats] = field(default=None, repr=False)
+    #: remote rung: healing events this run survived (empty = clean run)
+    degraded: Optional[Tuple] = None
     result: SyncResult = field(default=None, repr=False)
 
     @property
@@ -201,6 +216,8 @@ class DeltaReport:
     ipc_steps: Optional[int] = None     #: parallel/remote: δ steps they carried
     #: remote rung: per-run wire traffic (bytes/round, compression ratio)
     wire: Optional[WireStats] = field(default=None, repr=False)
+    #: remote rung: healing events this run survived (empty = clean run)
+    degraded: Optional[Tuple] = None
     #: seed → schedule mapping version the run's schedule assumes
     #: (:data:`~repro.core.schedule.RandomSchedule.SCHEDULE_SEED_VERSION`),
     #: ``None`` for seed-free schedules.
@@ -224,6 +241,8 @@ class DeltaReport:
         }
         if self.wire is not None:
             meta["wire"] = self.wire.as_dict()
+        if self.degraded:
+            meta["degraded"] = [ev.as_dict() for ev in self.degraded]
         return meta
 
 
@@ -241,6 +260,8 @@ class GridReport:
     schedule_seed_version: Optional[int] = None
     #: remote rung: wire traffic summed over the whole grid
     wire: Optional[WireStats] = field(default=None, repr=False)
+    #: remote rung: healing events over the whole grid (empty = clean)
+    degraded: Optional[Tuple] = None
     results: Optional[List[AsyncResult]] = field(default=None, repr=False)
 
     @property
@@ -268,6 +289,8 @@ class GridReport:
         }
         if self.wire is not None:
             meta["wire"] = self.wire.as_dict()
+        if self.degraded:
+            meta["degraded"] = [ev.as_dict() for ev in self.degraded]
         return meta
 
 
@@ -438,7 +461,9 @@ class RoutingSession:
                 eng = RemoteVectorizedEngine(
                     self.network, endpoints=self.spec.endpoints,
                     workers=self.spec.remote_workers,
-                    socket_timeout=self.spec.socket_timeout)
+                    socket_timeout=self.spec.socket_timeout,
+                    strict=self.spec.strict,
+                    fault_plan=self.spec.fault_plan)
             else:
                 from .core.parallel import ParallelVectorizedEngine
                 eng = ParallelVectorizedEngine(self.network,
@@ -453,6 +478,15 @@ class RoutingSession:
             return None
         eng = self._engines.get("remote")
         return eng.wire_stats.copy() if eng is not None else None
+
+    def _degraded_snapshot(self, resolution: EngineResolution):
+        """Per-run tuple of
+        :class:`~repro.core.capabilities.DegradedEvent` when the remote
+        rung ran (empty for a clean run); ``None`` for local rungs."""
+        if resolution.chosen != "remote":
+            return None
+        eng = self._engines.get("remote")
+        return tuple(eng.degraded) if eng is not None else None
 
     def compile_schedule(self, schedule: Schedule,
                          horizon: int) -> CompiledSchedule:
@@ -491,6 +525,7 @@ class RoutingSession:
         t0 = perf_counter()
         churn: Optional[int] = None
         wire: Optional[WireStats] = None
+        degraded: Optional[Tuple] = None
         # the code-diff churn fast path is only taken when the session
         # negotiated a codes-based rung anyway — a spec pinned to
         # "naive"/"incremental" keeps the object path, so the report's
@@ -516,6 +551,7 @@ class RoutingSession:
                 workers=resolution.workers,
                 engine_obj=self._engine_obj(resolution))
             wire = self._wire_snapshot(resolution)
+            degraded = self._degraded_snapshot(resolution)
             if measure_churn:
                 alg = net.algebra
                 churn = 0
@@ -530,7 +566,7 @@ class RoutingSession:
             state=result.state, resolution=resolution,
             elapsed_s=perf_counter() - t0,
             trajectory=result.trajectory if keep_trajectory else None,
-            churn=churn, wire=wire, result=result)
+            churn=churn, wire=wire, degraded=degraded, result=result)
 
     # -- δ ---------------------------------------------------------------
 
@@ -580,7 +616,8 @@ class RoutingSession:
             history_retained=result.history_retained,
             ipc_commands=ipc_commands, ipc_steps=ipc_steps,
             schedule_seed_version=schedule_seed_version([schedule]),
-            wire=self._wire_snapshot(resolution), result=result)
+            wire=self._wire_snapshot(resolution),
+            degraded=self._degraded_snapshot(resolution), result=result)
 
     def delta_grid(self, trials: Sequence[Tuple[Schedule, RoutingState]], *,
                    max_steps: int = 2_000,
@@ -618,11 +655,14 @@ class RoutingSession:
         t0 = perf_counter()
         results: List[AsyncResult] = []
         wire_base = None
+        degraded_base = None
         if resolution.chosen == "remote" and trials:
             # snapshot the engine's monotonic totals so the report can
             # carry exactly this grid's traffic (per-run wire_stats
-            # resets on every trial)
-            wire_base = self._engine_obj(resolution).wire_totals.copy()
+            # resets on every trial); ditto the healing-event log
+            eng = self._engine_obj(resolution)
+            wire_base = eng.wire_totals.copy()
+            degraded_base = len(eng.degraded_total)
         if resolution.chosen == "batched" and trials:
             eng = self._engine_obj(resolution)
             compiled = [(self.compile_schedule(sched, max_steps), start)
@@ -660,17 +700,20 @@ class RoutingSession:
             if not any(res.state.equals(fp, alg) for fp in fixed_points):
                 fixed_points.append(res.state)
         wire = None
+        degraded = None
         if wire_base is not None:
             eng = self._engines.get("remote")
             if eng is not None:
                 wire = eng.wire_totals - wire_base
+                degraded = tuple(eng.degraded_total[degraded_base:])
         return GridReport(
             runs=len(trials), all_converged=all_converged,
             distinct_fixed_points=fixed_points, convergence_steps=steps,
             resolution=resolution, elapsed_s=perf_counter() - t0,
             schedule_seed_version=schedule_seed_version(
                 [sched for (sched, _start) in trials]),
-            wire=wire, results=results if keep_results else None)
+            wire=wire, degraded=degraded,
+            results=results if keep_results else None)
 
     # -- experiments -----------------------------------------------------
 

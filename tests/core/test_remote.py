@@ -392,10 +392,33 @@ class TestLoopbackBitIdentity:
 
 
 class TestFailureModes:
-    def test_worker_death_mid_delta_is_typed(self):
+    def test_worker_death_mid_delta_heals(self):
+        # supervision contract: a dead loopback worker is respawned and
+        # the run replays to the same fixed point as the serial engine
         net = _net(9)
         start = RoutingState.identity(net.algebra, net.n)
+        sched = RandomSchedule(net.n, seed=2, max_delay=3)
+        ref = delta_run_vectorized(net, sched, start, max_steps=300)
         eng = RemoteVectorizedEngine(net, workers=2, socket_timeout=30.0)
+        try:
+            eng.iterate(start)          # establish the pool
+            victim = eng._res.procs[1]
+            victim.kill()
+            victim.join(timeout=10)
+            res = eng.delta(sched, start, max_steps=300)
+            assert res.converged == ref.converged
+            assert res.steps == ref.steps
+            assert res.state.equals(ref.state, net.algebra)
+            assert any(ev.code == "worker-respawned" for ev in eng.degraded)
+        finally:
+            eng.close()
+
+    def test_worker_death_mid_delta_strict_is_typed(self):
+        # strict engines keep the pre-supervision contract: typed error
+        net = _net(9)
+        start = RoutingState.identity(net.algebra, net.n)
+        eng = RemoteVectorizedEngine(net, workers=2, socket_timeout=30.0,
+                                     strict=True)
         try:
             eng.iterate(start)          # establish the pool
             victim = eng._res.procs[1]

@@ -30,7 +30,9 @@ import pytest
 
 from repro.service import (
     ERR_BAD_REQUEST,
+    ERR_BUSY,
     ERR_HELLO_REQUIRED,
+    ERR_INTERNAL,
     ERR_MALFORMED,
     ERR_NO_SESSION,
     ERR_UNKNOWN_VERB,
@@ -392,3 +394,139 @@ class TestRegistryAndCLI:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=15)
+
+
+# ----------------------------------------------------------------------
+# 6. Backpressure and chaos: busy shed, retry, sanitised internals
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def tiny_daemon():
+    """A daemon that admits exactly one query at a time, so the second
+    concurrent query deterministically sheds with ``busy``."""
+    d = RoutingServiceDaemon(host="127.0.0.1", port=0, max_sessions=4,
+                             max_inflight=1)
+    t = threading.Thread(target=d.run, daemon=True)
+    t.start()
+    assert d.wait_ready(15), "daemon did not come up"
+    yield d
+    d.request_shutdown()
+    t.join(15)
+    assert not t.is_alive(), "daemon did not shut down"
+
+
+def _slow_compute(daemon_obj, seconds):
+    """Wrap the daemon's σ compute so one admitted query holds its
+    inflight slot for a while (runs in the executor: the event loop
+    stays free to shed the competitor)."""
+    import time as _time
+    orig = daemon_obj._compute_sigma
+
+    def slow(entry, start_seed, max_rounds, include_state):
+        _time.sleep(seconds)
+        return orig(entry, start_seed, max_rounds, include_state)
+
+    daemon_obj._compute_sigma = slow
+    return orig
+
+
+class TestBackpressure:
+    def test_second_concurrent_query_sheds_busy(self, tiny_daemon):
+        _slow_compute(tiny_daemon, 0.8)
+
+        async def drive():
+            a = await AsyncServiceClient.connect("127.0.0.1",
+                                                 tiny_daemon.port)
+            b = await AsyncServiceClient.connect("127.0.0.1",
+                                                 tiny_daemon.port)
+            try:
+                sid = (await a.load("hop-count", n=8,
+                                    topology="ring"))["session"]
+                slow_task = asyncio.ensure_future(a.sigma(sid))
+                await asyncio.sleep(0.2)   # let the slow one be admitted
+                with pytest.raises(ServiceError) as exc:
+                    await b.sigma(sid, start_seed=1)
+                assert exc.value.code == ERR_BUSY
+                assert exc.value.retry_after_ms is not None
+                assert 25.0 <= exc.value.retry_after_ms <= 2000.0
+                # the shed connection stays open and usable
+                stats = await b.stats()
+                assert stats["shed"] >= 1
+                assert stats["max_inflight"] == 1
+                assert (await slow_task)["converged"] is True
+            finally:
+                await a.close()
+                await b.close()
+
+        asyncio.run(drive())
+
+    def test_sync_client_retries_busy_to_success(self, tiny_daemon):
+        _slow_compute(tiny_daemon, 0.6)
+        with ServiceClient(port=tiny_daemon.port) as setup:
+            sid = setup.load("hop-count", n=8,
+                             topology="ring")["session"]
+
+        hold = threading.Thread(
+            target=lambda: ServiceClient(
+                port=tiny_daemon.port).sigma(sid),
+            daemon=True)
+        hold.start()
+        import time as _time
+        _time.sleep(0.2)                   # the slot is now occupied
+        with ServiceClient(port=tiny_daemon.port, retries=8,
+                           backoff_base=0.05) as c:
+            reply = c.sigma(sid, start_seed=2)   # busy → backoff → ok
+        assert reply["converged"] is True
+        hold.join(15)
+
+    def test_async_client_retries_busy_to_success(self, tiny_daemon):
+        _slow_compute(tiny_daemon, 0.6)
+
+        async def drive():
+            a = await AsyncServiceClient.connect("127.0.0.1",
+                                                 tiny_daemon.port)
+            b = await AsyncServiceClient.connect(
+                "127.0.0.1", tiny_daemon.port, retries=8,
+                backoff_base=0.05)
+            try:
+                sid = (await a.load("hop-count", n=8,
+                                    topology="ring"))["session"]
+                slow_task = asyncio.ensure_future(a.sigma(sid))
+                await asyncio.sleep(0.2)
+                reply = await b.sigma(sid, start_seed=2)
+                assert reply["converged"] is True
+                await slow_task
+            finally:
+                await a.close()
+                await b.close()
+
+        asyncio.run(drive())
+
+
+class TestInternalErrorSanitised:
+    def test_unexpected_failure_is_typed_and_redacted(self, daemon):
+        # an arbitrary server-side crash must surface as a typed
+        # ``internal`` error carrying a correlation id — never the
+        # exception text — and must NOT kill the connection
+        secret = "kaboom-secret-detail-7731"
+
+        def boom(req):
+            raise RuntimeError(secret)
+
+        with ServiceClient(port=daemon.port) as c:
+            sid = c.load("hop-count", n=8, topology="ring")["session"]
+            orig = daemon._entry
+            daemon._entry = boom
+            try:
+                with pytest.raises(ServiceError) as exc:
+                    c.sigma(sid)
+            finally:
+                daemon._entry = orig
+            assert exc.value.code == ERR_INTERNAL
+            cid = exc.value.extra.get("correlation_id")
+            assert cid and len(cid) == 12
+            assert secret not in str(exc.value)
+            assert cid in exc.value.message
+            # same connection, next request: served normally
+            assert c.sigma(sid)["converged"] is True

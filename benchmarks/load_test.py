@@ -42,6 +42,7 @@ if __name__ == "__main__":   # allow running without installing the package
 
 from repro.service import (
     AsyncServiceClient,
+    ERR_DRAINING,
     RoutingServiceDaemon,
     ServiceError,
 )
@@ -56,43 +57,73 @@ SCALES = {
 
 
 async def _phase(clients: List[AsyncServiceClient], sid: str,
-                 queries: int, *, distinct: bool) -> Tuple[list, list, int]:
-    """One load phase; returns (latencies_ms, digests, failures).
+                 queries: int, *, distinct: bool,
+                 drain_seen: Optional[asyncio.Event] = None
+                 ) -> Tuple[list, list, int, int]:
+    """One load phase; returns (latencies_ms, digests, failures,
+    drained).
 
     ``distinct=True`` gives every request its own start seed (all
     cache misses); ``distinct=False`` has the whole fleet repeat one
     identical query (cache hits after the first compute).  A request
     that still fails after the client's own retry budget counts as one
     *client failure* — the chaos soak's acceptance is zero of them.
+
+    With ``drain_seen`` (the ``--expect-drain`` mode) the daemon is
+    expected to enter a graceful SIGTERM drain mid-run: a typed
+    ``draining`` error is the *correct* outcome for that client (it
+    stops cleanly, counted in ``drained``), and once any client has
+    seen the drain, connection teardowns are part of the same shutdown
+    — only errors *before* the drain was observed count as failures.
     """
     async def worker(idx: int, client: AsyncServiceClient):
-        lat, digs, failed = [], [], 0
+        lat, digs, failed, drained = [], [], 0, 0
         for q in range(queries):
             seed = (1 + idx * queries + q) if distinct else 0
             t0 = perf_counter()
             try:
                 reply = await client.sigma(sid, start_seed=seed)
-            except (ServiceError, asyncio.TimeoutError,
-                    ConnectionError, OSError):
+            except ServiceError as exc:
+                if drain_seen is not None and (
+                        exc.code == ERR_DRAINING or drain_seen.is_set()):
+                    drain_seen.set()
+                    drained += 1
+                    break                # the daemon is going away
+                failed += 1
+                continue
+            except (asyncio.TimeoutError, ConnectionError, OSError):
+                if drain_seen is not None and drain_seen.is_set():
+                    drained += 1
+                    break
                 failed += 1
                 continue
             lat.append((perf_counter() - t0) * 1e3)
             digs.append(reply["digest"])
-        return lat, digs, failed
+        return lat, digs, failed, drained
 
     results = await asyncio.gather(*[
         worker(i, c) for i, c in enumerate(clients)])
-    latencies = [ms for lat, _, _ in results for ms in lat]
-    digests = [d for _, digs, _ in results for d in digs]
-    failures = sum(f for _, _, f in results)
-    return latencies, digests, failures
+    latencies = [ms for lat, _, _, _ in results for ms in lat]
+    digests = [d for _, digs, _, _ in results for d in digs]
+    failures = sum(f for _, _, f, _ in results)
+    drained = sum(d for _, _, _, d in results)
+    return latencies, digests, failures, drained
+
+
+def _dist(ms: list) -> Dict:
+    if not ms:
+        return {"p50": None, "p99": None, "count": 0}
+    return {"p50": round(percentile(ms, 50.0), 3),
+            "p99": round(percentile(ms, 99.0), 3),
+            "count": len(ms)}
 
 
 async def _run(clients_n: int, queries: int, n: int, *,
                algebra: str, topology: str, seed: int,
                host: Optional[str], port: Optional[int],
                shutdown: bool, retries: int = 0,
-               request_timeout: Optional[float] = None) -> Dict:
+               request_timeout: Optional[float] = None,
+               expect_drain: bool = False) -> Dict:
     daemon = None
     if host is None:
         daemon = RoutingServiceDaemon(host="127.0.0.1", port=0,
@@ -100,6 +131,7 @@ async def _run(clients_n: int, queries: int, n: int, *,
         await daemon.start()
         host, port = daemon.host, daemon.port
 
+    drain_seen = asyncio.Event() if expect_drain else None
     clients = await asyncio.gather(*[
         AsyncServiceClient.connect(host, port, retries=retries,
                                    request_timeout=request_timeout)
@@ -112,47 +144,53 @@ async def _run(clients_n: int, queries: int, n: int, *,
         assert all(r["session"] == sid for r in loads), \
             "identical loads must share one warm session"
 
-        cold_ms, _, cold_failed = await _phase(clients, sid, queries,
-                                               distinct=True)
-        warm_ms, warm_digests, warm_failed = await _phase(
-            clients, sid, queries, distinct=False)
-        assert len(set(warm_digests)) == 1, \
+        cold_ms, _, cold_failed, cold_drained = await _phase(
+            clients, sid, queries, distinct=True, drain_seen=drain_seen)
+        warm_ms, warm_digests, warm_failed, warm_drained = await _phase(
+            clients, sid, queries, distinct=False, drain_seen=drain_seen)
+        assert len(set(warm_digests)) <= 1, \
             "warm phase produced inconsistent fixed points"
 
-        stats = await clients[0].stats()
-        if shutdown:
-            await clients[0].shutdown()
+        drained = cold_drained + warm_drained
+        stats = None
+        if not drained:                  # the daemon is still there
+            stats = await clients[0].stats()
+            if shutdown:
+                await clients[0].shutdown()
     finally:
         await asyncio.gather(*[c.close() for c in clients])
         if daemon is not None:
             await daemon.stop()
 
-    cold_p50 = percentile(cold_ms, 50.0)
-    warm_p50 = percentile(warm_ms, 50.0)
-    cache = stats["cache"]
-    return {
+    cold, warm = _dist(cold_ms), _dist(warm_ms)
+    row = {
         "clients": clients_n,
         "queries_per_phase": len(cold_ms),
         "algebra": algebra,
         "topology": topology,
         "n": n,
-        "warm_digest": warm_digests[0],
-        "cold_ms": {"p50": round(cold_p50, 3),
-                    "p99": round(percentile(cold_ms, 99.0), 3),
-                    "count": len(cold_ms)},
-        "warm_ms": {"p50": round(warm_p50, 3),
-                    "p99": round(percentile(warm_ms, 99.0), 3),
-                    "count": len(warm_ms)},
-        "cache_hit_speedup": (round(cold_p50 / warm_p50, 2)
-                              if warm_p50 > 0 else None),
-        "cache_hit_ratio": round(cache["hit_ratio"], 4),
-        "server_requests": stats["requests"],
-        "server_errors": stats["errors"],
-        "server_shed": stats.get("shed", 0),
-        "server_p99_ms": round(stats["latency_ms"]["p99"], 3),
+        "warm_digest": warm_digests[0] if warm_digests else None,
+        "cold_ms": cold,
+        "warm_ms": warm,
+        "cache_hit_speedup": (round(cold["p50"] / warm["p50"], 2)
+                              if cold["p50"] and warm["p50"] else None),
         "retries": retries,
         "client_failures": cold_failed + warm_failed,
+        "drained": drained,
     }
+    if stats is not None:
+        row.update({
+            "cache_hit_ratio": round(stats["cache"]["hit_ratio"], 4),
+            "server_requests": stats["requests"],
+            "server_errors": stats["errors"],
+            "server_shed": stats.get("shed", 0),
+            "server_p99_ms": round(stats["latency_ms"]["p99"], 3),
+        })
+    else:
+        row.update({"cache_hit_ratio": None, "server_requests": None,
+                    "server_errors": 0, "server_shed": 0,
+                    "server_p99_ms": None})
+    return row
 
 
 def run_load_test(scale: str = "quick", *, algebra: str = "hop-count",
@@ -161,7 +199,8 @@ def run_load_test(scale: str = "quick", *, algebra: str = "hop-count",
                   clients: Optional[int] = None,
                   queries: Optional[int] = None, n: Optional[int] = None,
                   shutdown: bool = False, retries: int = 0,
-                  request_timeout: Optional[float] = None) -> Dict:
+                  request_timeout: Optional[float] = None,
+                  expect_drain: bool = False) -> Dict:
     """Run the cold/warm load experiment; returns the result row.
 
     Without ``host`` the daemon runs in-process on an ephemeral port
@@ -170,6 +209,10 @@ def run_load_test(scale: str = "quick", *, algebra: str = "hop-count",
     ``retries > 0`` arms each client's jittered-backoff retry (plus a
     per-request read timeout) so the fleet rides out ``busy`` sheds
     and injected frame drops — the chaos soak's mode.
+    ``expect_drain`` tolerates a graceful SIGTERM drain mid-run: typed
+    ``draining`` refusals (and the connection teardowns that follow
+    them) are counted in the row's ``drained`` field, not as failures
+    — the CI drain-under-load row's mode.
     """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}")
@@ -180,7 +223,7 @@ def run_load_test(scale: str = "quick", *, algebra: str = "hop-count",
         clients or d_clients, queries or d_queries, n or d_n,
         algebra=algebra, topology=topology, seed=seed,
         host=host, port=port, shutdown=shutdown, retries=retries,
-        request_timeout=request_timeout))
+        request_timeout=request_timeout, expect_drain=expect_drain))
 
 
 def main(argv=None) -> int:
@@ -207,6 +250,12 @@ def main(argv=None) -> int:
     parser.add_argument("--request-timeout", type=float, default=None,
                         help="per-request read timeout in seconds "
                              "(default 10 when --retries > 0)")
+    parser.add_argument("--expect-drain", action="store_true",
+                        help="the daemon is expected to SIGTERM-drain "
+                             "mid-run: typed 'draining' refusals count "
+                             "as clean outcomes, and the run fails "
+                             "unless the drain was actually observed "
+                             "with zero other client failures")
     parser.add_argument("--json", action="store_true",
                         help="print the raw result row as JSON")
     args = parser.parse_args(argv)
@@ -220,7 +269,8 @@ def main(argv=None) -> int:
                         clients=args.clients, queries=args.queries,
                         n=args.n, shutdown=args.shutdown,
                         retries=args.retries,
-                        request_timeout=args.request_timeout)
+                        request_timeout=args.request_timeout,
+                        expect_drain=args.expect_drain)
     if args.json:
         print(json.dumps(row, indent=2))
     else:
@@ -236,7 +286,13 @@ def main(argv=None) -> int:
               f"server hit ratio {row['cache_hit_ratio']}, "
               f"{row['server_errors']} errors, "
               f"{row['server_shed']} shed, "
-              f"{row['client_failures']} client failures")
+              f"{row['client_failures']} client failures, "
+              f"{row['drained']} drained cleanly")
+    if args.expect_drain:
+        # the drain row's acceptance: the SIGTERM actually landed
+        # (someone saw the typed refusal) and nobody failed hard
+        return 0 if row["drained"] > 0 and \
+            row["client_failures"] == 0 else 1
     # with retries armed, sheds/drops are expected server-side events;
     # the acceptance is that no client request *ultimately* failed
     if args.retries > 0:

@@ -310,6 +310,10 @@ def cmd_serve(args) -> int:
               cache_entries=args.cache_entries,
               max_inflight=args.max_inflight,
               fault_plan=_parse_fault_plan(args.fault_plan),
+              state_dir=args.state_dir,
+              snapshot_interval=args.snapshot_interval,
+              journal_sync_every=args.journal_sync_every,
+              drain_deadline=args.drain_deadline,
               announce=True)
     except KeyboardInterrupt:
         pass
@@ -450,6 +454,27 @@ def make_parser() -> argparse.ArgumentParser:
                    help="seeded chaos: a FaultPlan as inline JSON (or "
                         "@path to a JSON file) injected into the "
                         "daemon's request/reply stream")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="durable state directory: write-ahead journal "
+                        "of admitted mutations plus periodic snapshots; "
+                        "on restart the daemon restores the newest "
+                        "valid snapshot, replays the journal tail and "
+                        "serves identical topology versions with a "
+                        "warm cache (default: in-memory only)")
+    p.add_argument("--snapshot-interval", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="seconds between periodic snapshots when the "
+                        "journal has advanced (default 30)")
+    p.add_argument("--journal-sync-every", type=int, default=8,
+                   metavar="N",
+                   help="fsync the journal every N records (default 8; "
+                        "records always reach the OS before the reply)")
+    p.add_argument("--drain-deadline", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="graceful-drain budget on SIGTERM/'shutdown': "
+                        "finish inflight work for up to this long while "
+                        "rejecting new work with a typed 'draining' "
+                        "error, then flush and snapshot (default 10)")
     p.add_argument("--log", action="store_true",
                    help="emit per-request structured logs on stderr")
     return parser

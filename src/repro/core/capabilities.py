@@ -160,9 +160,15 @@ register_engine(Capabilities(
 #: ``worker-respawned`` — a dead loopback worker subprocess was replaced
 #: and the shard reloaded; ``worker-reconnected`` — a flaky endpoint was
 #: reconnected without losing it; ``reshard-after-loss`` — an endpoint
-#: stayed unreachable and its columns were re-sharded onto survivors.
+#: stayed unreachable and its columns were re-sharded onto survivors;
+#: ``endpoint-probation`` — a dead endpoint was parked with exponential
+#: re-probe backoff instead of being retried in the hot path;
+#: ``endpoint-rejoined`` — a parked endpoint answered its probation
+#: probe and was re-admitted (the next pool build re-shards its columns
+#: back towards the original layout).
 DEGRADED_CODES = ("worker-respawned", "worker-reconnected",
-                  "reshard-after-loss")
+                  "reshard-after-loss", "endpoint-probation",
+                  "endpoint-rejoined")
 
 
 @dataclass(frozen=True)

@@ -291,49 +291,76 @@ class FaultInjector:
         return None
 
     # -- frame hooks (wire.FrameConnection calls these) ------------------
+    #
+    # Two flavours per direction: the blocking ones (``send_frame`` /
+    # ``recv_frame``) sleep through ``delay`` faults inline — right for
+    # the synchronous wire path, where one connection is one thread.
+    # The ``*_nowait`` variants return the delay in seconds instead so
+    # an event-loop host (the service daemon) can ``await
+    # asyncio.sleep(delay)`` and stall only the targeted peer.
 
-    def send_frame(self, msg_type: int, frame: bytes
-                   ) -> Tuple[Optional[bytes], bool]:
-        """Filter an outgoing frame.
+    def send_frame_nowait(self, msg_type: int, frame: bytes
+                          ) -> Tuple[Optional[bytes], bool, float]:
+        """Filter an outgoing frame without sleeping.
 
-        Returns ``(data, close_after)``: ``data is None`` means send
-        nothing; ``close_after`` means drop the connection after
-        writing whatever ``data`` is.
+        Returns ``(data, close_after, delay_s)``: ``data is None``
+        means send nothing; ``close_after`` means drop the connection
+        after writing whatever ``data`` is; ``delay_s`` is how long the
+        caller must stall *this* peer before sending.
         """
         rule = self._match("send", msg_type)
         if rule is None:
-            return frame, False
+            return frame, False, 0.0
         if rule.kind == "drop":
-            return None, False
+            return None, False, 0.0
         if rule.kind == "delay":
-            time.sleep(rule.delay_ms / 1000.0)
-            return frame, False
+            return frame, False, rule.delay_ms / 1000.0
         if rule.kind == "corrupt":
-            return _xor_byte(frame, rule.offset, rule.xor_mask), False
+            return _xor_byte(frame, rule.offset, rule.xor_mask), False, 0.0
         if rule.kind == "truncate":
             keep = min(rule.truncate_to, max(len(frame) - 1, 0))
-            return frame[:keep], True
-        return None, True                # close
+            return frame[:keep], True, 0.0
+        return None, True, 0.0           # close
+
+    def send_frame(self, msg_type: int, frame: bytes
+                   ) -> Tuple[Optional[bytes], bool]:
+        """Blocking variant of :meth:`send_frame_nowait` (sleeps through
+        ``delay`` faults); returns ``(data, close_after)``."""
+        data, close_after, delay = self.send_frame_nowait(msg_type, frame)
+        if delay > 0.0:
+            time.sleep(delay)
+        return data, close_after
+
+    def recv_frame_nowait(self, msg_type: int, payload: bytes
+                          ) -> Tuple[str, bytes, float]:
+        """Filter a received frame without sleeping: ``(verdict,
+        payload, delay_s)`` where the verdict is :data:`RECV_PASS`,
+        :data:`RECV_DROP` (read the next frame instead) or
+        :data:`RECV_CLOSE` (sever the connection), and ``delay_s`` is
+        how long the caller must stall this peer before acting on it."""
+        rule = self._match("recv", msg_type)
+        if rule is None:
+            return RECV_PASS, payload, 0.0
+        if rule.kind == "drop":
+            return RECV_DROP, b"", 0.0
+        if rule.kind == "delay":
+            return RECV_PASS, payload, rule.delay_ms / 1000.0
+        if rule.kind == "corrupt":
+            return RECV_PASS, _xor_byte(payload, rule.offset,
+                                        rule.xor_mask), 0.0
+        if rule.kind == "truncate":
+            return RECV_PASS, \
+                payload[:min(rule.truncate_to, len(payload))], 0.0
+        return RECV_CLOSE, b"", 0.0      # close
 
     def recv_frame(self, msg_type: int, payload: bytes
                    ) -> Tuple[str, bytes]:
-        """Filter a received frame: ``(verdict, payload)`` where the
-        verdict is :data:`RECV_PASS`, :data:`RECV_DROP` (read the next
-        frame instead) or :data:`RECV_CLOSE` (sever the connection)."""
-        rule = self._match("recv", msg_type)
-        if rule is None:
-            return RECV_PASS, payload
-        if rule.kind == "drop":
-            return RECV_DROP, b""
-        if rule.kind == "delay":
-            time.sleep(rule.delay_ms / 1000.0)
-            return RECV_PASS, payload
-        if rule.kind == "corrupt":
-            return RECV_PASS, _xor_byte(payload, rule.offset,
-                                        rule.xor_mask)
-        if rule.kind == "truncate":
-            return RECV_PASS, payload[:min(rule.truncate_to, len(payload))]
-        return RECV_CLOSE, b""           # close
+        """Blocking variant of :meth:`recv_frame_nowait` (sleeps through
+        ``delay`` faults); returns ``(verdict, payload)``."""
+        verdict, payload, delay = self.recv_frame_nowait(msg_type, payload)
+        if delay > 0.0:
+            time.sleep(delay)
+        return verdict, payload
 
 
 def _xor_byte(data: bytes, offset: int, mask: int) -> bytes:

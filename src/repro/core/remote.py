@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import random
 import socket
+import struct
 import time
 import weakref
 from time import perf_counter
@@ -83,12 +84,14 @@ from .vectorized import (
 )
 from .wire import (
     MSG_ACK,
+    MSG_CKPT,
     MSG_DELTA_INIT,
     MSG_DELTA_STEPS,
     MSG_ERROR,
     MSG_FETCH,
     MSG_FLAGS,
     MSG_LOAD,
+    MSG_PING,
     MSG_SIGMA_INIT,
     MSG_SIGMA_ROUND,
     MSG_STOP,
@@ -139,6 +142,20 @@ REMOTE_MAX_RETRIES = 3
 #: ``[0.5x, 1.0x]`` so respawned fleets never thunder in lockstep.
 RETRY_BACKOFF_BASE = 0.05
 RETRY_BACKOFF_CAP = 1.0
+
+#: endpoint probation: a dead endpoint is parked and re-probed (one
+#: lightweight MSG_PING hello on a fresh socket) no sooner than
+#: ``min(BASE * 2**(k-1), CAP)`` seconds after its k-th failure; a
+#: successful probe re-admits it and the next pool build re-shards back
+#: towards the original column layout.
+PROBATION_BASE = 0.25
+PROBATION_CAP = 30.0
+
+#: capture a δ checkpoint every this many windows (when the retry
+#: budget is live): the worker ring tail travels to the coordinator so
+#: a heal resumes from the last checkpoint instead of replaying the
+#: whole run — O(window) recovery instead of O(steps).
+DELTA_CKPT_EVERY = 4
 
 
 class RemoteError(RuntimeError):
@@ -321,12 +338,81 @@ def _shard_sigma_round(state: _ShardState, full: bool) -> Tuple[int, bytes]:
     return changed_count, blob
 
 
-def _shard_delta_init(state: _ShardState, window: int, blob: bytes) -> None:
-    state.window = int(window)
+def _split_chained_blobs(tail: bytes, count: int) -> List[bytes]:
+    """Split a checkpoint tail: ``count`` length-prefixed update blobs,
+    each delta-encoded against the decoded form of the previous one."""
+    blobs: List[bytes] = []
+    pos = 0
+    for _ in range(count):
+        if pos + 4 > len(tail):
+            raise WireFormatError(
+                f"checkpoint tail truncated at byte {pos} of {len(tail)}")
+        (length,) = struct.unpack_from("!I", tail, pos)
+        pos += 4
+        if pos + length > len(tail):
+            raise WireFormatError(
+                f"checkpoint blob overruns tail ({pos + length} > "
+                f"{len(tail)})")
+        blobs.append(tail[pos:pos + length])
+        pos += length
+    if pos != len(tail):
+        raise WireFormatError(
+            f"{len(tail) - pos} stray byte(s) after {count} "
+            "checkpoint blob(s)")
+    return blobs
+
+
+def _shard_delta_init(state: _ShardState, meta: dict, tail: bytes) -> None:
+    """Install the δ ring.
+
+    Two payload shapes share this command:
+
+    * fresh start — ``{"window": W}`` plus one blob: the start state,
+      delta-encoded against all-invalid, installed at ring slot 0;
+    * checkpoint resume — ``{"window": W, "slots": [t, ...]}`` plus a
+      chained tail (see :func:`_split_chained_blobs`): each decoded
+      slot lands at ``ring[t % W]``, oldest first, and ``baseline``
+      becomes the newest — exactly the state a mid-run worker held
+      when the checkpoint was captured.
+    """
+    state.window = int(meta["window"])
     state.ring = [
         _invalid_block(state) for _ in range(state.window)]
-    decode_update(blob, state.ring[0])
-    state.baseline = state.ring[0].copy()
+    slots = meta.get("slots")
+    if slots is None:
+        blob = tail
+        decode_update(blob, state.ring[0])
+        state.baseline = state.ring[0].copy()
+        return
+    blobs = _split_chained_blobs(tail, len(slots))
+    prev = _invalid_block(state)
+    for t, blob in zip(slots, blobs):
+        decode_update(blob, prev)
+        state.ring[int(t) % state.window][:] = prev
+    state.baseline = state.ring[int(slots[-1]) % state.window].copy()
+
+
+def _shard_ckpt(state: _ShardState, t: int, depth: int) -> Tuple[List[int],
+                                                                 bytes]:
+    """Capture ring slots ``t - depth + 1 .. t`` for a coordinator
+    checkpoint: chained delta blobs (first vs ``baseline``, each next vs
+    the previous slot), length-prefixed and concatenated.  ``baseline``
+    advances to slot ``t`` — the coordinator now provably holds it.
+    """
+    if not state.ring:
+        raise RemoteError("checkpoint before delta init")
+    t = int(t)
+    depth = max(1, min(int(depth), state.window))
+    ts = list(range(t - depth + 1, t + 1))
+    parts: List[bytes] = []
+    prev = state.baseline
+    for slot_t in ts:
+        slot = state.ring[slot_t % state.window]
+        blob = encode_update(prev, slot, state.carrier)
+        parts.append(struct.pack("!I", len(blob)) + blob)
+        prev = slot
+    state.baseline = state.ring[t % state.window].copy()
+    return ts, b"".join(parts)
 
 
 def _shard_delta_steps(state: _ShardState, steps: Sequence) -> List[bool]:
@@ -393,7 +479,7 @@ def _dispatch(state: _ShardState, msg_type: int,
         return MSG_UPDATE, pack_payload({"changed": changed}, blob)
     if msg_type == MSG_DELTA_INIT:
         obj, blob = unpack_payload(payload)
-        _shard_delta_init(state, obj["window"], blob)
+        _shard_delta_init(state, obj, blob)
         return MSG_ACK, b""
     if msg_type == MSG_DELTA_STEPS:
         obj, _tail = unpack_payload(payload)
@@ -403,6 +489,13 @@ def _dispatch(state: _ShardState, msg_type: int,
         obj, _tail = unpack_payload(payload)
         blob = _shard_fetch(state, obj["t"])
         return MSG_UPDATE, pack_payload({"t": obj["t"]}, blob)
+    if msg_type == MSG_CKPT:
+        obj, _tail = unpack_payload(payload)
+        ts, tail = _shard_ckpt(state, obj["t"], obj["depth"])
+        return MSG_UPDATE, pack_payload({"slots": ts}, tail)
+    if msg_type == MSG_PING:
+        # probation re-probe: liveness only, touches no shard state
+        return MSG_ACK, b""
     raise WireFormatError(f"unknown command frame type {msg_type}")
 
 
@@ -435,6 +528,8 @@ def _serve_connection(sock, injector=None) -> None:
                 return
             except WireError:
                 return                   # peer closed or stream is garbage
+            except OSError:
+                return                   # socket reset / torn down under us
             if msg_type == MSG_STOP:
                 _try_send(fc, MSG_ACK, b"")
                 return
@@ -744,6 +839,9 @@ class RemoteVectorizedEngine(VectorizedEngine):
         #: the endpoint working set (shrinks when healing re-shards)
         self._active_endpoints = list(self._endpoints)
         self._shard_endpoints: List[Tuple[str, int]] = []
+        #: probation ledger: endpoint -> {"failures": k, "next_probe": t}
+        #: (monotonic deadline for the next MSG_PING re-probe)
+        self._parked: dict = {}
         #: machine-readable recovery chain of the most recent run /
         #: since construction (:class:`~repro.core.capabilities.DegradedEvent`)
         self.degraded: List[DegradedEvent] = []
@@ -755,6 +853,13 @@ class RemoteVectorizedEngine(VectorizedEngine):
         self.delta_ipc_commands = 0
         self.delta_ipc_steps = 0
         self._acked = 0                  # fully collected barriers (run)
+        #: δ mid-run checkpointing: cadence (windows between captures,
+        #: 0 disables) and the most recent run's save/resume counters
+        self.delta_ckpt_every = DELTA_CKPT_EVERY
+        self.delta_ckpt_saves = 0
+        self.delta_ckpt_resumes = 0
+        self.delta_resumed_from = 0      # step the last resume started past
+        self._delta_ckpt = None          # {"t", "unchanged", "slots"}
 
     # -- lifecycle -------------------------------------------------------
 
@@ -821,10 +926,13 @@ class RemoteVectorizedEngine(VectorizedEngine):
         """Arm a run: fresh retry budget, empty recovery chain, and a
         deferred wire-stats reset (the *initial* pool build stays out of
         per-run stats, exactly as before supervision; heal rebuilds land
-        in them — retry traffic is real traffic)."""
+        in them — retry traffic is real traffic).  Parked endpoints
+        whose probation expired are re-probed here, so every run starts
+        on the widest healthy fleet."""
         self._retries_left = self._max_retries
         self.degraded = []
         self._fresh_stats = True
+        self._maybe_rejoin()
 
     def _attempt_pool(self) -> None:
         """(Re)establish the pool inside the supervised retry loop."""
@@ -844,7 +952,11 @@ class RemoteVectorizedEngine(VectorizedEngine):
             self._res.procs = procs
             allow_partial = False
         else:
-            endpoints = list(self._active_endpoints)
+            # iterate the ORIGINAL endpoint order minus the probation
+            # ledger: when every parked endpoint has rejoined, the
+            # shards land back on the original column layout.
+            endpoints = [e for e in self._endpoints
+                         if tuple(e) not in self._parked]
         conns: List[FrameConnection] = []
         reachable: List[Tuple[str, int]] = []
         for host, port in endpoints:
@@ -853,9 +965,8 @@ class RemoteVectorizedEngine(VectorizedEngine):
                                                 timeout=self._timeout)
             except OSError as exc:
                 if allow_partial:
-                    _engine_log.warning(
-                        "healing drops unreachable worker %s:%s (%s: %s)",
-                        host, port, type(exc).__name__, exc)
+                    self._park((host, port), len(conns),
+                               f"{type(exc).__name__}: {exc}")
                     continue
                 self.close()
                 raise RemoteError(
@@ -870,7 +981,8 @@ class RemoteVectorizedEngine(VectorizedEngine):
             self.close()
             raise RemoteError(
                 "no remote workers reachable after loss: every endpoint "
-                f"in {endpoints} refused the reconnect")
+                f"in {endpoints or list(self._parked)} refused the "
+                "reconnect or is parked on probation")
         self._res.conns = conns
         self._shard_endpoints = reachable
         if not self._spawn:
@@ -1001,6 +1113,89 @@ class RemoteVectorizedEngine(VectorizedEngine):
                 # surface the ORIGINAL fault — it names the root cause
                 self._raise_terminal(fault)
 
+    # -- endpoint probation / rejoin -------------------------------------
+
+    def _park(self, endpoint: Tuple[str, int], idx: Optional[int],
+              why: str) -> None:
+        """Put a dead endpoint on probation (exponential re-probe
+        backoff).  The ``endpoint-probation`` event fires on the FIRST
+        park only; repeat failures just push the probe deadline out."""
+        endpoint = tuple(endpoint)
+        info = self._parked.get(endpoint)
+        first = info is None
+        failures = 1 if first else info["failures"] + 1
+        delay = min(PROBATION_BASE * (2 ** (failures - 1)), PROBATION_CAP)
+        self._parked[endpoint] = {
+            "failures": failures,
+            "next_probe": time.monotonic() + delay,
+        }
+        if first:
+            self._degraded_event(
+                "endpoint-probation", idx,
+                f"endpoint {endpoint[0]}:{endpoint[1]} parked on "
+                f"probation after {why}; next probe in {delay:.2f}s",
+                heal_ms=0.0)
+        else:
+            _engine_log.info(
+                "endpoint %s:%s probe failed (%d failure(s)); next "
+                "probe in %.2fs", endpoint[0], endpoint[1], failures,
+                delay)
+
+    def _probe_endpoint(self, endpoint: Tuple[str, int]) -> bool:
+        """One lightweight hello on a fresh socket: connect, MSG_PING,
+        expect MSG_ACK, polite MSG_STOP.  Never raises."""
+        host, port = endpoint
+        try:
+            sock = socket.create_connection(
+                (host, port), timeout=min(self._timeout, 5.0))
+        except OSError:
+            return False
+        fc = FrameConnection(sock)
+        try:
+            fc.send(MSG_PING, b"")
+            msg_type, _payload = fc.recv()
+            if msg_type != MSG_ACK:
+                return False
+            try:
+                fc.send(MSG_STOP, b"")
+                fc.recv()
+            except (WireError, OSError):
+                pass                     # the ping already proved liveness
+            return True
+        except (WireError, OSError):
+            return False
+        finally:
+            fc.close()
+
+    def _maybe_rejoin(self) -> None:
+        """Probe parked endpoints whose probation expired; re-admit the
+        live ones and force a re-shard so they get columns back."""
+        if self._spawn or not self._parked:
+            return
+        now = time.monotonic()
+        due = [ep for ep, info in self._parked.items()
+               if info["next_probe"] <= now]
+        rejoined = False
+        for endpoint in due:
+            if self._probe_endpoint(endpoint):
+                del self._parked[endpoint]
+                rejoined = True
+                self._degraded_event(
+                    "endpoint-rejoined", None,
+                    f"endpoint {endpoint[0]}:{endpoint[1]} answered its "
+                    "probation probe; re-admitted (columns re-shard "
+                    "towards the original layout on the next pool build)",
+                    heal_ms=0.0)
+            else:
+                self._park(endpoint, None, "a failed probation probe")
+        if rejoined:
+            self._active_endpoints = [
+                e for e in self._endpoints if tuple(e) not in self._parked]
+            if self._res.conns:
+                # drop the live pool: the next _ensure_pool re-shards
+                # over the re-admitted endpoint set
+                self._res.close()
+
     def _rebuild_pool(self, fault: _ShardFault, t0: float) -> None:
         if self._spawn:
             self._ensure_pool()
@@ -1010,6 +1205,7 @@ class RemoteVectorizedEngine(VectorizedEngine):
                 "resumed from the last acked round",
                 heal_ms=(perf_counter() - t0) * 1000)
             return
+        self._maybe_rejoin()
         before = len(self._active_endpoints)
         self._ensure_pool(allow_partial=True)
         after = len(self._active_endpoints)
@@ -1191,6 +1387,60 @@ class RemoteVectorizedEngine(VectorizedEngine):
                        naive=naive_update_bytes(self._n, hi - lo))
         self._barrier()
 
+    def _capture_delta_ckpt(self, M: "np.ndarray", t_bar: int,
+                            read_window: int, unchanged: int) -> None:
+        """Pull a δ checkpoint at the window barrier ending at ``t_bar``.
+
+        Each worker ships the ring tail a resumed run could still read
+        (``depth`` slots up to ``t_bar``), chained delta blobs starting
+        from its acked baseline; the coordinator stores the decoded
+        slots as full matrices (re-shardable) and only commits the new
+        checkpoint once EVERY shard delivered — a fault mid-capture
+        leaves the previous checkpoint intact.  Worker baselines advance
+        to slot ``t_bar``, and the mirror follows.
+        """
+        depth = min(read_window, t_bar + 1)
+        head = pack_payload({"t": int(t_bar), "depth": int(depth)})
+        for idx in range(len(self._blocks)):
+            self._send(idx, MSG_CKPT, head)
+        n = self._n
+        slot_ts: Optional[List[int]] = None
+        shard_slots: List[List["np.ndarray"]] = []
+        for idx, (lo, hi) in enumerate(self._blocks):
+            obj, tail = self._expect(idx, MSG_UPDATE)
+            try:
+                ts = [int(t) for t in obj["slots"]]
+                blobs = _split_chained_blobs(tail, len(ts))
+                prev = M[:, lo:hi].copy()
+                decoded = []
+                for blob in blobs:
+                    decode_update(blob, prev)
+                    decoded.append(prev.copy())
+            except (WireError, LookupError, TypeError, ValueError) as exc:
+                raise _ShardFault(idx, exc, kind="format") from exc
+            if slot_ts is None:
+                slot_ts = ts
+            elif ts != slot_ts:
+                raise _ShardFault(
+                    idx, WireFormatError(
+                        f"checkpoint slots diverge across shards: "
+                        f"{ts} vs {slot_ts}"), kind="protocol")
+            shard_slots.append(decoded)
+            self._bump(update=len(tail),
+                       naive=naive_update_bytes(n, hi - lo) * len(ts))
+        slots = []
+        for j, t in enumerate(slot_ts):
+            full = np.empty((n, n), dtype=_DTYPE)
+            for idx, (lo, hi) in enumerate(self._blocks):
+                full[:, lo:hi] = shard_slots[idx][j]
+            slots.append((t, full))
+        # the workers' baselines moved to slot t_bar; mirror them
+        M[:] = slots[-1][1]
+        self._delta_ckpt = {"t": int(t_bar), "unchanged": int(unchanged),
+                            "slots": slots}
+        self.delta_ckpt_saves += 1
+        self._barrier()
+
     def delta(self, schedule: Schedule, start: RoutingState,
               max_steps: int = 2_000,
               stability_window: Optional[int] = None,
@@ -1206,11 +1456,16 @@ class RemoteVectorizedEngine(VectorizedEngine):
         steps, final states and ``history_retained`` match the serial
         engines bit for bit.
 
-        Supervised: a shard fault mid-run heals the pool and *replays
-        the whole δ protocol from step 1* on the rebuilt shards — the
-        worker history rings died with the pool, and schedules are pure
-        deterministic functions, so the replay reproduces the fault-free
-        run bit for bit (steps, convergence point, final state).
+        Supervised: a shard fault mid-run heals the pool and replays the
+        δ protocol on the rebuilt shards — the worker history rings died
+        with the pool, and schedules are pure deterministic functions,
+        so the replay reproduces the fault-free run bit for bit (steps,
+        convergence point, final state).  Every ``delta_ckpt_every``
+        windows the coordinator captures a **checkpoint** (the ring tail
+        each worker would need to continue, delta-encoded, via
+        :data:`~repro.core.wire.MSG_CKPT`), so the replay restarts from
+        the last checkpoint barrier instead of step 1: heal-time replay
+        is O(window), not O(steps into the run).
         """
         max_read_back = schedule.max_read_back()
         if max_read_back is None:
@@ -1224,6 +1479,10 @@ class RemoteVectorizedEngine(VectorizedEngine):
         w = DELTA_WINDOW if window is None else max(1, int(window))
         self.refresh()
         self._run_reset()
+        self._delta_ckpt = None
+        self.delta_ckpt_saves = 0
+        self.delta_ckpt_resumes = 0
+        self.delta_resumed_from = 0
         while True:
             try:
                 self._attempt_pool()
@@ -1236,15 +1495,53 @@ class RemoteVectorizedEngine(VectorizedEngine):
                     max_steps: int, stability_window: int, w: int,
                     read_window: int) -> AsyncResult:
         W = w + read_window
-        M = self.encode_state(start)
         n = self._n
-        for idx, (lo, hi) in enumerate(self._blocks):
-            base = np.full((n, hi - lo), self.invalid_code, dtype=_DTYPE)
-            blob = encode_update(base, M[:, lo:hi], self.encoding.size)
-            self._bump(update=len(blob),
-                       naive=naive_update_bytes(n, hi - lo))
-            self._send(idx, MSG_DELTA_INIT,
-                       pack_payload({"window": W}, blob))
+        ckpt = self._delta_ckpt
+        if ckpt is None:
+            # fresh start: ship the start state at ring slot 0
+            M = self.encode_state(start)
+            for idx, (lo, hi) in enumerate(self._blocks):
+                base = np.full((n, hi - lo), self.invalid_code,
+                               dtype=_DTYPE)
+                blob = encode_update(base, M[:, lo:hi],
+                                     self.encoding.size)
+                self._bump(update=len(blob),
+                           naive=naive_update_bytes(n, hi - lo))
+                self._send(idx, MSG_DELTA_INIT,
+                           pack_payload({"window": W}, blob))
+            unchanged = 0
+            t0 = 1
+        else:
+            # checkpoint resume: re-install the captured ring tail on
+            # the (possibly re-sharded) pool and continue past ckpt["t"]
+            # — the slots are full (n, n) matrices, so any new column
+            # layout just re-encodes its own blocks.
+            slot_ts = [t for t, _full in ckpt["slots"]]
+            for idx, (lo, hi) in enumerate(self._blocks):
+                prev = np.full((n, hi - lo), self.invalid_code,
+                               dtype=_DTYPE)
+                parts = []
+                for _t, full in ckpt["slots"]:
+                    blob = encode_update(prev, full[:, lo:hi],
+                                         self.encoding.size)
+                    parts.append(struct.pack("!I", len(blob)) + blob)
+                    prev = full[:, lo:hi]
+                tail = b"".join(parts)
+                self._bump(update=len(tail),
+                           naive=naive_update_bytes(n, hi - lo)
+                           * len(slot_ts))
+                self._send(idx, MSG_DELTA_INIT,
+                           pack_payload({"window": W, "slots": slot_ts},
+                                        tail))
+            M = ckpt["slots"][-1][1].copy()
+            unchanged = int(ckpt["unchanged"])
+            t0 = int(ckpt["t"]) + 1
+            self.delta_ckpt_resumes += 1
+            self.delta_resumed_from = int(ckpt["t"])
+            _engine_log.info(
+                "δ resume from checkpoint: t=%d (%d ring slot(s) "
+                "re-installed; replay skipped %d step(s))",
+                ckpt["t"], len(slot_ts), ckpt["t"])
         self._collect_acks()
         beta, alpha = schedule.beta, schedule.alpha
         in_neighbours = {
@@ -1253,8 +1550,7 @@ class RemoteVectorizedEngine(VectorizedEngine):
             for i in self._degrees}
         self.delta_ipc_commands = 0
         self.delta_ipc_steps = 0
-        unchanged = 0
-        t0 = 1
+        windows_done = 0
         while t0 <= max_steps:
             w_eff = min(w, max_steps - t0 + 1)
             steps = []
@@ -1309,6 +1605,12 @@ class RemoteVectorizedEngine(VectorizedEngine):
                                 True, t, self.decode_state(M),
                                 t - unchanged, None,
                                 history_retained=min(t + 1, read_window))
+                windows_done += 1
+                if stale_error is None and self.delta_ckpt_every > 0 \
+                        and self._retries_left > 0 \
+                        and windows_done % self.delta_ckpt_every == 0:
+                    self._capture_delta_ckpt(M, t0 + len(steps) - 1,
+                                             read_window, unchanged)
             if stale_error is not None:
                 raise stale_error
             t0 += len(steps)

@@ -47,6 +47,8 @@ __all__ = [
     "MSG_DELTA_STEPS",
     "MSG_FETCH",
     "MSG_STOP",
+    "MSG_PING",
+    "MSG_CKPT",
     "MSG_ACK",
     "MSG_UPDATE",
     "MSG_FLAGS",
@@ -86,6 +88,8 @@ MSG_DELTA_INIT = 4    # install a delta ring (window size + start state)
 MSG_DELTA_STEPS = 5   # execute a window of activation steps
 MSG_FETCH = 6         # ship the block at ring slot t (delta vs. acked)
 MSG_STOP = 7          # end of session
+MSG_PING = 8          # liveness probe (probation re-admission hello)
+MSG_CKPT = 9          # capture a delta checkpoint (ring tail vs baseline)
 
 # Worker -> coordinator replies.
 MSG_ACK = 16          # command done, nothing to report

@@ -27,6 +27,7 @@ Protocol reference: :doc:`docs/service.md <service>`.
 from .protocol import (
     ERR_BAD_REQUEST,
     ERR_BUSY,
+    ERR_DRAINING,
     ERR_ENGINE,
     ERR_HELLO_REQUIRED,
     ERR_INTERNAL,
@@ -49,6 +50,7 @@ __all__ = [
     "ServiceError",
     "ERR_BAD_REQUEST",
     "ERR_BUSY",
+    "ERR_DRAINING",
     "ERR_ENGINE",
     "ERR_INTERNAL",
     "ERR_HELLO_REQUIRED",

@@ -241,6 +241,15 @@ class ServiceClient(_VerbMixin, _RetryMixin):
     def stats(self) -> Dict[str, Any]:
         return self.request({"verb": "stats"})
 
+    def health(self) -> Dict[str, Any]:
+        """Lifecycle state (``restoring``/``ready``/``draining``) plus
+        durability lag — served in every state, even mid-restore."""
+        return self.request({"verb": "health"})
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Force a durable snapshot now (daemon must have a state dir)."""
+        return self.request({"verb": "snapshot"})
+
     def shutdown(self) -> Dict[str, Any]:
         return self.request({"verb": "shutdown"})
 
@@ -375,6 +384,15 @@ class AsyncServiceClient(_VerbMixin, _RetryMixin):
 
     async def stats(self) -> Dict[str, Any]:
         return await self.request({"verb": "stats"})
+
+    async def health(self) -> Dict[str, Any]:
+        """Lifecycle state (``restoring``/``ready``/``draining``) plus
+        durability lag — served in every state, even mid-restore."""
+        return await self.request({"verb": "health"})
+
+    async def snapshot(self) -> Dict[str, Any]:
+        """Force a durable snapshot now (daemon must have a state dir)."""
+        return await self.request({"verb": "snapshot"})
 
     async def shutdown(self) -> Dict[str, Any]:
         return await self.request({"verb": "shutdown"})

@@ -21,6 +21,22 @@ caches; fixed-point computes run in the default thread-pool executor
 under a per-session :class:`asyncio.Lock`, so concurrent clients on one
 warm session serialize safely (first one computes, the rest hit the
 cache) while other sessions and connections stay responsive.
+
+Durability (``state_dir=...`` / ``repro.cli serve --state-dir``): every
+admitted ``load`` / ``set_edge`` / ``remove_edge`` is appended to a
+checksummed write-ahead journal before its reply is sent, and the full
+warm state (session params, ordered mutation logs, topology versions,
+fixed-point cache bodies) is snapshotted periodically and on drain —
+see :mod:`repro.service.persistence`.  On startup the daemon serves
+``hello``/``health`` immediately in the ``restoring`` state, rebuilds
+every session from the newest valid snapshot plus the journal tail
+(torn tails are truncated exactly at the tear), and only then flips to
+``ready`` — with the same topology versions and a warm cache, so the
+first repeated query after a crash is already a hit.  SIGTERM and the
+``shutdown`` verb trigger a **graceful drain**: new work is refused
+with a typed ``draining`` error (+ ``retry_after_ms``), admitted
+inflight requests finish under ``drain_deadline``, the journal is
+flushed and a final snapshot written before the loop stops.
 """
 
 from __future__ import annotations
@@ -30,18 +46,25 @@ import hashlib
 import json
 import logging
 import random
+import signal
 import threading
 import uuid
 from collections import OrderedDict, deque
 from time import perf_counter
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.faults import FaultPlan, RECV_CLOSE, RECV_DROP
 from ..core.schedule import RandomSchedule
 from ..session import EngineSpec, RoutingSession
+from .persistence import (
+    ServicePersistence,
+    cache_key_from_json,
+    cache_key_to_json,
+)
 from .protocol import (
     ERR_BAD_REQUEST,
     ERR_BUSY,
+    ERR_DRAINING,
     ERR_ENGINE,
     ERR_HELLO_REQUIRED,
     ERR_INTERNAL,
@@ -74,7 +97,8 @@ class _SessionEntry:
     """One warm session: network + RoutingSession + its report cache."""
 
     __slots__ = ("sid", "network", "session", "factory", "lock", "cache",
-                 "hits", "misses", "invalidated", "mutations", "params")
+                 "hits", "misses", "invalidated", "mutations", "params",
+                 "mutation_log")
 
     def __init__(self, sid: str, network, session: RoutingSession,
                  factory, params: Dict[str, Any]):
@@ -89,6 +113,10 @@ class _SessionEntry:
         self.misses = 0
         self.invalidated = 0
         self.mutations = 0
+        #: ordered ``[verb, i, k, edge_seed]`` records — replaying them
+        #: against a freshly built network reproduces the adjacency and
+        #: its version counter bit for bit (snapshots persist this).
+        self.mutation_log: List[List[Any]] = []
 
     @property
     def version(self) -> int:
@@ -129,16 +157,36 @@ class RoutingServiceDaemon:
         Optional seeded :class:`~repro.core.faults.FaultPlan` (object,
         dict, or JSON string) injected into the connection stream for
         chaos testing: ``role="daemon"`` rules drop/delay/corrupt
-        request lines and reply frames deterministically.
+        request lines and reply frames deterministically.  ``delay``
+        faults stall only the targeted peer (the injector hands the
+        delay back and the connection task awaits it; the event loop —
+        and every other connection — keeps running).
     announce:
         Print the ``listening on host:port`` line on start — what the
         CLI and the CI smoke job parse.
+    state_dir:
+        Durable-state directory (write-ahead journal + snapshots, see
+        :mod:`repro.service.persistence`).  ``None`` (default) keeps
+        the daemon purely in-memory, exactly as before.
+    snapshot_interval:
+        Seconds between periodic snapshots (only written when the
+        journal advanced since the last one).
+    journal_sync_every:
+        fsync the journal every this many admitted records (each record
+        still reaches the OS before its reply — SIGKILL-safe; the batch
+        bound is the machine-crash window).
+    drain_deadline:
+        Seconds a graceful drain waits for admitted inflight requests
+        before giving up on them.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  engine: str = "auto", max_sessions: int = 8,
                  cache_entries: int = 512, max_inflight: int = 32,
-                 fault_plan=None, announce: bool = False):
+                 fault_plan=None, announce: bool = False,
+                 state_dir=None, snapshot_interval: float = 30.0,
+                 journal_sync_every: int = 8,
+                 drain_deadline: float = 10.0):
         EngineSpec(engine=engine)  # fail fast on a bad rung name
         self.host = host
         self.port = port
@@ -149,6 +197,11 @@ class RoutingServiceDaemon:
         self._plan = (FaultPlan.parse(fault_plan)
                       if fault_plan is not None else None)
         self.announce = announce
+        self.state_dir = state_dir
+        self.snapshot_interval = max(0.05, float(snapshot_interval))
+        self.journal_sync_every = max(1, int(journal_sync_every))
+        self.drain_deadline = max(0.0, float(drain_deadline))
+        self._persist: Optional[ServicePersistence] = None
         self._sessions: "OrderedDict[str, _SessionEntry]" = OrderedDict()
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -161,24 +214,71 @@ class RoutingServiceDaemon:
         self._inflight = 0
         self._shed = 0
         self._started_at: Optional[float] = None
+        #: lifecycle state the ``health`` verb reports:
+        #: ``restoring`` -> ``ready`` -> ``draining``
+        self._state = "ready"
+        self._restored: Optional[asyncio.Event] = None
+        self._draining = False
+        self._drain_task: Optional[asyncio.Task] = None
+        self._snapshot_task: Optional[asyncio.Task] = None
+        #: load/mutation/query requests admitted and not yet replied —
+        #: what a graceful drain waits for (unlike ``_inflight``, which
+        #: counts only query computes for backpressure).
+        self._active_ops = 0
+        self._sigterm_installed = False
 
     # -- lifecycle -------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind and start accepting connections (non-blocking)."""
+        """Bind, restore durable state (when configured), and start
+        accepting connections.
+
+        With a ``state_dir`` the socket opens *before* the restore runs
+        — ``hello`` and ``health`` are served in the ``restoring``
+        state (so orchestration can poll readiness) while every other
+        verb waits for the restore to finish.
+        """
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
+        self._restored = asyncio.Event()
+        self._draining = False
+        self._state = "ready"
+        if self.state_dir is not None:
+            self._persist = ServicePersistence(
+                self.state_dir, sync_every=self.journal_sync_every)
+            self._state = "restoring"
+        else:
+            self._restored.set()
+        try:
+            # SIGTERM = graceful drain.  Only installable on the main
+            # thread's loop; tests driving the daemon from a worker
+            # thread simply go without (they use request_shutdown()).
+            self._loop.add_signal_handler(signal.SIGTERM,
+                                          self.request_shutdown)
+            self._sigterm_installed = True
+        except (NotImplementedError, RuntimeError, ValueError):
+            self._sigterm_installed = False
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, limit=MAX_LINE)
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = perf_counter()
         self._ready.set()
         logger.info("service listening on %s:%d (engine=%s, "
-                    "max_sessions=%d)", self.host, self.port,
-                    self.default_engine, self.max_sessions)
+                    "max_sessions=%d, state_dir=%s)", self.host, self.port,
+                    self.default_engine, self.max_sessions, self.state_dir)
         if self.announce:
             print(f"repro routing service listening on "
                   f"{self.host}:{self.port}", flush=True)
+        if self._persist is not None:
+            await self._loop.run_in_executor(None, self._restore_state)
+            if not self._draining:       # a drain can land mid-restore
+                self._state = "ready"
+                self._snapshot_task = self._loop.create_task(
+                    self._snapshot_periodically())
+            self._restored.set()
+            logger.info("restore complete: %d session(s) warm, journal "
+                        "seq=%d", len(self._sessions),
+                        self._persist.journal_seq)
 
     async def serve_forever(self) -> None:
         """Block until :meth:`request_shutdown` (or the ``shutdown``
@@ -188,6 +288,15 @@ class RoutingServiceDaemon:
 
     async def stop(self) -> None:
         """Stop accepting, close every warm session, release the port."""
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            self._snapshot_task = None
+        if self._sigterm_installed and self._loop is not None:
+            try:
+                self._loop.remove_signal_handler(signal.SIGTERM)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+            self._sigterm_installed = False
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -196,15 +305,57 @@ class RoutingServiceDaemon:
         for entry in list(self._sessions.values()):
             await loop.run_in_executor(None, entry.session.close)
         self._sessions.clear()
+        if self._persist is not None:
+            self._persist.close()
+            self._persist = None
         self._ready.clear()
         logger.info("service stopped (%d requests served)", self._requests)
 
     def request_shutdown(self) -> None:
-        """Thread-safe shutdown trigger (used by signal handlers, the
-        ``shutdown`` verb, and tests driving the daemon from a thread)."""
-        loop, stop = self._loop, self._stop_event
-        if loop is not None and stop is not None:
-            loop.call_soon_threadsafe(stop.set)
+        """Thread-safe shutdown trigger (used by the SIGTERM handler,
+        the ``shutdown`` verb, and tests driving the daemon from a
+        thread).  Routes through the graceful drain: admitted inflight
+        requests finish (under :attr:`drain_deadline`), the journal is
+        flushed and a final snapshot written before the loop stops.
+        An idle daemon drains instantly."""
+        loop = self._loop
+        if loop is not None:
+            loop.call_soon_threadsafe(self._begin_drain)
+
+    def _begin_drain(self) -> None:
+        """Enter the ``draining`` state (idempotent; loop thread only)."""
+        if self._draining or self._loop is None:
+            return
+        self._draining = True
+        self._state = "draining"
+        logger.info("draining: %d admitted request(s) inflight, "
+                    "deadline %.1fs", self._active_ops, self.drain_deadline)
+        self._drain_task = self._loop.create_task(self._drain_and_stop())
+
+    async def _drain_and_stop(self) -> None:
+        """Finish inflight work, persist, then release serve_forever."""
+        if self._restored is not None:
+            # a drain arriving mid-restore must not write its final
+            # snapshot concurrently with the restore's recovery
+            # snapshot (both target the same sequence number)
+            await self._restored.wait()
+        deadline = perf_counter() + self.drain_deadline
+        while self._active_ops > 0 and perf_counter() < deadline:
+            await asyncio.sleep(0.02)
+        if self._active_ops:
+            logger.warning("drain deadline (%.1fs) expired with %d "
+                           "request(s) still inflight; stopping anyway",
+                           self.drain_deadline, self._active_ops)
+        if self._persist is not None:
+            try:
+                await self._write_snapshot()
+                self._persist.flush()
+            except Exception:
+                logger.exception("final drain snapshot failed; the "
+                                 "journal still covers every admitted "
+                                 "mutation")
+        if self._stop_event is not None:
+            self._stop_event.set()
 
     def wait_ready(self, timeout: float = 10.0) -> bool:
         """Block a *foreign* thread until the daemon is accepting."""
@@ -220,6 +371,172 @@ class RoutingServiceDaemon:
             await self.serve_forever()
         finally:
             await self.stop()
+
+    # -- durability: restore ---------------------------------------------
+
+    def _restore_state(self) -> None:
+        """Rebuild every warm session from disk (executor thread).
+
+        Runs strictly before any verb other than ``hello``/``health``
+        is admitted, so it owns ``_sessions`` and the persistence
+        layer single-threaded.  Ends with a *recovery snapshot* (the
+        restored state, journal fully covered) and an empty journal —
+        every restart starts from a bounded replay.
+        """
+        assert self._persist is not None
+        data = self._persist.restore()
+        snapshot, tail = data["snapshot"], data["tail"]
+        if snapshot is not None:
+            for sess in snapshot["sessions"]:
+                try:
+                    self._restore_session(sess)
+                except Exception:
+                    logger.exception(
+                        "could not restore session %s from the snapshot; "
+                        "skipping it", sess.get("sid"))
+        for rec in tail:
+            try:
+                self._apply_tail_record(rec)
+            except Exception:
+                logger.exception("could not replay journal record "
+                                 "seq=%s; skipping it", rec.get("seq"))
+        payload, seq = self._snapshot_payload()
+        self._persist.snapshot(payload, journal_seq=seq)
+        self._persist.truncate_journal()
+
+    def _restore_session(self, sess: Dict[str, Any]) -> None:
+        """One snapshot session -> a warm ``_SessionEntry``."""
+        params = sess["params"]
+        network, factory = _build_network(
+            params["algebra"], params["topology"],
+            int(params["n"]), int(params["seed"]))
+        mutations = [list(m) for m in sess.get("mutations", [])]
+        for verb, i, k, edge_seed in mutations:
+            if verb == "set_edge":
+                fn = factory(random.Random(int(edge_seed)), int(i), int(k))
+                network.set_edge(int(i), int(k), fn)
+            else:
+                network.remove_edge(int(i), int(k))
+        spec = EngineSpec(engine=params["engine"])
+        session = RoutingSession(network, spec)
+        entry = _SessionEntry(sess["sid"], network, session, factory,
+                              dict(params))
+        entry.mutation_log = mutations
+        entry.mutations = len(mutations)
+        recorded = sess.get("version")
+        if recorded is not None and entry.version != recorded:
+            # deterministic replay should make this unreachable; if it
+            # ever happens the cache keys are untrustworthy — serve the
+            # rebuilt topology with a cold cache instead of wrong hits.
+            logger.warning(
+                "restored session %s reached version %d, snapshot "
+                "recorded %d; dropping its cache", entry.sid,
+                entry.version, recorded)
+        else:
+            for key_json, body in sess.get("cache", []):
+                entry.cache[cache_key_from_json(key_json)] = body
+        self._admit_restored(entry)
+
+    def _apply_tail_record(self, rec: Dict[str, Any]) -> None:
+        """Replay one journal record beyond the snapshot."""
+        verb = rec.get("verb")
+        if verb == "load":
+            if rec["sid"] not in self._sessions:
+                self._restore_session({"sid": rec["sid"],
+                                       "params": rec["params"]})
+            return
+        entry = self._sessions.get(rec.get("sid"))
+        if entry is None:
+            logger.warning("journal record seq=%s mutates unknown (or "
+                           "evicted) session %s; skipping",
+                           rec.get("seq"), rec.get("sid"))
+            return
+        i, k = int(rec["i"]), int(rec["k"])
+        if verb == "set_edge":
+            edge_seed = int(rec.get("edge_seed", 0))
+            entry.network.set_edge(
+                i, k, entry.factory(random.Random(edge_seed), i, k))
+            entry.mutation_log.append(["set_edge", i, k, edge_seed])
+        elif verb == "remove_edge":
+            entry.network.remove_edge(i, k)
+            entry.mutation_log.append(["remove_edge", i, k, None])
+        else:
+            logger.warning("journal record seq=%s has unknown verb %r; "
+                           "skipping", rec.get("seq"), verb)
+            return
+        entry.invalidate()
+        entry.mutations += 1
+        recorded = rec.get("version")
+        if recorded is not None and entry.version != recorded:
+            logger.warning(
+                "journal replay of seq=%s left session %s at version %d, "
+                "record says %d", rec.get("seq"), entry.sid,
+                entry.version, recorded)
+
+    def _admit_restored(self, entry: _SessionEntry) -> None:
+        """Insert a restored session under the normal LRU bound."""
+        while len(self._sessions) >= self.max_sessions:
+            victim_sid, victim = self._sessions.popitem(last=False)
+            self._evictions += 1
+            logger.warning("restore evicting LRU session %s to admit %s",
+                           victim_sid, entry.sid)
+            victim.session.close()
+        self._sessions[entry.sid] = entry
+        logger.info("restored session %s at version %d (%d cached "
+                    "report(s), %d mutation(s))", entry.sid, entry.version,
+                    len(entry.cache), entry.mutations)
+
+    # -- durability: journal + snapshots ---------------------------------
+
+    def _journal(self, record: Dict[str, Any]) -> None:
+        """Append one admitted-request record (loop thread, before the
+        reply is sent — an acknowledged request is always recoverable)."""
+        if self._persist is not None:
+            self._persist.append(record)
+
+    def _snapshot_payload(self) -> Tuple[List[Dict[str, Any]], int]:
+        """``(sessions, journal_seq)`` — built atomically with respect
+        to appends (loop thread, or single-threaded during restore), so
+        the seq provably covers everything in the payload."""
+        sessions = []
+        for entry in self._sessions.values():
+            sessions.append({
+                "sid": entry.sid,
+                "params": dict(entry.params),
+                "version": entry.version,
+                "mutations": [list(m) for m in entry.mutation_log],
+                "cache": [[cache_key_to_json(key), body]
+                          for key, body in entry.cache.items()],
+            })
+        seq = self._persist.journal_seq if self._persist is not None else 0
+        return sessions, seq
+
+    async def _write_snapshot(self) -> None:
+        """Snapshot now: payload captured on the loop, file I/O in the
+        executor."""
+        if self._persist is None:
+            return
+        payload, seq = self._snapshot_payload()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self._persist.snapshot(payload, journal_seq=seq))
+
+    async def _snapshot_periodically(self) -> None:
+        """Background cadence: snapshot whenever the journal advanced."""
+        assert self._persist is not None
+        try:
+            while True:
+                await asyncio.sleep(self.snapshot_interval)
+                if self._persist is None:
+                    return
+                if self._persist.journal_lag > 0:
+                    try:
+                        await self._write_snapshot()
+                    except Exception:
+                        logger.exception("periodic snapshot failed; "
+                                         "will retry next interval")
+        except asyncio.CancelledError:
+            pass
 
     # -- connection handling ---------------------------------------------
 
@@ -247,7 +564,16 @@ class RoutingServiceDaemon:
                 if not line:
                     continue
                 if injector is not None:
-                    verdict, line = injector.recv_frame(0, line)
+                    # _nowait + asyncio.sleep: a delay fault stalls only
+                    # this peer's task, never the event loop (a blocking
+                    # sleep here froze every other connection).
+                    verdict, line, delay = injector.recv_frame_nowait(
+                        0, line)
+                    if delay > 0.0:
+                        logger.warning("fault injection delaying peer=%s "
+                                       "by %.0fms (other peers keep "
+                                       "running)", peer, delay * 1e3)
+                        await asyncio.sleep(delay)
                     if verdict == RECV_DROP:
                         logger.warning("fault injection dropped a request "
                                        "line from peer=%s", peer)
@@ -280,7 +606,7 @@ class RoutingServiceDaemon:
                 if err and err["code"] in FATAL_CODES:
                     break  # desynced or version-skewed peer: drop it
                 if reply.get("ok") and verb == "shutdown":
-                    self.request_shutdown()
+                    self._begin_drain()
                     break
         finally:
             try:
@@ -297,7 +623,9 @@ class RoutingServiceDaemon:
         frame = encode_frame(reply)
         close_after = False
         if injector is not None:
-            frame, close_after = injector.send_frame(0, frame)
+            frame, close_after, delay = injector.send_frame_nowait(0, frame)
+            if delay > 0.0:
+                await asyncio.sleep(delay)  # stalls this peer only
         try:
             if frame is not None:
                 writer.write(frame)
@@ -345,21 +673,43 @@ class RoutingServiceDaemon:
                         "v": SERVICE_VERSION,
                         "schedule_seed_version":
                             RandomSchedule.SCHEDULE_SEED_VERSION}
-            if verb == "load":
-                return await self._handle_load(req)
-            if verb in ("set_edge", "remove_edge"):
-                return await self._handle_mutation(req, verb)
-            if verb in _QUERY_VERBS:
-                return await self._handle_query(req, verb)
+            if verb == "health":
+                # served in every lifecycle state, including restoring
+                return self._handle_health(req)
+            if self._restored is not None and not self._restored.is_set():
+                # restoring: park everything else until the warm state
+                # is back (clients just see a slower first reply)
+                await self._restored.wait()
+            if verb in ("load", "set_edge", "remove_edge") or \
+                    verb in _QUERY_VERBS:
+                if self._draining:
+                    return error_reply(
+                        ERR_DRAINING,
+                        "daemon is draining (shutdown in progress); "
+                        "this instance is not admitting new work",
+                        verb=verb, req_id=req_id,
+                        retry_after_ms=self._retry_hint_ms())
+                self._active_ops += 1
+                try:
+                    if verb == "load":
+                        return await self._handle_load(req)
+                    if verb in ("set_edge", "remove_edge"):
+                        return await self._handle_mutation(req, verb)
+                    return await self._handle_query(req, verb)
+                finally:
+                    self._active_ops -= 1
             if verb == "stats":
                 return self._handle_stats(req)
+            if verb == "snapshot":
+                return await self._handle_snapshot(req)
             if verb == "shutdown":
                 return {"ok": True, "verb": "shutdown", "id": req_id}
             return error_reply(
                 ERR_UNKNOWN_VERB,
                 f"unknown verb {verb!r}; the vocabulary is "
                 "('hello', 'load', 'set_edge', 'remove_edge', 'sigma', "
-                "'delta', 'convergence', 'stats', 'shutdown')",
+                "'delta', 'convergence', 'stats', 'health', 'snapshot', "
+                "'shutdown')",
                 verb=verb, req_id=req_id)
         except ServiceError as exc:
             return error_reply(exc.code, exc.message, verb=verb,
@@ -428,6 +778,7 @@ class RoutingServiceDaemon:
                            victim_sid, victim.params, sid)
             await loop.run_in_executor(None, victim.session.close)
         self._sessions[sid] = entry
+        self._journal({"verb": "load", "sid": sid, "params": entry.params})
         logger.info("loaded session %s: %s", sid, entry.params)
         return self._load_reply(entry, req.get("id"), reused=False)
 
@@ -474,11 +825,22 @@ class RoutingServiceDaemon:
                 edge_seed = int(req.get("edge_seed", 0))
                 fn = entry.factory(random.Random(edge_seed), i, k)
                 entry.network.set_edge(i, k, fn)
+                entry.mutation_log.append(["set_edge", i, k, edge_seed])
             else:
                 entry.network.remove_edge(i, k)
+                entry.mutation_log.append(["remove_edge", i, k, None])
+                edge_seed = None
             dropped = entry.invalidate()
             entry.mutations += 1
             version = entry.version
+            # journalled under the lock (journal order == application
+            # order per session) and before the reply is sent: an
+            # acknowledged mutation is always recoverable.
+            record = {"verb": verb, "sid": entry.sid, "i": i, "k": k,
+                      "version": version}
+            if verb == "set_edge":
+                record["edge_seed"] = edge_seed
+            self._journal(record)
         logger.info("session %s %s(%d, %d) -> version=%d, "
                     "%d cache entries invalidated",
                     entry.sid, verb, i, k, version, dropped)
@@ -626,6 +988,46 @@ class RoutingServiceDaemon:
                 "engine": grid.resolution.chosen,
                 "compute_ms": grid.elapsed_s * 1e3}
 
+    # -- verbs: health / snapshot ----------------------------------------
+
+    def _handle_health(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Readiness/liveness: lifecycle state + durability lag.
+
+        Served in *every* state (including ``restoring``, before other
+        verbs are admitted) so orchestration and load balancers can
+        gate on ``state == "ready"``.
+        """
+        reply = {
+            "ok": True, "verb": "health", "id": req.get("id"),
+            "state": self._state,
+            "durable": self._persist is not None,
+            "sessions": len(self._sessions),
+            "inflight": self._active_ops,
+        }
+        if self._persist is not None:
+            age = self._persist.last_snapshot_age_s
+            reply.update(
+                journal_seq=self._persist.journal_seq,
+                snapshot_seq=self._persist.snapshot_seq,
+                journal_lag=self._persist.journal_lag,
+                last_snapshot_age_s=(round(age, 3)
+                                     if age is not None else None))
+        return reply
+
+    async def _handle_snapshot(self, req: Dict[str, Any]) -> Dict[str, Any]:
+        """Force a snapshot now (admin verb; tests and the CI
+        restart-recovery job use it to pin the warm cache to disk at a
+        deterministic point instead of waiting out the cadence)."""
+        if self._persist is None:
+            raise ServiceError(
+                ERR_BAD_REQUEST,
+                "daemon has no durable state (start it with --state-dir "
+                "to enable snapshots)")
+        await self._write_snapshot()
+        return {"ok": True, "verb": "snapshot", "id": req.get("id"),
+                "journal_seq": self._persist.snapshot_seq,
+                "sessions": len(self._sessions)}
+
     # -- verb: stats -----------------------------------------------------
 
     def _handle_stats(self, req: Dict[str, Any]) -> Dict[str, Any]:
@@ -636,6 +1038,7 @@ class RoutingServiceDaemon:
         return {
             "ok": True, "verb": "stats", "id": req.get("id"),
             "v": SERVICE_VERSION,
+            "state": self._state,
             "uptime_s": (perf_counter() - self._started_at
                          if self._started_at else 0.0),
             "requests": self._requests,
@@ -690,10 +1093,15 @@ def _build_network(algebra_name: str, topology: str, n: int, seed: int):
 def serve(host: str = "127.0.0.1", port: int = 0, *, engine: str = "auto",
           max_sessions: int = 8, cache_entries: int = 512,
           max_inflight: int = 32, fault_plan=None,
-          announce: bool = True) -> None:
+          announce: bool = True, state_dir=None,
+          snapshot_interval: float = 30.0, journal_sync_every: int = 8,
+          drain_deadline: float = 10.0) -> None:
     """Run a daemon until shutdown (the ``repro.cli serve`` backend)."""
     daemon = RoutingServiceDaemon(
         host, port, engine=engine, max_sessions=max_sessions,
         cache_entries=cache_entries, max_inflight=max_inflight,
-        fault_plan=fault_plan, announce=announce)
+        fault_plan=fault_plan, announce=announce, state_dir=state_dir,
+        snapshot_interval=snapshot_interval,
+        journal_sync_every=journal_sync_every,
+        drain_deadline=drain_deadline)
     daemon.run()

@@ -1,0 +1,319 @@
+"""Crash-recoverable service state: write-ahead journal + snapshots.
+
+The routing daemon's durable state is tiny and perfectly replayable:
+
+* a **session** is fully determined by its load parameters
+  ``(algebra, topology, n, seed, engine)`` — the topology itself is
+  rebuilt from the seed, never serialised;
+* every admitted **mutation** is ``(verb, i, k, edge_seed)`` — the edge
+  function is re-materialised from ``edge_seed`` exactly as the daemon
+  did the first time, so replay reproduces the adjacency *and* its
+  monotonic version counter bit for bit;
+* the fixed-point **cache bodies** are already JSON (that is how they
+  travel on the wire), so snapshots embed them verbatim and a restored
+  daemon serves warm hits immediately.
+
+Two files per ``--state-dir``:
+
+``journal.wal``
+    A write-ahead journal of admitted ``load`` / ``set_edge`` /
+    ``remove_edge`` records.  Each record is length-prefixed and
+    checksummed — ``struct.pack("!II", len(body), crc32(body)) + body``
+    with a compact-JSON body carrying a monotonic ``seq`` — appended
+    with ``os.write`` semantics and fsync-batched every ``sync_every``
+    records (and always on :meth:`flush`).  On restore, the first
+    record whose header is short, whose body is short, or whose
+    checksum mismatches marks a **torn tail**: everything from that
+    byte offset on is dropped and the file truncated exactly at the
+    tear.
+
+``snapshot-<seq>.json``
+    Periodic full-state snapshots (session params, ordered mutation
+    log, topology version, cache bodies) written atomically
+    (temp file + ``os.replace``) with an embedded sha256 checksum over
+    the canonical JSON.  ``<seq>`` is the journal sequence the snapshot
+    covers; restore walks snapshots newest-first until one validates,
+    then replays only journal records with ``seq`` beyond it.
+
+Nothing here knows about sockets or asyncio — the daemon owns the
+threading discipline (appends happen on the event loop; snapshot
+*payloads* are built on the loop for consistency and written in the
+executor).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import re
+import struct
+import time
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+logger = logging.getLogger("repro.service")
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "JOURNAL_HEADER",
+    "PersistenceError",
+    "ServicePersistence",
+    "cache_key_to_json",
+    "cache_key_from_json",
+]
+
+#: bump when the snapshot payload shape changes; mismatched snapshots
+#: are skipped (the journal alone still restores mutations).
+SNAPSHOT_FORMAT = 1
+
+#: per-record journal header: big-endian (body length, crc32(body)).
+JOURNAL_HEADER = struct.Struct("!II")
+
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d+)\.json$")
+
+
+class PersistenceError(RuntimeError):
+    """Unrecoverable state-dir failure (permissions, not a directory)."""
+
+
+def cache_key_to_json(key: Tuple) -> List:
+    """Fixed-point cache keys are tuples (hashable); JSON turns them
+    into lists.  The inner knobs tuple nests one level deep."""
+    return [list(part) if isinstance(part, tuple) else part for part in key]
+
+
+def cache_key_from_json(parts: List) -> Tuple:
+    """Inverse of :func:`cache_key_to_json` — rebuild the hashable key."""
+    return tuple(tuple(part) if isinstance(part, list) else part
+                 for part in parts)
+
+
+def _canonical(obj: Any) -> bytes:
+    return json.dumps(obj, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+class ServicePersistence:
+    """One daemon's durable state under ``state_dir``.
+
+    Not thread-safe by itself: the daemon serialises appends on its
+    event loop and hands snapshot writes (pre-built payloads) to the
+    executor only while appends for the covered records have already
+    happened — see ``RoutingServiceDaemon``.
+    """
+
+    def __init__(self, state_dir, *, sync_every: int = 8,
+                 keep_snapshots: int = 3):
+        self.state_dir = Path(state_dir)
+        try:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise PersistenceError(
+                f"cannot create state dir {state_dir!r}: {exc}") from exc
+        self.journal_path = self.state_dir / "journal.wal"
+        self.sync_every = max(1, int(sync_every))
+        self.keep_snapshots = max(1, int(keep_snapshots))
+        self.journal_seq = 0             # last sequence number written
+        self.snapshot_seq = 0            # journal seq the newest snapshot covers
+        self.last_snapshot_monotonic: Optional[float] = None
+        self._fh = None
+        self._unsynced = 0
+
+    # -- journal ---------------------------------------------------------
+
+    def _journal_fh(self):
+        if self._fh is None:
+            self._fh = open(self.journal_path, "ab")
+        return self._fh
+
+    def append(self, record: Dict) -> int:
+        """Append one journal record; returns its sequence number.
+
+        The record reaches the OS (``write`` + ``flush``) before this
+        returns — a SIGKILL after the daemon replies can no longer lose
+        it — and reaches the platters every ``sync_every`` records.
+        """
+        self.journal_seq += 1
+        body = _canonical(dict(record, seq=self.journal_seq))
+        fh = self._journal_fh()
+        fh.write(JOURNAL_HEADER.pack(len(body), zlib.crc32(body)) + body)
+        fh.flush()
+        self._unsynced += 1
+        if self._unsynced >= self.sync_every:
+            self.flush()
+        return self.journal_seq
+
+    def flush(self) -> None:
+        """fsync pending journal records (no-op when none are pending)."""
+        if self._fh is not None and self._unsynced:
+            os.fsync(self._fh.fileno())
+            self._unsynced = 0
+
+    def _read_journal(self) -> Tuple[List[Dict], bool]:
+        """All intact records, truncating the file at the first tear."""
+        if not self.journal_path.exists():
+            return [], False
+        data = self.journal_path.read_bytes()
+        records: List[Dict] = []
+        pos = 0
+        torn = False
+        while pos < len(data):
+            if pos + JOURNAL_HEADER.size > len(data):
+                torn = True                      # short header
+                break
+            length, crc = JOURNAL_HEADER.unpack_from(data, pos)
+            body = data[pos + JOURNAL_HEADER.size:
+                        pos + JOURNAL_HEADER.size + length]
+            if len(body) < length or zlib.crc32(body) != crc:
+                torn = True                      # short body or bit rot
+                break
+            try:
+                rec = json.loads(body)
+            except ValueError:
+                torn = True                      # crc collision on garbage
+                break
+            records.append(rec)
+            pos += JOURNAL_HEADER.size + length
+        if torn:
+            logger.warning(
+                "journal tail torn at byte %d of %d; dropping %d trailing "
+                "byte(s) (records before the tear are intact)",
+                pos, len(data), len(data) - pos)
+            with open(self.journal_path, "r+b") as fh:
+                fh.truncate(pos)
+                fh.flush()
+                os.fsync(fh.fileno())
+        return records, torn
+
+    def truncate_journal(self) -> None:
+        """Drop every journal record (they are covered by a snapshot).
+
+        Only safe while nothing is appending — the daemon calls this
+        single-threaded at the end of restore.
+        """
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        with open(self.journal_path, "wb") as fh:
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._unsynced = 0
+
+    # -- snapshots -------------------------------------------------------
+
+    def _snapshot_files(self) -> List[Tuple[int, Path]]:
+        """``(seq, path)`` pairs, newest first."""
+        found = []
+        for path in self.state_dir.iterdir():
+            m = _SNAPSHOT_RE.match(path.name)
+            if m:
+                found.append((int(m.group(1)), path))
+        return sorted(found, reverse=True)
+
+    def snapshot(self, sessions: List[Dict],
+                 journal_seq: Optional[int] = None) -> Path:
+        """Write one atomic, checksummed snapshot covering ``journal_seq``
+        (defaults to the current sequence).
+
+        ``sessions`` is the daemon-built payload: one dict per warm
+        session with params, mutation log, topology version and cache
+        bodies.  Pass an explicit ``journal_seq`` when the payload was
+        built earlier than the write (the daemon captures both on the
+        event loop, then writes here from the executor).
+        """
+        seq = self.journal_seq if journal_seq is None else int(journal_seq)
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "journal_seq": seq,
+            "sessions": sessions,
+        }
+        payload["checksum"] = hashlib.sha256(_canonical(payload)).hexdigest()
+        path = self.state_dir / f"snapshot-{seq:012d}.json"
+        tmp = self.state_dir / f".snapshot-{seq:012d}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, separators=(",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self.snapshot_seq = max(self.snapshot_seq, seq)
+        self.last_snapshot_monotonic = time.monotonic()
+        self._prune_snapshots()
+        return path
+
+    def _prune_snapshots(self) -> None:
+        for _seq, path in self._snapshot_files()[self.keep_snapshots:]:
+            try:
+                path.unlink()
+            except OSError:              # pragma: no cover - races are fine
+                pass
+
+    def _load_snapshot(self, path: Path) -> Optional[Dict]:
+        """Parse + checksum-verify one snapshot; ``None`` when invalid."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            logger.warning("skipping unreadable snapshot %s: %s",
+                           path.name, exc)
+            return None
+        if not isinstance(payload, dict) or \
+                payload.get("format") != SNAPSHOT_FORMAT:
+            logger.warning("skipping snapshot %s: unknown format %r",
+                           path.name, payload.get("format")
+                           if isinstance(payload, dict) else type(payload))
+            return None
+        recorded = payload.pop("checksum", None)
+        actual = hashlib.sha256(_canonical(payload)).hexdigest()
+        if recorded != actual:
+            logger.warning("skipping snapshot %s: checksum mismatch",
+                           path.name)
+            return None
+        return payload
+
+    # -- restore ---------------------------------------------------------
+
+    def restore(self) -> Dict:
+        """Read the durable state back; returns::
+
+            {"snapshot": payload_or_None,   # newest snapshot that validates
+             "tail": [records...],          # journal records beyond it
+             "torn": bool}                  # a torn tail was truncated
+
+        Also primes ``journal_seq`` / ``snapshot_seq`` so subsequent
+        appends continue the sequence.
+        """
+        snapshot = None
+        snap_seq = 0
+        for seq, path in self._snapshot_files():
+            payload = self._load_snapshot(path)
+            if payload is not None:
+                snapshot = payload
+                snap_seq = int(payload["journal_seq"])
+                break
+        records, torn = self._read_journal()
+        tail = [r for r in records if int(r.get("seq", 0)) > snap_seq]
+        self.journal_seq = max([snap_seq] +
+                               [int(r.get("seq", 0)) for r in records])
+        self.snapshot_seq = snap_seq
+        return {"snapshot": snapshot, "tail": tail, "torn": torn}
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def journal_lag(self) -> int:
+        """Records admitted since the last snapshot (replay length)."""
+        return self.journal_seq - self.snapshot_seq
+
+    @property
+    def last_snapshot_age_s(self) -> Optional[float]:
+        if self.last_snapshot_monotonic is None:
+            return None
+        return time.monotonic() - self.last_snapshot_monotonic
+
+    def close(self) -> None:
+        self.flush()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

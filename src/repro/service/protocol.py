@@ -57,6 +57,7 @@ __all__ = [
     "ERR_ENGINE",
     "ERR_SERVER",
     "ERR_BUSY",
+    "ERR_DRAINING",
     "ERR_INTERNAL",
     "FATAL_CODES",
     "encode_frame",
@@ -89,6 +90,7 @@ ERR_NO_SESSION = "no-session"          # unknown (or evicted) session id
 ERR_ENGINE = "engine-error"            # engine negotiation/run failure
 ERR_SERVER = "server-error"            # unexpected server-side failure
 ERR_BUSY = "busy"                      # load shed: retry after the hint
+ERR_DRAINING = "draining"              # graceful drain: not admitting work
 ERR_INTERNAL = "internal"              # server bug; carries correlation id
 
 #: codes after which the server closes the connection (the peer is

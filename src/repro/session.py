@@ -126,10 +126,14 @@ class EngineSpec:
     :class:`~repro.core.remote.RemoteWorkerError`, never a hang.
 
     A non-strict remote session *supervises* its workers: shard faults
-    are healed (respawn / reconnect / re-shard, bounded retries) and
-    reported as :class:`~repro.core.capabilities.DegradedEvent` entries
-    on the run report's ``degraded`` field; ``strict=True`` disables
-    healing and surfaces the original typed error immediately.
+    are healed (respawn / reconnect / re-shard, bounded retries; dead
+    endpoints are parked on probation and re-admitted when a liveness
+    probe succeeds — ``endpoint-probation`` / ``endpoint-rejoined``)
+    and reported as :class:`~repro.core.capabilities.DegradedEvent`
+    entries on the run report's ``degraded`` field; δ runs checkpoint
+    at window barriers so a heal replays O(window) steps, not the whole
+    run.  ``strict=True`` disables healing and surfaces the original
+    typed error immediately.
     ``fault_plan`` (a :class:`~repro.core.faults.FaultPlan`, its dict
     form, or a JSON string) deterministically injects frame-level
     faults into the coordinator's connections for chaos testing.

@@ -52,6 +52,7 @@ from repro.core.faults import (
     RECV_DROP,
     RECV_PASS,
 )
+from repro.core.remote import _serve_connection, serve_worker
 from repro.core.wire import (
     MSG_ACK,
     MSG_SIGMA_ROUND,
@@ -619,3 +620,181 @@ class TestSessionDegraded:
         net = _net(9)
         with RoutingSession(net, EngineSpec(engine="vectorized")) as s:
             assert s.sigma().degraded is None
+
+
+# ----------------------------------------------------------------------
+# 7. Endpoint probation/rejoin and mid-run delta checkpoints
+# ----------------------------------------------------------------------
+
+
+def _threaded_worker(port=0):
+    """A long-lived ``serve_worker`` on a daemon thread; returns the
+    bound port once the socket is listening."""
+    box = {}
+    listening = threading.Event()
+
+    def ready(_host, bound):
+        box["port"] = bound
+        listening.set()
+
+    threading.Thread(
+        target=serve_worker,
+        kwargs=dict(host="127.0.0.1", port=port, once=False,
+                    ready_callback=ready),
+        daemon=True).start()
+    assert listening.wait(10), "worker never started listening"
+    return box["port"]
+
+
+class TestEndpointProbation:
+    def test_probation_then_rejoin_restores_the_original_layout(
+            self, sigma_ref):
+        net, start, ref = sigma_ref
+        port_a = _threaded_worker()
+
+        # worker B is hand-rolled so the test holds both its accepted
+        # connection (to sever it) and its listener (closed right after
+        # the accept, so the heal's reconnect is refused -> probation)
+        srv_b = socket.socket()
+        srv_b.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        srv_b.bind(("127.0.0.1", 0))
+        srv_b.listen(1)
+        port_b = srv_b.getsockname()[1]
+        accepted = {}
+        b_serving = threading.Event()
+
+        def b_once():
+            conn, _addr = srv_b.accept()
+            srv_b.close()
+            accepted["conn"] = conn
+            b_serving.set()
+            _serve_connection(conn)
+
+        threading.Thread(target=b_once, daemon=True).start()
+
+        ep_a, ep_b = ("127.0.0.1", port_a), ("127.0.0.1", port_b)
+        eng = RemoteVectorizedEngine(net, endpoints=[ep_a, ep_b],
+                                     socket_timeout=2.0, max_retries=8)
+        try:
+            res = _watchdog(lambda: eng.iterate(start, max_rounds=300))
+            _assert_sigma_identical(res, ref, net)
+            assert b_serving.wait(10)
+            assert eng.workers == 2
+
+            # sever B mid-life: the run trips, the heal cannot
+            # reconnect, B is parked and A absorbs every column
+            accepted["conn"].close()
+            res = _watchdog(lambda: eng.iterate(start, max_rounds=300))
+            _assert_sigma_identical(res, ref, net)
+            codes = [ev.code for ev in eng.degraded]
+            assert "endpoint-probation" in codes
+            assert "reshard-after-loss" in codes
+            assert eng.workers == 1
+            assert eng._shard_endpoints == [ep_a]
+            assert ep_b in eng._parked
+
+            # resurrect B on the same port and expire its probation:
+            # the next run's reset probes it, re-admits it, and the
+            # re-shard lands back on the ORIGINAL column layout
+            _threaded_worker(port=port_b)
+            eng._parked[ep_b]["next_probe"] = 0.0
+            res = _watchdog(lambda: eng.iterate(start, max_rounds=300))
+            _assert_sigma_identical(res, ref, net)
+            assert "endpoint-rejoined" in [ev.code for ev in eng.degraded]
+            assert eng.workers == 2
+            assert eng._shard_endpoints == [ep_a, ep_b]
+            assert eng._parked == {}
+        finally:
+            eng.close()
+
+    def test_failed_probe_reparks_with_backoff(self, sigma_ref):
+        net, start, ref = sigma_ref
+        port_a = _threaded_worker()
+        # B never existed as a live worker for this engine: park it by
+        # hand to exercise the probe path in isolation
+        dead = socket.socket()
+        dead.bind(("127.0.0.1", 0))
+        port_b = dead.getsockname()[1]
+        dead.close()                     # nothing listens here any more
+
+        ep_a, ep_b = ("127.0.0.1", port_a), ("127.0.0.1", port_b)
+        eng = RemoteVectorizedEngine(net, endpoints=[ep_a, ep_b],
+                                     socket_timeout=2.0, max_retries=8)
+        try:
+            eng._park(ep_b, 1, "a test-injected failure")
+            failures = eng._parked[ep_b]["failures"]
+            eng._parked[ep_b]["next_probe"] = 0.0
+            res = _watchdog(lambda: eng.iterate(start, max_rounds=300))
+            _assert_sigma_identical(res, ref, net)
+            # the probe failed: still parked, backoff doubled, and no
+            # rejoin event was recorded
+            assert eng._parked[ep_b]["failures"] == failures + 1
+            assert all(ev.code != "endpoint-rejoined"
+                       for ev in eng.degraded)
+            assert eng._shard_endpoints == [ep_a]
+        finally:
+            eng.close()
+
+
+class TestDeltaCheckpoint:
+    def test_clean_run_checkpoints_are_invisible(self, delta_ref):
+        # checkpoints are pure insurance: with no fault they must not
+        # change the trajectory, the counters, or the fixed point
+        net, start, sched, ref = delta_ref
+        eng = RemoteVectorizedEngine(net, workers=2, socket_timeout=5.0)
+        eng.delta_ckpt_every = 1
+        try:
+            res = _watchdog(lambda: eng.delta(sched, start, max_steps=300,
+                                              window=4))
+            _assert_delta_identical(res, ref, net)
+            assert eng.delta_ckpt_saves >= 1
+            assert eng.delta_ckpt_resumes == 0
+            assert eng.degraded == []
+        finally:
+            eng.close()
+
+    def test_heal_resumes_from_the_checkpoint_not_step_one(self,
+                                                           delta_ref):
+        # drop a window-2 steps frame: the heal must restart the run
+        # from the window-1 checkpoint (t=4), NOT from step 1, and
+        # still land on the bit-identical fixed point
+        net, start, sched, ref = delta_ref
+        plan = {"seed": 5, "rules": [{
+            "kind": "drop", "role": "coordinator", "op": "send",
+            "msg_type": MSG_DELTA_STEPS, "round": 3, "shard": 1}]}
+        eng = RemoteVectorizedEngine(net, workers=2, socket_timeout=1.0,
+                                     fault_plan=plan)
+        eng.delta_ckpt_every = 1
+        try:
+            res = _watchdog(lambda: eng.delta(sched, start, max_steps=300,
+                                              window=4))
+            _assert_delta_identical(res, ref, net)
+            assert eng.delta_ckpt_saves >= 1
+            assert eng.delta_ckpt_resumes == 1
+            assert eng.delta_resumed_from == 4
+            assert [ev.code for ev in eng.degraded] == ["worker-respawned"]
+        finally:
+            eng.close()
+
+    def test_checkpoints_off_replays_from_scratch(self, delta_ref):
+        # the pre-checkpoint behaviour is one knob away: with the
+        # cadence disabled the same window-2 fault heals by full
+        # replay (no barriers advance the injector round without
+        # checkpoints, so the frame is pinned by send index instead:
+        # load=0, delta-init=1, steps w1=2, steps w2=3)
+        net, start, sched, ref = delta_ref
+        plan = {"seed": 5, "rules": [{
+            "kind": "drop", "role": "coordinator", "op": "send",
+            "msg_type": MSG_DELTA_STEPS, "msg_index": 3, "shard": 1}]}
+        eng = RemoteVectorizedEngine(net, workers=2, socket_timeout=1.0,
+                                     fault_plan=plan)
+        eng.delta_ckpt_every = 0
+        try:
+            res = _watchdog(lambda: eng.delta(sched, start, max_steps=300,
+                                              window=4))
+            _assert_delta_identical(res, ref, net)
+            assert eng.delta_ckpt_saves == 0
+            assert eng.delta_ckpt_resumes == 0
+            assert [ev.code for ev in eng.degraded] == ["worker-respawned"]
+        finally:
+            eng.close()

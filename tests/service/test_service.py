@@ -69,8 +69,15 @@ def _raw_roundtrip(port, frames):
     with socket.create_connection(("127.0.0.1", port), timeout=15) as sock:
         f = sock.makefile("rb")
         for frame in frames:
-            sock.sendall(frame)
-            line = f.readline()
+            # After a fatal-code reply the server closes while our next
+            # frame may still be in flight; the kernel answers with RST,
+            # so both the send and the read can raise instead of seeing
+            # a clean EOF.  Either way the connection is closed: stop.
+            try:
+                sock.sendall(frame)
+                line = f.readline()
+            except ConnectionError:
+                break
             if not line:
                 break
             replies.append(json.loads(line))

@@ -512,6 +512,60 @@ def bench_service_case(case: Dict) -> Dict:
     return row
 
 
+def _scenario_cases(scale: str) -> List[Dict]:
+    """Scenarios column (PR 10): the (topology × event × algebra)
+    reconfiguration survey over the committed corpus.
+
+    The claim this column carries is the scenario tentpole acceptance:
+    the whole grid runs offline from committed fixtures with **zero
+    failed cells**, and — with the oracle on — every cell's batched
+    grid results are bit-identical to a per-trial session replay on an
+    independently built network.
+    """
+    if scale == "smoke":
+        return []                        # tier-1 smoke stays survey-free
+    if scale == "quick":
+        return [
+            dict(label="scenarios-2x2x2/corpus", scale="quick",
+                 topologies=["corpus:cesnet", "corpus:janet"],
+                 events=["link-flap", "del-best-route"],
+                 algebras=None, trials=2, seed=0),
+        ]
+    return [
+        # the PR 10 headline acceptance grid: every registry topology ×
+        # all five events × both finite algebras, oracle-checked
+        dict(label="scenarios-10x5x2/full-grid", headline_scenarios=True,
+             scale="full", topologies=None, events=None, algebras=None,
+             trials=4, seed=0),
+    ]
+
+
+def bench_scenario_case(case: Dict) -> Dict:
+    """One oracle-checked survey grid (see ``repro.scenarios.survey``)."""
+    from repro.scenarios import run_survey
+
+    report = run_survey(
+        topologies=case["topologies"], events=case["events"],
+        algebras=case["algebras"], seed=case["seed"],
+        trials=case["trials"], oracle=True)
+    failed = report.failed
+    churn = sum(c.total_churn for c in report.cells if c.ok)
+    return dict(
+        case=case["label"],
+        headline_scenarios=bool(case.get("headline_scenarios")),
+        cells=len(report.cells),
+        failed_cells=len(failed),
+        failures=[f"{c.topology}×{c.event}×{c.algebra}: {c.error}"
+                  for c in failed[:5]],
+        oracle_checked=sum(1 for c in report.cells if c.oracle_checked),
+        total_churn=churn,
+        elapsed_s=round(report.elapsed_s, 3),
+        # acceptance: zero failed cells and every checked cell's
+        # batched grid bit-identical to the per-trial session replay
+        fixed_points_equal=(not failed and all(
+            c.oracle_ok for c in report.cells if c.oracle_checked)))
+
+
 def _fault_cases(scale: str) -> List[Dict]:
     """Faults column (PR 8): time-to-heal after a worker kill.
 
@@ -1000,7 +1054,8 @@ def run_suite(scale: str = "full", repeats: Optional[int] = None) -> Dict:
             "engine": "incremental (PR 1) + vectorized finite-algebra "
                       "(PR 2) + shared-memory parallel (PR 3) + batched "
                       "multi-trial grid (PR 4) + TCP-sharded remote "
-                      "(PR 6) + routing service daemon (PR 7)",
+                      "(PR 6) + routing service daemon (PR 7) + "
+                      "scenario reconfiguration harness (PR 10)",
             "baseline": "frozen seed engine (benchmarks/naive_engine.py)",
         },
         "sigma": [bench_sigma_case(c, repeats) for c in _sigma_cases(scale)],
@@ -1013,12 +1068,15 @@ def run_suite(scale: str = "full", repeats: Optional[int] = None) -> Dict:
                    for c in _remote_cases(scale)],
         "service": [bench_service_case(c) for c in _service_cases(scale)],
         "faults": [bench_fault_case(c) for c in _fault_cases(scale)],
+        "scenarios": [bench_scenario_case(c)
+                      for c in _scenario_cases(scale)],
     }
     ipc = bench_windowed_ipc(scale)
     report["windowed_ipc"] = [ipc] if ipc else []
     rows = (report["sigma"] + report["delta"] + report["parallel"] +
             report["batched"] + report["remote"] + report["service"] +
-            report["faults"] + report["windowed_ipc"])
+            report["faults"] + report["scenarios"] +
+            report["windowed_ipc"])
     report["meta"]["all_fixed_points_equal"] = all(
         r["fixed_points_equal"] for r in rows)
     return report
@@ -1107,6 +1165,14 @@ def _print_report(report: Dict) -> None:
               f"{r['heals']:>3} heals  "
               f"time-to-heal p50 {r['heal_ms']['p50']:>7.1f} ms  "
               f"p99 {r['heal_ms']['p99']:>7.1f} ms  {mark}")
+    for r in report.get("scenarios", []):
+        mark = "✓" if r["fixed_points_equal"] else "✗ MISMATCH"
+        star = "⟲" if r.get("headline_scenarios") else " "
+        print(f"{r['case']:<39}{star} {r['cells']:>4} cells  "
+              f"{r['failed_cells']} failed  "
+              f"{r['oracle_checked']} oracle-checked  "
+              f"churn {r['total_churn']}  "
+              f"{r['elapsed_s']:>7.2f}s  {mark}")
     for r in report.get("windowed_ipc", []):
         mark = "✓" if r["fixed_points_equal"] else "✗ MISMATCH"
         print(f"{r['case']:<40} {r['delta_steps']:>4} δ steps in "
@@ -1119,7 +1185,9 @@ def _print_report(report: Dict) -> None:
           "§ = PR 4 batched-grid headline (tensor grid vs per-trial loop)   "
           "¶ = PR 6 remote headline (wire compression vs naive transfer)   "
           "∥ = PR 7 service headline (warm-cache hits vs cold computes)   "
-          "☠ = PR 8 faults headline (time-to-heal after a worker kill)")
+          "☠ = PR 8 faults headline (time-to-heal after a worker kill)   "
+          "⟲ = PR 10 scenarios headline (oracle-checked reconfiguration "
+          "survey grid)")
 
 
 # ----------------------------------------------------------------------
@@ -1308,6 +1376,27 @@ def regress_against_baseline(report: Dict, baseline_path: Path) -> List[str]:
                     f"baseline {r['case']}: service headline ran only "
                     f"{r.get('clients')} concurrent clients (< 100)")
 
+    # -- scenarios column (PR 10) ---------------------------------------
+    base_scenarios = baseline.get("scenarios", [])
+    if not base_scenarios:
+        problems.append("baseline has no scenarios column; "
+                        "re-run the full suite")
+    for r in base_scenarios:
+        if r.get("failed_cells"):
+            problems.append(
+                f"baseline {r['case']}: {r['failed_cells']} failed "
+                f"survey cells (first: {(r.get('failures') or ['?'])[0]})")
+        if not r.get("fixed_points_equal", True):
+            problems.append(
+                f"baseline {r['case']}: batched survey grids disagree "
+                "with per-trial session replay")
+        if r.get("headline_scenarios") and \
+                r.get("oracle_checked", 0) < 48:
+            problems.append(
+                f"baseline {r['case']}: headline grid oracle-checked "
+                f"only {r.get('oracle_checked')} cells "
+                "(< the 6×4×2 acceptance floor)")
+
     # -- faults column (PR 8) -------------------------------------------
     base_faults = baseline.get("faults", [])
     if not base_faults:
@@ -1334,9 +1423,16 @@ def regress_against_baseline(report: Dict, baseline_path: Path) -> List[str]:
     for r in (report["sigma"] + report["delta"] + report["parallel"] +
               report.get("batched", []) + report.get("remote", []) +
               report.get("service", []) + report.get("faults", []) +
+              report.get("scenarios", []) +
               report.get("windowed_ipc", [])):
         if not r["fixed_points_equal"]:
             problems.append(f"current run: engines disagree on {r['case']}")
+    for r in report.get("scenarios", []):
+        if r.get("failed_cells"):
+            problems.append(
+                f"current run: {r['failed_cells']} failed survey cells "
+                f"on {r['case']} "
+                f"(first: {(r.get('failures') or ['?'])[0]})")
     for r in report.get("faults", []):
         if not r.get("skipped") and not r.get("healed_every_kill", True):
             problems.append(

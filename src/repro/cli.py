@@ -344,6 +344,64 @@ def cmd_simulate(args) -> int:
     return 0 if res.converged else 1
 
 
+def cmd_scenarios(args) -> int:
+    # lazy: the scenario package imports this module's registries
+    from .scenarios import (
+        DEFAULT_EVENTS,
+        build_scenario_network,
+        replay_events,
+        run_survey,
+        scenario_algebras,
+        scenario_events,
+        scenario_topologies,
+    )
+    if args.action == "list":
+        print("topologies:", ", ".join(sorted(scenario_topologies())))
+        print("events    :", ", ".join(scenario_events()))
+        print("algebras  :", ", ".join(sorted(scenario_algebras())))
+        return 0
+    if args.action == "run":
+        topology = (args.topology or ["corpus:abilene"])[0]
+        algebra = (args.algebra or ["hop-count"])[0]
+        names = list(args.event) if args.event else list(DEFAULT_EVENTS)
+        registry = scenario_events()
+        for name in names:
+            if name not in registry:
+                raise SystemExit(f"unknown event {name!r}; choose from "
+                                 f"{sorted(registry)}")
+        net, factory = build_scenario_network(topology, algebra,
+                                              seed=args.seed)
+        with RoutingSession(net, EngineSpec(args.engine)) as session:
+            report = replay_events(
+                session, [registry[name]() for name in names], factory,
+                seed=args.seed)
+        print(f"network : {net.name} ({net.algebra.name}, n={net.n})")
+        print(f"engine  : {_describe_resolution(report.resolution)}")
+        print(f"{'phase':<18} {'muts':>4} {'rounds':>6} {'churn':>6} "
+              f"{'converged':>9}")
+        for step in report.steps:
+            churn = "-" if step.churn is None else step.churn
+            print(f"{step.label:<18} {step.mutations:>4} {step.rounds:>6} "
+                  f"{churn:>6} {str(step.converged):>9}")
+        print(f"total   : {report.phases} phases, "
+              f"churn {report.total_churn}, rounds {report.total_rounds}, "
+              f"{report.elapsed_s:.2f}s")
+        return 0 if report.all_converged else 1
+    # survey
+    progress = None
+    if args.progress:
+        def progress(cell):
+            mark = "ok" if cell.ok else "FAIL"
+            print(f"  {cell.topology} × {cell.event} × {cell.algebra}: "
+                  f"{mark} ({cell.elapsed_s:.2f}s)", flush=True)
+    report = run_survey(
+        topologies=args.topology, events=args.event, algebras=args.algebra,
+        seed=args.seed, trials=args.trials, oracle=args.oracle,
+        engine=args.engine, max_steps=args.max_steps, progress=progress)
+    print(report.render_table())
+    return 1 if report.failed else 0
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -477,6 +535,44 @@ def make_parser() -> argparse.ArgumentParser:
                         "error, then flush and snapshot (default 10)")
     p.add_argument("--log", action="store_true",
                    help="emit per-request structured logs on stderr")
+
+    p = sub.add_parser(
+        "scenarios",
+        help="topology-corpus reconfiguration scenarios: list the "
+             "registry, replay one event stream, or run the "
+             "(topology × event × algebra) survey grid")
+    p.add_argument("action", choices=("list", "run", "survey"),
+                   help="'list' the scenario registry; 'run' one event "
+                        "stream on one topology with a per-phase table; "
+                        "'survey' the full grid (exit 1 on any failed "
+                        "cell)")
+    p.add_argument("--topology", action="append", default=None,
+                   metavar="NAME",
+                   help="scenario topology (repeatable; 'run' uses the "
+                        "first; survey default: the whole registry)")
+    p.add_argument("--event", action="append", default=None,
+                   metavar="NAME",
+                   help="event type (repeatable; default: all five)")
+    p.add_argument("--algebra", action="append", default=None,
+                   metavar="NAME",
+                   help="algebra (repeatable; 'run' uses the first; "
+                        "survey default: hop-count + stratified-bounded, "
+                        "both finite so grids negotiate the batched "
+                        "rung)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trials", type=int, default=4,
+                   help="δ trials per survey cell (schedule × start "
+                        "grid on the post-event topology)")
+    p.add_argument("--oracle", action="store_true",
+                   help="re-run every cell on an independent network "
+                        "with the engine pinned below the batched rung "
+                        "and require bit-identical replay phases and "
+                        "grid trials")
+    p.add_argument("--engine", default="auto",
+                   choices=("auto",) + ENGINES)
+    p.add_argument("--max-steps", type=int, default=2000)
+    p.add_argument("--progress", action="store_true",
+                   help="survey: print one line per finished cell")
     return parser
 
 
@@ -488,6 +584,7 @@ COMMANDS = {
     "simulate": cmd_simulate,
     "worker": cmd_worker,
     "serve": cmd_serve,
+    "scenarios": cmd_scenarios,
 }
 
 

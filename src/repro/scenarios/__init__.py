@@ -1,0 +1,91 @@
+"""repro.scenarios — topology corpus + event-grammar reconfiguration harness.
+
+The scenario subsystem turns the engine ladder into a reconfiguration
+test bench:
+
+* :mod:`.corpus` — stdlib-only GraphML / edge-list loaders over the
+  committed ``corpus/`` fixture set (TopologyZoo-style research
+  networks, offline-safe for CI);
+* :mod:`.events` — the typed event grammar (``link-flap``,
+  ``node-failure``, ``link-weight-change``, ``policy-change``,
+  ``del-best-route``) compiled into timed mutation streams;
+* :mod:`.registry` — named (topology × event × algebra) lookup;
+* :mod:`.survey` — grid runs through the batched engine with the
+  per-trial session-replay oracle;
+* :mod:`.streaming` — the service transport: the same mutation streams
+  shipped to a live daemon via ``set_edge``/``remove_edge``.
+"""
+
+from .corpus import (
+    CorpusFormatError,
+    CorpusTopology,
+    corpus_dir,
+    list_corpus,
+    load_corpus_topology,
+    load_topology,
+    parse_edge_list,
+    parse_graphml,
+)
+from .events import (
+    EVENTS,
+    DelBestRoute,
+    Event,
+    EventPhase,
+    LinkFlap,
+    LinkWeightChange,
+    Mutation,
+    NodeFailure,
+    PolicyChange,
+    compile_event,
+    event_seed,
+)
+from .registry import (
+    build_scenario_network,
+    scenario_algebras,
+    scenario_events,
+    scenario_topologies,
+)
+from .streaming import stream_events
+from .survey import (
+    DEFAULT_ALGEBRAS,
+    DEFAULT_EVENTS,
+    CellResult,
+    SurveyReport,
+    replay_events,
+    run_cell,
+    run_survey,
+)
+
+__all__ = [
+    "CellResult",
+    "CorpusFormatError",
+    "CorpusTopology",
+    "DEFAULT_ALGEBRAS",
+    "DEFAULT_EVENTS",
+    "DelBestRoute",
+    "EVENTS",
+    "Event",
+    "EventPhase",
+    "LinkFlap",
+    "LinkWeightChange",
+    "Mutation",
+    "NodeFailure",
+    "PolicyChange",
+    "SurveyReport",
+    "build_scenario_network",
+    "compile_event",
+    "corpus_dir",
+    "event_seed",
+    "list_corpus",
+    "load_corpus_topology",
+    "load_topology",
+    "parse_edge_list",
+    "parse_graphml",
+    "replay_events",
+    "run_cell",
+    "run_survey",
+    "scenario_algebras",
+    "scenario_events",
+    "scenario_topologies",
+    "stream_events",
+]

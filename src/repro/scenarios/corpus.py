@@ -1,0 +1,297 @@
+"""Topology corpus loader: TopologyZoo-style GraphML and edge-list files.
+
+Chameleon's SIGCOMM artifact evaluates 106 TopologyZoo topologies ×
+events × specifications; this module gives the repo the same raw
+material without a network dependency: stdlib-only parsers for the two
+file formats TopologyZoo ships (GraphML and plain edge lists), plus a
+committed fixture set under ``scenarios/corpus/`` so CI runs the whole
+grid offline.
+
+The loader is deliberately loud: a malformed file raises a typed
+:class:`CorpusFormatError` naming the file and line — never a bare
+``KeyError``/``IndexError`` — because a survey that silently skips a
+truncated topology reads as "covered everything" when it didn't.
+
+A parsed file is a :class:`CorpusTopology`: named nodes, a deduplicated
+directed arc list (undirected inputs are symmetrised), and a
+:meth:`CorpusTopology.build` hook that assembles a
+:class:`~repro.core.state.Network` through any algebra's edge factory —
+corpus files carry *structure only*; weights/policies are drawn by the
+factory exactly as the generated families do.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+from xml.parsers import expat
+
+from ..core.algebra import RoutingAlgebra
+from ..core.state import Network
+from ..topologies.generators import EdgeFactory, build_network
+
+__all__ = [
+    "CorpusFormatError",
+    "CorpusTopology",
+    "corpus_dir",
+    "list_corpus",
+    "load_corpus_topology",
+    "load_topology",
+    "parse_edge_list",
+    "parse_graphml",
+]
+
+
+class CorpusFormatError(ValueError):
+    """A malformed corpus file, pinpointed to ``path:line``.
+
+    Every parser failure mode — bad XML, missing attributes, undeclared
+    endpoints, self-loops, empty graphs, short edge-list lines — raises
+    this with the offending file and (when known) line number, so a
+    broken fixture is diagnosable from the message alone.
+    """
+
+    def __init__(self, path, line: Optional[int], message: str):
+        self.path = str(path)
+        self.line = line
+        where = f"{self.path}:{line}" if line is not None else self.path
+        super().__init__(f"{where}: {message}")
+        self.reason = message
+
+
+@dataclass(frozen=True)
+class CorpusTopology:
+    """One parsed corpus file: structure only, algebra-agnostic.
+
+    ``arcs`` is the deduplicated *directed* arc list (sorted; undirected
+    source formats contribute both directions), ``node_names`` the
+    display names in dense-index order.
+    """
+
+    name: str
+    node_names: Tuple[str, ...]
+    arcs: Tuple[Tuple[int, int], ...]
+    path: Optional[str] = None
+
+    @property
+    def n(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def edges(self) -> int:
+        """Undirected edge count (half the arc count by construction)."""
+        return len(self.arcs) // 2
+
+    def build(self, algebra: RoutingAlgebra, factory: EdgeFactory,
+              seed: int = 0) -> Network:
+        """Assemble a network over this structure via ``factory``
+        (deterministic in ``seed``, exactly as the generated families)."""
+        return build_network(algebra, self.n, self.arcs, factory, seed,
+                             name=f"corpus-{self.name}")
+
+
+# ----------------------------------------------------------------------
+# GraphML (expat-based, so semantic errors carry line numbers)
+# ----------------------------------------------------------------------
+
+
+class _GraphMLBuilder:
+    """Streaming GraphML reader for the TopologyZoo subset: ``<graph>``
+    with ``edgedefault``, ``<node id=...>`` (optionally carrying a
+    string ``label`` ``<data>``), ``<edge source=... target=...>``."""
+
+    def __init__(self, path):
+        self.path = path
+        self.parser = expat.ParserCreate()
+        self.parser.StartElementHandler = self._start
+        self.parser.EndElementHandler = self._end
+        self.parser.CharacterDataHandler = self._chars
+        self.directed = False
+        self.node_ids: List[str] = []
+        self.index: Dict[str, int] = {}
+        self.labels: Dict[int, str] = {}
+        self.arcs: Set[Tuple[int, int]] = set()
+        self.label_keys: Set[str] = set()
+        self._current_node: Optional[int] = None
+        self._label_buf: Optional[List[str]] = None
+
+    def _fail(self, message: str) -> None:
+        raise CorpusFormatError(self.path, self.parser.CurrentLineNumber,
+                                message)
+
+    @staticmethod
+    def _local(tag: str) -> str:
+        return tag.rsplit(":", 1)[-1]
+
+    def _start(self, tag: str, attrs: Dict[str, str]) -> None:
+        tag = self._local(tag)
+        if tag == "graph":
+            self.directed = attrs.get("edgedefault", "") == "directed"
+        elif tag == "key":
+            if attrs.get("attr.name") == "label" and \
+                    attrs.get("for", "node") == "node" and "id" in attrs:
+                self.label_keys.add(attrs["id"])
+        elif tag == "node":
+            nid = attrs.get("id")
+            if nid is None:
+                self._fail("<node> element missing its 'id' attribute")
+            if nid in self.index:
+                self._fail(f"duplicate node id {nid!r}")
+            self.index[nid] = len(self.node_ids)
+            self._current_node = len(self.node_ids)
+            self.node_ids.append(nid)
+        elif tag == "edge":
+            src, dst = attrs.get("source"), attrs.get("target")
+            if src is None or dst is None:
+                self._fail("<edge> element missing 'source'/'target'")
+            for endpoint in (src, dst):
+                if endpoint not in self.index:
+                    self._fail(
+                        f"edge references undeclared node {endpoint!r} "
+                        "(nodes must be declared before edges)")
+            a, b = self.index[src], self.index[dst]
+            if a == b:
+                self._fail(f"self-loop on node {src!r}")
+            self.arcs.add((a, b))
+            if not self.directed:
+                self.arcs.add((b, a))
+        elif tag == "data":
+            if self._current_node is not None and \
+                    attrs.get("key") in self.label_keys:
+                self._label_buf = []
+
+    def _chars(self, data: str) -> None:
+        if self._label_buf is not None:
+            self._label_buf.append(data)
+
+    def _end(self, tag: str) -> None:
+        tag = self._local(tag)
+        if tag == "data" and self._label_buf is not None:
+            label = "".join(self._label_buf).strip()
+            if label and self._current_node is not None:
+                self.labels[self._current_node] = label
+            self._label_buf = None
+        elif tag == "node":
+            self._current_node = None
+
+
+def parse_graphml(path) -> CorpusTopology:
+    """Parse a TopologyZoo-style GraphML file into a
+    :class:`CorpusTopology`; raises :class:`CorpusFormatError` (with
+    file + line) on malformed XML or semantic errors."""
+    path = pathlib.Path(path)
+    builder = _GraphMLBuilder(path)
+    try:
+        with open(path, "rb") as fh:
+            builder.parser.ParseFile(fh)
+    except expat.ExpatError as exc:
+        raise CorpusFormatError(
+            path, exc.lineno,
+            f"not well-formed GraphML: {expat.errors.messages[exc.code]}"
+        ) from None
+    if len(builder.node_ids) < 2:
+        raise CorpusFormatError(
+            path, None, "graph declares fewer than two nodes")
+    if not builder.arcs:
+        raise CorpusFormatError(path, None, "graph declares no edges")
+    names = tuple(builder.labels.get(i, nid)
+                  for i, nid in enumerate(builder.node_ids))
+    return CorpusTopology(name=path.stem, node_names=names,
+                          arcs=tuple(sorted(builder.arcs)), path=str(path))
+
+
+# ----------------------------------------------------------------------
+# Edge lists
+# ----------------------------------------------------------------------
+
+
+def parse_edge_list(path) -> CorpusTopology:
+    """Parse a whitespace-separated edge list (``SRC DST`` per line,
+    ``#`` comments, arbitrary string node labels, undirected) into a
+    :class:`CorpusTopology`; raises :class:`CorpusFormatError` with
+    file + line on short lines and self-loops.
+
+    Extra columns (TopologyZoo exports sometimes append link metadata)
+    are ignored; repeated links are deduplicated — both documented
+    properties of real zoo files, not errors.
+    """
+    path = pathlib.Path(path)
+    names: List[str] = []
+    index: Dict[str, int] = {}
+    arcs: Set[Tuple[int, int]] = set()
+
+    def intern(label: str) -> int:
+        idx = index.get(label)
+        if idx is None:
+            idx = index[label] = len(names)
+            names.append(label)
+        return idx
+
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            tokens = line.split()
+            if len(tokens) < 2:
+                raise CorpusFormatError(
+                    path, lineno,
+                    f"expected 'SRC DST [metadata...]', got {line!r}")
+            a, b = tokens[0], tokens[1]
+            if a == b:
+                raise CorpusFormatError(
+                    path, lineno, f"self-loop on node {a!r}")
+            ia, ib = intern(a), intern(b)
+            arcs.add((ia, ib))
+            arcs.add((ib, ia))
+    if len(names) < 2 or not arcs:
+        raise CorpusFormatError(path, None, "no edges found")
+    return CorpusTopology(name=path.stem, node_names=tuple(names),
+                          arcs=tuple(sorted(arcs)), path=str(path))
+
+
+# ----------------------------------------------------------------------
+# The committed fixture set
+# ----------------------------------------------------------------------
+
+_SUFFIXES = {".graphml": parse_graphml, ".edges": parse_edge_list,
+             ".edgelist": parse_edge_list, ".txt": parse_edge_list}
+
+
+def load_topology(path) -> CorpusTopology:
+    """Parse one corpus file, dispatching on its suffix."""
+    path = pathlib.Path(path)
+    parser = _SUFFIXES.get(path.suffix.lower())
+    if parser is None:
+        raise CorpusFormatError(
+            path, None,
+            f"unsupported corpus suffix {path.suffix!r}; expected one of "
+            f"{sorted(_SUFFIXES)}")
+    return parser(path)
+
+
+def corpus_dir() -> pathlib.Path:
+    """The committed fixture directory (``src/repro/scenarios/corpus/``)."""
+    return pathlib.Path(__file__).resolve().parent / "corpus"
+
+
+def list_corpus(directory=None) -> List[str]:
+    """Sorted names of the corpus topologies under ``directory``
+    (default: the committed fixture set)."""
+    root = pathlib.Path(directory) if directory else corpus_dir()
+    return sorted(p.stem for p in root.iterdir()
+                  if p.suffix.lower() in _SUFFIXES)
+
+
+def load_corpus_topology(name: str, directory=None) -> CorpusTopology:
+    """Load a corpus topology by name (file stem) from ``directory``
+    (default: the committed fixture set)."""
+    root = pathlib.Path(directory) if directory else corpus_dir()
+    for suffix in _SUFFIXES:
+        candidate = root / f"{name}{suffix}"
+        if candidate.exists():
+            return load_topology(candidate)
+    raise ValueError(
+        f"unknown corpus topology {name!r}; choose from "
+        f"{list_corpus(root)}")

@@ -1,0 +1,96 @@
+"""The scenario registry: named topologies × events × algebras.
+
+One lookup surface for everything the scenario harness can drive:
+
+* **topologies** — every committed corpus fixture (as
+  ``corpus:<name>``) plus the generated families that matter for
+  scenario work (Elmokashfi AS graphs, iBGP route-reflector overlays,
+  a small fat-tree);
+* **events** — the typed event grammar of :mod:`.events`;
+* **algebras** — the CLI's algebra registry, re-exported so scenario
+  cells and service loads name algebras identically.
+
+Builders are algebra-agnostic closures ``(algebra, factory, seed) ->
+Network``; :func:`build_scenario_network` resolves names end to end
+(with loud ``ValueError``s listing the choices, mirroring the CLI).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..core.algebra import RoutingAlgebra
+from ..core.state import Network
+from ..topologies.generators import (
+    EdgeFactory,
+    elmokashfi_as_graph,
+    fat_tree,
+    route_reflector_hierarchy,
+)
+from .corpus import CorpusTopology, list_corpus, load_corpus_topology
+from .events import EVENTS, Event
+
+__all__ = [
+    "TopologyBuilder",
+    "build_scenario_network",
+    "scenario_algebras",
+    "scenario_events",
+    "scenario_topologies",
+]
+
+TopologyBuilder = Callable[[RoutingAlgebra, EdgeFactory, int], Network]
+
+
+def _corpus_builder(name: str) -> TopologyBuilder:
+    def build(algebra, factory, seed=0):
+        topo: CorpusTopology = load_corpus_topology(name)
+        return topo.build(algebra, factory, seed=seed)
+
+    return build
+
+
+def scenario_topologies() -> Dict[str, TopologyBuilder]:
+    """Name → ``(algebra, factory, seed) -> Network`` builders: the
+    committed corpus plus the scenario-relevant generated families."""
+    out: Dict[str, TopologyBuilder] = {
+        f"corpus:{name}": _corpus_builder(name) for name in list_corpus()}
+    out["elmokashfi-24"] = lambda alg, fac, seed=0: \
+        elmokashfi_as_graph(alg, 24, fac, seed=seed)
+    out["route-reflector"] = lambda alg, fac, seed=0: \
+        route_reflector_hierarchy(alg, fac, seed=seed)
+    out["fat-tree-4"] = lambda alg, fac, seed=0: \
+        fat_tree(alg, 4, fac, seed=seed)
+    return out
+
+
+def scenario_events() -> Dict[str, Callable[[], Event]]:
+    """Name → default-configured event factory (:data:`.events.EVENTS`)."""
+    return dict(EVENTS)
+
+
+def scenario_algebras() -> Dict[str, Callable]:
+    """Name → CLI algebra entry (lazy import: the CLI imports this
+    package for its ``scenarios`` subcommand)."""
+    from ..cli import ALGEBRAS
+    return dict(ALGEBRAS)
+
+
+def build_scenario_network(topology: str, algebra: str,
+                           seed: int = 0) -> Tuple[Network, EdgeFactory]:
+    """Resolve registry names into ``(network, edge_factory)``.
+
+    The factory is returned alongside the network because both replay
+    transports need it: in-process compilation materialises mutations
+    through it, and the daemon re-derives ``set_edge`` functions from
+    it by seed.
+    """
+    algebras = scenario_algebras()
+    if algebra not in algebras:
+        raise ValueError(f"unknown algebra {algebra!r}; choose from "
+                         f"{sorted(algebras)}")
+    topologies = scenario_topologies()
+    if topology not in topologies:
+        raise ValueError(f"unknown scenario topology {topology!r}; choose "
+                         f"from {sorted(topologies)}")
+    alg, factory, _finite, _is_path = algebras[algebra]()
+    return topologies[topology](alg, factory, seed), factory

@@ -1,0 +1,78 @@
+"""Stream a scenario's mutation stream to a live service daemon.
+
+The second replay transport: the same compiled event stream that
+:func:`~.survey.replay_events` applies in-process is shipped to a
+daemon session through the ``set_edge``/``remove_edge`` verbs —
+``set`` mutations travel as their ``edge_seed``, and the daemon
+re-derives the identical edge function
+(``factory(random.Random(edge_seed), i, k)``).
+
+The helper keeps a *local mirror* network in lockstep (every streamed
+mutation is also applied locally) and probes the daemon after each
+phase: the served σ digest must equal the mirror's, and — when a
+``probe_dest`` is given — the cheap per-destination ``routes`` verb
+must slice to the mirror's exact column.  A ``False`` in any
+``digest_match``/``routes_match`` field means the transports diverged,
+which the tests treat as a hard failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..session import RoutingSession
+from .events import compile_event, event_seed
+
+__all__ = ["stream_events"]
+
+
+def stream_events(client, session_id: str, mirror: RoutingSession,
+                  factory, events: Sequence, *, seed: int = 0,
+                  max_rounds: int = 10_000,
+                  probe_dest: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Replay ``events`` against daemon session ``session_id`` via
+    mutation streaming; returns one probe record per phase.
+
+    ``mirror`` is a local session over an identically built network
+    (same registry names and seed as the daemon's ``load``); it
+    compiles the events, tracks the daemon's topology mutation for
+    mutation, and supplies the reference fixed points the daemon's
+    replies are checked against.
+    """
+    from ..service.protocol import state_digest
+
+    records: List[Dict[str, Any]] = []
+
+    def probe(label: str, mutations: int):
+        report = mirror.sigma(max_rounds=max_rounds)
+        reply = client.sigma(session_id, max_rounds=max_rounds)
+        record = {
+            "label": label,
+            "mutations": mutations,
+            "version": reply["version"],
+            "rounds": reply["rounds"],
+            "cached": bool(reply.get("cached", False)),
+            "digest_match": reply["digest"] == state_digest(report.state),
+        }
+        if probe_dest is not None:
+            routes = client.routes(session_id, dest=probe_dest,
+                                   max_rounds=max_rounds)
+            record["routes_match"] = routes["routes"] == [
+                str(r) for r in report.state.column(probe_dest)]
+        records.append(record)
+        return report.state
+
+    state = probe("initial", 0)
+    for idx, event in enumerate(events):
+        phases = compile_event(event, mirror.network, factory,
+                               event_seed(seed, idx), state=state)
+        for phase in phases:
+            for m in phase.mutations:
+                if m.op == "set":
+                    client.set_edge(session_id, m.i, m.k,
+                                    edge_seed=int(m.edge_seed))
+                else:
+                    client.remove_edge(session_id, m.i, m.k)
+                m.apply(mirror.network)
+            state = probe(phase.label, len(phase.mutations))
+    return records

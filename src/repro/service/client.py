@@ -114,6 +114,20 @@ class _VerbMixin:
         return req
 
     @staticmethod
+    def _routes_req(session: str, node: Optional[int],
+                    dest: Optional[int], start_seed: Optional[int],
+                    max_rounds: int) -> Dict[str, Any]:
+        req: Dict[str, Any] = {"verb": "routes", "session": session,
+                               "max_rounds": max_rounds}
+        if node is not None:
+            req["node"] = node
+        if dest is not None:
+            req["dest"] = dest
+        if start_seed is not None:
+            req["start_seed"] = start_seed
+        return req
+
+    @staticmethod
     def _delta_req(session: str, schedule: Optional[Dict[str, Any]],
                    start_seed: Optional[int], max_steps: int,
                    include_state: bool) -> Dict[str, Any]:
@@ -221,6 +235,16 @@ class ServiceClient(_VerbMixin, _RetryMixin):
               include_state: bool = False) -> Dict[str, Any]:
         return self.request(self._delta_req(session, schedule, start_seed,
                                             max_steps, include_state))
+
+    def routes(self, session: str, *, node: Optional[int] = None,
+               dest: Optional[int] = None,
+               start_seed: Optional[int] = None,
+               max_rounds: int = 10_000) -> Dict[str, Any]:
+        """One row (``node=``) or column (``dest=``) of the fixed point
+        as route strings — O(n) on the wire, cheaper than asking
+        ``sigma`` for the full state matrix."""
+        return self.request(self._routes_req(session, node, dest,
+                                             start_seed, max_rounds))
 
     def convergence(self, session: str, *, n_starts: int = 3,
                     seed: int = 0,
@@ -362,6 +386,16 @@ class AsyncServiceClient(_VerbMixin, _RetryMixin):
                     include_state: bool = False) -> Dict[str, Any]:
         return await self.request(self._delta_req(
             session, schedule, start_seed, max_steps, include_state))
+
+    async def routes(self, session: str, *, node: Optional[int] = None,
+                     dest: Optional[int] = None,
+                     start_seed: Optional[int] = None,
+                     max_rounds: int = 10_000) -> Dict[str, Any]:
+        """One row (``node=``) or column (``dest=``) of the fixed point
+        as route strings — O(n) on the wire, cheaper than asking
+        ``sigma`` for the full state matrix."""
+        return await self.request(self._routes_req(session, node, dest,
+                                                   start_seed, max_rounds))
 
     async def convergence(self, session: str, *, n_starts: int = 3,
                           seed: int = 0,

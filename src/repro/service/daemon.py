@@ -90,7 +90,7 @@ __all__ = ["RoutingServiceDaemon", "serve"]
 
 logger = logging.getLogger("repro.service")
 
-_QUERY_VERBS = ("sigma", "delta", "convergence")
+_QUERY_VERBS = ("sigma", "delta", "convergence", "routes")
 
 
 class _SessionEntry:
@@ -98,7 +98,7 @@ class _SessionEntry:
 
     __slots__ = ("sid", "network", "session", "factory", "lock", "cache",
                  "hits", "misses", "invalidated", "mutations", "params",
-                 "mutation_log")
+                 "mutation_log", "state_cache")
 
     def __init__(self, sid: str, network, session: RoutingSession,
                  factory, params: Dict[str, Any]):
@@ -117,6 +117,11 @@ class _SessionEntry:
         #: against a freshly built network reproduces the adjacency and
         #: its version counter bit for bit (snapshots persist this).
         self.mutation_log: List[List[Any]] = []
+        #: small LRU of *fixed points* (RoutingState objects, never
+        #: persisted — snapshots carry only JSON reply bodies) keyed by
+        #: ``(version, start_seed, max_rounds)``; lets ``routes``
+        #: queries for different rows/columns share one σ solve.
+        self.state_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
 
     @property
     def version(self) -> int:
@@ -127,6 +132,7 @@ class _SessionEntry:
         pre-mutation topology version); returns how many were dropped."""
         dropped = len(self.cache)
         self.cache.clear()
+        self.state_cache.clear()
         self.invalidated += dropped
         return dropped
 
@@ -708,8 +714,8 @@ class RoutingServiceDaemon:
                 ERR_UNKNOWN_VERB,
                 f"unknown verb {verb!r}; the vocabulary is "
                 "('hello', 'load', 'set_edge', 'remove_edge', 'sigma', "
-                "'delta', 'convergence', 'stats', 'health', 'snapshot', "
-                "'shutdown')",
+                "'delta', 'convergence', 'routes', 'stats', 'health', "
+                "'snapshot', 'shutdown')",
                 verb=verb, req_id=req_id)
         except ServiceError as exc:
             return error_reply(exc.code, exc.message, verb=verb,
@@ -862,6 +868,25 @@ class RoutingServiceDaemon:
         if verb == "sigma":
             max_rounds = int(req.get("max_rounds", 10_000))
             knobs: Tuple = (max_rounds,)
+        elif verb == "routes":
+            max_rounds = int(req.get("max_rounds", 10_000))
+            node = req.get("node")
+            dest = req.get("dest")
+            if (node is None) == (dest is None):
+                raise ServiceError(
+                    ERR_BAD_REQUEST,
+                    "routes takes exactly one of 'node' (that node's "
+                    "routes to every destination) or 'dest' (every "
+                    "node's route to that destination)")
+            axis = int(node) if node is not None else int(dest)
+            if not 0 <= axis < entry.network.n:
+                raise ServiceError(
+                    ERR_BAD_REQUEST,
+                    f"{'node' if node is not None else 'dest'}={axis} out "
+                    f"of range for this session's n={entry.network.n}")
+            node = axis if node is not None else None
+            dest = axis if node is None else None
+            knobs = (max_rounds, node, dest)
         elif verb == "delta":
             sched_spec = req.get("schedule", {"kind": "round-robin"})
             schedule_from_spec(sched_spec, entry.network.n)  # validate now
@@ -903,6 +928,10 @@ class RoutingServiceDaemon:
                     body = await loop.run_in_executor(
                         None, self._compute_sigma, entry, start_seed,
                         max_rounds, include_state)
+                elif verb == "routes":
+                    body = await loop.run_in_executor(
+                        None, self._compute_routes, entry, start_seed,
+                        max_rounds, node, dest)
                 elif verb == "delta":
                     body = await loop.run_in_executor(
                         None, self._compute_delta, entry, sched_spec,
@@ -943,6 +972,37 @@ class RoutingServiceDaemon:
         if include_state:
             body["state"] = state_matrix(report.state)
         return body
+
+    def _compute_routes(self, entry: _SessionEntry,
+                        start_seed: Optional[int], max_rounds: int,
+                        node: Optional[int],
+                        dest: Optional[int]) -> Dict[str, Any]:
+        """One row/column of the fixed point as route strings — O(n)
+        on the wire against ``include_state``'s O(n²), with the solved
+        state shared across slices through the entry's state cache."""
+        skey = (entry.version, start_seed, max_rounds)
+        cached = entry.state_cache.get(skey)
+        if cached is not None:
+            state, converged, rounds = cached
+            entry.state_cache.move_to_end(skey)
+        else:
+            start = start_state(entry.network, start_seed)
+            try:
+                report = entry.session.sigma(start, max_rounds=max_rounds)
+            except Exception as exc:
+                raise ServiceError(ERR_ENGINE,
+                                   f"routes failed: {exc}") from None
+            state, converged, rounds = \
+                report.state, report.converged, report.rounds
+            entry.state_cache[skey] = (state, converged, rounds)
+            while len(entry.state_cache) > 4:
+                entry.state_cache.popitem(last=False)
+        routes = state.row(node) if node is not None else state.column(dest)
+        return {"ok": True, "verb": "routes", "session": entry.sid,
+                "version": entry.version, "converged": converged,
+                "rounds": rounds, "node": node, "dest": dest,
+                "routes": [str(r) for r in routes],
+                "digest": state_digest(state)}
 
     def _compute_delta(self, entry: _SessionEntry,
                        sched_spec: Dict[str, Any],
@@ -1078,7 +1138,22 @@ def _build_network(algebra_name: str, topology: str, n: int, seed: int):
             f"unknown algebra {algebra_name!r}; choose from "
             f"{sorted(ALGEBRAS)}")
     alg, factory, _finite, _is_path = ALGEBRAS[algebra_name]()
-    if topology == "random":
+    if topology.startswith("corpus:"):
+        # a committed scenario-corpus fixture; its node count is fixed
+        # by the file, so the load's n must agree (clients compute
+        # indices against it)
+        from ..scenarios.corpus import load_corpus_topology
+        try:
+            topo = load_corpus_topology(topology[len("corpus:"):])
+        except ValueError as exc:
+            raise ServiceError(ERR_BAD_REQUEST, str(exc)) from None
+        if n != topo.n:
+            raise ServiceError(
+                ERR_BAD_REQUEST,
+                f"corpus topology {topo.name!r} has n={topo.n} nodes; "
+                f"load it with n={topo.n} (got n={n})")
+        network = topo.build(alg, factory, seed=seed)
+    elif topology == "random":
         network = erdos_renyi(alg, n, 0.4, factory, seed=seed)
     elif topology in TOPOLOGIES:
         network = TOPOLOGIES[topology](alg, n, factory, seed=seed)
@@ -1086,7 +1161,7 @@ def _build_network(algebra_name: str, topology: str, n: int, seed: int):
         raise ServiceError(
             ERR_BAD_REQUEST,
             f"unknown topology {topology!r}; choose from "
-            f"{sorted(TOPOLOGIES) + ['random']}")
+            f"{sorted(TOPOLOGIES) + ['random', 'corpus:<name>']}")
     return network, factory
 
 

@@ -325,6 +325,59 @@ class ConvergenceReport:
 
 
 @dataclass
+class ReplayStep:
+    """One measured phase of :meth:`RoutingSession.replay`: the σ
+    re-convergence after a batch of topology mutations landed."""
+
+    label: str                        #: phase label ("initial", "link-down", ...)
+    mutations: int                    #: mutations applied before this solve
+    version: int                      #: adjacency version the solve ran at
+    converged: bool
+    rounds: int                       #: σ rounds to re-converge
+    churn: Optional[int]              #: entry changes during re-convergence
+    elapsed_s: float
+    state: RoutingState = field(default=None, repr=False)
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of :meth:`RoutingSession.replay`: per-event convergence
+    and churn over a timed mutation stream (the scenario harness's
+    measurement primitive)."""
+
+    steps: List[ReplayStep]
+    resolution: EngineResolution
+    elapsed_s: float
+
+    @property
+    def all_converged(self) -> bool:
+        return all(step.converged for step in self.steps)
+
+    @property
+    def total_churn(self) -> int:
+        """Entry changes summed over every post-mutation re-convergence
+        (the initial solve is establishment, not churn)."""
+        return sum(step.churn or 0 for step in self.steps[1:])
+
+    @property
+    def total_rounds(self) -> int:
+        """σ rounds summed over every post-mutation re-convergence
+        (like :attr:`total_churn`, the initial solve is excluded)."""
+        return sum(step.rounds for step in self.steps[1:])
+
+    @property
+    def final_state(self) -> RoutingState:
+        if not self.steps[-1].converged:
+            raise ValueError("replay did not re-converge; no fixed point")
+        return self.steps[-1].state
+
+    @property
+    def phases(self) -> int:
+        """Mutation phases replayed (excludes the initial solve)."""
+        return len(self.steps) - 1
+
+
+@dataclass
 class SimulationReport:
     """Outcome of :meth:`RoutingSession.simulate`: the event-driven
     protocol run plus the negotiated σ-stability check."""
@@ -718,6 +771,59 @@ class RoutingSession:
                 [sched for (sched, _start) in trials]),
             wire=wire, degraded=degraded,
             results=results if keep_results else None)
+
+    # -- event replay ----------------------------------------------------
+
+    def replay(self, phases, *, start: Optional[RoutingState] = None,
+               max_rounds: int = 10_000,
+               measure_churn: bool = True) -> ReplayReport:
+        """Replay a timed mutation stream, measuring re-convergence
+        after every phase; returns a :class:`ReplayReport`.
+
+        ``phases`` is an iterable whose items are either *phase*
+        objects (duck-typed: ``.label`` plus ``.mutations``, each
+        mutation applying itself via ``mutation.apply(network)``) or
+        callables ``(network, fixed_point) -> iterable of phases`` —
+        the lazy form state-dependent events (``del-best-route``)
+        compile through, since their mutations depend on the topology
+        and fixed point left behind by earlier phases.
+
+        The session first solves the unmodified topology (the
+        ``"initial"`` step), then for each phase applies its mutations
+        to the shared adjacency — bumping ``adjacency.version``, so the
+        incremental engines see exactly the dirty entries — and
+        re-solves σ *warm-started from the previous fixed point*.
+        ``measure_churn`` counts entry changes per re-convergence (the
+        code-diff fast path on codes-based rungs).
+        """
+        self._check_open()
+        t0 = perf_counter()
+        report = self.sigma(start, max_rounds=max_rounds,
+                            measure_churn=measure_churn)
+        steps = [ReplayStep(
+            label="initial", mutations=0,
+            version=self.network.adjacency.version,
+            converged=report.converged, rounds=report.rounds,
+            churn=report.churn, elapsed_s=report.elapsed_s,
+            state=report.state)]
+        resolution = report.resolution
+        for item in phases:
+            compiled = item(self.network, steps[-1].state) \
+                if callable(item) else [item]
+            for phase in compiled:
+                for mutation in phase.mutations:
+                    mutation.apply(self.network)
+                report = self.sigma(steps[-1].state, max_rounds=max_rounds,
+                                    measure_churn=measure_churn)
+                steps.append(ReplayStep(
+                    label=phase.label, mutations=len(phase.mutations),
+                    version=self.network.adjacency.version,
+                    converged=report.converged, rounds=report.rounds,
+                    churn=report.churn, elapsed_s=report.elapsed_s,
+                    state=report.state))
+                resolution = report.resolution
+        return ReplayReport(steps=steps, resolution=resolution,
+                            elapsed_s=perf_counter() - t0)
 
     # -- experiments -----------------------------------------------------
 

@@ -221,6 +221,184 @@ def gao_rexford_hierarchy(n_tier1: int = 2, n_tier2: int = 4, n_tier3: int = 8,
 
 
 # ----------------------------------------------------------------------
+# AS-level scale-free graphs (Elmokashfi et al. style)
+# ----------------------------------------------------------------------
+
+
+def _weighted_distinct(rng: random.Random, candidates: Sequence[int],
+                       weights: Sequence[float], k: int) -> List[int]:
+    """``k`` distinct draws from ``candidates``, probability ∝ weight
+    (sequential draws with removal; deterministic in ``rng``)."""
+    pool = list(candidates)
+    pw = list(weights)
+    out: List[int] = []
+    for _ in range(min(k, len(pool))):
+        total = sum(pw)
+        mark = rng.random() * total
+        acc = 0.0
+        idx = len(pool) - 1
+        for pos, w in enumerate(pw):
+            acc += w
+            if mark < acc:
+                idx = pos
+                break
+        out.append(pool.pop(idx))
+        pw.pop(idx)
+    return out
+
+
+def elmokashfi_as_graph(algebra: RoutingAlgebra, n: int,
+                        factory: EdgeFactory, seed: int = 0,
+                        peer_prob: float = 0.2) -> Network:
+    """A scale-free AS-level topology in the style of Elmokashfi et al.
+
+    Three populations: a small tier-1 clique (~1 % of ``n``, at least
+    three), a mid-tier (~15 %) whose members multihome to two providers
+    chosen preferentially by current degree, and stub ASes buying
+    transit from one or two mid-tier providers (again
+    degree-preferential).  Same-population mid-tier pairs peer with
+    probability ``peer_prob``.  Structure and edge draws are both
+    deterministic in ``seed``.
+    """
+    if n < 8:
+        raise ValueError("elmokashfi_as_graph needs n >= 8")
+    rng = random.Random(seed)
+    n_t1 = max(3, round(0.01 * n))
+    n_mid = max(2, round(0.15 * n))
+    tier1 = list(range(n_t1))
+    mid = list(range(n_t1, n_t1 + n_mid))
+    stubs = list(range(n_t1 + n_mid, n))
+    degree = [0] * n
+    pairs: List[Tuple[int, int]] = []
+
+    def link(a: int, b: int) -> None:
+        pairs.append((a, b))
+        degree[a] += 1
+        degree[b] += 1
+
+    for idx, a in enumerate(tier1):
+        for b in tier1[idx + 1:]:
+            link(a, b)
+    for m in mid:
+        providers = tier1 + [x for x in mid if x < m]
+        for p in _weighted_distinct(rng, providers,
+                                    [degree[x] + 1 for x in providers], 2):
+            link(m, p)
+    for s in stubs:
+        k = rng.randint(1, 2)
+        for p in _weighted_distinct(rng, mid,
+                                    [degree[x] + 1 for x in mid], k):
+            link(s, p)
+    for idx, a in enumerate(mid):
+        for b in mid[idx + 1:]:
+            if rng.random() < peer_prob and (a, b) not in pairs:
+                link(a, b)
+    return build_network(algebra, n, _both_ways(pairs), factory, seed,
+                         name=f"elmokashfi-{n}")
+
+
+# ----------------------------------------------------------------------
+# iBGP route-reflector overlays
+# ----------------------------------------------------------------------
+
+
+def route_reflector_hierarchy(algebra: RoutingAlgebra, factory: EdgeFactory,
+                              n_core: int = 3, n_rr: int = 4,
+                              clients_per_rr: int = 3, redundancy: int = 2,
+                              seed: int = 0) -> Network:
+    """An iBGP route-reflector overlay as a topology family.
+
+    Motivated by *iBGP and Constrained Connectivity*: the signalling
+    graph of a reflector deployment is itself a routing topology.
+    Layout — a full mesh of ``n_core`` top-level reflectors, ``n_rr``
+    second-level reflectors each homed to ``redundancy`` core
+    reflectors, and ``clients_per_rr`` clients per second-level
+    reflector, each homed to ``redundancy`` reflectors (its own plus
+    randomly drawn backups).  Node ids: cores, then reflectors, then
+    clients.  Algebra-agnostic: sessions become edges through
+    ``factory`` exactly as every other family.
+    """
+    if n_core < 1 or n_rr < 1 or clients_per_rr < 0:
+        raise ValueError("route_reflector_hierarchy needs positive tiers")
+    rng = random.Random(seed)
+    cores = list(range(n_core))
+    rrs = list(range(n_core, n_core + n_rr))
+    n = n_core + n_rr + n_rr * clients_per_rr
+    pairs: List[Tuple[int, int]] = []
+    for idx, a in enumerate(cores):
+        for b in cores[idx + 1:]:
+            pairs.append((a, b))
+    for rr in rrs:
+        for core in rng.sample(cores, min(redundancy, n_core)):
+            pairs.append((rr, core))
+    client = n_core + n_rr
+    for rr in rrs:
+        for _ in range(clients_per_rr):
+            homes = {rr}
+            backups = [x for x in rrs if x != rr]
+            while len(homes) < min(redundancy, n_rr) and backups:
+                homes.add(backups.pop(rng.randrange(len(backups))))
+            for home in sorted(homes):
+                pairs.append((client, home))
+            client += 1
+    return build_network(algebra, n, _both_ways(pairs), factory, seed,
+                         name=f"rr-{n_core}-{n_rr}-{clients_per_rr}")
+
+
+def ibgp_gao_rexford(n_core: int = 3, n_rr: int = 4, clients_per_rr: int = 3,
+                     redundancy: int = 2, seed: int = 0):
+    """A route-reflector overlay over the Gao–Rexford algebra.
+
+    Same layout as :func:`route_reflector_hierarchy`, with economics
+    mapped onto the hierarchy: core reflectors peer, and every
+    reflector/client is a customer of the level above it.  Returns
+    ``(network, relationships)`` exactly as
+    :func:`gao_rexford_hierarchy` does.
+    """
+    from ..algebras.gao_rexford import GaoRexfordAlgebra, Rel
+
+    rng = random.Random(seed)
+    cores = list(range(n_core))
+    rrs = list(range(n_core, n_core + n_rr))
+    n = n_core + n_rr + n_rr * clients_per_rr
+    algebra = GaoRexfordAlgebra(n_nodes=n)
+    net = Network(algebra, n, name=f"ibgp-gr-{n_core}-{n_rr}-{clients_per_rr}")
+    rels = {}
+
+    def connect(customer: int, provider: int) -> None:
+        rels[(customer, provider)] = Rel.PROVIDER
+        rels[(provider, customer)] = Rel.CUSTOMER
+        net.set_edge(customer, provider,
+                     algebra.edge(customer, provider, Rel.PROVIDER))
+        net.set_edge(provider, customer,
+                     algebra.edge(provider, customer, Rel.CUSTOMER))
+
+    def peer(a: int, b: int) -> None:
+        rels[(a, b)] = Rel.PEER
+        rels[(b, a)] = Rel.PEER
+        net.set_edge(a, b, algebra.edge(a, b, Rel.PEER))
+        net.set_edge(b, a, algebra.edge(b, a, Rel.PEER))
+
+    for idx, a in enumerate(cores):
+        for b in cores[idx + 1:]:
+            peer(a, b)
+    for rr in rrs:
+        for core in rng.sample(cores, min(redundancy, n_core)):
+            connect(rr, core)
+    client = n_core + n_rr
+    for rr in rrs:
+        for _ in range(clients_per_rr):
+            homes = {rr}
+            backups = [x for x in rrs if x != rr]
+            while len(homes) < min(redundancy, n_rr) and backups:
+                homes.add(backups.pop(rng.randrange(len(backups))))
+            for home in sorted(homes):
+                connect(client, home)
+            client += 1
+    return net, rels
+
+
+# ----------------------------------------------------------------------
 # Standard factories for the shipped algebras
 # ----------------------------------------------------------------------
 

@@ -29,6 +29,7 @@ class TestSmokeSuite:
         assert "remote" in report
         assert "service" in report
         assert "windowed_ipc" in report
+        assert "scenarios" in report
         assert report["meta"]["cpu_count"] >= 1
         for row in report["sigma"]:
             assert row["fixed_points_equal"], row["case"]
@@ -156,6 +157,26 @@ class TestCommittedBatchedColumn:
                 run_benchmarks.SERVICE_CACHE_FLOOR, row
             assert 0.0 < row["cache_hit_ratio"] <= 1.0
             assert row["warm_ms"]["p99"] >= row["warm_ms"]["p50"]
+
+    def test_committed_scenarios_column(self):
+        """The PR 10 column: the full (topology × event × algebra)
+        survey headline must run every cell through the per-trial
+        session-replay oracle with zero failures — bit-identity between
+        the batched grid path and ``RoutingSession.replay``."""
+        path = BENCH_DIR.parent / "BENCH_core.json"
+        report = json.loads(path.read_text())
+        rows = report.get("scenarios", [])
+        headline = [r for r in rows if r.get("headline_scenarios")]
+        assert headline, "scenarios headline (full survey grid) missing"
+        for row in rows:
+            assert row["fixed_points_equal"], row["case"]
+            assert row["failed_cells"] == 0, row["case"]
+            assert row["failures"] == [], row["case"]
+        for row in headline:
+            # acceptance floor: >= 6 topologies x >= 4 events x
+            # >= 2 algebras, every cell oracle-checked
+            assert row["cells"] >= 48, row
+            assert row["oracle_checked"] == row["cells"], row
 
     def test_committed_windowed_ipc(self):
         path = BENCH_DIR.parent / "BENCH_core.json"

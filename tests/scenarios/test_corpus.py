@@ -1,0 +1,152 @@
+"""Corpus loaders: committed fixtures parse, malformed files fail loudly.
+
+The robustness contract: a malformed corpus file raises a typed
+:class:`~repro.scenarios.corpus.CorpusFormatError` naming the file and
+line — never a bare ``KeyError``/``IndexError`` from parser internals.
+"""
+
+import pytest
+
+from repro.algebras import HopCountAlgebra
+from repro.core import synchronous_fixed_point
+from repro.scenarios import (
+    CorpusFormatError,
+    corpus_dir,
+    list_corpus,
+    load_corpus_topology,
+    load_topology,
+    parse_edge_list,
+    parse_graphml,
+)
+from repro.topologies import uniform_weight_factory
+
+
+def hop():
+    alg = HopCountAlgebra(16)
+    return alg, uniform_weight_factory(alg, 1, 3)
+
+
+class TestCommittedCorpus:
+    def test_corpus_is_big_enough_for_the_survey_floor(self):
+        assert len(list_corpus()) >= 6
+
+    @pytest.mark.parametrize("name", list_corpus())
+    def test_every_fixture_loads_and_is_connected(self, name):
+        topo = load_corpus_topology(name)
+        assert topo.n >= 2 and topo.edges >= 1
+        assert len(topo.node_names) == topo.n
+        # every arc is mirrored: the corpus is undirected by contract
+        arcs = set(topo.arcs)
+        assert all((k, i) in arcs for (i, k) in arcs)
+        alg, factory = hop()
+        net = topo.build(alg, factory, seed=0)
+        assert net.name == f"corpus-{name}"
+        fp = synchronous_fixed_point(net)
+        for i in range(net.n):
+            for j in range(net.n):
+                assert fp.get(i, j) != alg.invalid, \
+                    f"{name}: {i} cannot reach {j}"
+
+    def test_abilene_keeps_display_names(self):
+        topo = load_corpus_topology("abilene")
+        assert "Seattle" in topo.node_names
+        assert "NewYork" in topo.node_names
+
+    def test_same_fixture_same_arcs(self):
+        a = load_corpus_topology("nsfnet")
+        b = load_corpus_topology("nsfnet")
+        assert a.arcs == b.arcs and a.node_names == b.node_names
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="abilene"):
+            load_corpus_topology("no-such-network")
+
+
+class TestEdgeListRobustness:
+    def write(self, tmp_path, text, name="net.edges"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_parses_comments_and_dedupes(self, tmp_path):
+        path = self.write(tmp_path, "# header\na b\nb c\na b\nb a\n")
+        topo = parse_edge_list(path)
+        assert topo.n == 3 and topo.edges == 2
+        assert topo.node_names == ("a", "b", "c")
+
+    def test_short_line_names_file_and_line(self, tmp_path):
+        path = self.write(tmp_path, "a b\nlonely\n")
+        with pytest.raises(CorpusFormatError) as exc:
+            parse_edge_list(path)
+        assert exc.value.line == 2
+        assert str(path) in str(exc.value)
+
+    def test_self_loop_rejected(self, tmp_path):
+        path = self.write(tmp_path, "a b\nc c\n")
+        with pytest.raises(CorpusFormatError) as exc:
+            parse_edge_list(path)
+        assert exc.value.line == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = self.write(tmp_path, "# only comments\n")
+        with pytest.raises(CorpusFormatError):
+            parse_edge_list(path)
+
+
+class TestGraphMLRobustness:
+    def write(self, tmp_path, body, name="net.graphml"):
+        path = tmp_path / name
+        path.write_text(body)
+        return path
+
+    def test_edge_to_undeclared_node_names_line(self, tmp_path):
+        path = self.write(tmp_path, (
+            '<?xml version="1.0"?>\n<graphml>\n'
+            '<graph edgedefault="undirected">\n'
+            '<node id="a"/>\n<node id="b"/>\n'
+            '<edge source="a" target="ghost"/>\n'
+            '</graph>\n</graphml>\n'))
+        with pytest.raises(CorpusFormatError) as exc:
+            parse_graphml(path)
+        assert exc.value.line == 6
+        assert "ghost" in str(exc.value)
+
+    def test_duplicate_node_id_rejected(self, tmp_path):
+        path = self.write(tmp_path, (
+            '<graphml><graph edgedefault="undirected">\n'
+            '<node id="a"/>\n<node id="a"/>\n'
+            '</graph></graphml>\n'))
+        with pytest.raises(CorpusFormatError) as exc:
+            parse_graphml(path)
+        assert exc.value.line == 3
+
+    def test_broken_xml_is_a_corpus_error_not_expat(self, tmp_path):
+        path = self.write(tmp_path, "<graphml><graph>\n<node id=\n")
+        with pytest.raises(CorpusFormatError) as exc:
+            parse_graphml(path)
+        assert str(path) in str(exc.value)
+
+    def test_graph_without_edges_rejected(self, tmp_path):
+        path = self.write(tmp_path, (
+            '<graphml><graph edgedefault="undirected">\n'
+            '<node id="a"/><node id="b"/>\n'
+            '</graph></graphml>\n'))
+        with pytest.raises(CorpusFormatError):
+            parse_graphml(path)
+
+
+class TestLoaderDispatch:
+    def test_suffix_dispatch(self, tmp_path):
+        edges = tmp_path / "x.txt"
+        edges.write_text("a b\nb c\n")
+        assert load_topology(edges).n == 3
+
+    def test_unsupported_suffix_is_typed(self, tmp_path):
+        weird = tmp_path / "x.dot"
+        weird.write_text("graph {}")
+        with pytest.raises(CorpusFormatError, match="suffix"):
+            load_topology(weird)
+
+    def test_corpus_dir_is_the_committed_package_dir(self):
+        assert corpus_dir().is_dir()
+        assert (corpus_dir() / "abilene.graphml").exists()

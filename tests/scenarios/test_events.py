@@ -1,0 +1,166 @@
+"""Event grammar: typed events compile to deterministic mutation streams.
+
+The bit-identity anchor: a set-mutation's in-process ``fn`` must equal
+what the daemon derives from the same ``edge_seed``
+(``factory(random.Random(edge_seed), i, k)``) — that formula is what
+makes the two replay transports interchangeable.
+"""
+
+import random
+
+import pytest
+
+from repro.algebras import HopCountAlgebra
+from repro.core import RoutingState, synchronous_fixed_point
+from repro.scenarios import (
+    EVENTS,
+    DelBestRoute,
+    LinkFlap,
+    LinkWeightChange,
+    Mutation,
+    NodeFailure,
+    PolicyChange,
+    compile_event,
+    event_seed,
+)
+from repro.topologies import ring, uniform_weight_factory
+
+
+def hop_ring(n=6, seed=0):
+    alg = HopCountAlgebra(16)
+    factory = uniform_weight_factory(alg, 1, 3)
+    return ring(alg, n, factory, seed=seed), factory
+
+
+def stream(phases):
+    """The comparable essence of a compiled event."""
+    return [(ph.label, ph.time,
+             [(m.op, m.i, m.k, m.edge_seed) for m in ph.mutations])
+            for ph in phases]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(EVENTS))
+    def test_same_seed_same_stream(self, name):
+        net_a, factory = hop_ring()
+        net_b, _ = hop_ring()
+        state = synchronous_fixed_point(net_a)
+        a = compile_event(EVENTS[name](), net_a, factory, 42, state=state)
+        b = compile_event(EVENTS[name](), net_b, factory, 42, state=state)
+        assert stream(a) == stream(b)
+
+    def test_different_seeds_differ(self):
+        net, factory = hop_ring()
+        a = compile_event(LinkFlap(), net, factory, 1)
+        b = compile_event(LinkFlap(), net, factory, 2)
+        assert stream(a) != stream(b)
+
+    def test_event_seed_derivation_is_stable(self):
+        assert event_seed(0, 0) == 0
+        assert event_seed(5, 3) == 5 + 7919 * 3
+
+    def test_materialised_fn_matches_daemon_formula(self):
+        net, factory = hop_ring()
+        phases = compile_event(LinkFlap(), net, factory, 9)
+        sets = [m for ph in phases for m in ph.mutations if m.op == "set"]
+        assert sets
+        for m in sets:
+            daemon_fn = factory(random.Random(int(m.edge_seed)), m.i, m.k)
+            for route in range(5):
+                assert m.fn(route) == daemon_fn(route)
+
+
+class TestEventShapes:
+    def test_link_flap_is_down_then_up_on_one_link(self):
+        net, factory = hop_ring()
+        down, up = compile_event(LinkFlap(), net, factory, 3)
+        assert down.label == "link-down" and up.label == "link-up"
+        removed = {(m.i, m.k) for m in down.mutations}
+        restored = {(m.i, m.k) for m in up.mutations}
+        assert removed == restored and len(removed) == 2
+        (i, k) = next(iter(removed))
+        assert (k, i) in removed
+
+    def test_pinned_link_flap(self):
+        net, factory = hop_ring()
+        down, _up = compile_event(LinkFlap(edge=(1, 2)), net, factory, 0)
+        assert {(m.i, m.k) for m in down.mutations} == {(1, 2), (2, 1)}
+
+    def test_node_failure_covers_all_incident_arcs(self):
+        net, factory = hop_ring(n=5)
+        down, up = compile_event(NodeFailure(node=2), net, factory, 0)
+        incident = {(m.i, m.k) for m in down.mutations}
+        assert incident == {(2, 1), (1, 2), (2, 3), (3, 2)}
+        assert {(m.i, m.k) for m in up.mutations} == incident
+        assert all(m.op == "set" and m.fn is not None
+                   for m in up.mutations)
+
+    def test_weight_change_touches_count_arcs(self):
+        net, factory = hop_ring()
+        (phase,) = compile_event(LinkWeightChange(count=3), net, factory, 1)
+        assert phase.label == "reweigh"
+        assert len(phase.mutations) == 3
+        assert all(m.op == "set" for m in phase.mutations)
+
+    def test_policy_change_redraws_one_importer(self):
+        net, factory = hop_ring()
+        (phase,) = compile_event(PolicyChange(node=4), net, factory, 1)
+        assert {m.i for m in phase.mutations} == {4}
+        # a ring importer has exactly two in-edges
+        assert len(phase.mutations) == 2
+
+    def test_del_best_route_removes_a_contributing_arc(self):
+        net, factory = hop_ring()
+        state = synchronous_fixed_point(net)
+        (phase,) = compile_event(DelBestRoute(dest=0), net, factory, 7,
+                                 state=state)
+        (m,) = phase.mutations
+        assert m.op == "remove"
+        alg = net.algebra
+        best = state.get(m.i, 0)
+        assert not alg.equal(best, alg.invalid)
+        assert alg.equal(net.edge(m.i, m.k)(state.get(m.k, 0)), best)
+
+    def test_del_best_route_requires_state(self):
+        net, factory = hop_ring()
+        with pytest.raises(ValueError, match="fixed point"):
+            compile_event(DelBestRoute(), net, factory, 0)
+
+    def test_del_best_route_falls_through_empty_destinations(self):
+        # a 2-node network where only dest 1 is reachable: the shuffled
+        # first choice may be node 0's empty column; the event must
+        # fall through to a destination that has a learned route
+        alg = HopCountAlgebra(16)
+        factory = uniform_weight_factory(alg, 1, 3)
+        from repro.topologies import build_network
+        net = build_network(alg, 3, [(0, 1), (1, 0), (1, 2), (2, 1)],
+                            factory, seed=0)
+        state = synchronous_fixed_point(net)
+        for seed in range(6):
+            (phase,) = compile_event(DelBestRoute(), net, factory, seed,
+                                     state=state)
+            assert phase.mutations[0].op == "remove"
+
+
+class TestMutationApply:
+    def test_set_without_fn_is_loud(self):
+        net, _factory = hop_ring()
+        with pytest.raises(ValueError, match="compile_event"):
+            Mutation("set", 0, 1, edge_seed=5).apply(net)
+
+    def test_unknown_op_is_loud(self):
+        net, _factory = hop_ring()
+        with pytest.raises(ValueError, match="unknown mutation op"):
+            Mutation("frob", 0, 1).apply(net)
+
+    def test_apply_round_trip_changes_topology(self):
+        net, factory = hop_ring()
+        v0 = net.adjacency.version
+        down, up = compile_event(LinkFlap(edge=(0, 1)), net, factory, 0)
+        for m in down.mutations:
+            m.apply(net)
+        assert (0, 1) not in set(net.present_edges())
+        for m in up.mutations:
+            m.apply(net)
+        assert (0, 1) in set(net.present_edges())
+        assert net.adjacency.version > v0

@@ -1,0 +1,73 @@
+"""Streaming transport: scenario events over the service daemon.
+
+The tentpole's transport-equivalence property, end to end: the same
+compiled event stream, shipped to a live daemon as ``set_edge`` seeds /
+``remove_edge`` verbs, must leave the daemon's served fixed point
+bit-identical to the local mirror session after *every* phase — and the
+cheap per-destination ``routes`` slices must match too.
+"""
+
+import threading
+
+import pytest
+
+from repro.scenarios import (
+    LinkFlap,
+    LinkWeightChange,
+    NodeFailure,
+    PolicyChange,
+    build_scenario_network,
+    load_corpus_topology,
+    stream_events,
+)
+from repro.service import RoutingServiceDaemon, ServiceClient
+from repro.session import EngineSpec, RoutingSession
+
+
+@pytest.fixture()
+def daemon():
+    d = RoutingServiceDaemon(host="127.0.0.1", port=0, max_sessions=4)
+    t = threading.Thread(target=d.run, daemon=True)
+    t.start()
+    assert d.wait_ready(15), "daemon did not come up"
+    yield d
+    d.request_shutdown()
+    t.join(15)
+    assert not t.is_alive(), "daemon did not shut down"
+
+
+class TestStreaming:
+    def test_streamed_scenario_is_bit_identical(self, daemon):
+        topo = load_corpus_topology("cesnet")
+        with ServiceClient(port=daemon.port) as c:
+            sid = c.load("hop-count", n=topo.n, topology="corpus:cesnet",
+                         seed=0)["session"]
+            net, factory = build_scenario_network("corpus:cesnet",
+                                                  "hop-count", seed=0)
+            events = [LinkFlap(), NodeFailure(), LinkWeightChange(),
+                      PolicyChange()]
+            with RoutingSession(net, EngineSpec("auto")) as mirror:
+                records = stream_events(c, sid, mirror, factory, events,
+                                        seed=0, probe_dest=0)
+        # 1 initial + 2 + 2 + 1 + 1 event phases
+        assert [r["label"] for r in records] == [
+            "initial", "link-down", "link-up", "node-down", "node-up",
+            "reweigh", "policy-change"]
+        for rec in records:
+            assert rec["digest_match"], f"σ diverged at {rec['label']}"
+            assert rec["routes_match"], f"routes diverged at {rec['label']}"
+        versions = [r["version"] for r in records]
+        assert versions == sorted(versions)
+
+    def test_probe_dest_is_optional(self, daemon):
+        topo = load_corpus_topology("janet")
+        with ServiceClient(port=daemon.port) as c:
+            sid = c.load("hop-count", n=topo.n, topology="corpus:janet",
+                         seed=0)["session"]
+            net, factory = build_scenario_network("corpus:janet",
+                                                  "hop-count", seed=0)
+            with RoutingSession(net, EngineSpec("auto")) as mirror:
+                records = stream_events(c, sid, mirror, factory,
+                                        [LinkFlap()], seed=4)
+        assert all(r["digest_match"] for r in records)
+        assert all("routes_match" not in r for r in records)

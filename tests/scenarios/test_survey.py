@@ -1,0 +1,90 @@
+"""Survey grids: registry resolution, oracle bit-identity, FAIL cells."""
+
+import pytest
+
+from repro.scenarios import (
+    DEFAULT_ALGEBRAS,
+    DEFAULT_EVENTS,
+    build_scenario_network,
+    run_cell,
+    run_survey,
+    scenario_events,
+    scenario_topologies,
+)
+
+
+class TestRegistry:
+    def test_registry_meets_the_survey_floor(self):
+        # acceptance: ≥6 topologies × ≥4 events × ≥2 algebras offline
+        assert len(scenario_topologies()) >= 6
+        assert len(scenario_events()) >= 4
+        assert len(DEFAULT_ALGEBRAS) >= 2
+
+    def test_corpus_entries_are_prefixed(self):
+        topologies = scenario_topologies()
+        assert "corpus:abilene" in topologies
+        assert "elmokashfi-24" in topologies
+        assert "route-reflector" in topologies
+
+    def test_build_resolves_names(self):
+        net, factory = build_scenario_network("corpus:janet", "hop-count")
+        assert net.n >= 2 and callable(factory)
+
+    def test_unknown_names_are_loud(self):
+        with pytest.raises(ValueError, match="corpus:abilene"):
+            build_scenario_network("nope", "hop-count")
+        with pytest.raises(ValueError, match="hop-count"):
+            build_scenario_network("corpus:janet", "nope")
+
+
+class TestRunCell:
+    def test_cell_with_oracle_is_bit_identical(self):
+        cell = run_cell("corpus:cesnet", "link-flap", "hop-count",
+                        seed=0, trials=2, oracle=True)
+        assert cell.ok
+        assert cell.oracle_checked and cell.oracle_ok
+        assert cell.replay_converged and cell.grid_all_converged
+        assert cell.phases == 2
+        # finite algebra + trial grid: the batched rung takes it
+        assert cell.grid_engine == "batched"
+        assert cell.distinct_fixed_points == 1
+
+    def test_cell_is_deterministic(self):
+        a = run_cell("corpus:janet", "policy-change", "hop-count", seed=3)
+        b = run_cell("corpus:janet", "policy-change", "hop-count", seed=3)
+        assert (a.total_churn, a.total_rounds) == \
+            (b.total_churn, b.total_rounds)
+
+
+class TestRunSurvey:
+    def test_small_grid_zero_failures(self):
+        report = run_survey(
+            topologies=["corpus:cesnet", "corpus:janet"],
+            events=["link-flap", "del-best-route"],
+            algebras=list(DEFAULT_ALGEBRAS), seed=0, trials=2,
+            oracle=True)
+        assert len(report.cells) == 8
+        assert report.failed == []
+        assert all(c.oracle_checked and c.oracle_ok for c in report.cells)
+        table = report.render_table()
+        assert "ok*" in table and "failed: 0" in table
+
+    def test_broken_cell_is_recorded_not_raised(self):
+        report = run_survey(topologies=["no-such-topology"],
+                            events=["link-flap"], algebras=["hop-count"])
+        (cell,) = report.cells
+        assert not cell.ok and "ValueError" in cell.error
+        assert report.failed == [cell]
+        assert "FAIL" in report.render_table()
+
+    def test_progress_callback_sees_every_cell(self):
+        seen = []
+        run_survey(topologies=["corpus:cesnet"], events=["link-flap"],
+                   algebras=["hop-count"], trials=1,
+                   progress=seen.append)
+        assert len(seen) == 1 and seen[0].ok
+
+    def test_defaults_cover_the_full_grid(self):
+        # don't run it (tier-1 time); just check the default axes
+        assert len(DEFAULT_EVENTS) == 5
+        assert set(DEFAULT_ALGEBRAS) == {"hop-count", "stratified-bounded"}

@@ -72,3 +72,40 @@ class TestSimulate:
         rc = main(["simulate", "--algebra", "shortest-pv", "--n", "5",
                    "--topology", "random"])
         assert rc == 0
+
+
+class TestScenarios:
+    def test_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "corpus:abilene" in out
+        assert "link-flap" in out and "del-best-route" in out
+        assert "stratified-bounded" in out
+
+    def test_run_prints_per_phase_table(self, capsys):
+        rc = main(["scenarios", "run", "--topology", "corpus:cesnet",
+                   "--event", "link-flap"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "corpus-cesnet" in out
+        assert "link-down" in out and "link-up" in out
+        assert "churn" in out
+
+    def test_run_unknown_event_exits(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "--event", "meteor-strike"])
+
+    def test_survey_small_grid_exits_zero(self, capsys):
+        rc = main(["scenarios", "survey",
+                   "--topology", "corpus:janet",
+                   "--event", "link-flap", "--event", "policy-change",
+                   "--algebra", "hop-count", "--trials", "2", "--oracle"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "failed: 0" in out and "ok*" in out
+
+    def test_survey_failed_cell_exits_nonzero(self, capsys):
+        rc = main(["scenarios", "survey", "--topology", "nope",
+                   "--event", "link-flap", "--algebra", "hop-count"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -62,3 +62,10 @@ class TestExamples:
         out = run_example("custom_algebra.py")
         assert "✗ F increasing" in out             # the buggy round
         assert "Theorem 7" in out                  # the fixed round
+
+    def test_scenario_replay(self):
+        out = run_example("scenario_replay.py")
+        assert "abilene" in out
+        assert "Seattle" in out                    # corpus labels survive
+        assert "link-down" in out and "node-up" in out
+        assert "all converged: True" in out

@@ -154,3 +154,139 @@ class TestFactories:
         b = build_network(alg, 2, arcs, uniform_weight_factory(alg, 1, 9),
                           seed=4)
         assert a.edge(0, 1)(0) == b.edge(0, 1)(0)
+
+
+class TestSeedDeterminism:
+    """Same seed ⇒ identical adjacency, within and across processes."""
+
+    CASES = ("erdos_renyi", "barabasi_albert", "gao_rexford_hierarchy")
+
+    # one shared snippet: build the generator's network at a fixed seed
+    # and digest its sorted arc list (structure only — edge functions
+    # are closures and can't be hashed portably)
+    SNIPPET = """
+import hashlib
+from repro.algebras import HopCountAlgebra
+from repro.topologies import (barabasi_albert, erdos_renyi,
+                              gao_rexford_hierarchy,
+                              uniform_weight_factory)
+
+def build(name):
+    alg = HopCountAlgebra(16)
+    fac = uniform_weight_factory(alg, 1, 3)
+    if name == "erdos_renyi":
+        return erdos_renyi(alg, 14, 0.3, fac, seed=11)
+    if name == "barabasi_albert":
+        return barabasi_albert(alg, 14, 2, fac, seed=11)
+    net, _rels = gao_rexford_hierarchy(2, 4, 8, seed=11)
+    return net
+
+def digest(name):
+    arcs = sorted(build(name).present_edges())
+    return hashlib.sha256(repr(arcs).encode()).hexdigest()
+"""
+
+    def _local_digest(self, name):
+        scope = {}
+        exec(self.SNIPPET, scope)
+        return scope["digest"](name)
+
+    @pytest.mark.parametrize("name", CASES)
+    def test_same_seed_same_adjacency_in_process(self, name):
+        assert self._local_digest(name) == self._local_digest(name)
+
+    @pytest.mark.parametrize("name", CASES)
+    def test_same_seed_same_adjacency_across_processes(self, name):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             self.SNIPPET + f"\nprint(digest({name!r}))"],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.strip() == self._local_digest(name)
+
+
+class TestElmokashfiASGraph:
+    def test_shape_and_connectivity(self):
+        from repro.topologies import elmokashfi_as_graph
+
+        net = elmokashfi_as_graph(HopCountAlgebra(16), 24, hop_factory(),
+                                  seed=2)
+        assert net.n == 24 and net.name == "elmokashfi-24"
+        arcs = set(net.present_edges())
+        assert all((k, i) in arcs for (i, k) in arcs)
+        fp = synchronous_fixed_point(net)
+        for i in range(24):
+            for j in range(24):
+                assert fp.get(i, j) != net.algebra.invalid
+
+    def test_tier1_clique(self):
+        from repro.topologies import elmokashfi_as_graph
+
+        net = elmokashfi_as_graph(HopCountAlgebra(16), 30, hop_factory(),
+                                  seed=0)
+        arcs = set(net.present_edges())
+        # tier-1 core (max(3, 1% of n) = 3 nodes) is a full mesh
+        for a in range(3):
+            for b in range(3):
+                if a != b:
+                    assert (a, b) in arcs
+
+    def test_too_small_rejected(self):
+        from repro.topologies import elmokashfi_as_graph
+
+        with pytest.raises(ValueError):
+            elmokashfi_as_graph(HopCountAlgebra(16), 4, hop_factory())
+
+    def test_deterministic_in_seed(self):
+        from repro.topologies import elmokashfi_as_graph
+
+        a = elmokashfi_as_graph(HopCountAlgebra(16), 20, hop_factory(),
+                                seed=5)
+        b = elmokashfi_as_graph(HopCountAlgebra(16), 20, hop_factory(),
+                                seed=5)
+        assert set(a.present_edges()) == set(b.present_edges())
+
+
+class TestRouteReflectorHierarchy:
+    def test_shape_and_connectivity(self):
+        from repro.topologies import route_reflector_hierarchy
+
+        net = route_reflector_hierarchy(HopCountAlgebra(16), hop_factory(),
+                                        n_core=3, n_rr=4,
+                                        clients_per_rr=3, seed=1)
+        assert net.n == 3 + 4 + 12
+        fp = synchronous_fixed_point(net)
+        for i in range(net.n):
+            for j in range(net.n):
+                assert fp.get(i, j) != net.algebra.invalid
+
+    def test_core_full_mesh(self):
+        from repro.topologies import route_reflector_hierarchy
+
+        net = route_reflector_hierarchy(HopCountAlgebra(16), hop_factory(),
+                                        n_core=4, n_rr=2,
+                                        clients_per_rr=2, seed=0)
+        arcs = set(net.present_edges())
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert (a, b) in arcs
+
+    def test_ibgp_gao_rexford_converges(self):
+        from repro.algebras import Rel
+        from repro.topologies import ibgp_gao_rexford
+
+        net, rels = ibgp_gao_rexford(n_core=3, n_rr=3, clients_per_rr=2,
+                                     seed=2)
+        assert net.n == 3 + 3 + 6
+        # cores peer with each other; everything below has a provider
+        assert rels[(0, 1)] == Rel.PEER
+        for node in range(3, net.n):
+            assert any(rel == Rel.PROVIDER and i == node
+                       for (i, _j), rel in rels.items())
+        res = iterate_sigma(net,
+                            RoutingState.identity(net.algebra, net.n))
+        assert res.converged
